@@ -1,0 +1,90 @@
+// Ablation: the sparsity axis of the sparse Hamming graph.
+//
+// Sweeps configurations from the mesh (SR = SC = {}) to the flattened
+// butterfly (all skip distances) on the scenario-a architecture and prints
+// how cost and performance move — the "adjustable cost-performance
+// trade-off" that is the paper's central claim (Section III). The trade-off
+// must be monotone: more skips => more area/power, fewer hops, higher
+// saturation throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "shg/common/strings.hpp"
+#include "shg/common/table.hpp"
+#include "shg/customize/search.hpp"
+#include "shg/eval/toolchain.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace {
+
+using namespace shg;
+
+void BM_ScreenCandidate(benchmark::State& state) {
+  const tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  const topo::ShgParams params{{4}, {2, 5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(customize::screen_candidate(arch, params));
+  }
+}
+BENCHMARK(BM_ScreenCandidate);
+
+void BM_GreedyCustomization(benchmark::State& state) {
+  const tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        customize::customize_greedy(arch, customize::Goal{0.40}));
+  }
+}
+BENCHMARK(BM_GreedyCustomization);
+
+void print_sweep() {
+  const tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  eval::PerfConfig perf = eval::default_perf_config(arch);
+  perf.sim.warmup_cycles = 500;
+  perf.sim.measure_cycles = 1500;
+  perf.bisection_iterations = 6;
+
+  const std::vector<topo::ShgParams> sweep = {
+      {{}, {}},                              // mesh
+      {{2}, {}},                             // one row skip
+      {{2}, {2}},
+      {{4}, {2, 5}},                         // the paper's scenario-a config
+      {{2, 4}, {2, 4}},
+      {{2, 4, 6}, {2, 4, 6}},
+      {{2, 3, 4, 5, 6, 7}, {2, 3, 4, 5, 6, 7}},  // flattened butterfly
+  };
+  std::printf("\n=== SHG sparsity sweep (scenario a architecture) ===\n");
+  Table table({"SR", "SC", "links", "diam", "avg hops", "area ovh", "power",
+               "zero-load", "saturation"});
+  for (const auto& params : sweep) {
+    const auto topology = topo::make_sparse_hamming(
+        arch.rows, arch.cols, params.row_skips, params.col_skips);
+    const auto p = eval::predict(arch, topology, perf);
+    const auto metrics = customize::screen_candidate(arch, params);
+    table.add_row({fmt_int_set(params.row_skips),
+                   fmt_int_set(params.col_skips),
+                   std::to_string(topology.graph().num_edges()),
+                   fmt_double(metrics.diameter, 0),
+                   fmt_double(metrics.avg_hops, 2),
+                   fmt_double(100.0 * p.cost.area_overhead, 1) + " %",
+                   fmt_double(p.cost.noc_power_w, 1) + " W",
+                   fmt_double(p.perf.zero_load_latency_cycles, 1) + " cyc",
+                   fmt_double(100.0 * p.perf.saturation_throughput, 1) +
+                       " %"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nThe 2^(R+C-4) = %g configurations of an 8x8 SHG span this\n"
+              "entire axis; Table rows are sample points from mesh to FB.\n",
+              topo::num_configurations(topo::Kind::kSparseHamming, 8, 8));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_sweep();
+  return 0;
+}

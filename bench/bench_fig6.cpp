@@ -1,0 +1,154 @@
+// Figure 6 reproduction: cost (NoC power vs. area overhead) and performance
+// (zero-load latency vs. saturation throughput) of all applicable
+// topologies in the four Knights-Corner-class scenarios of Section V-b,
+// with the paper's customized sparse Hamming graph configurations.
+//
+// Prints one table per sub-figure (a-d) plus the headline check: the
+// customized SHG must deliver the highest saturation throughput among all
+// topologies with at most 40% area overhead while being near-best in
+// zero-load latency. Expect a few minutes of runtime: every row is a full
+// cost-model evaluation plus a zero-load simulation and a bisection for the
+// saturation rate (random uniform traffic, hop-minimizing routing — the
+// Figure 6 configuration).
+//
+// The google-benchmark section measures the toolchain's evaluation speed
+// (the paper's pitch: high-level-model speed with low-level detail).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "shg/common/strings.hpp"
+#include "shg/common/table.hpp"
+#include "shg/customize/pareto.hpp"
+#include "shg/customize/search.hpp"
+#include "shg/eval/scenario.hpp"
+#include "shg/eval/toolchain.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace {
+
+using namespace shg;
+
+void BM_CostModelScenarioA_Shg(benchmark::State& state) {
+  const auto scenario = eval::figure6_scenario(tech::KncScenario::kA);
+  const auto topologies = eval::scenario_topologies(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eval::predict_cost(scenario.arch, topologies.back()));
+  }
+}
+BENCHMARK(BM_CostModelScenarioA_Shg);
+
+void BM_CostModelScenarioC_FlattenedButterfly(benchmark::State& state) {
+  const auto scenario = eval::figure6_scenario(tech::KncScenario::kC);
+  const auto topologies = eval::scenario_topologies(scenario);
+  // The FB is the largest topology (second to last; SHG is last).
+  const auto& fb = topologies[topologies.size() - 2];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval::predict_cost(scenario.arch, fb));
+  }
+}
+BENCHMARK(BM_CostModelScenarioC_FlattenedButterfly);
+
+eval::PerfConfig fig6_perf(const tech::ArchParams& arch) {
+  eval::PerfConfig config = eval::default_perf_config(arch);
+  config.sim.warmup_cycles = 500;
+  config.sim.measure_cycles = 2000;
+  config.sim.drain_cycles = 20000;
+  config.bisection_iterations = 7;
+  return config;
+}
+
+void run_scenario(const eval::Scenario& scenario) {
+  std::printf("\n=== Figure 6(%s): %s ===\n", scenario.label.c_str(),
+              scenario.arch.name.c_str());
+  std::printf("SHG parameters (paper): SR=%s SC=%s\n",
+              fmt_int_set(scenario.shg.row_skips).c_str(),
+              fmt_int_set(scenario.shg.col_skips).c_str());
+
+  auto topologies = eval::scenario_topologies(scenario);
+  // The paper's SR/SC sets were customized to hit the 40% budget *under
+  // the authors' cost calibration*; under ours they cost only ~25%, so we
+  // additionally run the paper's customization strategy (Section V-a)
+  // against our own cost model and evaluate its pick — reproducing the
+  // methodology, not just the artifact.
+  const customize::SearchResult customized =
+      customize::customize_greedy(scenario.arch, customize::Goal{0.40});
+  std::printf("SHG parameters (customized to 40%% under our calibration): "
+              "SR=%s SC=%s\n",
+              fmt_int_set(customized.params.row_skips).c_str(),
+              fmt_int_set(customized.params.col_skips).c_str());
+  topologies.push_back(topo::make_sparse_hamming(
+      scenario.arch.rows, scenario.arch.cols, customized.params.row_skips,
+      customized.params.col_skips));
+
+  const eval::PerfConfig perf = fig6_perf(scenario.arch);
+
+  Table table({"topology", "area overhead", "NoC power", "zero-load lat",
+               "saturation", "<=40%"});
+  std::vector<customize::MetricPoint> points;
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const auto& topology = topologies[t];
+    const eval::Prediction p = eval::predict(scenario.arch, topology, perf);
+    const std::string label = t + 1 == topologies.size()
+                                  ? "shg customized @40%"
+                                  : topology.name();
+    points.push_back(customize::MetricPoint{
+        label, p.cost.area_overhead, p.cost.noc_power_w,
+        p.perf.zero_load_latency_cycles, p.perf.saturation_throughput});
+    table.add_row({label, fmt_double(100.0 * p.cost.area_overhead, 1) + " %",
+                   fmt_double(p.cost.noc_power_w, 1) + " W",
+                   fmt_double(p.perf.zero_load_latency_cycles, 1) + " cyc",
+                   fmt_double(100.0 * p.perf.saturation_throughput, 1) + " %",
+                   p.cost.area_overhead <= 0.40 ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  // Headline check (the annotation in every Figure 6 sub-plot): the
+  // budget-customized SHG (last row) must have the highest saturation
+  // throughput among all topologies within the 40% budget and near-best
+  // zero-load latency. Saturation rates come from a bisection, so two
+  // topologies closer than one lattice step (2^-iterations) are a tie.
+  const double bisection_step =
+      1.0 / static_cast<double>(1 << fig6_perf(scenario.arch)
+                                         .bisection_iterations);
+  const auto& shg = points.back();
+  bool highest_throughput_in_budget = true;
+  double worst_margin = 1.0;
+  int lower_latency_count = 0;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    if (points[i].area_overhead <= 0.40) {
+      const double margin =
+          shg.saturation_throughput - points[i].saturation_throughput;
+      worst_margin = std::min(worst_margin, margin);
+      if (margin < -bisection_step) highest_throughput_in_budget = false;
+    }
+    if (points[i].zero_load_latency < shg.zero_load_latency) {
+      ++lower_latency_count;
+    }
+  }
+  std::printf("headline: customized SHG highest throughput among <=40%% "
+              "topologies: %s (worst margin %+.1f pp, bisection step %.1f "
+              "pp); topologies with lower zero-load latency: %d\n",
+              highest_throughput_in_budget ? "YES" : "NO",
+              100.0 * worst_margin, 100.0 * bisection_step,
+              lower_latency_count);
+  const auto front = customize::pareto_front(points);
+  std::printf("pareto front:");
+  for (std::size_t idx : front) {
+    std::printf(" [%s]", points[idx].name.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  for (const auto& scenario : eval::figure6_scenarios()) {
+    run_scenario(scenario);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Design-space exploration over sparse Hamming graph configurations:
+// enumerates SR/SC subsets on a chosen architecture, screens each with the
+// fast cost model, prints the Pareto-optimal trade-offs and emits CSV for
+// plotting. Demonstrates the "fast exploration of a large design space" the
+// prediction toolchain enables (Section IV).
+//
+//   $ ./design_space_explorer [a|b|c|d] [max_skips_per_dim]
+#include <cstdio>
+#include <cstdlib>
+
+#include "shg/common/strings.hpp"
+#include "shg/common/table.hpp"
+#include "shg/customize/explore.hpp"
+#include "shg/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shg;
+  tech::KncScenario which = tech::KncScenario::kA;
+  if (argc > 1) {
+    switch (argv[1][0]) {
+      case 'a': which = tech::KncScenario::kA; break;
+      case 'b': which = tech::KncScenario::kB; break;
+      case 'c': which = tech::KncScenario::kC; break;
+      case 'd': which = tech::KncScenario::kD; break;
+      default:
+        std::fprintf(stderr, "usage: %s [a|b|c|d] [max_skips_per_dim]\n",
+                     argv[0]);
+        return 1;
+    }
+  }
+  customize::ExploreOptions options;
+  options.max_row_skips = argc > 2 ? std::atoi(argv[2]) : 2;
+  options.max_col_skips = options.max_row_skips;
+
+  const eval::Scenario scenario = eval::figure6_scenario(which);
+  std::printf("exploring SHG configurations for %s (<= %d skips/dim)\n",
+              scenario.arch.name.c_str(), options.max_row_skips);
+
+  const auto points = customize::explore_shg(scenario.arch, options);
+  const auto front = customize::trade_off_front(points);
+  std::printf("%zu configurations screened, %zu on the trade-off front\n\n",
+              points.size(), front.size());
+
+  Table table({"config", "area ovh", "diam", "avg hops", "thpt bound"});
+  for (const auto& point : front) {
+    table.add_row({point.label,
+                   fmt_double(100.0 * point.metrics.area_overhead, 1) + " %",
+                   fmt_double(point.metrics.diameter, 0),
+                   fmt_double(point.metrics.avg_hops, 2),
+                   fmt_double(point.metrics.throughput_bound, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nCSV (all screened points):\n");
+  std::printf("config,area_overhead,diameter,avg_hops,throughput_bound\n");
+  for (const auto& point : points) {
+    std::printf("\"%s\",%s,%s,%s,%s\n", point.label.c_str(),
+                fmt_double(point.metrics.area_overhead, 4).c_str(),
+                fmt_double(point.metrics.diameter, 0).c_str(),
+                fmt_double(point.metrics.avg_hops, 3).c_str(),
+                fmt_double(point.metrics.throughput_bound, 4).c_str());
+  }
+  return 0;
+}

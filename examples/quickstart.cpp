@@ -1,0 +1,64 @@
+// Quickstart: build a sparse Hamming graph, inspect it, and run the full
+// prediction toolchain on a Knights-Corner-class architecture.
+//
+//   $ ./quickstart
+//
+// Reproduces, in miniature, the full flow of the paper: construct the
+// topology (Fig. 2), analyze its design-principle compliance (Table I),
+// predict cost with the five-step model (Fig. 4) and performance with the
+// cycle-accurate simulator (Fig. 3).
+#include <cstdio>
+
+#include "shg/common/strings.hpp"
+#include "shg/eval/toolchain.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+#include "shg/topo/render.hpp"
+#include "shg/topo/traits.hpp"
+
+int main() {
+  using namespace shg;
+
+  // --- 1. Construct a sparse Hamming graph (Section III-b) ----------------
+  // 8x8 tiles, row skip distances SR = {4}, column skips SC = {2, 5}:
+  // the paper's customized configuration for scenario a.
+  const topo::Topology shg_topo =
+      topo::make_sparse_hamming(8, 8, {4}, {2, 5});
+  std::printf("%s\n", topo::render_ascii(shg_topo).c_str());
+
+  // --- 2. Analyze its Table I traits ---------------------------------------
+  const topo::TopologyTraits traits = topo::analyze(shg_topo);
+  std::printf("radix %d, diameter %d, avg hops %.2f\n", traits.radix,
+              traits.diameter, traits.avg_hops);
+  std::printf("short links: %s | aligned: %s | uniform density: %s | "
+              "port placement: %s\n",
+              topo::compliance_symbol(traits.short_links).c_str(),
+              topo::compliance_symbol(traits.aligned_links).c_str(),
+              topo::compliance_symbol(traits.uniform_link_density).c_str(),
+              topo::compliance_symbol(traits.port_placement).c_str());
+  std::printf("minimal physical paths: present=%s used=%s\n\n",
+              traits.minimal_paths_present ? "yes" : "no",
+              traits.minimal_paths_used ? "yes" : "no");
+
+  // --- 3. Run the prediction toolchain (Section IV) ------------------------
+  const tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  eval::PerfConfig perf = eval::default_perf_config(arch);
+  // Lighter simulation settings so the quickstart finishes in seconds.
+  perf.sim.warmup_cycles = 500;
+  perf.sim.measure_cycles = 1500;
+  perf.bisection_iterations = 5;
+
+  std::printf("architecture: %s\n", arch.name.c_str());
+  const eval::Prediction prediction = eval::predict(arch, shg_topo, perf);
+  std::printf("  NoC area overhead : %5.1f %%\n",
+              100.0 * prediction.cost.area_overhead);
+  std::printf("  NoC power         : %5.1f W\n", prediction.cost.noc_power_w);
+  std::printf("  avg link latency  : %5.2f cycles (max %.2f)\n",
+              prediction.cost.avg_link_latency_cycles,
+              prediction.cost.max_link_latency_cycles);
+  std::printf("  zero-load latency : %5.1f cycles\n",
+              prediction.perf.zero_load_latency_cycles);
+  std::printf("  saturation        : %5.1f %% of injection capacity\n",
+              100.0 * prediction.perf.saturation_throughput);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Walkthrough of the five-step NoC model (Section IV-B, Fig. 4/5): prints
+// every intermediate artifact — tile sizing, global-routing channel loads,
+// spacing estimates, unit-cell discretization and detailed-routing results —
+// for one topology on one architecture.
+//
+//   $ ./toolchain_walkthrough
+#include <algorithm>
+#include <cstdio>
+
+#include "shg/model/cost_model.hpp"
+#include "shg/phys/global_route.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+
+int main() {
+  using namespace shg;
+  const tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  const topo::Topology topology =
+      topo::make_sparse_hamming(8, 8, {4}, {2, 5});
+  std::printf("architecture: %s\ntopology:     %s\n\n", arch.name.c_str(),
+              topology.name().c_str());
+
+  // Step 1: tile area estimate and placement.
+  const model::CostReport report = model::evaluate_cost(arch, topology);
+  std::printf("step 1 — tile area estimate and placement:\n");
+  std::printf("  router area A_R = f_AR(m,s,B) = %.2f MGE\n",
+              report.router_area_ge / 1e6);
+  std::printf("  tile area  A_T = A_E + A_R   = %.2f MGE\n",
+              report.tile_area_ge / 1e6);
+  std::printf("  tile size  W_T x H_T = %.3f x %.3f mm\n\n",
+              report.tile_w_mm, report.tile_h_mm);
+
+  // Step 2: global routing in the grid of tiles.
+  const phys::GlobalRoutingResult global = phys::global_route(topology);
+  std::printf("step 2 — global routing channel loads (NL per channel):\n  ");
+  std::printf("horizontal:");
+  for (int i = 0; i <= topology.rows(); ++i) {
+    std::printf(" %d", global.max_h_load(i));
+  }
+  std::printf("   vertical:");
+  for (int j = 0; j <= topology.cols(); ++j) {
+    std::printf(" %d", global.max_v_load(j));
+  }
+  int straight = 0;
+  int l_shaped = 0;
+  for (const auto& route : global.routes) {
+    if (route.straight) ++straight;
+    if (route.spans.size() == 2) ++l_shaped;
+  }
+  std::printf("\n  %d unit links cross channels directly, %d L-shaped "
+              "routes\n\n",
+              straight, l_shaped);
+
+  // Step 3: spacing between rows and columns.
+  const double wires = arch.wires_per_link();
+  std::printf("step 3 — spacing: one link needs %.0f wires;\n", wires);
+  std::printf("  peak loads: %d horizontal / %d vertical parallel links\n",
+              report.peak_h_channel_load, report.peak_v_channel_load);
+  std::printf("  widest channels: %.1f um horizontal, %.1f um vertical\n\n",
+              1e3 * arch.tech.wires.h_wires_to_mm(
+                        report.peak_h_channel_load * wires),
+              1e3 * arch.tech.wires.v_wires_to_mm(
+                        report.peak_v_channel_load * wires));
+
+  // Step 4: unit cells.
+  std::printf("step 4 — unit cells: W_C x H_C = %.2f x %.2f um, chip "
+              "%.2f x %.2f mm\n\n",
+              1e3 * report.cell_w_mm, 1e3 * report.cell_h_mm,
+              report.chip_width_mm, report.chip_height_mm);
+
+  // Step 5: detailed routing.
+  std::printf("step 5 — detailed routing: %lld H-cells, %lld V-cells, "
+              "%lld collision cells\n\n",
+              report.h_cells, report.v_cells, report.collision_cells);
+
+  // Outputs.
+  std::printf("outputs:\n");
+  std::printf("  area:  total %.1f mm^2, no-NoC %.1f mm^2, overhead %.1f%%\n",
+              report.total_area_mm2, report.base_area_mm2,
+              100.0 * report.area_overhead);
+  std::printf("  power: total %.2f W = base %.2f + routers %.2f + wires "
+              "%.2f\n",
+              report.total_power_w, report.base_power_w,
+              report.router_power_w, report.wire_power_w);
+  std::printf("  link latency: avg %.2f cycles, max %.2f cycles\n",
+              report.avg_link_latency_cycles, report.max_link_latency_cycles);
+  const auto longest = std::max_element(
+      report.links.begin(), report.links.end(),
+      [](const model::LinkCost& a, const model::LinkCost& b) {
+        return a.length_mm < b.length_mm;
+      });
+  std::printf("  longest link: %.2f mm -> %d pipeline stages\n",
+              longest->length_mm, longest->latency_cycles);
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "shg/common/error.hpp"
+
+#include <sstream>
+
+namespace shg::detail {
+
+void throw_error(const char* kind, const char* file, int line,
+                 const char* cond, const std::string& msg) {
+  std::ostringstream os;
+  os << "shgnoc " << kind << " violation at " << file << ":" << line << ": `"
+     << cond << "`";
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace shg::detail

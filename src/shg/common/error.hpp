@@ -1,0 +1,42 @@
+// Error handling primitives for the shgnoc library.
+//
+// The library reports contract violations and invalid configurations via
+// shg::Error (a std::runtime_error). SHG_REQUIRE is used for precondition
+// checks on public API boundaries; SHG_ASSERT for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace shg {
+
+/// Exception type thrown by all shgnoc components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* kind, const char* file, int line,
+                              const char* cond, const std::string& msg);
+}  // namespace detail
+
+}  // namespace shg
+
+/// Precondition check: throws shg::Error with location info when violated.
+#define SHG_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::shg::detail::throw_error("precondition", __FILE__, __LINE__, #cond, \
+                                 (msg));                                    \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check: indicates a library bug when violated.
+#define SHG_ASSERT(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::shg::detail::throw_error("invariant", __FILE__, __LINE__, #cond, \
+                                 (msg));                                  \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,72 @@
+// 2D geometry primitives used by the floorplanning and routing stages.
+//
+// Two coordinate systems appear throughout the physical model:
+//  * continuous chip coordinates in millimeters (PointMM / RectMM), and
+//  * discrete unit-cell / grid coordinates (PointI).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace shg {
+
+/// Discrete grid point (unit cells, channel indices, tile coordinates).
+struct PointI {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr auto operator<=>(const PointI&, const PointI&) = default;
+  friend constexpr PointI operator+(PointI a, PointI b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr PointI operator-(PointI a, PointI b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+};
+
+/// Manhattan distance between two grid points.
+constexpr int manhattan(PointI a, PointI b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Continuous point in chip coordinates (millimeters).
+struct PointMM {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr auto operator<=>(const PointMM&, const PointMM&) = default;
+};
+
+/// Manhattan distance in millimeters.
+inline double manhattan(PointMM a, PointMM b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance in millimeters.
+inline double euclidean(PointMM a, PointMM b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle in chip coordinates (millimeters).
+/// `lo` is the lower-left corner, `hi` the upper-right corner.
+struct RectMM {
+  PointMM lo;
+  PointMM hi;
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+  constexpr PointMM center() const {
+    return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0};
+  }
+  constexpr bool contains(PointMM p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  constexpr bool overlaps(const RectMM& o) const {
+    return lo.x < o.hi.x && o.lo.x < hi.x && lo.y < o.hi.y && o.lo.y < hi.y;
+  }
+};
+
+}  // namespace shg

@@ -1,0 +1,36 @@
+#include "shg/common/strings.hpp"
+
+#include <iomanip>
+
+namespace shg {
+
+std::string fmt_double(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string fmt_int_set(const std::set<int>& values) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int v : values) {
+    if (!first) os << ", ";
+    os << v;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+}  // namespace shg

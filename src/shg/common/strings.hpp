@@ -1,0 +1,21 @@
+// Small string formatting helpers shared across modules.
+#pragma once
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace shg {
+
+/// Formats a floating point value with the given number of decimals.
+std::string fmt_double(double value, int decimals);
+
+/// Formats a set of integers as "{a, b, c}" (used for SR / SC sets).
+std::string fmt_int_set(const std::set<int>& values);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace shg

@@ -1,0 +1,130 @@
+#include "shg/customize/explore.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "shg/common/strings.hpp"
+
+namespace shg::customize {
+
+namespace {
+
+/// Enumerates subsets of {2..limit-1} with at most `max_size` elements.
+void for_each_skip_subset(int limit, int max_size,
+                          const std::function<void(const std::set<int>&)>& fn) {
+  std::set<int> current;
+  std::function<void(int, int)> rec = [&](int next, int remaining) {
+    fn(current);
+    if (remaining == 0) return;
+    for (int x = next; x < limit; ++x) {
+      current.insert(x);
+      rec(x + 1, remaining - 1);
+      current.erase(x);
+    }
+  };
+  rec(2, max_size);
+}
+
+std::string label_for(const topo::ShgParams& params, const char* family) {
+  std::ostringstream os;
+  os << family << " SR=" << fmt_int_set(params.row_skips)
+     << " SC=" << fmt_int_set(params.col_skips);
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ExploredPoint> explore_shg(const tech::ArchParams& arch,
+                                       const ExploreOptions& options) {
+  std::vector<ExploredPoint> points;
+  for_each_skip_subset(arch.cols, options.max_row_skips,
+                       [&](const std::set<int>& row_skips) {
+    for_each_skip_subset(arch.rows, options.max_col_skips,
+                         [&](const std::set<int>& col_skips) {
+      topo::ShgParams params{row_skips, col_skips};
+      const CandidateMetrics metrics = screen_candidate(arch, params);
+      if (metrics.area_overhead > options.max_area_overhead) return;
+      points.push_back(
+          ExploredPoint{params, metrics, label_for(params, "shg")});
+    });
+  });
+  return points;
+}
+
+std::vector<ExploredPoint> explore_ruche(const tech::ArchParams& arch,
+                                         const ExploreOptions& options) {
+  // Ruche networks: exactly one skip distance (or none) per dimension.
+  std::vector<ExploredPoint> points;
+  for (int rx = 0; rx < arch.cols; ++rx) {
+    if (rx == 1) continue;  // 0 = no skip; skips start at 2
+    for (int ry = 0; ry < arch.rows; ++ry) {
+      if (ry == 1) continue;
+      topo::ShgParams params;
+      if (rx >= 2) params.row_skips.insert(rx);
+      if (ry >= 2) params.col_skips.insert(ry);
+      const CandidateMetrics metrics = screen_candidate(arch, params);
+      if (metrics.area_overhead > options.max_area_overhead) continue;
+      points.push_back(
+          ExploredPoint{params, metrics, label_for(params, "ruche")});
+    }
+  }
+  return points;
+}
+
+std::vector<ExploredPoint> trade_off_front(std::vector<ExploredPoint> points) {
+  std::vector<ExploredPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      const bool no_worse =
+          other.metrics.area_overhead <= candidate.metrics.area_overhead &&
+          other.metrics.throughput_bound >=
+              candidate.metrics.throughput_bound &&
+          other.metrics.avg_hops <= candidate.metrics.avg_hops;
+      const bool strictly_better =
+          other.metrics.area_overhead < candidate.metrics.area_overhead ||
+          other.metrics.throughput_bound >
+              candidate.metrics.throughput_bound ||
+          other.metrics.avg_hops < candidate.metrics.avg_hops;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ExploredPoint& a, const ExploredPoint& b) {
+              return a.metrics.area_overhead < b.metrics.area_overhead;
+            });
+  return front;
+}
+
+double front_coverage(const std::vector<ExploredPoint>& front,
+                      double max_overhead) {
+  SHG_REQUIRE(max_overhead > 0.0, "coverage bound must be positive");
+  // Staircase integral of throughput_bound over [0, max_overhead]: at each
+  // overhead level, the best bound achievable at or below it.
+  std::vector<const ExploredPoint*> sorted;
+  for (const auto& p : front) sorted.push_back(&p);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExploredPoint* a, const ExploredPoint* b) {
+              return a->metrics.area_overhead < b->metrics.area_overhead;
+            });
+  double coverage = 0.0;
+  double best = 0.0;
+  double prev_overhead = 0.0;
+  for (const auto* p : sorted) {
+    const double overhead = std::min(p->metrics.area_overhead, max_overhead);
+    if (overhead > prev_overhead) {
+      coverage += best * (overhead - prev_overhead);
+      prev_overhead = overhead;
+    }
+    best = std::max(best, p->metrics.throughput_bound);
+  }
+  coverage += best * std::max(0.0, max_overhead - prev_overhead);
+  return coverage;
+}
+
+}  // namespace shg::customize

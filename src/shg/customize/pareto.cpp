@@ -1,0 +1,30 @@
+#include "shg/customize/pareto.hpp"
+
+namespace shg::customize {
+
+bool dominates(const MetricPoint& a, const MetricPoint& b) {
+  const bool no_worse = a.area_overhead <= b.area_overhead &&
+                        a.noc_power_w <= b.noc_power_w &&
+                        a.zero_load_latency <= b.zero_load_latency &&
+                        a.saturation_throughput >= b.saturation_throughput;
+  const bool strictly_better = a.area_overhead < b.area_overhead ||
+                               a.noc_power_w < b.noc_power_w ||
+                               a.zero_load_latency < b.zero_load_latency ||
+                               a.saturation_throughput >
+                                   b.saturation_throughput;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<MetricPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+}  // namespace shg::customize

@@ -1,0 +1,30 @@
+// Pareto-front utilities over the four Figure 6 metrics.
+//
+// "A topology is usually not strictly better than another topology,
+// instead, each topology reaches a certain trade-off between those four
+// metrics" — these helpers identify the non-dominated trade-offs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shg::customize {
+
+/// One topology's evaluation: two cost metrics (lower is better) and two
+/// performance metrics (latency lower / throughput higher is better).
+struct MetricPoint {
+  std::string name;
+  double area_overhead = 0.0;          ///< fraction, lower better
+  double noc_power_w = 0.0;            ///< watts, lower better
+  double zero_load_latency = 0.0;      ///< cycles, lower better
+  double saturation_throughput = 0.0;  ///< flits/cycle/port, higher better
+};
+
+/// True iff `a` dominates `b`: no worse in all four metrics, strictly
+/// better in at least one.
+bool dominates(const MetricPoint& a, const MetricPoint& b);
+
+/// Indices of the non-dominated points (the Pareto front), in input order.
+std::vector<std::size_t> pareto_front(const std::vector<MetricPoint>& points);
+
+}  // namespace shg::customize

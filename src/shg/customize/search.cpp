@@ -1,0 +1,143 @@
+#include "shg/customize/search.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "shg/common/strings.hpp"
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::customize {
+
+namespace {
+
+/// Lexicographic objective: higher throughput bound first, then lower
+/// average hop count (throughput priority 1, latency priority 2).
+bool better(const CandidateMetrics& a, const CandidateMetrics& b) {
+  if (a.throughput_bound != b.throughput_bound) {
+    return a.throughput_bound > b.throughput_bound;
+  }
+  return a.avg_hops < b.avg_hops;
+}
+
+}  // namespace
+
+CandidateMetrics screen_candidate(const tech::ArchParams& arch,
+                                  const topo::ShgParams& params) {
+  const topo::Topology topo = topo::make_sparse_hamming(
+      arch.rows, arch.cols, params.row_skips, params.col_skips);
+  const model::CostReport cost = model::evaluate_cost(arch, topo);
+  CandidateMetrics metrics;
+  metrics.area_overhead = cost.area_overhead;
+  metrics.avg_hops = graph::average_hops(topo.graph());
+  metrics.diameter = graph::diameter(topo.graph());
+  const double directed_links = 2.0 * topo.graph().num_edges();
+  metrics.throughput_bound =
+      directed_links /
+      (static_cast<double>(topo.num_tiles()) * metrics.avg_hops);
+  return metrics;
+}
+
+SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal) {
+  SHG_REQUIRE(goal.max_area_overhead > 0.0 && goal.max_area_overhead < 1.0,
+              "area budget must be a fraction in (0, 1)");
+  SearchResult result;
+  result.params = topo::ShgParams{};
+  result.metrics = screen_candidate(arch, result.params);
+  SHG_REQUIRE(result.metrics.area_overhead <= goal.max_area_overhead,
+              "even the mesh exceeds the area budget");
+  result.history.push_back(
+      SearchStep{result.params, result.metrics, "start: mesh (SR={}, SC={})"});
+
+  while (true) {
+    topo::ShgParams best_params;
+    CandidateMetrics best_metrics;
+    double best_score = 0.0;
+    bool found = false;
+
+    auto consider = [&](topo::ShgParams candidate, const std::string&) {
+      const CandidateMetrics metrics = screen_candidate(arch, candidate);
+      if (metrics.area_overhead > goal.max_area_overhead) return;
+      const double gain =
+          metrics.throughput_bound - result.metrics.throughput_bound;
+      const double extra_area =
+          std::max(1e-9, metrics.area_overhead - result.metrics.area_overhead);
+      const double score = gain / extra_area;
+      if (gain <= 0.0) return;
+      if (!found || score > best_score) {
+        found = true;
+        best_score = score;
+        best_params = std::move(candidate);
+        best_metrics = metrics;
+      }
+    };
+
+    for (int x = 2; x < arch.cols; ++x) {
+      if (result.params.row_skips.count(x) != 0) continue;
+      topo::ShgParams candidate = result.params;
+      candidate.row_skips.insert(x);
+      consider(std::move(candidate), "row");
+    }
+    for (int x = 2; x < arch.rows; ++x) {
+      if (result.params.col_skips.count(x) != 0) continue;
+      topo::ShgParams candidate = result.params;
+      candidate.col_skips.insert(x);
+      consider(std::move(candidate), "col");
+    }
+    if (!found) break;
+
+    result.params = best_params;
+    result.metrics = best_metrics;
+    std::ostringstream note;
+    note << "accepted SR=" << fmt_int_set(best_params.row_skips)
+         << " SC=" << fmt_int_set(best_params.col_skips) << " (overhead "
+         << fmt_double(100.0 * best_metrics.area_overhead, 1)
+         << "%, throughput bound "
+         << fmt_double(best_metrics.throughput_bound, 3) << ")";
+    result.history.push_back(SearchStep{best_params, best_metrics, note.str()});
+  }
+
+  const topo::Topology final_topo = topo::make_sparse_hamming(
+      arch.rows, arch.cols, result.params.row_skips, result.params.col_skips);
+  result.cost = model::evaluate_cost(arch, final_topo);
+  return result;
+}
+
+SearchResult customize_exhaustive(const tech::ArchParams& arch,
+                                  const Goal& goal,
+                                  const std::vector<int>& row_candidates,
+                                  const std::vector<int>& col_candidates) {
+  SHG_REQUIRE(row_candidates.size() + col_candidates.size() <= 20,
+              "exhaustive search is exponential; use fewer candidates");
+  SearchResult best;
+  bool have_best = false;
+
+  const std::size_t row_masks = std::size_t{1} << row_candidates.size();
+  const std::size_t col_masks = std::size_t{1} << col_candidates.size();
+  for (std::size_t rm = 0; rm < row_masks; ++rm) {
+    for (std::size_t cm = 0; cm < col_masks; ++cm) {
+      topo::ShgParams params;
+      for (std::size_t i = 0; i < row_candidates.size(); ++i) {
+        if ((rm >> i) & 1) params.row_skips.insert(row_candidates[i]);
+      }
+      for (std::size_t i = 0; i < col_candidates.size(); ++i) {
+        if ((cm >> i) & 1) params.col_skips.insert(col_candidates[i]);
+      }
+      const CandidateMetrics metrics = screen_candidate(arch, params);
+      if (metrics.area_overhead > goal.max_area_overhead) continue;
+      if (!have_best || better(metrics, best.metrics)) {
+        have_best = true;
+        best.params = std::move(params);
+        best.metrics = metrics;
+      }
+    }
+  }
+  SHG_REQUIRE(have_best, "no parameterization fits the area budget");
+  const topo::Topology final_topo = topo::make_sparse_hamming(
+      arch.rows, arch.cols, best.params.row_skips, best.params.col_skips);
+  best.cost = model::evaluate_cost(arch, final_topo);
+  best.history.push_back(SearchStep{best.params, best.metrics, "exhaustive"});
+  return best;
+}
+
+}  // namespace shg::customize

@@ -1,0 +1,74 @@
+// Sparse-Hamming-graph customization: the iterative strategy of Section V-a.
+//
+//  Step 1: start with the simplest SHG, the mesh (SR = SC = {});
+//  Step 2: predict cost/performance of the current topology;
+//  Step 3: compare against the design goals;
+//  Step 4: adjust SR / SC following the design principles;
+//  Step 5: repeat until satisfied.
+//
+// The automated strategy adds, per iteration, the skip distance with the
+// best predicted benefit-per-area among all candidates that keep the NoC
+// within the area budget. "Benefit" uses the fast analytic throughput bound
+// for uniform traffic (2E / (N * avg_hops) flits/node/cycle — every flit
+// occupies avg_hops of the 2E directed-link slots per cycle), so thousands
+// of candidate topologies can be screened without simulation; the final
+// configuration is then validated with the full toolchain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shg/model/cost_model.hpp"
+#include "shg/tech/arch_params.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::customize {
+
+/// Design goals (Section V-b: maximize throughput, then minimize latency,
+/// without exceeding 40% NoC area overhead).
+struct Goal {
+  double max_area_overhead = 0.40;
+};
+
+/// Analytic screening metrics of one SHG parameterization.
+struct CandidateMetrics {
+  double area_overhead = 0.0;
+  double avg_hops = 0.0;
+  double diameter = 0.0;
+  double throughput_bound = 0.0;  ///< flits/node/cycle, uniform traffic
+};
+
+/// One step of the greedy search (for audit / the examples' logs).
+struct SearchStep {
+  topo::ShgParams params;
+  CandidateMetrics metrics;
+  std::string note;
+};
+
+/// Search outcome: the chosen parameters, their full cost report, and the
+/// audit trail of accepted steps.
+struct SearchResult {
+  topo::ShgParams params;
+  CandidateMetrics metrics;
+  model::CostReport cost;
+  std::vector<SearchStep> history;
+};
+
+/// Computes the screening metrics of one parameterization.
+CandidateMetrics screen_candidate(const tech::ArchParams& arch,
+                                  const topo::ShgParams& params);
+
+/// Greedy customization: grows SR / SC one skip distance at a time, always
+/// taking the best throughput-bound gain per added area, until no candidate
+/// fits the budget.
+SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal);
+
+/// Exhaustive customization over all subsets of the given candidate skip
+/// distances (exponential; intended for small grids and for validating the
+/// greedy strategy in tests).
+SearchResult customize_exhaustive(const tech::ArchParams& arch,
+                                  const Goal& goal,
+                                  const std::vector<int>& row_candidates,
+                                  const std::vector<int>& col_candidates);
+
+}  // namespace shg::customize

@@ -1,0 +1,50 @@
+#include "shg/eval/analytic.hpp"
+
+#include "shg/graph/shortest_paths.hpp"
+
+namespace shg::eval {
+
+AnalyticPerf analytic_performance(const topo::Topology& topo,
+                                  const std::vector<int>& link_latencies,
+                                  int router_delay_cycles,
+                                  int injection_delay_cycles,
+                                  int packet_size_flits) {
+  const auto& g = topo.graph();
+  SHG_REQUIRE(static_cast<int>(link_latencies.size()) == g.num_edges(),
+              "need one latency per link");
+  SHG_REQUIRE(packet_size_flits >= 1, "packets need at least one flit");
+  SHG_REQUIRE(router_delay_cycles >= 0 && injection_delay_cycles >= 0,
+              "delays must be non-negative");
+
+  std::vector<double> weights(link_latencies.begin(), link_latencies.end());
+  AnalyticPerf result;
+  double latency_total = 0.0;
+  double hops_total = 0.0;
+  long long pairs = 0;
+  for (graph::NodeId dest = 0; dest < g.num_nodes(); ++dest) {
+    const auto hops = graph::bfs_distances(g, dest);
+    const auto link_sum =
+        graph::min_weight_over_min_hop_paths(g, dest, weights);
+    for (graph::NodeId src = 0; src < g.num_nodes(); ++src) {
+      if (src == dest) continue;
+      const int h = hops[static_cast<std::size_t>(src)];
+      SHG_REQUIRE(h != graph::kUnreachable, "topology must be connected");
+      // h hops = h+1 routers (source router through destination router).
+      latency_total += injection_delay_cycles +
+                       static_cast<double>(h + 1) * router_delay_cycles +
+                       link_sum[static_cast<std::size_t>(src)] +
+                       (packet_size_flits - 1);
+      hops_total += h;
+      ++pairs;
+    }
+  }
+  result.zero_load_latency_cycles =
+      latency_total / static_cast<double>(pairs);
+  result.avg_hops = hops_total / static_cast<double>(pairs);
+  result.capacity_bound =
+      2.0 * static_cast<double>(g.num_edges()) /
+      (static_cast<double>(g.num_nodes()) * result.avg_hops);
+  return result;
+}
+
+}  // namespace shg::eval

@@ -1,0 +1,36 @@
+// Closed-form performance estimates — the "high-level model" baseline the
+// paper contrasts its toolchain with (Section VI: fast but less accurate).
+//
+// Both quantities are exact graph computations, no simulation:
+//  * zero-load latency: average over all tile pairs of
+//      injection delay + (#routers on path) * router_delay
+//      + sum of link latencies along the path + serialization,
+//    where the path is the hop-minimal path with the smallest total link
+//    latency (what an idealized hop-minimizing router would achieve);
+//  * capacity bound: uniform-traffic saturation upper bound
+//      2E / (N * avg_hops) flits/node/cycle
+//    (every flit occupies avg_hops of the 2E directed link slots).
+#pragma once
+
+#include <vector>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::eval {
+
+struct AnalyticPerf {
+  double zero_load_latency_cycles = 0.0;
+  double avg_hops = 0.0;  ///< mean hop distance over ordered pairs
+  double capacity_bound = 0.0;  ///< flits / cycle / tile, uniform traffic
+};
+
+/// Computes the closed-form estimates for a topology with per-link
+/// latencies (in cycles), a router pipeline delay, injection delay and
+/// packet serialization length.
+AnalyticPerf analytic_performance(const topo::Topology& topo,
+                                  const std::vector<int>& link_latencies,
+                                  int router_delay_cycles,
+                                  int injection_delay_cycles,
+                                  int packet_size_flits);
+
+}  // namespace shg::eval

@@ -1,0 +1,77 @@
+#include "shg/eval/perf.hpp"
+
+namespace shg::eval {
+
+sim::SimResult simulate_at_rate(const topo::Topology& topo,
+                                const std::vector<int>& link_latencies,
+                                int endpoints_per_tile,
+                                const sim::TrafficPattern& pattern,
+                                const PerfConfig& config, double rate) {
+  sim::SimConfig sim_config = config.sim;
+  sim_config.injection_rate = rate;
+  sim::Simulator simulator(topo, link_latencies, sim_config, pattern,
+                           endpoints_per_tile);
+  return simulator.run();
+}
+
+namespace {
+
+bool is_saturated(const sim::SimResult& result, double zero_load_latency,
+                  const PerfConfig& config) {
+  if (!result.drained) return true;
+  if (result.measured_packets == 0) return true;
+  if (result.avg_packet_latency >
+      config.latency_threshold_factor * zero_load_latency) {
+    return true;
+  }
+  return result.accepted_rate <
+         config.min_accepted_fraction * result.offered_rate;
+}
+
+}  // namespace
+
+PerfResult evaluate_performance(const topo::Topology& topo,
+                                const std::vector<int>& link_latencies,
+                                int endpoints_per_tile,
+                                const sim::TrafficPattern& pattern,
+                                const PerfConfig& config) {
+  PerfResult result;
+
+  // Zero-load latency: a rate low enough that queueing is negligible.
+  const sim::SimResult zero = simulate_at_rate(
+      topo, link_latencies, endpoints_per_tile, pattern, config,
+      config.zero_load_rate);
+  SHG_REQUIRE(zero.drained && zero.measured_packets > 0,
+              "zero-load run must drain; topology or routing is broken");
+  result.zero_load_latency_cycles = zero.avg_packet_latency;
+  result.zero_load_hops = zero.avg_hops;
+
+  // Saturation: bisection on the injection rate. The zero-load probe is
+  // un-saturated by construction; rate 1.0 is the upper bound.
+  double lo = config.zero_load_rate;
+  double hi = 1.0;
+  sim::SimResult at_lo = zero;
+  const sim::SimResult full = simulate_at_rate(
+      topo, link_latencies, endpoints_per_tile, pattern, config, 1.0);
+  if (!is_saturated(full, result.zero_load_latency_cycles, config)) {
+    result.saturation_throughput = 1.0;
+    result.accepted_at_saturation = full.accepted_rate;
+    return result;
+  }
+  for (int iter = 0; iter < config.bisection_iterations; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    const sim::SimResult probe = simulate_at_rate(
+        topo, link_latencies, endpoints_per_tile, pattern, config, mid);
+    if (is_saturated(probe, result.zero_load_latency_cycles, config)) {
+      hi = mid;
+    } else {
+      lo = mid;
+      at_lo = probe;
+    }
+  }
+  result.saturation_throughput = lo;
+  result.accepted_at_saturation = at_lo.accepted_rate;
+  return result;
+}
+
+}  // namespace shg::eval

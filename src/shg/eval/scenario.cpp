@@ -1,0 +1,46 @@
+#include "shg/eval/scenario.hpp"
+
+namespace shg::eval {
+
+Scenario figure6_scenario(tech::KncScenario which) {
+  Scenario scenario;
+  scenario.arch = tech::knc_scenario(which);
+  switch (which) {
+    case tech::KncScenario::kA:
+      scenario.label = "a";
+      scenario.shg = topo::ShgParams{{4}, {2, 5}};
+      break;
+    case tech::KncScenario::kB:
+      scenario.label = "b";
+      scenario.shg = topo::ShgParams{{2, 4}, {2, 4}};
+      break;
+    case tech::KncScenario::kC:
+      scenario.label = "c";
+      scenario.shg = topo::ShgParams{{3}, {2, 5}};
+      break;
+    case tech::KncScenario::kD:
+      scenario.label = "d";
+      scenario.shg = topo::ShgParams{{2, 4}, {2, 4}};
+      break;
+  }
+  return scenario;
+}
+
+std::vector<Scenario> figure6_scenarios() {
+  return {figure6_scenario(tech::KncScenario::kA),
+          figure6_scenario(tech::KncScenario::kB),
+          figure6_scenario(tech::KncScenario::kC),
+          figure6_scenario(tech::KncScenario::kD)};
+}
+
+std::vector<topo::Topology> scenario_topologies(const Scenario& scenario) {
+  std::vector<topo::Topology> topologies =
+      topo::established_suite(scenario.arch.rows, scenario.arch.cols);
+  auto shg = topo::try_make(topo::Kind::kSparseHamming, scenario.arch.rows,
+                            scenario.arch.cols, scenario.shg);
+  SHG_ASSERT(shg.has_value(), "sparse Hamming graph is always applicable");
+  topologies.push_back(std::move(*shg));
+  return topologies;
+}
+
+}  // namespace shg::eval

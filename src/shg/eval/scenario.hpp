@@ -1,0 +1,36 @@
+// The four evaluation scenarios of Section V-b / Figure 6, including the
+// customized sparse Hamming graph parameters the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shg/tech/presets.hpp"
+#include "shg/topo/registry.hpp"
+
+namespace shg::eval {
+
+/// One Figure 6 sub-plot: an architecture plus the paper's customized SHG
+/// configuration for it.
+struct Scenario {
+  std::string label;      ///< "a" .. "d"
+  tech::ArchParams arch;
+  topo::ShgParams shg;    ///< the paper's customized SR / SC sets
+};
+
+/// Scenario a/b/c/d with the parameters printed in Figure 6:
+///  a) 8x8,  35 MGE, SR={4},    SC={2,5}
+///  b) 8x8,  70 MGE, SR={2,4},  SC={2,4}
+///  c) 8x16, 35 MGE, SR={3},    SC={2,5}
+///  d) 8x16, 70 MGE, SR={2,4},  SC={2,4}
+Scenario figure6_scenario(tech::KncScenario which);
+
+/// All four scenarios in order.
+std::vector<Scenario> figure6_scenarios();
+
+/// The topologies compared in one Figure 6 sub-plot: every applicable
+/// established topology plus the scenario's customized sparse Hamming graph
+/// (last entry).
+std::vector<topo::Topology> scenario_topologies(const Scenario& scenario);
+
+}  // namespace shg::eval

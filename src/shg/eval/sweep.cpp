@@ -1,0 +1,47 @@
+#include "shg/eval/sweep.hpp"
+
+#include <sstream>
+
+#include "shg/common/strings.hpp"
+
+namespace shg::eval {
+
+LoadLatencyCurve sweep_load_latency(const topo::Topology& topo,
+                                    const std::vector<int>& link_latencies,
+                                    int endpoints_per_tile,
+                                    const sim::TrafficPattern& pattern,
+                                    const PerfConfig& config,
+                                    const std::vector<double>& rates,
+                                    std::string label) {
+  SHG_REQUIRE(!rates.empty(), "need at least one rate");
+  LoadLatencyCurve curve;
+  curve.label = std::move(label);
+  for (double rate : rates) {
+    SHG_REQUIRE(rate > 0.0 && rate <= 1.0, "rates must be in (0, 1]");
+    const sim::SimResult result = simulate_at_rate(
+        topo, link_latencies, endpoints_per_tile, pattern, config, rate);
+    curve.points.push_back(SweepPoint{result.offered_rate,
+                                      result.accepted_rate,
+                                      result.avg_packet_latency,
+                                      result.p99_packet_latency,
+                                      result.drained});
+  }
+  return curve;
+}
+
+std::string curves_to_csv(const std::vector<LoadLatencyCurve>& curves) {
+  std::ostringstream os;
+  os << "label,offered,accepted,avg_latency,p99_latency,drained\n";
+  for (const auto& curve : curves) {
+    for (const auto& point : curve.points) {
+      os << curve.label << ',' << fmt_double(point.offered_rate, 4) << ','
+         << fmt_double(point.accepted_rate, 4) << ','
+         << fmt_double(point.avg_latency, 2) << ','
+         << fmt_double(point.p99_latency, 2) << ','
+         << (point.drained ? 1 : 0) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace shg::eval

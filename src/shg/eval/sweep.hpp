@@ -1,0 +1,41 @@
+// Load-latency sweeps: the classic NoC evaluation curve (average packet
+// latency as a function of offered load), plus CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shg/eval/perf.hpp"
+
+namespace shg::eval {
+
+/// One point of a load-latency curve.
+struct SweepPoint {
+  double offered_rate = 0.0;
+  double accepted_rate = 0.0;
+  double avg_latency = 0.0;
+  double p99_latency = 0.0;
+  bool drained = true;
+};
+
+/// A labeled curve for one topology/configuration.
+struct LoadLatencyCurve {
+  std::string label;
+  std::vector<SweepPoint> points;
+};
+
+/// Simulates the topology at each rate in `rates` (ascending) and collects
+/// the curve. Saturated points (undrained) are included and flagged.
+LoadLatencyCurve sweep_load_latency(const topo::Topology& topo,
+                                    const std::vector<int>& link_latencies,
+                                    int endpoints_per_tile,
+                                    const sim::TrafficPattern& pattern,
+                                    const PerfConfig& config,
+                                    const std::vector<double>& rates,
+                                    std::string label);
+
+/// Renders one or more curves as CSV (long format:
+/// label,offered,accepted,avg_latency,p99_latency,drained).
+std::string curves_to_csv(const std::vector<LoadLatencyCurve>& curves);
+
+}  // namespace shg::eval

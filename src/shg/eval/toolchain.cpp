@@ -1,0 +1,33 @@
+#include "shg/eval/toolchain.hpp"
+
+namespace shg::eval {
+
+PerfConfig default_perf_config(const tech::ArchParams& arch) {
+  PerfConfig config;
+  config.sim.num_vcs = arch.router_arch.num_vcs;
+  config.sim.buffer_depth_flits = arch.router_arch.buffer_depth_flits;
+  return config;
+}
+
+model::CostReport predict_cost(const tech::ArchParams& arch,
+                               const topo::Topology& topo) {
+  return model::evaluate_cost(arch, topo);
+}
+
+Prediction predict(const tech::ArchParams& arch, const topo::Topology& topo,
+                   const PerfConfig& config,
+                   const sim::TrafficPattern* pattern) {
+  Prediction prediction;
+  prediction.cost = model::evaluate_cost(arch, topo);
+  const auto latencies = prediction.cost.link_latencies();
+  std::unique_ptr<sim::TrafficPattern> uniform;
+  if (pattern == nullptr) {
+    uniform = sim::make_uniform(topo.num_tiles());
+    pattern = uniform.get();
+  }
+  prediction.perf = evaluate_performance(
+      topo, latencies, arch.endpoints_per_tile, *pattern, config);
+  return prediction;
+}
+
+}  // namespace shg::eval

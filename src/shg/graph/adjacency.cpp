@@ -1,0 +1,43 @@
+#include "shg/graph/adjacency.hpp"
+
+#include <algorithm>
+
+namespace shg::graph {
+
+Graph::Graph(int num_nodes) {
+  SHG_REQUIRE(num_nodes >= 0, "graph must have a non-negative node count");
+  adj_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v) {
+  SHG_REQUIRE(u >= 0 && u < num_nodes(), "edge endpoint u out of range");
+  SHG_REQUIRE(v >= 0 && v < num_nodes(), "edge endpoint v out of range");
+  SHG_REQUIRE(u != v, "self loops are not allowed");
+  SHG_REQUIRE(!has_edge(u, v), "parallel edges are not allowed");
+  const EdgeId id = num_edges();
+  edges_.push_back(Edge{u, v});
+  adj_[static_cast<std::size_t>(u)].push_back(Neighbor{v, id});
+  adj_[static_cast<std::size_t>(v)].push_back(Neighbor{u, id});
+  return id;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  SHG_REQUIRE(u >= 0 && u < num_nodes(), "edge endpoint u out of range");
+  SHG_REQUIRE(v >= 0 && v < num_nodes(), "edge endpoint v out of range");
+  const auto& smaller = degree(u) <= degree(v)
+                            ? adj_[static_cast<std::size_t>(u)]
+                            : adj_[static_cast<std::size_t>(v)];
+  const NodeId target = degree(u) <= degree(v) ? v : u;
+  return std::any_of(smaller.begin(), smaller.end(),
+                     [target](const Neighbor& n) { return n.node == target; });
+}
+
+int Graph::max_degree() const {
+  int best = 0;
+  for (int u = 0; u < num_nodes(); ++u) {
+    best = std::max(best, degree(u));
+  }
+  return best;
+}
+
+}  // namespace shg::graph

@@ -1,0 +1,78 @@
+// Undirected simple graph with indexed edges.
+//
+// This is the structural substrate for topologies: nodes are tiles, edges
+// are router-to-router links. Edges carry stable indices so higher layers
+// (physical routing, simulator channels) can attach per-link attributes.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg::graph {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// An undirected edge between nodes u and v (u != v).
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  /// Returns the endpoint opposite to `from`.
+  NodeId other(NodeId from) const {
+    SHG_REQUIRE(from == u || from == v, "node is not an endpoint of edge");
+    return from == u ? v : u;
+  }
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// (neighbor, edge id) entry in an adjacency list.
+struct Neighbor {
+  NodeId node = 0;
+  EdgeId edge = 0;
+};
+
+/// Undirected graph with O(1) edge lookup and per-node adjacency lists.
+/// Parallel edges are rejected; self loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge; returns its id. Throws on duplicates/loops.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// True iff an edge {u, v} exists.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  const Edge& edge(EdgeId e) const {
+    SHG_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<Neighbor>& neighbors(NodeId u) const {
+    SHG_REQUIRE(u >= 0 && u < num_nodes(), "node id out of range");
+    return adj_[static_cast<std::size_t>(u)];
+  }
+
+  int degree(NodeId u) const {
+    return static_cast<int>(neighbors(u).size());
+  }
+
+  /// Maximum degree over all nodes (0 for an empty graph).
+  int max_degree() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adj_;
+};
+
+}  // namespace shg::graph

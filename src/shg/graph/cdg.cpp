@@ -1,0 +1,51 @@
+#include "shg/graph/cdg.hpp"
+
+#include <cstdint>
+
+#include "shg/common/error.hpp"
+
+namespace shg::graph {
+
+bool has_cycle(int num_nodes, const std::vector<std::pair<int, int>>& edges) {
+  SHG_REQUIRE(num_nodes >= 0, "node count must be non-negative");
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes));
+  for (const auto& [from, to] : edges) {
+    SHG_REQUIRE(from >= 0 && from < num_nodes, "edge endpoint out of range");
+    SHG_REQUIRE(to >= 0 && to < num_nodes, "edge endpoint out of range");
+    adj[static_cast<std::size_t>(from)].push_back(to);
+  }
+
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(static_cast<std::size_t>(num_nodes),
+                           Color::kWhite);
+  // Iterative DFS; each stack frame tracks the next out-edge to explore.
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int start = 0; start < num_nodes; ++start) {
+    if (color[static_cast<std::size_t>(start)] != Color::kWhite) continue;
+    color[static_cast<std::size_t>(start)] = Color::kGray;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      const auto& out = adj[static_cast<std::size_t>(u)];
+      if (next < out.size()) {
+        const int v = out[next++];
+        switch (color[static_cast<std::size_t>(v)]) {
+          case Color::kGray:
+            return true;  // back edge
+          case Color::kWhite:
+            color[static_cast<std::size_t>(v)] = Color::kGray;
+            stack.emplace_back(v, 0);
+            break;
+          case Color::kBlack:
+            break;
+        }
+      } else {
+        color[static_cast<std::size_t>(u)] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace shg::graph

@@ -1,0 +1,19 @@
+// Channel dependency graph (CDG) cycle detection.
+//
+// Dally & Seitz: a routing function is deadlock-free on wormhole/VC networks
+// iff its channel dependency graph is acyclic. Tests build the CDG of every
+// deterministic routing function (one vertex per directed channel x VC class,
+// one edge per possible in-channel -> out-channel dependency) and assert
+// acyclicity with this checker.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace shg::graph {
+
+/// True iff the directed graph with `num_nodes` vertices and `edges`
+/// (from, to) pairs contains a cycle. Runs an iterative three-color DFS.
+bool has_cycle(int num_nodes, const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace shg::graph

@@ -1,0 +1,159 @@
+#include "shg/graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace shg::graph {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  SHG_REQUIRE(src >= 0 && src < g.num_nodes(), "bfs source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
+                        kUnreachable);
+  std::queue<NodeId> queue;
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Neighbor& n : g.neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(n.node)];
+      if (d == kUnreachable) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push(n.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
+  std::vector<std::vector<int>> result;
+  result.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    result.push_back(bfs_distances(g, u));
+  }
+  return result;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d == kUnreachable; });
+}
+
+int diameter(const Graph& g) {
+  SHG_REQUIRE(is_connected(g), "diameter requires a connected graph");
+  int best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (int d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+double average_hops(const Graph& g) {
+  SHG_REQUIRE(is_connected(g), "average_hops requires a connected graph");
+  SHG_REQUIRE(g.num_nodes() >= 2, "average_hops requires >= 2 nodes");
+  double total = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (int d : dist) total += d;
+  }
+  const double pairs =
+      static_cast<double>(g.num_nodes()) * (g.num_nodes() - 1);
+  return total / pairs;
+}
+
+std::vector<double> dijkstra(const Graph& g, NodeId src,
+                             const std::vector<double>& edge_weight) {
+  SHG_REQUIRE(src >= 0 && src < g.num_nodes(), "dijkstra source out of range");
+  SHG_REQUIRE(static_cast<int>(edge_weight.size()) == g.num_edges(),
+              "one weight per edge required");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.num_nodes()), kInf);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const Neighbor& n : g.neighbors(u)) {
+      const double w = edge_weight[static_cast<std::size_t>(n.edge)];
+      SHG_REQUIRE(w >= 0.0, "dijkstra requires non-negative weights");
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(n.node)]) {
+        dist[static_cast<std::size_t>(n.node)] = nd;
+        heap.emplace(nd, n.node);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+enum class HopDagObjective { kMin, kMax };
+
+std::vector<double> weight_over_min_hop_paths(
+    const Graph& g, NodeId dest, const std::vector<double>& edge_weight,
+    HopDagObjective objective) {
+  SHG_REQUIRE(dest >= 0 && dest < g.num_nodes(), "dest out of range");
+  SHG_REQUIRE(static_cast<int>(edge_weight.size()) == g.num_edges(),
+              "one weight per edge required");
+  const auto hops = bfs_distances(g, dest);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> weight(static_cast<std::size_t>(g.num_nodes()), kInf);
+  weight[static_cast<std::size_t>(dest)] = 0.0;
+
+  // Process nodes in increasing hop distance; every hop-minimal path steps
+  // from hop level h to level h-1, so a single DP sweep suffices.
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (hops[static_cast<std::size_t>(u)] != kUnreachable) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return hops[static_cast<std::size_t>(a)] < hops[static_cast<std::size_t>(b)];
+  });
+  for (NodeId u : order) {
+    if (u == dest) continue;
+    const int hu = hops[static_cast<std::size_t>(u)];
+    double best = kInf;
+    bool found = false;
+    for (const Neighbor& n : g.neighbors(u)) {
+      if (hops[static_cast<std::size_t>(n.node)] == hu - 1) {
+        const double cand = weight[static_cast<std::size_t>(n.node)] +
+                            edge_weight[static_cast<std::size_t>(n.edge)];
+        if (!found) {
+          best = cand;
+          found = true;
+        } else if (objective == HopDagObjective::kMin) {
+          best = std::min(best, cand);
+        } else {
+          best = std::max(best, cand);
+        }
+      }
+    }
+    weight[static_cast<std::size_t>(u)] = best;
+  }
+  return weight;
+}
+
+}  // namespace
+
+std::vector<double> min_weight_over_min_hop_paths(
+    const Graph& g, NodeId dest, const std::vector<double>& edge_weight) {
+  return weight_over_min_hop_paths(g, dest, edge_weight,
+                                   HopDagObjective::kMin);
+}
+
+std::vector<double> max_weight_over_min_hop_paths(
+    const Graph& g, NodeId dest, const std::vector<double>& edge_weight) {
+  return weight_over_min_hop_paths(g, dest, edge_weight,
+                                   HopDagObjective::kMax);
+}
+
+}  // namespace shg::graph

@@ -1,0 +1,54 @@
+// Shortest-path computations over topology graphs.
+//
+// Hop distances drive routing-table construction and the diameter column of
+// Table I; weighted variants drive the "minimal physical path" analysis
+// (principle #4 of the paper) where edge weights are physical link lengths.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "shg/graph/adjacency.hpp"
+
+namespace shg::graph {
+
+/// Marker for unreachable nodes in hop-distance vectors.
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// BFS hop distances from `src` to every node (kUnreachable if disconnected).
+std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// All-pairs hop distances; result[u][v] is the hop distance from u to v.
+std::vector<std::vector<int>> all_pairs_hops(const Graph& g);
+
+/// True iff the graph is connected (vacuously true for <= 1 nodes).
+bool is_connected(const Graph& g);
+
+/// Maximum finite hop distance over all pairs. Throws if disconnected.
+int diameter(const Graph& g);
+
+/// Mean hop distance over all ordered pairs (u != v). Throws if disconnected.
+double average_hops(const Graph& g);
+
+/// Dijkstra distances from `src` with non-negative per-edge weights.
+std::vector<double> dijkstra(const Graph& g, NodeId src,
+                             const std::vector<double>& edge_weight);
+
+/// For a fixed destination `dest`, computes for every node the minimum total
+/// edge weight achievable over *hop-minimal* paths to `dest`.
+///
+/// This answers Table I's "minimal paths present among hop-minimal routes"
+/// question: a routing algorithm that minimizes router-to-router hops can
+/// only use hop-minimal paths, so the physically shortest path it may pick
+/// is exactly this quantity.
+std::vector<double> min_weight_over_min_hop_paths(
+    const Graph& g, NodeId dest, const std::vector<double>& edge_weight);
+
+/// Like min_weight_over_min_hop_paths, but the *maximum* total edge weight
+/// over hop-minimal paths — the physically worst path a hop-minimizing
+/// routing algorithm might legally pick. Table I's "minimal paths used" is
+/// satisfied only when even this worst case equals the physical minimum.
+std::vector<double> max_weight_over_min_hop_paths(
+    const Graph& g, NodeId dest, const std::vector<double>& edge_weight);
+
+}  // namespace shg::graph

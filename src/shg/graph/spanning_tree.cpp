@@ -1,0 +1,109 @@
+#include "shg/graph/spanning_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "shg/graph/shortest_paths.hpp"
+
+namespace shg::graph {
+
+SpanningTree bfs_spanning_tree(const Graph& g, NodeId root) {
+  SHG_REQUIRE(root >= 0 && root < g.num_nodes(), "root out of range");
+  SHG_REQUIRE(is_connected(g), "spanning tree requires a connected graph");
+  SpanningTree tree;
+  tree.root = root;
+  tree.parent.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  tree.level.assign(static_cast<std::size_t>(g.num_nodes()), -1);
+  tree.parent[static_cast<std::size_t>(root)] = root;
+  tree.level[static_cast<std::size_t>(root)] = 0;
+  std::queue<NodeId> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (const Neighbor& n : g.neighbors(u)) {
+      if (tree.level[static_cast<std::size_t>(n.node)] < 0) {
+        tree.level[static_cast<std::size_t>(n.node)] =
+            tree.level[static_cast<std::size_t>(u)] + 1;
+        tree.parent[static_cast<std::size_t>(n.node)] = u;
+        queue.push(n.node);
+      }
+    }
+  }
+  return tree;
+}
+
+UpDownTables up_down_tables(const Graph& g, const SpanningTree& tree) {
+  const int n = g.num_nodes();
+  SHG_REQUIRE(static_cast<int>(tree.level.size()) == n,
+              "tree does not match graph");
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+
+  // Total order: up moves strictly decrease the (level, id) rank, down moves
+  // strictly increase it, so both per-phase graphs are acyclic and a single
+  // sweep in rank order computes exact distances.
+  std::vector<NodeId> by_rank(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) by_rank[static_cast<std::size_t>(u)] = u;
+  std::sort(by_rank.begin(), by_rank.end(), [&](NodeId a, NodeId b) {
+    const int la = tree.level[static_cast<std::size_t>(a)];
+    const int lb = tree.level[static_cast<std::size_t>(b)];
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+
+  UpDownTables tables;
+  tables.phase0.assign(static_cast<std::size_t>(n),
+                       std::vector<NodeId>(static_cast<std::size_t>(n), -1));
+  tables.phase1.assign(static_cast<std::size_t>(n),
+                       std::vector<NodeId>(static_cast<std::size_t>(n), -1));
+
+  std::vector<int> dist0(static_cast<std::size_t>(n));
+  std::vector<int> dist1(static_cast<std::size_t>(n));
+  for (NodeId d = 0; d < n; ++d) {
+    std::fill(dist0.begin(), dist0.end(), kInf);
+    std::fill(dist1.begin(), dist1.end(), kInf);
+    dist0[static_cast<std::size_t>(d)] = 0;
+    dist1[static_cast<std::size_t>(d)] = 0;
+
+    // Phase 1 (only down moves remain): a down move goes to higher rank, so
+    // process nodes from highest rank to lowest.
+    for (auto it = by_rank.rbegin(); it != by_rank.rend(); ++it) {
+      const NodeId u = *it;
+      if (u == d) continue;
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (tree.is_up(u, nb.node)) continue;  // down moves only
+        const int cand = dist1[static_cast<std::size_t>(nb.node)];
+        if (cand + 1 < dist1[static_cast<std::size_t>(u)]) {
+          dist1[static_cast<std::size_t>(u)] = cand + 1;
+          tables.phase1[static_cast<std::size_t>(u)]
+                       [static_cast<std::size_t>(d)] = nb.node;
+        }
+      }
+    }
+
+    // Phase 0 (may still move up): an up move goes to lower rank, so process
+    // nodes from lowest rank to highest; a phase transition consults dist1.
+    for (const NodeId u : by_rank) {
+      if (u == d) continue;
+      int best = kInf;
+      NodeId hop = -1;
+      for (const Neighbor& nb : g.neighbors(u)) {
+        const int cand = tree.is_up(u, nb.node)
+                             ? dist0[static_cast<std::size_t>(nb.node)]
+                             : dist1[static_cast<std::size_t>(nb.node)];
+        if (cand + 1 < best) {
+          best = cand + 1;
+          hop = nb.node;
+        }
+      }
+      dist0[static_cast<std::size_t>(u)] = best;
+      tables.phase0[static_cast<std::size_t>(u)][static_cast<std::size_t>(d)] =
+          hop;
+      SHG_ASSERT(hop >= 0, "up*/down* must connect all pairs");
+    }
+  }
+  return tables;
+}
+
+}  // namespace shg::graph

@@ -1,0 +1,52 @@
+// BFS spanning tree and up*/down* routing tables.
+//
+// The simulator's escape virtual channel uses up*/down* routing (Duato-style
+// deadlock avoidance for arbitrary topologies): all links are oriented by a
+// total order derived from a BFS tree ("up" = toward lower (level, id)).
+// A legal path consists of zero or more up moves followed by zero or more
+// down moves, which makes the escape channel dependency graph acyclic on any
+// connected topology.
+#pragma once
+
+#include <vector>
+
+#include "shg/graph/adjacency.hpp"
+
+namespace shg::graph {
+
+/// BFS spanning tree rooted at `root` with the node ordering for up*/down*.
+struct SpanningTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;  ///< parent[root] == root
+  std::vector<int> level;      ///< BFS depth of each node
+
+  /// True iff traversing the link from -> to is an "up" move
+  /// (toward lower (level, id) in the total order).
+  bool is_up(NodeId from, NodeId to) const {
+    const auto lf = level[static_cast<std::size_t>(from)];
+    const auto lt = level[static_cast<std::size_t>(to)];
+    if (lf != lt) return lt < lf;
+    return to < from;
+  }
+};
+
+/// Builds the BFS spanning tree of a connected graph.
+SpanningTree bfs_spanning_tree(const Graph& g, NodeId root);
+
+/// Precomputed up*/down* next hops.
+///
+/// phase0[u][d]: next hop from u toward d when the packet may still move up
+/// (always defined for u != d; -1 on the diagonal).
+/// phase1[u][d]: next hop when the packet has already moved down and may only
+/// continue downward (-1 where no all-down path exists; routers only consult
+/// this entry when it is guaranteed to exist, because phase-0 paths only turn
+/// downward once the remaining path is all-down).
+struct UpDownTables {
+  std::vector<std::vector<NodeId>> phase0;
+  std::vector<std::vector<NodeId>> phase1;
+};
+
+/// Computes shortest legal up*/down* next hops for every (node, destination).
+UpDownTables up_down_tables(const Graph& g, const SpanningTree& tree);
+
+}  // namespace shg::graph

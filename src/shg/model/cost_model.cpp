@@ -1,0 +1,119 @@
+#include "shg/model/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shg::model {
+
+std::vector<int> CostReport::link_latencies() const {
+  std::vector<int> latencies;
+  latencies.reserve(links.size());
+  for (const LinkCost& link : links) {
+    latencies.push_back(link.latency_cycles);
+  }
+  return latencies;
+}
+
+CostReport evaluate_cost(const tech::ArchParams& arch,
+                         const topo::Topology& topo) {
+  SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
+              "topology grid does not match the architecture parameters");
+  const tech::TechnologyModel& tech = arch.tech;
+  CostReport report;
+
+  // ---- Step 1: tile area estimate and placement -------------------------
+  // Router ports: one manager + one subordinate port per topology link plus
+  // the local endpoint ports. Identical tiles => worst-case radix.
+  const int ports = topo.radix() + arch.endpoints_per_tile;
+  report.router_area_ge = arch.router_area.area_ge(
+      ports, ports, arch.link_bandwidth_bits, arch.router_arch);
+  report.tile_area_ge = arch.endpoint_area_ge + report.router_area_ge;
+  const double tile_area_mm2 = tech.ge_to_mm2(report.tile_area_ge);
+  report.tile_h_mm = std::sqrt(arch.tile_aspect_ratio * tile_area_mm2);
+  report.tile_w_mm = std::sqrt(tile_area_mm2 / arch.tile_aspect_ratio);
+
+  // ---- Step 2: global routing in the grid of tiles -----------------------
+  const phys::GlobalRoutingResult global = phys::global_route(topo);
+
+  // ---- Step 3: spacing between rows and columns of tiles -----------------
+  const double wires = arch.wires_per_link();
+  std::vector<double> h_spacing(static_cast<std::size_t>(arch.rows) + 1);
+  std::vector<double> v_spacing(static_cast<std::size_t>(arch.cols) + 1);
+  for (int i = 0; i <= arch.rows; ++i) {
+    const int nl = global.max_h_load(i);
+    report.peak_h_channel_load = std::max(report.peak_h_channel_load, nl);
+    h_spacing[static_cast<std::size_t>(i)] =
+        tech.wires.h_wires_to_mm(nl * wires);
+  }
+  for (int j = 0; j <= arch.cols; ++j) {
+    const int nl = global.max_v_load(j);
+    report.peak_v_channel_load = std::max(report.peak_v_channel_load, nl);
+    v_spacing[static_cast<std::size_t>(j)] =
+        tech.wires.v_wires_to_mm(nl * wires);
+  }
+
+  // ---- Step 4: discretization into unit cells ----------------------------
+  report.cell_h_mm = tech.wires.h_wires_to_mm(wires);
+  report.cell_w_mm = tech.wires.v_wires_to_mm(wires);
+  const phys::Floorplan plan(arch.rows, arch.cols, report.tile_w_mm,
+                             report.tile_h_mm, std::move(h_spacing),
+                             std::move(v_spacing), report.cell_w_mm,
+                             report.cell_h_mm);
+  report.chip_width_mm = plan.chip_width();
+  report.chip_height_mm = plan.chip_height();
+
+  // ---- Step 5: detailed routing in the grid of unit cells ----------------
+  const phys::DetailedRoutingResult detailed =
+      phys::detailed_route(topo, plan, global);
+  report.h_cells = detailed.h_cells;
+  report.v_cells = detailed.v_cells;
+  report.collision_cells = detailed.collision_cells;
+
+  // ---- Area estimate (IV-B2b) --------------------------------------------
+  report.total_area_mm2 = plan.chip_area_mm2();
+  report.base_area_mm2 =
+      tech.ge_to_mm2(static_cast<double>(arch.num_tiles()) *
+                     arch.endpoint_area_ge);
+  report.noc_area_mm2 = report.total_area_mm2 - report.base_area_mm2;
+  report.area_overhead = report.noc_area_mm2 / report.total_area_mm2;
+
+  // ---- Power estimate (IV-B2c) --------------------------------------------
+  // N^L_cell * A_C == total tile silicon area (logic-dominated);
+  // (N^H + N^V) * A_C / 2: a unit cell holds one horizontal and one vertical
+  // link part, so one directional part fills half a cell.
+  const double cell_area = plan.cell_area_mm2();
+  const double logic_area =
+      static_cast<double>(arch.num_tiles()) * tile_area_mm2;
+  const double wire_area =
+      static_cast<double>(detailed.h_cells + detailed.v_cells) * cell_area /
+      2.0;
+  report.total_power_w =
+      tech.logic_mm2_to_w(logic_area) + tech.wire_mm2_to_w(wire_area);
+  report.base_power_w = tech.logic_mm2_to_w(report.base_area_mm2);
+  report.noc_power_w = report.total_power_w - report.base_power_w;
+  report.wire_power_w = tech.wire_mm2_to_w(wire_area);
+  report.router_power_w = report.noc_power_w - report.wire_power_w;
+
+  // ---- Link latency estimate (IV-B2d) --------------------------------------
+  report.links.resize(static_cast<std::size_t>(topo.graph().num_edges()));
+  double latency_sum = 0.0;
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    LinkCost& link = report.links[static_cast<std::size_t>(e)];
+    link.length_mm =
+        detailed.routes[static_cast<std::size_t>(e)].total_length_mm;
+    link.latency_cycles_exact =
+        tech.mm_to_s(link.length_mm) * arch.frequency_hz;
+    link.latency_cycles =
+        std::max(1, static_cast<int>(std::ceil(link.latency_cycles_exact)));
+    latency_sum += link.latency_cycles_exact;
+    report.max_link_latency_cycles =
+        std::max(report.max_link_latency_cycles, link.latency_cycles_exact);
+  }
+  if (!report.links.empty()) {
+    report.avg_link_latency_cycles =
+        latency_sum / static_cast<double>(report.links.size());
+  }
+  return report;
+}
+
+}  // namespace shg::model

@@ -1,0 +1,80 @@
+// The NoC cost model of Section IV-B (Fig. 4): area overhead, power
+// consumption and per-link latency prediction via approximate floorplanning
+// and link routing.
+//
+// Five steps, implemented 1:1:
+//  1. tile area estimate (A_T = A_E + A_R) and placement in the R x C grid;
+//  2. global routing in the grid of tiles (shg::phys::global_route);
+//  3. spacing between rows/columns: S = f_wires->mm(NL * f_bw->wires(B));
+//  4. discretization into unit cells (H_C x W_C holds one link per
+//     direction);
+//  5. detailed routing in the grid of unit cells
+//     (shg::phys::detailed_route).
+#pragma once
+
+#include <vector>
+
+#include "shg/phys/detailed_route.hpp"
+#include "shg/phys/floorplan.hpp"
+#include "shg/phys/global_route.hpp"
+#include "shg/tech/arch_params.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::model {
+
+/// Physical cost of one link.
+struct LinkCost {
+  double length_mm = 0.0;          ///< detailed-route length (router to router)
+  double latency_cycles_exact = 0.0;  ///< f_mm->s(length) * F
+  int latency_cycles = 1;          ///< ceil, at least one cycle (Section II-A)
+};
+
+/// Complete output of the cost model.
+struct CostReport {
+  // Step 1.
+  double router_area_ge = 0.0;  ///< A_R = f_AR(m, s, B)
+  double tile_area_ge = 0.0;    ///< A_T = A_E + A_R
+  double tile_w_mm = 0.0;       ///< W_T
+  double tile_h_mm = 0.0;       ///< H_T
+
+  // Steps 2-4.
+  int peak_h_channel_load = 0;  ///< max NL over horizontal channels
+  int peak_v_channel_load = 0;
+  double cell_w_mm = 0.0;  ///< W_C
+  double cell_h_mm = 0.0;  ///< H_C
+  double chip_width_mm = 0.0;
+  double chip_height_mm = 0.0;
+
+  // Area estimate (Section IV-B2b).
+  double total_area_mm2 = 0.0;  ///< A_tot
+  double base_area_mm2 = 0.0;   ///< A_noNoC
+  double noc_area_mm2 = 0.0;    ///< A_tot - A_noNoC
+  double area_overhead = 0.0;   ///< (A_tot - A_noNoC) / A_tot
+
+  // Power estimate (Section IV-B2c).
+  double total_power_w = 0.0;  ///< P_tot
+  double base_power_w = 0.0;   ///< P_noNoC
+  double noc_power_w = 0.0;    ///< P_NoC
+  double router_power_w = 0.0;  ///< logic share of P_NoC (router area)
+  double wire_power_w = 0.0;    ///< wire share of P_NoC
+
+  // Link latency estimate (Section IV-B2d).
+  std::vector<LinkCost> links;  ///< indexed by EdgeId
+  double avg_link_latency_cycles = 0.0;
+  double max_link_latency_cycles = 0.0;
+
+  // Step-5 diagnostics.
+  long long h_cells = 0;
+  long long v_cells = 0;
+  long long collision_cells = 0;
+
+  /// Integer per-link latencies for the cycle-accurate simulator.
+  std::vector<int> link_latencies() const;
+};
+
+/// Runs the full five-step model for a topology under the given
+/// architectural parameters. The topology grid must match arch.rows/cols.
+CostReport evaluate_cost(const tech::ArchParams& arch,
+                         const topo::Topology& topo);
+
+}  // namespace shg::model

@@ -1,0 +1,40 @@
+#include "shg/model/report_io.hpp"
+
+#include <sstream>
+
+#include "shg/common/strings.hpp"
+
+namespace shg::model {
+
+std::string cost_reports_to_csv(const std::vector<NamedCostReport>& reports) {
+  std::ostringstream os;
+  os << "name,area_overhead,total_area_mm2,noc_area_mm2,noc_power_w,"
+        "router_power_w,wire_power_w,avg_link_latency,max_link_latency,"
+        "collision_cells\n";
+  for (const auto& [name, r] : reports) {
+    os << name << ',' << fmt_double(r.area_overhead, 6) << ','
+       << fmt_double(r.total_area_mm2, 3) << ','
+       << fmt_double(r.noc_area_mm2, 3) << ','
+       << fmt_double(r.noc_power_w, 4) << ','
+       << fmt_double(r.router_power_w, 4) << ','
+       << fmt_double(r.wire_power_w, 4) << ','
+       << fmt_double(r.avg_link_latency_cycles, 4) << ','
+       << fmt_double(r.max_link_latency_cycles, 4) << ','
+       << r.collision_cells << '\n';
+  }
+  return os.str();
+}
+
+std::string link_costs_to_csv(const CostReport& report) {
+  std::ostringstream os;
+  os << "edge,length_mm,latency_cycles_exact,latency_cycles\n";
+  for (std::size_t e = 0; e < report.links.size(); ++e) {
+    const LinkCost& link = report.links[e];
+    os << e << ',' << fmt_double(link.length_mm, 4) << ','
+       << fmt_double(link.latency_cycles_exact, 4) << ','
+       << link.latency_cycles << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace shg::model

@@ -1,0 +1,28 @@
+// CSV serialization of cost reports and joint predictions, for downstream
+// plotting/processing outside the library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shg/model/cost_model.hpp"
+
+namespace shg::model {
+
+/// One named cost report row.
+struct NamedCostReport {
+  std::string name;
+  CostReport report;
+};
+
+/// CSV with one row per report:
+/// name,area_overhead,total_area_mm2,noc_area_mm2,noc_power_w,
+/// router_power_w,wire_power_w,avg_link_latency,max_link_latency,
+/// collision_cells
+std::string cost_reports_to_csv(const std::vector<NamedCostReport>& reports);
+
+/// CSV of the per-link latency estimates of one report:
+/// edge,length_mm,latency_cycles_exact,latency_cycles
+std::string link_costs_to_csv(const CostReport& report);
+
+}  // namespace shg::model

@@ -1,0 +1,295 @@
+#include "shg/phys/detailed_route.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace shg::phys {
+
+namespace {
+
+/// Identifies one endpoint's port: which tile, which face.
+struct PortKey {
+  int tile = 0;
+  Face face = Face::kNorth;
+
+  friend bool operator<(const PortKey& a, const PortKey& b) {
+    if (a.tile != b.tile) return a.tile < b.tile;
+    return static_cast<int>(a.face) < static_cast<int>(b.face);
+  }
+};
+
+/// Port position as a fraction along the face (0 = left/top corner).
+using PortFractions =
+    std::map<std::pair<graph::EdgeId, bool /*is_u*/>, double>;
+
+/// Assigns port offsets: unit links take the face center (each face hosts at
+/// most one unit link), longer links are spread evenly over the face.
+PortFractions assign_ports(const topo::Topology& topo,
+                           const GlobalRoutingResult& global) {
+  // Collect the non-straight link endpoints per (tile, face).
+  std::map<PortKey, std::vector<std::pair<graph::EdgeId, bool>>> by_face;
+  PortFractions fractions;
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& route = global.routes[static_cast<std::size_t>(e)];
+    const auto& edge = topo.graph().edge(e);
+    const auto [u, v] = std::minmax(edge.u, edge.v);
+    if (route.straight) {
+      fractions[{e, true}] = 0.5;
+      fractions[{e, false}] = 0.5;
+      continue;
+    }
+    by_face[PortKey{u, route.face_u}].emplace_back(e, true);
+    by_face[PortKey{v, route.face_v}].emplace_back(e, false);
+  }
+  for (auto& [key, endpoints] : by_face) {
+    std::sort(endpoints.begin(), endpoints.end());
+    const double n = static_cast<double>(endpoints.size());
+    for (std::size_t k = 0; k < endpoints.size(); ++k) {
+      fractions[endpoints[k]] = (static_cast<double>(k) + 1.0) / (n + 1.0);
+    }
+  }
+  return fractions;
+}
+
+PointMM port_position(const Floorplan& plan, const topo::TileCoord& tile,
+                      Face face, double fraction) {
+  const double x0 = plan.col_left(tile.col);
+  const double y0 = plan.row_top(tile.row);
+  switch (face) {
+    case Face::kNorth:
+      return {x0 + fraction * plan.tile_w(), y0};
+    case Face::kSouth:
+      return {x0 + fraction * plan.tile_w(), y0 + plan.tile_h()};
+    case Face::kWest:
+      return {x0, y0 + fraction * plan.tile_h()};
+    case Face::kEast:
+      return {x0 + plan.tile_w(), y0 + fraction * plan.tile_h()};
+  }
+  SHG_ASSERT(false, "unreachable");
+  return {};
+}
+
+/// Left-edge track assignment: spans sorted by start position, each takes
+/// the lowest-numbered track that is free at its start. Uses exactly
+/// max-overlap tracks, which is what the step-3 spacing provides.
+struct TrackAssignment {
+  // Keyed by (channel horizontal?, channel index, edge id) -> track.
+  std::map<std::tuple<bool, int, graph::EdgeId>, int> track;
+};
+
+TrackAssignment assign_tracks(const topo::Topology& topo,
+                              const GlobalRoutingResult& global) {
+  struct Item {
+    int lo, hi;
+    graph::EdgeId edge;
+  };
+  std::map<std::pair<bool, int>, std::vector<Item>> by_channel;
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    for (const auto& span : global.routes[static_cast<std::size_t>(e)].spans) {
+      by_channel[{span.horizontal, span.index}].push_back(
+          Item{span.lo, span.hi, e});
+    }
+  }
+  TrackAssignment result;
+  for (auto& [channel, items] : by_channel) {
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+      if (a.lo != b.lo) return a.lo < b.lo;
+      if (a.hi != b.hi) return a.hi > b.hi;  // longer first at equal start
+      return a.edge < b.edge;
+    });
+    // Min-heap of (end position, track id) for busy tracks; free list of
+    // reusable track ids.
+    std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                        std::greater<>> busy;
+    std::priority_queue<int, std::vector<int>, std::greater<>> free_tracks;
+    int next_track = 0;
+    for (const Item& item : items) {
+      while (!busy.empty() && busy.top().first < item.lo) {
+        free_tracks.push(busy.top().second);
+        busy.pop();
+      }
+      int track;
+      if (!free_tracks.empty()) {
+        track = free_tracks.top();
+        free_tracks.pop();
+      } else {
+        track = next_track++;
+      }
+      busy.emplace(item.hi, track);
+      result.track[{channel.first, channel.second, item.edge}] = track;
+    }
+  }
+  return result;
+}
+
+/// Accumulates unit-cell occupancy. Cells are deduplicated per link first so
+/// a link visiting a cell twice (jog corner) is counted once.
+class CellCounter {
+ public:
+  CellCounter(double cell_w, double cell_h)
+      : cell_w_(cell_w), cell_h_(cell_h) {}
+
+  void begin_link() {
+    link_h_.clear();
+    link_v_.clear();
+  }
+
+  void add_segment(const Segment& seg) {
+    if (seg.length() <= 0.0) return;
+    if (seg.horizontal) {
+      const std::int64_t iy = cell_index(seg.a.y, cell_h_);
+      const std::int64_t x0 = cell_index(std::min(seg.a.x, seg.b.x), cell_w_);
+      const std::int64_t x1 = cell_index(std::max(seg.a.x, seg.b.x), cell_w_);
+      for (std::int64_t ix = x0; ix <= x1; ++ix) {
+        link_h_.insert(key(ix, iy));
+      }
+    } else {
+      const std::int64_t ix = cell_index(seg.a.x, cell_w_);
+      const std::int64_t y0 = cell_index(std::min(seg.a.y, seg.b.y), cell_h_);
+      const std::int64_t y1 = cell_index(std::max(seg.a.y, seg.b.y), cell_h_);
+      for (std::int64_t iy = y0; iy <= y1; ++iy) {
+        link_v_.insert(key(ix, iy));
+      }
+    }
+  }
+
+  void end_link() {
+    for (std::int64_t k : link_h_) ++h_counts_[k];
+    for (std::int64_t k : link_v_) ++v_counts_[k];
+  }
+
+  long long h_cells() const { return static_cast<long long>(h_counts_.size()); }
+  long long v_cells() const { return static_cast<long long>(v_counts_.size()); }
+
+  long long collision_cells() const {
+    long long collisions = 0;
+    for (const auto& [k, count] : h_counts_) {
+      if (count >= 2) ++collisions;
+    }
+    for (const auto& [k, count] : v_counts_) {
+      if (count >= 2) ++collisions;
+    }
+    return collisions;
+  }
+
+ private:
+  static std::int64_t cell_index(double coord, double cell) {
+    return static_cast<std::int64_t>(std::floor(coord / cell));
+  }
+  static std::int64_t key(std::int64_t ix, std::int64_t iy) {
+    return (iy << 24) ^ ix;
+  }
+
+  double cell_w_;
+  double cell_h_;
+  std::unordered_set<std::int64_t> link_h_;
+  std::unordered_set<std::int64_t> link_v_;
+  std::unordered_map<std::int64_t, int> h_counts_;
+  std::unordered_map<std::int64_t, int> v_counts_;
+};
+
+double manhattan_to_center(const Floorplan& plan, const topo::TileCoord& tile,
+                           PointMM port) {
+  const PointMM center = plan.tile_center(tile.row, tile.col);
+  return std::abs(center.x - port.x) + std::abs(center.y - port.y);
+}
+
+}  // namespace
+
+DetailedRoutingResult detailed_route(const topo::Topology& topo,
+                                     const Floorplan& plan,
+                                     const GlobalRoutingResult& global) {
+  SHG_REQUIRE(static_cast<int>(global.routes.size()) ==
+                  topo.graph().num_edges(),
+              "global routing result does not match topology");
+  const PortFractions ports = assign_ports(topo, global);
+  const TrackAssignment tracks = assign_tracks(topo, global);
+
+  DetailedRoutingResult result;
+  result.routes.resize(static_cast<std::size_t>(topo.graph().num_edges()));
+  CellCounter cells(plan.cell_w(), plan.cell_h());
+
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& groute = global.routes[static_cast<std::size_t>(e)];
+    const auto& edge = topo.graph().edge(e);
+    const auto [u, v] = std::minmax(edge.u, edge.v);
+    const topo::TileCoord cu = topo.coord(u);
+    const topo::TileCoord cv = topo.coord(v);
+    const PointMM pu =
+        port_position(plan, cu, groute.face_u, ports.at({e, true}));
+    const PointMM pv =
+        port_position(plan, cv, groute.face_v, ports.at({e, false}));
+
+    DetailedRoute& route = result.routes[static_cast<std::size_t>(e)];
+    auto add = [&route](PointMM a, PointMM b, bool horizontal) {
+      route.segments.push_back(Segment{a, b, horizontal});
+    };
+
+    if (groute.straight) {
+      // Adjacent tiles: straight crossing plus (usually zero-length) jog.
+      if (cu.row == cv.row) {
+        add(pu, {pv.x, pu.y}, true);
+        add({pv.x, pu.y}, pv, false);
+      } else {
+        add(pu, {pu.x, pv.y}, false);
+        add({pu.x, pv.y}, pv, true);
+      }
+    } else if (groute.spans.size() == 1 && groute.spans[0].horizontal) {
+      // Same-row link through a horizontal channel.
+      const auto& span = groute.spans[0];
+      const int track = tracks.track.at({true, span.index, e});
+      const double yt = plan.chan_h_top(span.index) +
+                        (static_cast<double>(track) + 0.5) * plan.cell_h();
+      add(pu, {pu.x, yt}, false);
+      add({pu.x, yt}, {pv.x, yt}, true);
+      add({pv.x, yt}, pv, false);
+    } else if (groute.spans.size() == 1) {
+      // Same-column link through a vertical channel.
+      const auto& span = groute.spans[0];
+      const int track = tracks.track.at({false, span.index, e});
+      const double xt = plan.chan_v_left(span.index) +
+                        (static_cast<double>(track) + 0.5) * plan.cell_w();
+      add(pu, {xt, pu.y}, true);
+      add({xt, pu.y}, {xt, pv.y}, false);
+      add({xt, pv.y}, pv, true);
+    } else {
+      // Diagonal link: horizontal channel at u's row, vertical channel at
+      // v's column.
+      SHG_ASSERT(groute.spans.size() == 2, "L route must have two spans");
+      const auto& hspan = groute.spans[0];
+      const auto& vspan = groute.spans[1];
+      const int htrack = tracks.track.at({true, hspan.index, e});
+      const int vtrack = tracks.track.at({false, vspan.index, e});
+      const double yt = plan.chan_h_top(hspan.index) +
+                        (static_cast<double>(htrack) + 0.5) * plan.cell_h();
+      const double xt = plan.chan_v_left(vspan.index) +
+                        (static_cast<double>(vtrack) + 0.5) * plan.cell_w();
+      add(pu, {pu.x, yt}, false);       // jog from u's port into the channel
+      add({pu.x, yt}, {xt, yt}, true);  // run to the turning column
+      add({xt, yt}, {xt, pv.y}, false);  // descend/ascend to v's row
+      add({xt, pv.y}, pv, true);        // jog into v's port
+    }
+
+    cells.begin_link();
+    for (const Segment& seg : route.segments) {
+      route.channel_length_mm += seg.length();
+      cells.add_segment(seg);
+    }
+    cells.end_link();
+    route.total_length_mm = route.channel_length_mm +
+                            manhattan_to_center(plan, cu, pu) +
+                            manhattan_to_center(plan, cv, pv);
+  }
+
+  result.h_cells = cells.h_cells();
+  result.v_cells = cells.v_cells();
+  result.collision_cells = cells.collision_cells();
+  return result;
+}
+
+}  // namespace shg::phys

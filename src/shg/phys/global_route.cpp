@@ -1,0 +1,160 @@
+#include "shg/phys/global_route.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace shg::phys {
+
+namespace {
+
+/// Candidate route under evaluation by the greedy router.
+struct Candidate {
+  GlobalRoute route;
+  double cost = 0.0;
+};
+
+/// Peak load over [lo, hi] of `loads` if one more link were added there.
+int peak_after_insert(const std::vector<int>& loads, int lo, int hi) {
+  int peak = 0;
+  for (int p = lo; p <= hi; ++p) {
+    peak = std::max(peak, loads[static_cast<std::size_t>(p)] + 1);
+  }
+  return peak;
+}
+
+void commit(std::vector<int>& loads, int lo, int hi) {
+  for (int p = lo; p <= hi; ++p) {
+    ++loads[static_cast<std::size_t>(p)];
+  }
+}
+
+}  // namespace
+
+int GlobalRoutingResult::max_h_load(int channel) const {
+  const auto& loads = h_loads[static_cast<std::size_t>(channel)];
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+int GlobalRoutingResult::max_v_load(int channel) const {
+  const auto& loads = v_loads[static_cast<std::size_t>(channel)];
+  return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+}
+
+GlobalRoutingResult global_route(const topo::Topology& topo) {
+  const int rows = topo.rows();
+  const int cols = topo.cols();
+  GlobalRoutingResult result;
+  result.routes.resize(static_cast<std::size_t>(topo.graph().num_edges()));
+  result.h_loads.assign(static_cast<std::size_t>(rows) + 1,
+                        std::vector<int>(static_cast<std::size_t>(cols), 0));
+  result.v_loads.assign(static_cast<std::size_t>(cols) + 1,
+                        std::vector<int>(static_cast<std::size_t>(rows), 0));
+
+  // Greedy order: longest links first — they constrain channel capacity the
+  // most, short links fill the remaining space.
+  std::vector<graph::EdgeId> order(
+      static_cast<std::size_t>(topo.graph().num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::EdgeId a, graph::EdgeId b) {
+                     return topo.link_grid_length(a) >
+                            topo.link_grid_length(b);
+                   });
+
+  // Secondary cost weight on wirelength: congestion dominates, length
+  // breaks ties between equally congested channels.
+  constexpr double kLengthWeight = 0.01;
+
+  for (graph::EdgeId e : order) {
+    const auto& edge = topo.graph().edge(e);
+    const auto [u, v] = std::minmax(edge.u, edge.v);
+    const topo::TileCoord cu = topo.coord(u);
+    const topo::TileCoord cv = topo.coord(v);
+
+    GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
+    if (topo.link_grid_length(e) == 1) {
+      // Adjacent tiles: cross the shared channel directly.
+      route.straight = true;
+      if (cu.row == cv.row) {
+        route.face_u = cu.col < cv.col ? Face::kEast : Face::kWest;
+        route.face_v = cu.col < cv.col ? Face::kWest : Face::kEast;
+      } else {
+        route.face_u = cu.row < cv.row ? Face::kSouth : Face::kNorth;
+        route.face_v = cu.row < cv.row ? Face::kNorth : Face::kSouth;
+      }
+      continue;
+    }
+
+    std::vector<Candidate> candidates;
+    if (cu.row == cv.row) {
+      // Same-row link: horizontal channel above (index row) or below
+      // (index row+1); ports on north/south faces.
+      const auto [lo, hi] = std::minmax(cu.col, cv.col);
+      for (const int channel : {cu.row, cu.row + 1}) {
+        Candidate cand;
+        cand.route.spans = {
+            ChannelSpan{true, channel, lo, hi}};
+        cand.route.face_u = channel == cu.row ? Face::kNorth : Face::kSouth;
+        cand.route.face_v = cand.route.face_u;
+        cand.cost = peak_after_insert(
+                        result.h_loads[static_cast<std::size_t>(channel)], lo,
+                        hi) +
+                    kLengthWeight * (hi - lo + 1);
+        candidates.push_back(std::move(cand));
+      }
+    } else if (cu.col == cv.col) {
+      const auto [lo, hi] = std::minmax(cu.row, cv.row);
+      for (const int channel : {cu.col, cu.col + 1}) {
+        Candidate cand;
+        cand.route.spans = {
+            ChannelSpan{false, channel, lo, hi}};
+        cand.route.face_u = channel == cu.col ? Face::kWest : Face::kEast;
+        cand.route.face_v = cand.route.face_u;
+        cand.cost = peak_after_insert(
+                        result.v_loads[static_cast<std::size_t>(channel)], lo,
+                        hi) +
+                    kLengthWeight * (hi - lo + 1);
+        candidates.push_back(std::move(cand));
+      }
+    } else {
+      // Diagonal link: L-shaped route, horizontal segment at the u end
+      // (u is the lower node id; the wire leaves u's row channel, turns
+      // into a vertical channel at v's column and descends to v).
+      const auto [clo, chi] = std::minmax(cu.col, cv.col);
+      const auto [rlo, rhi] = std::minmax(cu.row, cv.row);
+      for (const int hch : {cu.row, cu.row + 1}) {
+        for (const int vch : {cv.col, cv.col + 1}) {
+          Candidate cand;
+          cand.route.spans = {
+              ChannelSpan{true, hch, clo, chi},
+              ChannelSpan{false, vch, rlo, rhi}};
+          cand.route.face_u = hch == cu.row ? Face::kNorth : Face::kSouth;
+          cand.route.face_v = vch == cv.col ? Face::kWest : Face::kEast;
+          cand.cost =
+              peak_after_insert(
+                  result.h_loads[static_cast<std::size_t>(hch)], clo, chi) +
+              peak_after_insert(
+                  result.v_loads[static_cast<std::size_t>(vch)], rlo, rhi) +
+              kLengthWeight * (chi - clo + rhi - rlo + 2);
+          candidates.push_back(std::move(cand));
+        }
+      }
+    }
+
+    SHG_ASSERT(!candidates.empty(), "no route candidates generated");
+    const auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
+    route = best->route;
+    for (const ChannelSpan& span : route.spans) {
+      auto& loads = span.horizontal
+                        ? result.h_loads[static_cast<std::size_t>(span.index)]
+                        : result.v_loads[static_cast<std::size_t>(span.index)];
+      commit(loads, span.lo, span.hi);
+    }
+  }
+  return result;
+}
+
+}  // namespace shg::phys

@@ -1,0 +1,62 @@
+// Global routing in the grid of tiles (step 2 of the model, Fig. 5b).
+//
+// Links cannot be routed over tiles (Section II-A: tiles occupy all metal
+// layers), so every link is assigned a path through the channels between
+// tile rows/columns. As in real VLSI design, a greedy heuristic assigns
+// each link (longest first) the channel(s) that minimize congestion, then
+// the per-channel peak loads drive the spacing estimate of step 3.
+//
+// Route shapes:
+//  * unit-length links cross the single channel between the two adjacent
+//    tiles directly ("short links come with minuscule area overheads");
+//  * same-row links of length >= 2 run in the horizontal channel above or
+//    below their row (ports on the tile's north/south face);
+//  * same-column links run in a vertical channel (east/west ports);
+//  * diagonal links (SlimNoC) take an L: one horizontal + one vertical
+//    channel span.
+#pragma once
+
+#include <vector>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::phys {
+
+/// Tile face a port sits on.
+enum class Face { kNorth, kSouth, kEast, kWest };
+
+/// A contiguous occupation of one channel. For horizontal channels,
+/// positions lo..hi are tile-column indices the wire runs alongside; for
+/// vertical channels they are tile-row indices.
+struct ChannelSpan {
+  bool horizontal = true;
+  int index = 0;  ///< channel index: [0, R] horizontal / [0, C] vertical
+  int lo = 0;
+  int hi = 0;  ///< inclusive; lo <= hi
+};
+
+/// Global route of one link.
+struct GlobalRoute {
+  bool straight = false;  ///< unit link: direct port-to-port crossing
+  std::vector<ChannelSpan> spans;  ///< empty / 1 (aligned) / 2 (L-shape)
+  Face face_u = Face::kEast;  ///< port face at the lower-id endpoint
+  Face face_v = Face::kWest;  ///< port face at the other endpoint
+};
+
+/// Result of global routing: per-link routes plus channel load profiles.
+struct GlobalRoutingResult {
+  std::vector<GlobalRoute> routes;        ///< indexed by EdgeId
+  std::vector<std::vector<int>> h_loads;  ///< [rows+1][cols] cut loads
+  std::vector<std::vector<int>> v_loads;  ///< [cols+1][rows] cut loads
+
+  /// Peak number of parallel links in horizontal channel i (the NL of the
+  /// spacing formula in step 3).
+  int max_h_load(int channel) const;
+  /// Peak number of parallel links in vertical channel j.
+  int max_v_load(int channel) const;
+};
+
+/// Runs greedy global routing for all links of a topology.
+GlobalRoutingResult global_route(const topo::Topology& topo);
+
+}  // namespace shg::phys

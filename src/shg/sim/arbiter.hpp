@@ -1,0 +1,38 @@
+// Round-robin arbiter: the basic fairness primitive of the router's VC and
+// switch allocators.
+#pragma once
+
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg::sim {
+
+/// Rotating-priority arbiter over `size` requesters.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int size = 1) : size_(size) {
+    SHG_REQUIRE(size >= 1, "arbiter needs at least one requester");
+  }
+
+  /// Grants one of the requesting inputs (requests[i] != 0), rotating
+  /// priority after every successful grant. Returns -1 if nobody requests.
+  int arbitrate(const std::vector<bool>& requests) {
+    SHG_REQUIRE(static_cast<int>(requests.size()) == size_,
+                "request vector size mismatch");
+    for (int offset = 0; offset < size_; ++offset) {
+      const int i = (next_ + offset) % size_;
+      if (requests[static_cast<std::size_t>(i)]) {
+        next_ = (i + 1) % size_;
+        return i;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  int size_;
+  int next_ = 0;
+};
+
+}  // namespace shg::sim

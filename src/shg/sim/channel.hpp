@@ -1,0 +1,65 @@
+// Pipelined router-to-router channel with credit backflow.
+//
+// Section II-A: links too long for the target frequency receive pipeline
+// registers, so traversing a link takes `latency` >= 1 cycles. Credits
+// travel the opposite direction on the paired wires with the same latency,
+// making the credit round-trip 2 * latency + processing — the simulator
+// reproduces the resulting throughput ceiling for shallow buffers.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "shg/common/error.hpp"
+#include "shg/sim/flit.hpp"
+
+namespace shg::sim {
+
+class Channel {
+ public:
+  explicit Channel(int latency) : latency_(latency) {
+    SHG_REQUIRE(latency >= 1, "every link has at least one cycle of latency");
+  }
+
+  int latency() const { return latency_; }
+
+  /// Sends a flit downstream at cycle `now`; it becomes visible at
+  /// now + latency.
+  void push_flit(const Flit& flit, Cycle now) {
+    flits_.emplace_back(now + latency_, flit);
+  }
+
+  /// Pops the next flit if it has arrived by cycle `now`.
+  std::optional<Flit> pop_flit(Cycle now) {
+    if (flits_.empty() || flits_.front().first > now) return std::nullopt;
+    Flit flit = flits_.front().second;
+    flits_.pop_front();
+    return flit;
+  }
+
+  /// Sends a credit upstream at cycle `now`.
+  void push_credit(const Credit& credit, Cycle now) {
+    credits_.emplace_back(now + latency_, credit);
+  }
+
+  /// Pops the next credit if it has arrived by cycle `now`.
+  std::optional<Credit> pop_credit(Cycle now) {
+    if (credits_.empty() || credits_.front().first > now) return std::nullopt;
+    Credit credit = credits_.front().second;
+    credits_.pop_front();
+    return credit;
+  }
+
+  bool idle() const { return flits_.empty() && credits_.empty(); }
+
+  /// Flits currently traversing the pipeline (credits excluded).
+  std::size_t pending_flits() const { return flits_.size(); }
+
+ private:
+  int latency_;
+  std::deque<std::pair<Cycle, Flit>> flits_;
+  std::deque<std::pair<Cycle, Credit>> credits_;
+};
+
+}  // namespace shg::sim

@@ -1,0 +1,43 @@
+// Simulation configuration: router microarchitecture and measurement setup.
+#pragma once
+
+#include <cstdint>
+
+#include "shg/common/error.hpp"
+
+namespace shg::sim {
+
+/// Knobs of one simulation run.
+struct SimConfig {
+  // Router microarchitecture ("input-queued routers with 8 virtual channels
+  // and 32-flit buffers", Section V-b).
+  int num_vcs = 8;
+  int buffer_depth_flits = 32;
+  /// Per-router pipeline delay in cycles; the paper's model assumes every
+  /// router (and flit injection) adds at least one cycle.
+  int router_delay_cycles = 1;
+
+  // Traffic.
+  int packet_size_flits = 4;
+  double injection_rate = 0.01;  ///< flits per cycle per endpoint port
+
+  // Measurement phases (BookSim-style warmup / measure / drain).
+  long long warmup_cycles = 1000;
+  long long measure_cycles = 3000;
+  long long drain_cycles = 40000;  ///< cap on the drain phase
+
+  std::uint64_t seed = 0x5eed;
+
+  void validate() const {
+    SHG_REQUIRE(num_vcs >= 1, "need at least one VC");
+    SHG_REQUIRE(buffer_depth_flits >= 1, "need at least one buffer slot");
+    SHG_REQUIRE(router_delay_cycles >= 0, "router delay must be >= 0");
+    SHG_REQUIRE(packet_size_flits >= 1, "packets need at least one flit");
+    SHG_REQUIRE(injection_rate > 0.0 && injection_rate <= 1.0,
+                "injection rate must be in (0, 1] flits/cycle/port");
+    SHG_REQUIRE(warmup_cycles >= 0 && measure_cycles > 0 && drain_cycles >= 0,
+                "invalid measurement phases");
+  }
+};
+
+}  // namespace shg::sim

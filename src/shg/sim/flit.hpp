@@ -1,0 +1,32 @@
+// Flow control units (flits) and credits — the atomic quantities moved by
+// the cycle-accurate simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace shg::sim {
+
+using Cycle = long long;
+
+/// One flow control unit. Packets are sequences of flits delimited by
+/// head/tail flags; wormhole switching keeps a packet on one VC per hop.
+struct Flit {
+  int packet_id = 0;
+  int src = 0;   ///< source tile
+  int dest = 0;  ///< destination tile
+  bool head = false;
+  bool tail = false;
+  int vc = 0;  ///< VC on the channel currently carrying the flit
+  int hops = 0;  ///< routers traversed so far (filled in by the network)
+  Cycle create_cycle = 0;  ///< when the packet was generated at the source
+  /// Earliest cycle the current router may switch this flit (models the
+  /// router pipeline: every router adds >= 1 cycle, Section II-A).
+  Cycle ready_cycle = 0;
+};
+
+/// Credit returned upstream when an input buffer slot frees up.
+struct Credit {
+  int vc = 0;
+};
+
+}  // namespace shg::sim

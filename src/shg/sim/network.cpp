@@ -1,0 +1,136 @@
+#include "shg/sim/network.hpp"
+
+namespace shg::sim {
+
+NetworkInterface::NetworkInterface(int num_ports, int num_vcs)
+    : num_vcs_(num_vcs),
+      queues_(static_cast<std::size_t>(num_ports)),
+      open_vc_(static_cast<std::size_t>(num_ports), -1),
+      next_vc_(static_cast<std::size_t>(num_ports), 0) {}
+
+void NetworkInterface::enqueue_packet(int port, const std::vector<Flit>& flits) {
+  SHG_REQUIRE(port >= 0 && port < static_cast<int>(queues_.size()),
+              "endpoint port out of range");
+  SHG_REQUIRE(!flits.empty() && flits.front().head && flits.back().tail,
+              "packet must be head..tail delimited");
+  auto& queue = queues_[static_cast<std::size_t>(port)];
+  for (const Flit& flit : flits) queue.push_back(flit);
+}
+
+void NetworkInterface::inject(Router& router, Cycle now) {
+  for (int port = 0; port < static_cast<int>(queues_.size()); ++port) {
+    auto& queue = queues_[static_cast<std::size_t>(port)];
+    if (queue.empty()) continue;
+    const Flit& flit = queue.front();
+    int& open = open_vc_[static_cast<std::size_t>(port)];
+    if (flit.head) {
+      SHG_ASSERT(open < 0, "head flit while another packet is open");
+      // Pick an input VC with space, round-robin (the routing constraints
+      // bind at the router's output, not at the local input buffer).
+      int& next = next_vc_[static_cast<std::size_t>(port)];
+      int chosen = -1;
+      for (int off = 0; off < num_vcs_; ++off) {
+        const int v = (next + off) % num_vcs_;
+        if (router.local_vc_space(port, v) > 0) {
+          chosen = v;
+          break;
+        }
+      }
+      if (chosen < 0) continue;  // all local VCs full; retry next cycle
+      next = (chosen + 1) % num_vcs_;
+      const bool ok = router.try_inject(port, chosen, flit, now);
+      SHG_ASSERT(ok, "injection must succeed after the space check");
+      if (!flit.tail) open = chosen;
+      queue.pop_front();
+    } else {
+      // Body/tail flit: must continue on the head's VC.
+      SHG_ASSERT(open >= 0, "body flit without an open packet");
+      if (router.local_vc_space(port, open) <= 0) continue;
+      const bool ok = router.try_inject(port, open, flit, now);
+      SHG_ASSERT(ok, "injection must succeed after the space check");
+      if (flit.tail) open = -1;
+      queue.pop_front();
+    }
+  }
+}
+
+long long NetworkInterface::queued_flits() const {
+  long long total = 0;
+  for (const auto& queue : queues_) {
+    total += static_cast<long long>(queue.size());
+  }
+  return total;
+}
+
+Network::Network(const topo::Topology& topo,
+                 const std::vector<int>& link_latencies,
+                 const SimConfig& config, const RoutingFunction* routing,
+                 int endpoints_per_tile)
+    : endpoints_per_tile_(endpoints_per_tile) {
+  const auto& g = topo.graph();
+  SHG_REQUIRE(static_cast<int>(link_latencies.size()) == g.num_edges(),
+              "need one latency per link");
+  SHG_REQUIRE(endpoints_per_tile >= 1, "need at least one endpoint per tile");
+
+  // Two directed channels per edge: channels_[2e] carries u -> v (with u the
+  // edge's stored u), channels_[2e+1] carries v -> u.
+  channels_.reserve(static_cast<std::size_t>(2 * g.num_edges()));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int latency = link_latencies[static_cast<std::size_t>(e)];
+    channels_.push_back(std::make_unique<Channel>(latency));
+    channels_.push_back(std::make_unique<Channel>(latency));
+  }
+
+  routers_.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    routers_.push_back(std::make_unique<Router>(
+        u, g.degree(u), endpoints_per_tile, config, routing));
+    nis_.emplace_back(endpoints_per_tile, config.num_vcs);
+  }
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto& edge = g.edge(nbrs[i].edge);
+      // Channel index for the direction u -> neighbor.
+      const bool is_forward = edge.u == u;
+      Channel* out =
+          channels_[static_cast<std::size_t>(2 * nbrs[i].edge) +
+                    (is_forward ? 0 : 1)]
+              .get();
+      Channel* in =
+          channels_[static_cast<std::size_t>(2 * nbrs[i].edge) +
+                    (is_forward ? 1 : 0)]
+              .get();
+      routers_[static_cast<std::size_t>(u)]->attach(static_cast<int>(i), in,
+                                                    out);
+    }
+  }
+}
+
+void Network::step(Cycle now) {
+  for (auto& router : routers_) {
+    router->deliver_phase(now);
+  }
+  for (std::size_t n = 0; n < nis_.size(); ++n) {
+    nis_[n].inject(*routers_[n], now);
+  }
+  for (auto& router : routers_) {
+    router->allocate_phase(now);
+  }
+}
+
+long long Network::flits_in_flight() const {
+  long long total = 0;
+  for (const auto& router : routers_) {
+    total += router->buffered_flits();
+  }
+  for (const auto& ni : nis_) {
+    total += ni.queued_flits();
+  }
+  for (const auto& channel : channels_) {
+    total += static_cast<long long>(channel->pending_flits());
+  }
+  return total;
+}
+
+}  // namespace shg::sim

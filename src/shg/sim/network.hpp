@@ -1,0 +1,71 @@
+// Network assembly: routers + channels + network interfaces for a topology.
+//
+// Port convention (shared with sim::RoutingFunction): network port i of
+// router u connects to topology.graph().neighbors(u)[i].node through a pair
+// of directed channels whose latency is the cost model's per-link estimate;
+// the tile's endpoint ports follow.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "shg/sim/channel.hpp"
+#include "shg/sim/router.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::sim {
+
+/// Per-tile network interface: per-endpoint source queues that inject into
+/// the router's local input ports (one flit per port and cycle, wormhole VC
+/// continuity).
+class NetworkInterface {
+ public:
+  NetworkInterface(int num_ports, int num_vcs);
+
+  /// Queues a packet's flits on endpoint port `port`.
+  void enqueue_packet(int port, const std::vector<Flit>& flits);
+
+  /// Tries to inject one flit per endpoint port into the router.
+  void inject(Router& router, Cycle now);
+
+  long long queued_flits() const;
+
+ private:
+  int num_vcs_;
+  std::vector<std::deque<Flit>> queues_;  ///< per endpoint port
+  std::vector<int> open_vc_;              ///< VC of the packet in flight
+  std::vector<int> next_vc_;              ///< round-robin VC pointer
+};
+
+/// The full network: owns routers, channels and NIs.
+class Network {
+ public:
+  Network(const topo::Topology& topo, const std::vector<int>& link_latencies,
+          const SimConfig& config, const RoutingFunction* routing,
+          int endpoints_per_tile);
+
+  int num_tiles() const { return static_cast<int>(routers_.size()); }
+  int endpoints_per_tile() const { return endpoints_per_tile_; }
+
+  Router& router(int node) { return *routers_[static_cast<std::size_t>(node)]; }
+  NetworkInterface& interface(int node) {
+    return nis_[static_cast<std::size_t>(node)];
+  }
+
+  /// Runs one simulation cycle: channel delivery, NI injection, router
+  /// allocation/traversal. Ejected flits land in each router's ejected()
+  /// list for the simulator to harvest.
+  void step(Cycle now);
+
+  /// Flits anywhere in the network (NI queues, router buffers, channels).
+  long long flits_in_flight() const;
+
+ private:
+  int endpoints_per_tile_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<NetworkInterface> nis_;
+};
+
+}  // namespace shg::sim

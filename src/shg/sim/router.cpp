@@ -1,0 +1,288 @@
+#include "shg/sim/router.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace shg::sim {
+
+namespace {
+// Local output ports model the tile's endpoints as an infinite sink: the
+// endpoint always accepts one flit per port and cycle.
+constexpr int kSinkCredits = std::numeric_limits<int>::max() / 2;
+}  // namespace
+
+Router::Router(int node, int num_net_ports, int num_local_ports,
+               const SimConfig& config, const RoutingFunction* routing)
+    : node_(node),
+      num_net_ports_(num_net_ports),
+      num_local_ports_(num_local_ports),
+      config_(config),
+      routing_(routing) {
+  SHG_REQUIRE(num_net_ports >= 0 && num_local_ports >= 1,
+              "router needs at least one local port");
+  SHG_REQUIRE(routing != nullptr, "router needs a routing function");
+  config_.validate();
+  const int ports = num_ports();
+  in_channels_.assign(static_cast<std::size_t>(ports), nullptr);
+  out_channels_.assign(static_cast<std::size_t>(ports), nullptr);
+  input_vcs_.resize(static_cast<std::size_t>(ports * config_.num_vcs));
+  output_vcs_.resize(static_cast<std::size_t>(ports * config_.num_vcs));
+  for (int p = 0; p < ports; ++p) {
+    for (int v = 0; v < config_.num_vcs; ++v) {
+      out_vc(p, v).credits =
+          is_local_port(p) ? kSinkCredits : config_.buffer_depth_flits;
+    }
+  }
+  va_rr_.assign(static_cast<std::size_t>(ports * config_.num_vcs), 0);
+  sa_in_rr_.assign(static_cast<std::size_t>(ports), 0);
+  sa_out_rr_.assign(static_cast<std::size_t>(ports), 0);
+  sa_request_port_.assign(static_cast<std::size_t>(ports), -1);
+  sa_request_vc_.assign(static_cast<std::size_t>(ports), -1);
+}
+
+void Router::attach(int port, Channel* in_channel, Channel* out_channel) {
+  SHG_REQUIRE(port >= 0 && port < num_net_ports_,
+              "can only attach channels to network ports");
+  in_channels_[static_cast<std::size_t>(port)] = in_channel;
+  out_channels_[static_cast<std::size_t>(port)] = out_channel;
+}
+
+bool Router::try_inject(int local_port, int vc, const Flit& flit, Cycle now) {
+  SHG_REQUIRE(local_port >= 0 && local_port < num_local_ports_,
+              "local port out of range");
+  SHG_REQUIRE(vc >= 0 && vc < config_.num_vcs, "vc out of range");
+  InputVc& ivc = in_vc(num_net_ports_ + local_port, vc);
+  if (static_cast<int>(ivc.buffer.size()) >= config_.buffer_depth_flits) {
+    return false;
+  }
+  Flit stored = flit;
+  stored.vc = vc;
+  stored.ready_cycle = now + config_.router_delay_cycles;
+  ivc.buffer.push_back(stored);
+  return true;
+}
+
+int Router::local_vc_space(int local_port, int vc) const {
+  const InputVc& ivc = in_vc(num_net_ports_ + local_port, vc);
+  return config_.buffer_depth_flits - static_cast<int>(ivc.buffer.size());
+}
+
+void Router::deliver_phase(Cycle now) {
+  for (int p = 0; p < num_net_ports_; ++p) {
+    Channel* in = in_channels_[static_cast<std::size_t>(p)];
+    if (in != nullptr) {
+      while (auto flit = in->pop_flit(now)) {
+        InputVc& ivc = in_vc(p, flit->vc);
+        SHG_ASSERT(static_cast<int>(ivc.buffer.size()) <
+                       config_.buffer_depth_flits,
+                   "credit protocol violated: buffer overflow");
+        flit->ready_cycle = now + config_.router_delay_cycles;
+        ivc.buffer.push_back(*flit);
+      }
+    }
+    Channel* out = out_channels_[static_cast<std::size_t>(p)];
+    if (out != nullptr) {
+      while (auto credit = out->pop_credit(now)) {
+        ++out_vc(p, credit->vc).credits;
+      }
+    }
+  }
+}
+
+void Router::compute_route(int port, int vc) {
+  InputVc& ivc = in_vc(port, vc);
+  const Flit& head = ivc.buffer.front();
+  SHG_ASSERT(head.head, "route computation requires a head flit");
+  ivc.candidates.clear();
+  if (head.dest == node_) {
+    // Ejection: pick the endpoint port by packet id (spreads load over the
+    // tile's endpoints); any VC of the sink port is acceptable.
+    const int local = num_net_ports_ + (head.packet_id % num_local_ports_);
+    ivc.candidates.push_back(RouteCandidate{local, 0, config_.num_vcs});
+  } else {
+    // Local input ports report in_port == -1 AND in_vc == -1: the local
+    // buffer VC an injected packet happens to sit in carries no routing
+    // state (VC classes like dateline/escape only apply to network hops).
+    // Passing the raw local VC here once caused a real deadlock: packets
+    // injected into VC 1 of the local port were misclassified as "already
+    // crossed the dateline" and legally traversed the wrap edge on the
+    // class-1 channels, closing the cycle the dateline breaks.
+    const bool from_network = port < num_net_ports_;
+    ivc.candidates = routing_->route(node_, from_network ? port : -1,
+                                     from_network ? vc : -1, head.dest);
+    SHG_ASSERT(!ivc.candidates.empty(), "routing returned no candidates");
+  }
+  ivc.state = InputVc::State::kVcAlloc;
+}
+
+void Router::allocate_phase(Cycle now) {
+  const int ports = num_ports();
+  const int vcs = config_.num_vcs;
+
+  // --- Route computation for fresh heads --------------------------------
+  for (int p = 0; p < ports; ++p) {
+    for (int v = 0; v < vcs; ++v) {
+      InputVc& ivc = in_vc(p, v);
+      if (ivc.state == InputVc::State::kIdle && !ivc.buffer.empty()) {
+        compute_route(p, v);
+      }
+    }
+  }
+
+  // --- VC allocation ------------------------------------------------------
+  // Each waiting input VC requests its most-preferred candidate with a free
+  // output VC; requests are grouped per output VC and granted round-robin.
+  va_requests_.clear();
+  for (int p = 0; p < ports; ++p) {
+    for (int v = 0; v < vcs; ++v) {
+      InputVc& ivc = in_vc(p, v);
+      if (ivc.state != InputVc::State::kVcAlloc) continue;
+      int request = -1;
+      for (const RouteCandidate& cand : ivc.candidates) {
+        for (int ov = cand.vc_begin; ov < cand.vc_end; ++ov) {
+          if (!out_vc(cand.out_port, ov).busy) {
+            request = cand.out_port * vcs + ov;
+            break;
+          }
+        }
+        if (request >= 0) break;
+      }
+      if (request >= 0) {
+        va_requests_.emplace_back(request, p * vcs + v);
+      }
+    }
+  }
+  std::sort(va_requests_.begin(), va_requests_.end());
+  for (std::size_t i = 0; i < va_requests_.size();) {
+    const int out_key = va_requests_[i].first;
+    std::size_t j = i;
+    while (j < va_requests_.size() && va_requests_[j].first == out_key) ++j;
+    // Round-robin among requesters [i, j).
+    const int rr = va_rr_[static_cast<std::size_t>(out_key)];
+    std::size_t winner = i;
+    int best = std::numeric_limits<int>::max();
+    for (std::size_t k = i; k < j; ++k) {
+      const int in_key = va_requests_[k].second;
+      const int rank = (in_key - rr + ports * vcs) % (ports * vcs);
+      if (rank < best) {
+        best = rank;
+        winner = k;
+      }
+    }
+    const int in_key = va_requests_[winner].second;
+    InputVc& ivc = input_vcs_[static_cast<std::size_t>(in_key)];
+    ivc.state = InputVc::State::kActive;
+    ivc.out_port = out_key / vcs;
+    ivc.out_vc = out_key % vcs;
+    out_vc(ivc.out_port, ivc.out_vc).busy = true;
+    va_rr_[static_cast<std::size_t>(out_key)] = (in_key + 1) % (ports * vcs);
+    i = j;
+  }
+
+  // --- Switch allocation ---------------------------------------------------
+  // Input-first: every input port nominates one ready VC (round-robin),
+  // then every output port grants one input port (round-robin).
+  std::fill(sa_request_port_.begin(), sa_request_port_.end(), -1);
+  for (int p = 0; p < ports; ++p) {
+    const int start = sa_in_rr_[static_cast<std::size_t>(p)];
+    for (int off = 0; off < vcs; ++off) {
+      const int v = (start + off) % vcs;
+      InputVc& ivc = in_vc(p, v);
+      if (ivc.state == InputVc::State::kActive && !ivc.buffer.empty() &&
+          ivc.buffer.front().ready_cycle <= now &&
+          out_vc(ivc.out_port, ivc.out_vc).credits > 0) {
+        sa_request_port_[static_cast<std::size_t>(p)] = ivc.out_port;
+        sa_request_vc_[static_cast<std::size_t>(p)] = v;
+        break;
+      }
+    }
+  }
+  for (int op = 0; op < ports; ++op) {
+    // Gather input ports requesting this output port; grant one.
+    int winner = -1;
+    int best = std::numeric_limits<int>::max();
+    const int rr = sa_out_rr_[static_cast<std::size_t>(op)];
+    for (int p = 0; p < ports; ++p) {
+      if (sa_request_port_[static_cast<std::size_t>(p)] != op) continue;
+      const int rank = (p - rr + ports) % ports;
+      if (rank < best) {
+        best = rank;
+        winner = p;
+      }
+    }
+    if (winner < 0) continue;
+    sa_out_rr_[static_cast<std::size_t>(op)] = (winner + 1) % ports;
+    sa_in_rr_[static_cast<std::size_t>(winner)] =
+        (sa_request_vc_[static_cast<std::size_t>(winner)] + 1) % vcs;
+
+    // --- Switch traversal --------------------------------------------------
+    const int iv = sa_request_vc_[static_cast<std::size_t>(winner)];
+    InputVc& ivc = in_vc(winner, iv);
+    Flit flit = ivc.buffer.front();
+    ivc.buffer.pop_front();
+    flit.vc = ivc.out_vc;
+    ++flit.hops;
+    OutputVc& ovc = out_vc(ivc.out_port, ivc.out_vc);
+    --ovc.credits;
+    if (is_local_port(ivc.out_port)) {
+      ejected_.push_back(flit);
+      ++ovc.credits;  // endpoint sink consumes immediately
+    } else {
+      Channel* out = out_channels_[static_cast<std::size_t>(ivc.out_port)];
+      SHG_ASSERT(out != nullptr, "network output port has no channel");
+      out->push_flit(flit, now);
+    }
+    // Return the freed buffer slot upstream (network inputs only; the NI
+    // observes local buffer occupancy directly).
+    if (winner < num_net_ports_) {
+      Channel* in = in_channels_[static_cast<std::size_t>(winner)];
+      SHG_ASSERT(in != nullptr, "network input port has no channel");
+      in->push_credit(Credit{iv}, now);
+    }
+    if (flit.tail) {
+      ovc.busy = false;
+      ivc.state = InputVc::State::kIdle;
+      ivc.out_port = -1;
+      ivc.out_vc = -1;
+      ivc.candidates.clear();
+    }
+  }
+}
+
+long long Router::buffered_flits() const {
+  long long total = 0;
+  for (const InputVc& ivc : input_vcs_) {
+    total += static_cast<long long>(ivc.buffer.size());
+  }
+  return total;
+}
+
+std::string Router::debug_state() const {
+  std::string out;
+  for (int p = 0; p < num_ports(); ++p) {
+    for (int v = 0; v < config_.num_vcs; ++v) {
+      const InputVc& ivc = in_vc(p, v);
+      if (ivc.buffer.empty()) continue;
+      const Flit& front = ivc.buffer.front();
+      out += "  node " + std::to_string(node_) + " in(" + std::to_string(p) +
+             "," + std::to_string(v) + ") state=" +
+             std::to_string(static_cast<int>(ivc.state)) + " flits=" +
+             std::to_string(ivc.buffer.size()) + " front{pkt=" +
+             std::to_string(front.packet_id) + " dest=" +
+             std::to_string(front.dest) + (front.head ? " H" : "") +
+             (front.tail ? " T" : "") + "} out=(" +
+             std::to_string(ivc.out_port) + "," + std::to_string(ivc.out_vc) +
+             ")";
+      if (ivc.out_port >= 0) {
+        const OutputVc& ovc =
+            output_vcs_[static_cast<std::size_t>(ivc.out_port * config_.num_vcs +
+                                                 ivc.out_vc)];
+        out += " credits=" + std::to_string(ovc.credits);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace shg::sim

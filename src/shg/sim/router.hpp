@@ -1,0 +1,117 @@
+// Input-queued virtual-channel router.
+//
+// Microarchitecture (one cycle per hop, matching the paper's assumption
+// that every router adds at least one cycle):
+//  * per input port: V virtual channels, each a D-flit FIFO;
+//  * route computation when a head flit reaches the front of its VC;
+//  * separable VC allocation (round-robin per output VC);
+//  * separable switch allocation (input-first: round-robin VC pick per
+//    input port, then round-robin input pick per output port);
+//  * credit-based flow control: one credit per freed buffer slot travels
+//    back across the upstream channel.
+//
+// Port convention: ports [0, num_net_ports) attach to channels toward
+// graph().neighbors(node)[i]; ports [num_net_ports, num_net_ports +
+// num_local_ports) attach to the tile's endpoints (injection/ejection).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "shg/sim/channel.hpp"
+#include "shg/sim/config.hpp"
+#include "shg/sim/routing.hpp"
+
+namespace shg::sim {
+
+class Router {
+ public:
+  Router(int node, int num_net_ports, int num_local_ports,
+         const SimConfig& config, const RoutingFunction* routing);
+
+  int node() const { return node_; }
+  int num_ports() const { return num_net_ports_ + num_local_ports_; }
+
+  /// Wires network port `port` (input side: flits arriving from the
+  /// neighbor; output side: flits leaving toward the neighbor).
+  void attach(int port, Channel* in_channel, Channel* out_channel);
+
+  /// Injection from the network interface: appends a flit to local input
+  /// port `local_port` on `vc` if the buffer has space. Returns success.
+  /// Injection costs one router delay, so the flit is switchable at
+  /// now + router_delay_cycles ("1 cycle to inject the flit", Section IV-C).
+  bool try_inject(int local_port, int vc, const Flit& flit, Cycle now);
+
+  /// Free slots in a local input VC (used by the NI to pick VCs).
+  int local_vc_space(int local_port, int vc) const;
+
+  /// Phase 1 of a cycle: receive flits and credits from channels.
+  void deliver_phase(Cycle now);
+
+  /// Phase 2 of a cycle: route computation, VC allocation, switch
+  /// allocation and traversal; pushes flits/credits into channels.
+  void allocate_phase(Cycle now);
+
+  /// Flits ejected to this tile's endpoints during the last allocate_phase;
+  /// drained by the network interface each cycle.
+  std::vector<Flit>& ejected() { return ejected_; }
+
+  /// Total buffered flits (for progress/deadlock accounting).
+  long long buffered_flits() const;
+
+  /// Human-readable dump of all occupied input VCs and allocated output VCs
+  /// (deadlock diagnostics).
+  std::string debug_state() const;
+
+ private:
+  struct InputVc {
+    std::deque<Flit> buffer;
+    enum class State { kIdle, kVcAlloc, kActive } state = State::kIdle;
+    std::vector<RouteCandidate> candidates;  ///< cached for the head packet
+    int out_port = -1;
+    int out_vc = -1;
+  };
+  struct OutputVc {
+    bool busy = false;
+    int credits = 0;
+  };
+
+  InputVc& in_vc(int port, int vc) {
+    return input_vcs_[static_cast<std::size_t>(port * config_.num_vcs + vc)];
+  }
+  const InputVc& in_vc(int port, int vc) const {
+    return input_vcs_[static_cast<std::size_t>(port * config_.num_vcs + vc)];
+  }
+  OutputVc& out_vc(int port, int vc) {
+    return output_vcs_[static_cast<std::size_t>(port * config_.num_vcs + vc)];
+  }
+
+  bool is_local_port(int port) const { return port >= num_net_ports_; }
+
+  /// Computes route candidates for the head flit of (port, vc).
+  void compute_route(int port, int vc);
+
+  int node_;
+  int num_net_ports_;
+  int num_local_ports_;
+  SimConfig config_;
+  const RoutingFunction* routing_;
+
+  std::vector<Channel*> in_channels_;   ///< per port; null for local ports
+  std::vector<Channel*> out_channels_;  ///< per port; null for local ports
+  std::vector<InputVc> input_vcs_;      ///< [port][vc] flattened
+  std::vector<OutputVc> output_vcs_;    ///< [port][vc] flattened
+  std::vector<Flit> ejected_;
+
+  // Rotating-priority state for the allocators.
+  std::vector<int> va_rr_;      ///< per output VC
+  std::vector<int> sa_in_rr_;   ///< per input port
+  std::vector<int> sa_out_rr_;  ///< per output port
+
+  // Scratch buffers reused across cycles to avoid per-cycle allocation.
+  std::vector<std::pair<int, int>> va_requests_;  ///< (outVC key, inVC key)
+  std::vector<int> sa_request_port_;  ///< per input port: requested out port
+  std::vector<int> sa_request_vc_;    ///< per input port: chosen input VC
+};
+
+}  // namespace shg::sim

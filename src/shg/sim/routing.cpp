@@ -1,0 +1,507 @@
+#include "shg/sim/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/graph/spanning_tree.hpp"
+
+namespace shg::sim {
+
+namespace {
+
+/// (u, v) -> output port of u toward v; -1 when not adjacent. Port i of
+/// router u corresponds to graph().neighbors(u)[i] (network convention).
+std::vector<std::vector<int>> build_port_lookup(const topo::Topology& topo) {
+  const auto& g = topo.graph();
+  std::vector<std::vector<int>> lookup(
+      static_cast<std::size_t>(g.num_nodes()),
+      std::vector<int>(static_cast<std::size_t>(g.num_nodes()), -1));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      lookup[static_cast<std::size_t>(u)]
+            [static_cast<std::size_t>(nbrs[i].node)] = static_cast<int>(i);
+    }
+  }
+  return lookup;
+}
+
+/// A 1D "line": the sub-topology within one row (positions = columns) or
+/// one column (positions = rows), or the whole ring. Lines are either paths
+/// (routed monotonically toward the target, possibly with skip steps) or
+/// cycles (routed in the shorter direction with a dateline VC upgrade).
+struct Line {
+  bool is_cycle = false;
+  int length = 0;
+  std::vector<std::vector<int>> nbrs;  ///< position -> neighbor positions
+  // Cycle-only fields:
+  std::vector<int> ring_index;  ///< position -> index along the cycle walk
+  std::vector<int> succ;        ///< position -> clockwise neighbor position
+  std::vector<int> pred;        ///< position -> counter-clockwise neighbor
+
+  /// Builds the line from its internal adjacency.
+  static Line from_adjacency(std::vector<std::vector<int>> nbrs) {
+    Line line;
+    line.nbrs = std::move(nbrs);
+    line.length = static_cast<int>(line.nbrs.size());
+    const bool all_degree_two =
+        line.length >= 3 &&
+        std::all_of(line.nbrs.begin(), line.nbrs.end(),
+                    [](const auto& n) { return n.size() == 2; });
+    if (!all_degree_two) return line;
+
+    // Walk the cycle starting at position 0 to establish a ring order.
+    line.ring_index.assign(static_cast<std::size_t>(line.length), -1);
+    line.succ.assign(static_cast<std::size_t>(line.length), -1);
+    line.pred.assign(static_cast<std::size_t>(line.length), -1);
+    int prev = -1;
+    int cur = 0;
+    for (int step = 0; step < line.length; ++step) {
+      line.ring_index[static_cast<std::size_t>(cur)] = step;
+      const auto& n = line.nbrs[static_cast<std::size_t>(cur)];
+      const int next = (n[0] == prev) ? n[1] : n[0];
+      line.succ[static_cast<std::size_t>(cur)] = next;
+      line.pred[static_cast<std::size_t>(next)] = cur;
+      prev = cur;
+      cur = next;
+    }
+    // A true single cycle returns to the start after `length` steps.
+    if (cur == 0 && std::all_of(line.ring_index.begin(), line.ring_index.end(),
+                                [](int r) { return r >= 0; })) {
+      line.is_cycle = true;
+    }
+    return line;
+  }
+
+  /// Next-position candidates from `from` toward `to`, most preferred
+  /// first. For cycles the single shortest-direction step is returned and
+  /// `crosses_dateline` reports whether it traverses the wrap edge.
+  void candidates(int from, int to, std::vector<int>* out,
+                  bool* crosses_dateline) const {
+    out->clear();
+    *crosses_dateline = false;
+    if (is_cycle) {
+      const int L = length;
+      const int rf = ring_index[static_cast<std::size_t>(from)];
+      const int rt = ring_index[static_cast<std::size_t>(to)];
+      const int cw = (rt - rf + L) % L;
+      const int ccw = L - cw;
+      if (cw <= ccw) {
+        out->push_back(succ[static_cast<std::size_t>(from)]);
+        *crosses_dateline = rf == L - 1;  // edge (L-1 -> 0)
+      } else {
+        out->push_back(pred[static_cast<std::size_t>(from)]);
+        *crosses_dateline = rf == 0;  // edge (0 -> L-1)
+      }
+      return;
+    }
+    // Path line: all monotone steps that do not overshoot, largest first.
+    for (int n : nbrs[static_cast<std::size_t>(from)]) {
+      const bool improves = std::abs(n - to) < std::abs(from - to);
+      const bool monotone = (from < to) ? (n > from && n <= to)
+                                        : (n < from && n >= to);
+      if (improves && monotone) out->push_back(n);
+    }
+    std::sort(out->begin(), out->end(), [to](int a, int b) {
+      return std::abs(a - to) < std::abs(b - to);
+    });
+    SHG_ASSERT(!out->empty(),
+               "path line must contain unit steps toward the target");
+  }
+};
+
+/// Shared VC-class plumbing: class 0 = has not crossed a dateline in the
+/// current dimension, class 1 = has. When no line is a cycle the entire VC
+/// range forms a single class.
+struct VcClasses {
+  int num_vcs = 1;
+  bool split = false;
+
+  RouteCandidate candidate(int port, int cls) const {
+    if (!split) return RouteCandidate{port, 0, num_vcs};
+    const int half = num_vcs / 2;
+    return cls == 0 ? RouteCandidate{port, 0, half}
+                    : RouteCandidate{port, half, num_vcs};
+  }
+
+  int class_of_vc(int vc) const {
+    if (!split || vc < 0) return 0;
+    return vc < num_vcs / 2 ? 0 : 1;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// XY-Hamming routing (mesh / FB / SHG / Ruche / torus / folded torus)
+// ---------------------------------------------------------------------------
+
+// When every line is a path (mesh / FB / SHG / Ruche), the two dimension
+// orders XY and YX are both deadlock-free; splitting the VCs into an
+// XY-class and a YX-class (O1TURN) doubles the path diversity at no risk:
+// each class's channel dependency graph is acyclic on its own and packets
+// never switch class after injection. Grids containing cycles (torus,
+// folded torus) instead use the classes for dateline crossing and route
+// strictly row-first.
+class XYHammingRouting final : public RoutingFunction {
+ public:
+  XYHammingRouting(const topo::Topology& topo, int num_vcs)
+      : topo_(&topo), ports_(build_port_lookup(topo)) {
+    const int rows = topo.rows();
+    const int cols = topo.cols();
+    // Row lines: positions are columns.
+    for (int r = 0; r < rows; ++r) {
+      std::vector<std::vector<int>> nbrs(static_cast<std::size_t>(cols));
+      for (int c = 0; c < cols; ++c) {
+        for (const auto& n : topo.graph().neighbors(topo.node(r, c))) {
+          const auto other = topo.coord(n.node);
+          SHG_REQUIRE(other.row == r || other.col == c,
+                      "XY routing requires axis-aligned links");
+          if (other.row == r) {
+            nbrs[static_cast<std::size_t>(c)].push_back(other.col);
+          }
+        }
+      }
+      row_lines_.push_back(Line::from_adjacency(std::move(nbrs)));
+    }
+    // Column lines: positions are rows.
+    for (int c = 0; c < cols; ++c) {
+      std::vector<std::vector<int>> nbrs(static_cast<std::size_t>(rows));
+      for (int r = 0; r < rows; ++r) {
+        for (const auto& n : topo.graph().neighbors(topo.node(r, c))) {
+          const auto other = topo.coord(n.node);
+          if (other.col == c && other.row != r) {
+            nbrs[static_cast<std::size_t>(r)].push_back(other.row);
+          }
+        }
+      }
+      col_lines_.push_back(Line::from_adjacency(std::move(nbrs)));
+    }
+    const bool any_cycle =
+        std::any_of(row_lines_.begin(), row_lines_.end(),
+                    [](const Line& l) { return l.is_cycle; }) ||
+        std::any_of(col_lines_.begin(), col_lines_.end(),
+                    [](const Line& l) { return l.is_cycle; });
+    SHG_REQUIRE(!any_cycle || num_vcs >= 2,
+                "dateline routing requires at least 2 VCs");
+    o1turn_ = !any_cycle && num_vcs >= 2;
+    classes_ = VcClasses{num_vcs, any_cycle || o1turn_};
+  }
+
+  std::vector<RouteCandidate> route(int node, int in_port, int in_vc,
+                                    int dest) const override {
+    if (o1turn_) {
+      if (in_port < 0) {
+        // Injection: offer both dimension orders; whichever class the VC
+        // allocator grants determines the packet's order for its lifetime.
+        auto result = order_candidates(node, dest, /*row_first=*/true, 0);
+        auto yx = order_candidates(node, dest, /*row_first=*/false, 1);
+        result.insert(result.end(), yx.begin(), yx.end());
+        return result;
+      }
+      const int cls = classes_.class_of_vc(in_vc);
+      return order_candidates(node, dest, /*row_first=*/cls == 0, cls);
+    }
+
+    // Dateline mode (torus / folded torus): strict row-first order; the VC
+    // class tracks dateline crossings within the current dimension and
+    // resets when the packet turns into the column phase (the dimensions
+    // have disjoint channel sets, so each starts at class 0).
+    const auto at = topo_->coord(node);
+    const auto to = topo_->coord(dest);
+    int cls = classes_.class_of_vc(in_vc);
+    const bool column_phase = at.col == to.col;
+    if (in_port >= 0) {
+      const auto from =
+          topo_->coord(topo_->graph().neighbors(node)[static_cast<std::size_t>(
+              in_port)].node);
+      const bool arrived_via_row = from.row == at.row;
+      if (column_phase && arrived_via_row) cls = 0;  // fresh dimension
+    } else {
+      cls = 0;
+    }
+
+    std::vector<int> steps;
+    bool crosses = false;
+    std::vector<RouteCandidate> result;
+    if (column_phase) {
+      const Line& line = col_lines_[static_cast<std::size_t>(at.col)];
+      line.candidates(at.row, to.row, &steps, &crosses);
+      for (int r : steps) {
+        result.push_back(classes_.candidate(
+            port(node, topo_->node(r, at.col)), crosses ? 1 : cls));
+      }
+    } else {
+      const Line& line = row_lines_[static_cast<std::size_t>(at.row)];
+      line.candidates(at.col, to.col, &steps, &crosses);
+      for (int c : steps) {
+        result.push_back(classes_.candidate(
+            port(node, topo_->node(at.row, c)), crosses ? 1 : cls));
+      }
+    }
+    return result;
+  }
+
+  std::string name() const override {
+    return o1turn_ ? "xy-hamming-o1turn" : "xy-hamming";
+  }
+
+ private:
+  int port(int u, int v) const {
+    const int p = ports_[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+    SHG_ASSERT(p >= 0, "route stepped to a non-neighbor");
+    return p;
+  }
+
+  /// Monotone candidates for one dimension order (row-first or
+  /// column-first) with VCs restricted to `cls`.
+  std::vector<RouteCandidate> order_candidates(int node, int dest,
+                                               bool row_first,
+                                               int cls) const {
+    const auto at = topo_->coord(node);
+    const auto to = topo_->coord(dest);
+    std::vector<int> steps;
+    bool crosses = false;
+    std::vector<RouteCandidate> result;
+    const bool move_in_row =
+        row_first ? at.col != to.col : at.row == to.row;
+    if (move_in_row) {
+      const Line& line = row_lines_[static_cast<std::size_t>(at.row)];
+      line.candidates(at.col, to.col, &steps, &crosses);
+      for (int c : steps) {
+        result.push_back(
+            classes_.candidate(port(node, topo_->node(at.row, c)), cls));
+      }
+    } else {
+      const Line& line = col_lines_[static_cast<std::size_t>(at.col)];
+      line.candidates(at.row, to.row, &steps, &crosses);
+      for (int r : steps) {
+        result.push_back(
+            classes_.candidate(port(node, topo_->node(r, at.col)), cls));
+      }
+    }
+    return result;
+  }
+
+  const topo::Topology* topo_;
+  std::vector<std::vector<int>> ports_;
+  std::vector<Line> row_lines_;
+  std::vector<Line> col_lines_;
+  VcClasses classes_;
+  bool o1turn_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Ring routing (single cycle through all tiles)
+// ---------------------------------------------------------------------------
+
+class RingRouting final : public RoutingFunction {
+ public:
+  RingRouting(const topo::Topology& topo, int num_vcs)
+      : topo_(&topo), ports_(build_port_lookup(topo)) {
+    const auto& g = topo.graph();
+    std::vector<std::vector<int>> nbrs(
+        static_cast<std::size_t>(g.num_nodes()));
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (const auto& n : g.neighbors(u)) {
+        nbrs[static_cast<std::size_t>(u)].push_back(n.node);
+      }
+    }
+    line_ = Line::from_adjacency(std::move(nbrs));
+    SHG_REQUIRE(line_.is_cycle, "ring routing requires a single cycle");
+    SHG_REQUIRE(num_vcs >= 2, "dateline routing requires at least 2 VCs");
+    classes_ = VcClasses{num_vcs, true};
+  }
+
+  std::vector<RouteCandidate> route(int node, int /*in_port*/, int in_vc,
+                                    int dest) const override {
+    std::vector<int> steps;
+    bool crosses = false;
+    line_.candidates(node, dest, &steps, &crosses);
+    const int cls = crosses ? 1 : classes_.class_of_vc(in_vc);
+    std::vector<RouteCandidate> result;
+    for (int next : steps) {
+      const int p =
+          ports_[static_cast<std::size_t>(node)][static_cast<std::size_t>(next)];
+      SHG_ASSERT(p >= 0, "ring step to non-neighbor");
+      result.push_back(classes_.candidate(p, cls));
+    }
+    return result;
+  }
+
+  std::string name() const override { return "ring-dateline"; }
+
+ private:
+  const topo::Topology* topo_;
+  std::vector<std::vector<int>> ports_;
+  Line line_;
+  VcClasses classes_;
+};
+
+// ---------------------------------------------------------------------------
+// E-cube routing (hypercube, Gray-code grid embedding)
+// ---------------------------------------------------------------------------
+
+class EcubeRouting final : public RoutingFunction {
+ public:
+  EcubeRouting(const topo::Topology& topo, int num_vcs)
+      : topo_(&topo), num_vcs_(num_vcs), ports_(build_port_lookup(topo)) {
+    const int n = topo.num_tiles();
+    SHG_REQUIRE((n & (n - 1)) == 0, "hypercube needs a power-of-two size");
+    int col_bits = 0;
+    while ((1 << col_bits) < topo.cols()) ++col_bits;
+    label_of_.resize(static_cast<std::size_t>(n));
+    node_of_.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < topo.rows(); ++r) {
+      for (int c = 0; c < topo.cols(); ++c) {
+        const unsigned label =
+            (gray(static_cast<unsigned>(r)) << col_bits) |
+            gray(static_cast<unsigned>(c));
+        label_of_[static_cast<std::size_t>(topo.node(r, c))] =
+            static_cast<int>(label);
+        node_of_[label] = topo.node(r, c);
+      }
+    }
+  }
+
+  std::vector<RouteCandidate> route(int node, int /*in_port*/, int /*in_vc*/,
+                                    int dest) const override {
+    const int diff = label_of_[static_cast<std::size_t>(node)] ^
+                     label_of_[static_cast<std::size_t>(dest)];
+    SHG_ASSERT(diff != 0, "route called with node == dest");
+    const int bit = diff & -diff;  // lowest differing dimension
+    const int next_label = label_of_[static_cast<std::size_t>(node)] ^ bit;
+    const int next = node_of_[static_cast<std::size_t>(next_label)];
+    const int p =
+        ports_[static_cast<std::size_t>(node)][static_cast<std::size_t>(next)];
+    SHG_ASSERT(p >= 0, "e-cube step to non-neighbor");
+    return {RouteCandidate{p, 0, num_vcs_}};
+  }
+
+  std::string name() const override { return "e-cube"; }
+
+ private:
+  static unsigned gray(unsigned i) { return i ^ (i >> 1); }
+
+  const topo::Topology* topo_;
+  int num_vcs_;
+  std::vector<std::vector<int>> ports_;
+  std::vector<int> label_of_;
+  std::vector<int> node_of_;
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive minimal + up*/down* escape (arbitrary topologies, e.g. SlimNoC)
+// ---------------------------------------------------------------------------
+
+class TableEscapeRouting final : public RoutingFunction {
+ public:
+  TableEscapeRouting(const topo::Topology& topo, int num_vcs)
+      : topo_(&topo), num_vcs_(num_vcs), ports_(build_port_lookup(topo)) {
+    SHG_REQUIRE(num_vcs >= 2,
+                "escape-VC routing requires at least 2 VCs (VC0 = escape)");
+    hops_ = graph::all_pairs_hops(topo.graph());
+    tree_ = graph::bfs_spanning_tree(topo.graph(), 0);
+    tables_ = graph::up_down_tables(topo.graph(), tree_);
+  }
+
+  std::vector<RouteCandidate> route(int node, int in_port, int in_vc,
+                                    int dest) const override {
+    std::vector<RouteCandidate> result;
+    // Freshly injected packets sit in an arbitrary local-port VC; only
+    // packets that traveled a network channel on VC 0 are on the escape
+    // class.
+    const bool on_escape = in_vc == 0 && in_port >= 0;
+    if (!on_escape) {
+      // Fully adaptive minimal hops on the adaptive VC class [1, V).
+      const int d = hops_[static_cast<std::size_t>(node)]
+                         [static_cast<std::size_t>(dest)];
+      const auto& nbrs = topo_->graph().neighbors(node);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (hops_[static_cast<std::size_t>(nbrs[i].node)]
+                 [static_cast<std::size_t>(dest)] == d - 1) {
+          result.push_back(
+              RouteCandidate{static_cast<int>(i), 1, num_vcs_});
+        }
+      }
+    }
+    // Escape hop: a fresh up*/down* path when joining from an adaptive VC
+    // (phase 0), or the continuation of the current escape path (phase
+    // derived from the direction of the arrival move).
+    int escape_next;
+    if (on_escape && in_port >= 0) {
+      const int from =
+          topo_->graph().neighbors(node)[static_cast<std::size_t>(in_port)]
+              .node;
+      const bool went_down = !tree_.is_up(from, node);
+      escape_next = went_down
+                        ? tables_.phase1[static_cast<std::size_t>(node)]
+                                        [static_cast<std::size_t>(dest)]
+                        : tables_.phase0[static_cast<std::size_t>(node)]
+                                        [static_cast<std::size_t>(dest)];
+    } else {
+      escape_next = tables_.phase0[static_cast<std::size_t>(node)]
+                                  [static_cast<std::size_t>(dest)];
+    }
+    SHG_ASSERT(escape_next >= 0, "escape path must always exist");
+    const int p = ports_[static_cast<std::size_t>(node)]
+                        [static_cast<std::size_t>(escape_next)];
+    SHG_ASSERT(p >= 0, "escape step to non-neighbor");
+    result.push_back(RouteCandidate{p, 0, 1});
+    return result;
+  }
+
+  std::string name() const override { return "minimal-adaptive+escape"; }
+
+ private:
+  const topo::Topology* topo_;
+  int num_vcs_;
+  std::vector<std::vector<int>> ports_;
+  std::vector<std::vector<int>> hops_;
+  graph::SpanningTree tree_;
+  graph::UpDownTables tables_;
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingFunction> make_xy_hamming_routing(
+    const topo::Topology& topo, int num_vcs) {
+  return std::make_unique<XYHammingRouting>(topo, num_vcs);
+}
+
+std::unique_ptr<RoutingFunction> make_ring_routing(const topo::Topology& topo,
+                                                   int num_vcs) {
+  return std::make_unique<RingRouting>(topo, num_vcs);
+}
+
+std::unique_ptr<RoutingFunction> make_ecube_routing(const topo::Topology& topo,
+                                                    int num_vcs) {
+  return std::make_unique<EcubeRouting>(topo, num_vcs);
+}
+
+std::unique_ptr<RoutingFunction> make_table_escape_routing(
+    const topo::Topology& topo, int num_vcs) {
+  return std::make_unique<TableEscapeRouting>(topo, num_vcs);
+}
+
+std::unique_ptr<RoutingFunction> make_default_routing(
+    const topo::Topology& topo, int num_vcs) {
+  switch (topo.kind()) {
+    case topo::Kind::kRing:
+      return make_ring_routing(topo, num_vcs);
+    case topo::Kind::kMesh:
+    case topo::Kind::kFlattenedButterfly:
+    case topo::Kind::kSparseHamming:
+    case topo::Kind::kRuche:
+    case topo::Kind::kTorus:
+    case topo::Kind::kFoldedTorus:
+      return make_xy_hamming_routing(topo, num_vcs);
+    case topo::Kind::kHypercube:
+      return make_ecube_routing(topo, num_vcs);
+    case topo::Kind::kSlimNoc:
+    case topo::Kind::kCustom:
+      return make_table_escape_routing(topo, num_vcs);
+  }
+  return make_table_escape_routing(topo, num_vcs);
+}
+
+}  // namespace shg::sim

@@ -1,0 +1,74 @@
+// Routing functions for the cycle-accurate simulator.
+//
+// Each topology family gets a provably deadlock-free routing function (see
+// DESIGN.md Section 4.2). The port numbering convention is shared with
+// sim::Network: output/input port i of router u talks to
+// topology.graph().neighbors(u)[i].node; endpoint (local) ports follow the
+// network ports.
+//
+//  * XYHammingRouting — mesh / flattened butterfly / sparse Hamming graph /
+//    Ruche: route the row dimension first with monotone (never overshoot)
+//    skip steps, then the column dimension. Rows/columns that form cycles
+//    (torus, folded torus) use shortest-direction routing with a dateline
+//    VC-class upgrade instead.
+//  * RingRouting — the single-cycle ring topology, dateline scheme.
+//  * EcubeRouting — hypercube, ascending bit order.
+//  * TableEscapeRouting — arbitrary graphs (SlimNoC): fully adaptive minimal
+//    routing on VCs [1, V) with an up*/down* escape path on VC 0
+//    (conservative Duato protocol: once on the escape class, stay on it).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::sim {
+
+/// One legal (output port, VC range) choice for a head flit.
+struct RouteCandidate {
+  int out_port = 0;
+  int vc_begin = 0;  ///< allowed VCs: [vc_begin, vc_end)
+  int vc_end = 0;
+};
+
+/// Interface: given where a head flit is (router `node`, arrived through
+/// `in_port` on VC `in_vc`; in_port == -1 for freshly injected packets) and
+/// where it wants to go, list the legal next hops. Candidates are ordered by
+/// preference (the VC allocator tries them front to back).
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+
+  /// Precondition: node != dest (ejection is handled by the router).
+  virtual std::vector<RouteCandidate> route(int node, int in_port, int in_vc,
+                                            int dest) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Monotone XY routing over row/column "lines" with per-line path or
+/// dateline-cycle behaviour; covers mesh, FB, SHG, Ruche, torus and folded
+/// torus. Requires num_vcs >= 2 when any line is a cycle.
+std::unique_ptr<RoutingFunction> make_xy_hamming_routing(
+    const topo::Topology& topo, int num_vcs);
+
+/// Dateline routing on the single cycle of a ring topology.
+std::unique_ptr<RoutingFunction> make_ring_routing(const topo::Topology& topo,
+                                                   int num_vcs);
+
+/// Dimension-order (ascending bit) routing for the hypercube.
+std::unique_ptr<RoutingFunction> make_ecube_routing(const topo::Topology& topo,
+                                                    int num_vcs);
+
+/// Adaptive minimal + up*/down* escape VC for arbitrary topologies.
+/// Requires num_vcs >= 2.
+std::unique_ptr<RoutingFunction> make_table_escape_routing(
+    const topo::Topology& topo, int num_vcs);
+
+/// Default deadlock-free routing for a topology family.
+std::unique_ptr<RoutingFunction> make_default_routing(
+    const topo::Topology& topo, int num_vcs);
+
+}  // namespace shg::sim

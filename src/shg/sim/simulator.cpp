@@ -1,0 +1,148 @@
+#include "shg/sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "shg/sim/stats.hpp"
+
+namespace shg::sim {
+
+Simulator::Simulator(const topo::Topology& topo,
+                     std::vector<int> link_latencies, SimConfig config,
+                     const TrafficPattern& pattern, int endpoints_per_tile,
+                     std::unique_ptr<RoutingFunction> routing)
+    : topo_(&topo),
+      link_latencies_(std::move(link_latencies)),
+      config_(config),
+      pattern_(&pattern),
+      endpoints_per_tile_(endpoints_per_tile),
+      routing_(routing ? std::move(routing)
+                       : make_default_routing(topo, config.num_vcs)) {
+  config_.validate();
+}
+
+SimResult Simulator::run() {
+  Network network(*topo_, link_latencies_, config_, routing_.get(),
+                  endpoints_per_tile_);
+  Prng rng(config_.seed);
+  std::vector<PacketRecord> packets;
+  packets.reserve(4096);
+
+  const Cycle generation_end = config_.warmup_cycles + config_.measure_cycles;
+  const Cycle hard_end = generation_end + config_.drain_cycles;
+  const double packet_prob =
+      config_.injection_rate / static_cast<double>(config_.packet_size_flits);
+
+  long long measured_created = 0;
+  long long measured_ejected = 0;
+  long long flits_ejected_in_window = 0;
+  Distribution latencies;
+  double hops_sum = 0.0;
+  std::vector<double> source_latency_sum(
+      static_cast<std::size_t>(topo_->num_tiles()), 0.0);
+  std::vector<long long> source_packets(
+      static_cast<std::size_t>(topo_->num_tiles()), 0);
+  Cycle last_ejection = 0;
+
+  std::vector<Flit> scratch_flits(
+      static_cast<std::size_t>(config_.packet_size_flits));
+
+  SimResult result;
+  result.offered_rate = config_.injection_rate;
+
+  Cycle now = 0;
+  for (; now < hard_end; ++now) {
+    // --- Packet generation (Bernoulli per endpoint port) -----------------
+    if (now < generation_end) {
+      for (int tile = 0; tile < network.num_tiles(); ++tile) {
+        for (int port = 0; port < endpoints_per_tile_; ++port) {
+          if (!rng.chance(packet_prob)) continue;
+          const int dest = pattern_->dest(tile, rng);
+          if (dest == tile) continue;  // fixed point of a permutation
+          const int id = static_cast<int>(packets.size());
+          const bool measured = now >= config_.warmup_cycles;
+          packets.push_back(PacketRecord{now, -1, 0, measured});
+          if (measured) ++measured_created;
+          for (int f = 0; f < config_.packet_size_flits; ++f) {
+            Flit& flit = scratch_flits[static_cast<std::size_t>(f)];
+            flit = Flit{};
+            flit.packet_id = id;
+            flit.src = tile;
+            flit.dest = dest;
+            flit.head = f == 0;
+            flit.tail = f == config_.packet_size_flits - 1;
+            flit.create_cycle = now;
+          }
+          network.interface(tile).enqueue_packet(port, scratch_flits);
+        }
+      }
+    }
+
+    // --- One network cycle -------------------------------------------------
+    network.step(now);
+
+    // --- Harvest ejected flits ---------------------------------------------
+    for (int tile = 0; tile < network.num_tiles(); ++tile) {
+      auto& ejected = network.router(tile).ejected();
+      for (const Flit& flit : ejected) {
+        SHG_ASSERT(flit.dest == tile, "flit ejected at the wrong tile");
+        last_ejection = now;
+        if (now >= config_.warmup_cycles && now < generation_end) {
+          ++flits_ejected_in_window;
+        }
+        if (!flit.tail) continue;
+        auto& record = packets[static_cast<std::size_t>(flit.packet_id)];
+        SHG_ASSERT(record.eject < 0, "packet ejected twice");
+        record.eject = now;
+        record.hops = flit.hops;
+        if (record.measured) {
+          ++measured_ejected;
+          const double latency = static_cast<double>(now - record.create + 1);
+          latencies.add(latency);
+          hops_sum += record.hops;
+          source_latency_sum[static_cast<std::size_t>(flit.src)] += latency;
+          ++source_packets[static_cast<std::size_t>(flit.src)];
+        }
+      }
+      ejected.clear();
+    }
+
+    // --- Termination checks --------------------------------------------------
+    if (now >= generation_end) {
+      if (measured_ejected == measured_created) break;
+      // Deadlock/livelock watchdog: traffic in flight but nothing ejects.
+      if (now - last_ejection > 20000 && network.flits_in_flight() > 0) {
+        break;
+      }
+    }
+  }
+
+  result.cycles_run = now;
+  result.measured_packets = measured_ejected;
+  result.drained = measured_ejected == measured_created;
+  result.accepted_rate =
+      static_cast<double>(flits_ejected_in_window) /
+      (static_cast<double>(config_.measure_cycles) *
+       static_cast<double>(network.num_tiles()) *
+       static_cast<double>(endpoints_per_tile_));
+  if (measured_ejected > 0) {
+    result.avg_packet_latency = latencies.mean();
+    result.max_packet_latency = latencies.max();
+    result.p50_packet_latency = latencies.percentile(0.50);
+    result.p95_packet_latency = latencies.percentile(0.95);
+    result.p99_packet_latency = latencies.percentile(0.99);
+    result.avg_hops = hops_sum / static_cast<double>(measured_ejected);
+    std::vector<double> per_source;
+    for (std::size_t s = 0; s < source_packets.size(); ++s) {
+      if (source_packets[s] > 0) {
+        per_source.push_back(source_latency_sum[s] /
+                             static_cast<double>(source_packets[s]));
+      }
+    }
+    if (!per_source.empty()) {
+      result.fairness = fairness_ratio(per_source);
+    }
+  }
+  return result;
+}
+
+}  // namespace shg::sim

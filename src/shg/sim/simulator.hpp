@@ -1,0 +1,67 @@
+// Cycle-accurate simulation driver: warmup / measurement / drain phases and
+// latency/throughput statistics (the BookSim2 substitute of the prediction
+// toolchain, Fig. 3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "shg/sim/config.hpp"
+#include "shg/sim/network.hpp"
+#include "shg/sim/routing.hpp"
+#include "shg/sim/traffic.hpp"
+
+namespace shg::sim {
+
+/// Result of one simulation run at a fixed injection rate.
+struct SimResult {
+  double offered_rate = 0.0;   ///< flits / cycle / endpoint port
+  double accepted_rate = 0.0;  ///< ejected flits / cycle / endpoint port
+  double avg_packet_latency = 0.0;  ///< creation -> tail ejection, cycles
+  double max_packet_latency = 0.0;
+  double p50_packet_latency = 0.0;
+  double p95_packet_latency = 0.0;
+  double p99_packet_latency = 0.0;
+  double avg_hops = 0.0;
+  /// Worst per-source mean latency / overall mean latency (>= 1).
+  double fairness = 1.0;
+  long long measured_packets = 0;
+  bool drained = true;  ///< all measured packets ejected within the budget
+  long long cycles_run = 0;
+};
+
+/// One simulation: a topology with per-link latencies, a router
+/// configuration, a routing function and a traffic pattern.
+class Simulator {
+ public:
+  /// `link_latencies`: cycles per link, from the cost model (Section IV-B2d).
+  /// `endpoints_per_tile`: local injection/ejection ports per tile.
+  /// If `routing` is null, the topology family's default deadlock-free
+  /// routing is used.
+  Simulator(const topo::Topology& topo, std::vector<int> link_latencies,
+            SimConfig config, const TrafficPattern& pattern,
+            int endpoints_per_tile,
+            std::unique_ptr<RoutingFunction> routing = nullptr);
+
+  /// Runs warmup + measurement + drain and returns the statistics.
+  SimResult run();
+
+  const RoutingFunction& routing() const { return *routing_; }
+
+ private:
+  struct PacketRecord {
+    Cycle create = 0;
+    Cycle eject = -1;
+    int hops = 0;
+    bool measured = false;
+  };
+
+  const topo::Topology* topo_;
+  std::vector<int> link_latencies_;
+  SimConfig config_;
+  const TrafficPattern* pattern_;
+  int endpoints_per_tile_;
+  std::unique_ptr<RoutingFunction> routing_;
+};
+
+}  // namespace shg::sim

@@ -1,0 +1,64 @@
+#include "shg/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace shg::sim {
+
+double Distribution::mean() const {
+  SHG_REQUIRE(!samples_.empty(), "no samples");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Distribution::min() const {
+  SHG_REQUIRE(!samples_.empty(), "no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Distribution::max() const {
+  SHG_REQUIRE(!samples_.empty(), "no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Distribution::ensure_sorted() const {
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+}
+
+double Distribution::percentile(double q) const {
+  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted_[std::min(index, sorted_.size() - 1)];
+}
+
+double Distribution::stddev() const {
+  SHG_REQUIRE(!samples_.empty(), "no samples");
+  const double m = mean();
+  double sq = 0.0;
+  for (double s : samples_) sq += (s - m) * (s - m);
+  return std::sqrt(sq / static_cast<double>(samples_.size()));
+}
+
+double fairness_ratio(const std::vector<double>& per_source_mean) {
+  SHG_REQUIRE(!per_source_mean.empty(), "no sources");
+  double total = 0.0;
+  double worst = 0.0;
+  for (double m : per_source_mean) {
+    SHG_REQUIRE(m >= 0.0, "mean latency must be non-negative");
+    total += m;
+    worst = std::max(worst, m);
+  }
+  const double overall = total / static_cast<double>(per_source_mean.size());
+  SHG_REQUIRE(overall > 0.0, "overall mean must be positive");
+  return worst / overall;
+}
+
+}  // namespace shg::sim

@@ -1,0 +1,40 @@
+// Statistics helpers for simulation results: latency distributions and
+// per-source fairness.
+#pragma once
+
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg::sim {
+
+/// Sample-based distribution summary (exact percentiles from stored
+/// samples; NoC-simulation sample counts are small enough to keep).
+class Distribution {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact q-quantile (0 <= q <= 1) by nearest-rank; sorts lazily.
+  double percentile(double q) const;
+  double stddev() const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+};
+
+/// Per-source fairness: the ratio of the worst mean to the overall mean.
+/// 1.0 = perfectly fair; large values indicate starved sources (e.g. ring
+/// nodes far from the dateline under heavy load).
+double fairness_ratio(const std::vector<double>& per_source_mean);
+
+}  // namespace shg::sim

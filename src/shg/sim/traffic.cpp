@@ -1,0 +1,172 @@
+#include "shg/sim/traffic.hpp"
+
+namespace shg::sim {
+
+namespace {
+
+int log2_exact_or_throw(int n) {
+  SHG_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+              "pattern requires a power-of-two tile count");
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+class Uniform final : public TrafficPattern {
+ public:
+  explicit Uniform(int n) : n_(n) {
+    SHG_REQUIRE(n >= 2, "uniform traffic needs at least two tiles");
+  }
+  int dest(int src, Prng& rng) const override {
+    const int d = static_cast<int>(rng.below(static_cast<std::uint64_t>(n_ - 1)));
+    return d >= src ? d + 1 : d;  // uniform over tiles != src
+  }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  int n_;
+};
+
+class Transpose final : public TrafficPattern {
+ public:
+  Transpose(int rows, int cols) : rows_(rows), cols_(cols) {
+    SHG_REQUIRE(rows == cols, "transpose requires a square grid");
+  }
+  int dest(int src, Prng&) const override {
+    const int r = src / cols_;
+    const int c = src % cols_;
+    return c * cols_ + r;
+  }
+  std::string name() const override { return "transpose"; }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+class BitComplement final : public TrafficPattern {
+ public:
+  explicit BitComplement(int n) : n_(n) {}
+  int dest(int src, Prng&) const override { return n_ - 1 - src; }
+  std::string name() const override { return "bit-complement"; }
+
+ private:
+  int n_;
+};
+
+class BitReverse final : public TrafficPattern {
+ public:
+  explicit BitReverse(int n) : bits_(log2_exact_or_throw(n)) {}
+  int dest(int src, Prng&) const override {
+    int out = 0;
+    for (int b = 0; b < bits_; ++b) {
+      if ((src >> b) & 1) out |= 1 << (bits_ - 1 - b);
+    }
+    return out;
+  }
+  std::string name() const override { return "bit-reverse"; }
+
+ private:
+  int bits_;
+};
+
+class Shuffle final : public TrafficPattern {
+ public:
+  explicit Shuffle(int n) : n_(n), bits_(log2_exact_or_throw(n)) {}
+  int dest(int src, Prng&) const override {
+    return ((src << 1) | (src >> (bits_ - 1))) & (n_ - 1);
+  }
+  std::string name() const override { return "shuffle"; }
+
+ private:
+  int n_;
+  int bits_;
+};
+
+class Tornado final : public TrafficPattern {
+ public:
+  Tornado(int rows, int cols) : rows_(rows), cols_(cols) {}
+  int dest(int src, Prng&) const override {
+    const int r = src / cols_;
+    const int c = src % cols_;
+    const int dr = (r + (rows_ + 1) / 2 - 1) % rows_;
+    const int dc = (c + (cols_ + 1) / 2 - 1) % cols_;
+    return dr * cols_ + dc;
+  }
+  std::string name() const override { return "tornado"; }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+class NearestNeighbor final : public TrafficPattern {
+ public:
+  NearestNeighbor(int rows, int cols) : rows_(rows), cols_(cols) {}
+  int dest(int src, Prng&) const override {
+    const int r = src / cols_;
+    const int c = src % cols_;
+    return r * cols_ + (c + 1) % cols_;
+  }
+  std::string name() const override { return "neighbor"; }
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+class Hotspot final : public TrafficPattern {
+ public:
+  Hotspot(int n, std::vector<int> hotspots, double fraction)
+      : uniform_(n), hotspots_(std::move(hotspots)), fraction_(fraction) {
+    SHG_REQUIRE(!hotspots_.empty(), "need at least one hotspot");
+    SHG_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+                "hotspot fraction must be in (0, 1]");
+    for (int h : hotspots_) {
+      SHG_REQUIRE(h >= 0 && h < n, "hotspot tile out of range");
+    }
+  }
+  int dest(int src, Prng& rng) const override {
+    if (rng.chance(fraction_)) {
+      return hotspots_[rng.below(hotspots_.size())];
+    }
+    return uniform_.dest(src, rng);
+  }
+  std::string name() const override { return "hotspot"; }
+
+ private:
+  Uniform uniform_;
+  std::vector<int> hotspots_;
+  double fraction_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_uniform(int num_tiles) {
+  return std::make_unique<Uniform>(num_tiles);
+}
+std::unique_ptr<TrafficPattern> make_transpose(int rows, int cols) {
+  return std::make_unique<Transpose>(rows, cols);
+}
+std::unique_ptr<TrafficPattern> make_bit_complement(int num_tiles) {
+  return std::make_unique<BitComplement>(num_tiles);
+}
+std::unique_ptr<TrafficPattern> make_bit_reverse(int num_tiles) {
+  return std::make_unique<BitReverse>(num_tiles);
+}
+std::unique_ptr<TrafficPattern> make_shuffle(int num_tiles) {
+  return std::make_unique<Shuffle>(num_tiles);
+}
+std::unique_ptr<TrafficPattern> make_tornado(int rows, int cols) {
+  return std::make_unique<Tornado>(rows, cols);
+}
+std::unique_ptr<TrafficPattern> make_neighbor(int rows, int cols) {
+  return std::make_unique<NearestNeighbor>(rows, cols);
+}
+std::unique_ptr<TrafficPattern> make_hotspot(int num_tiles,
+                                             std::vector<int> hotspots,
+                                             double fraction) {
+  return std::make_unique<Hotspot>(num_tiles, std::move(hotspots), fraction);
+}
+
+}  // namespace shg::sim

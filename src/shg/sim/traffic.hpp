@@ -1,0 +1,53 @@
+// Synthetic traffic patterns (BookSim-style).
+//
+// The paper's Figure 6 uses random uniform traffic; the permutation
+// patterns are provided for the extended evaluation and tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shg/common/prng.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::sim {
+
+/// Maps a source tile to a destination tile. A pattern may return
+/// dest == src (e.g. fixed points of permutations); callers skip those
+/// packets.
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual int dest(int src, Prng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Uniform random: every other tile equally likely.
+std::unique_ptr<TrafficPattern> make_uniform(int num_tiles);
+
+/// Matrix transpose: (r, c) -> (c, r); requires a square grid.
+std::unique_ptr<TrafficPattern> make_transpose(int rows, int cols);
+
+/// Bit complement on the tile index: i -> N-1-i.
+std::unique_ptr<TrafficPattern> make_bit_complement(int num_tiles);
+
+/// Bit reversal on the tile index; requires a power-of-two tile count.
+std::unique_ptr<TrafficPattern> make_bit_reverse(int num_tiles);
+
+/// Perfect shuffle (rotate index bits left); requires a power-of-two count.
+std::unique_ptr<TrafficPattern> make_shuffle(int num_tiles);
+
+/// Tornado: half-way offset in both grid dimensions.
+std::unique_ptr<TrafficPattern> make_tornado(int rows, int cols);
+
+/// Nearest neighbor: (r, c) -> (r, (c+1) mod C).
+std::unique_ptr<TrafficPattern> make_neighbor(int rows, int cols);
+
+/// Hotspot: with probability `fraction`, send to a random hotspot tile;
+/// otherwise uniform.
+std::unique_ptr<TrafficPattern> make_hotspot(int num_tiles,
+                                             std::vector<int> hotspots,
+                                             double fraction);
+
+}  // namespace shg::sim

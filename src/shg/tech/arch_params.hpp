@@ -1,0 +1,43 @@
+// Architectural parameters: the complete Table II bundle consumed by the
+// NoC model (Fig. 4) and the prediction toolchain (Fig. 3).
+#pragma once
+
+#include <string>
+
+#include "shg/tech/router_area.hpp"
+#include "shg/tech/technology.hpp"
+#include "shg/tech/transport.hpp"
+
+namespace shg::tech {
+
+/// Everything the cost/performance model needs to know about the chip,
+/// the NoC, the technology node and the transport protocol (Table II).
+struct ArchParams {
+  std::string name = "unnamed";
+
+  // -- Parameters describing the chip design ------------------------------
+  int rows = 8;   ///< tile grid rows (N_T = rows * cols)
+  int cols = 8;   ///< tile grid columns
+  double endpoint_area_ge = 35e6;  ///< A_E: combined endpoint area per tile
+  double tile_aspect_ratio = 1.0;  ///< R_T: tile height : width
+  int endpoints_per_tile = 1;      ///< local router ports to endpoints
+
+  // -- Parameters describing the NoC ---------------------------------------
+  double frequency_hz = 1.2e9;        ///< F
+  double link_bandwidth_bits = 512.0; ///< B, bits/cycle per link
+
+  // -- Technology node / transport protocol --------------------------------
+  TechnologyModel tech;
+  TransportModel transport;
+  RouterAreaModel router_area;
+  RouterArchitecture router_arch;
+
+  int num_tiles() const { return rows * cols; }
+
+  /// Wires of one router-to-router link (f_bw->wires applied to B).
+  double wires_per_link() const {
+    return transport.bw_to_wires(link_bandwidth_bits);
+  }
+};
+
+}  // namespace shg::tech

@@ -1,0 +1,104 @@
+#include "shg/tech/presets.hpp"
+
+namespace shg::tech {
+
+WireLayerStack paper_example_wire_stack() {
+  WireLayerStack stack;
+  stack.horizontal_pitch_nm = {40.0, 50.0, 60.0};
+  stack.vertical_pitch_nm = {45.0, 55.0};
+  return stack;
+}
+
+TechnologyModel tech_22nm() {
+  TechnologyModel tech;
+  tech.name = "22nm";
+  tech.ge_area_um2 = 0.2;
+  tech.wires = paper_example_wire_stack();
+  tech.wire_delay_ps_per_mm = 150.0;
+  tech.logic_power_w_per_mm2 = 0.30;
+  tech.wire_power_w_per_mm2 = 0.20;
+  return tech;
+}
+
+TechnologyModel tech_22fdx_lowpower() {
+  TechnologyModel tech = tech_22nm();
+  tech.name = "22fdx-lowpower";
+  // Near-threshold operation at ~500 MHz: roughly 3x lower power density
+  // (calibrated against MemPool's published 1.55 W, Table III).
+  tech.logic_power_w_per_mm2 = 0.090;
+  tech.wire_power_w_per_mm2 = 0.050;
+  return tech;
+}
+
+ArchParams knc_scenario(KncScenario scenario) {
+  ArchParams arch;
+  arch.tech = tech_22nm();
+  // Full AXI5 on a duplex 512-bit link: AW+W+B+AR+R channels in both
+  // directions plus strobes, IDs and handshakes — about 4 wires per payload
+  // bit. Calibrated so the flattened butterfly exceeds the 40% area budget
+  // of Section V-b in every scenario, as in Figure 6 (see EXPERIMENTS.md).
+  arch.transport = TransportModel{"axi", 5.0, 300.0};
+  arch.router_area = RouterAreaModel{};
+  arch.router_arch = RouterArchitecture{8, 32};
+  arch.frequency_hz = 1.2e9;
+  arch.link_bandwidth_bits = 512.0;
+  arch.tile_aspect_ratio = 1.0;
+  switch (scenario) {
+    case KncScenario::kA:
+      arch.name = "knc-a (64 tiles, 35 MGE, 1 core)";
+      arch.rows = 8;
+      arch.cols = 8;
+      arch.endpoint_area_ge = 35e6;
+      arch.endpoints_per_tile = 1;
+      break;
+    case KncScenario::kB:
+      arch.name = "knc-b (64 tiles, 70 MGE, 2 cores)";
+      arch.rows = 8;
+      arch.cols = 8;
+      arch.endpoint_area_ge = 70e6;
+      arch.endpoints_per_tile = 2;
+      break;
+    case KncScenario::kC:
+      arch.name = "knc-c (128 tiles, 35 MGE, 1 core)";
+      arch.rows = 8;
+      arch.cols = 16;
+      arch.endpoint_area_ge = 35e6;
+      arch.endpoints_per_tile = 1;
+      break;
+    case KncScenario::kD:
+      arch.name = "knc-d (128 tiles, 70 MGE, 2 cores)";
+      arch.rows = 8;
+      arch.cols = 16;
+      arch.endpoint_area_ge = 70e6;
+      arch.endpoints_per_tile = 2;
+      break;
+  }
+  return arch;
+}
+
+ArchParams mempool_arch() {
+  ArchParams arch;
+  arch.name = "mempool (256 cores, 1024 banks)";
+  arch.tech = tech_22fdx_lowpower();
+  // MemPool's interconnect is lean point-to-point request/response wiring,
+  // not a full AXI stack: roughly one wire per payload bit plus handshake.
+  arch.transport = TransportModel{"mempool-req-rsp", 1.2, 24.0};
+  // Latency-optimized, mostly unbuffered switches: single-flit storage per
+  // VC (a skid register), which also throttles per-VC throughput to the
+  // credit round trip — the main reason MemPool's fabric saturates well
+  // below its raw bisection bandwidth.
+  arch.router_area = RouterAreaModel{1.2, 0.3, 800.0};
+  arch.router_arch = RouterArchitecture{2, 1};
+  arch.rows = 8;
+  arch.cols = 8;
+  // 4 Snitch-class cores + 16 KiB of SRAM banks + glue per tile.
+  arch.endpoint_area_ge = 1.1e6;
+  arch.endpoints_per_tile = 4;
+  arch.tile_aspect_ratio = 1.0;
+  arch.frequency_hz = 0.5e9;
+  // 4 x 32-bit data + metadata per tile-to-network link.
+  arch.link_bandwidth_bits = 256.0;
+  return arch;
+}
+
+}  // namespace shg::tech

@@ -1,0 +1,42 @@
+// Named architecture / technology presets used throughout the evaluation.
+//
+// All constants here are *inputs* of the model (Table II) chosen to be
+// representative of the architectures the paper evaluates; EXPERIMENTS.md
+// records the calibration rationale for each.
+#pragma once
+
+#include "shg/tech/arch_params.hpp"
+
+namespace shg::tech {
+
+/// The worked example of Section IV-B1: 10 metal layers, 5 for signal
+/// routing — 3 horizontal (pitches 40/50/60 nm) and 2 vertical (45/55 nm).
+WireLayerStack paper_example_wire_stack();
+
+/// 22 nm-class technology node (Knights Corner is implemented in 22 nm,
+/// Section V-b): 0.2 um^2 per GE, the paper-example wire stack, 150 ps/mm
+/// buffered-wire delay, KNC-class power densities.
+TechnologyModel tech_22nm();
+
+/// Low-power 22FDX-style variant for MemPool (runs near-threshold at a
+/// much lower frequency, so power densities are far below KNC's).
+TechnologyModel tech_22fdx_lowpower();
+
+/// Scenario identifiers of Section V-b.
+enum class KncScenario { kA, kB, kC, kD };
+
+/// Knights-Corner-like architecture of Section V-b:
+///   a) 64 tiles (8x8), 35 MGE, 1 core/tile
+///   b) 64 tiles (8x8), 70 MGE, 2 cores/tile
+///   c) 128 tiles (8x16), 35 MGE, 1 core/tile
+///   d) 128 tiles (8x16), 70 MGE, 2 cores/tile
+/// All: AXI transport, 512 bits/cycle per link, 1.2 GHz, input-queued
+/// routers with 8 VCs and 32-flit buffers.
+ArchParams knc_scenario(KncScenario scenario);
+
+/// MemPool-like architecture (Section IV-C / Table III): 64 tiles, each
+/// with 4 small cores + 16 SRAM banks (about 1.1 MGE), 32-bit-data links at
+/// 500 MHz with a lean (non-AXI) transport, shallow buffers, 2 VCs.
+ArchParams mempool_arch();
+
+}  // namespace shg::tech

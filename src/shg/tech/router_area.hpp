@@ -1,0 +1,48 @@
+// Router area model: f_AR(m, s, B) of Table II.
+//
+// Mirrors the area structure of input-queued virtual-channel routers
+// (Dally & Towles; principle #1 of the paper: "the area of most router
+// architectures scales quadratically with the router radix"):
+//   * input buffers:  m * V * D * B bits of flip-flop/SRAM storage,
+//   * crossbar:       m * s * B crosspoints (the quadratic term),
+//   * control:        per-port allocation/arbitration logic.
+#pragma once
+
+#include "shg/common/error.hpp"
+
+namespace shg::tech {
+
+/// Microarchitectural parameters shared between the area model and the
+/// cycle-accurate simulator ("input-queued routers with 8 virtual channels
+/// and 32-flit buffers", Section V-b).
+struct RouterArchitecture {
+  int num_vcs = 8;
+  int buffer_depth_flits = 32;
+};
+
+/// Gate-equivalent cost coefficients of a router implementation.
+struct RouterAreaModel {
+  double ge_per_buffer_bit = 2.0;    ///< storage cell + FIFO overhead
+  double ge_per_crosspoint_bit = 0.3;  ///< mux tree, amortized per bit
+  double ge_per_port_control = 2000.0;  ///< routing/VC/switch allocation
+
+  /// f_AR(m, s, B): router area in gate equivalents for m manager (input)
+  /// ports, s subordinate (output) ports and B bits/cycle of bandwidth.
+  double area_ge(int manager_ports, int subordinate_ports, double bw_bits,
+                 const RouterArchitecture& arch) const {
+    SHG_REQUIRE(manager_ports > 0 && subordinate_ports > 0,
+                "router needs at least one port per side");
+    SHG_REQUIRE(bw_bits > 0.0, "bandwidth must be positive");
+    SHG_REQUIRE(arch.num_vcs > 0 && arch.buffer_depth_flits > 0,
+                "router architecture must have positive VCs and buffers");
+    const double m = static_cast<double>(manager_ports);
+    const double s = static_cast<double>(subordinate_ports);
+    const double buffers = m * arch.num_vcs * arch.buffer_depth_flits *
+                           bw_bits * ge_per_buffer_bit;
+    const double crossbar = m * s * bw_bits * ge_per_crosspoint_bit;
+    const double control = (m + s) * ge_per_port_control;
+    return buffers + crossbar + control;
+  }
+};
+
+}  // namespace shg::tech

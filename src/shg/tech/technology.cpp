@@ -1,0 +1,32 @@
+#include "shg/tech/technology.hpp"
+
+namespace shg::tech {
+
+namespace {
+
+/// Sum of reciprocal pitches: wires manufacturable per nm of channel extent.
+double wires_per_nm(const std::vector<double>& pitches_nm) {
+  SHG_REQUIRE(!pitches_nm.empty(),
+              "at least one metal layer per direction is required");
+  double sum = 0.0;
+  for (double pitch : pitches_nm) {
+    SHG_REQUIRE(pitch > 0.0, "wire pitch must be positive");
+    sum += 1.0 / pitch;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double WireLayerStack::h_wires_to_mm(double wires) const {
+  SHG_REQUIRE(wires >= 0.0, "wire count must be non-negative");
+  // x / (sum of reciprocal pitches) nm, times 1e-6 to convert nm -> mm.
+  return wires / wires_per_nm(horizontal_pitch_nm) * 1e-6;
+}
+
+double WireLayerStack::v_wires_to_mm(double wires) const {
+  SHG_REQUIRE(wires >= 0.0, "wire count must be non-negative");
+  return wires / wires_per_nm(vertical_pitch_nm) * 1e-6;
+}
+
+}  // namespace shg::tech

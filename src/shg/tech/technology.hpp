@@ -1,0 +1,64 @@
+// Technology node model: the f_GE->mm2, f^H/V_wires->mm, f^L/W_mm2->W and
+// f_mm->s functions of Table II.
+//
+// The wire functions implement the paper's Section IV-B1 recipe verbatim:
+// each metal layer contributes the reciprocal of its wire pitch (wires per
+// nm); summing reciprocals aggregates multiple physical layers into one
+// abstract layer per routing direction, and x wires then need
+// x / (sum of reciprocal pitches) nanometers of channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg::tech {
+
+/// Signal-routing metal layers, split by their predefined routing direction
+/// (Section II-A assumes one direction per layer).
+struct WireLayerStack {
+  std::vector<double> horizontal_pitch_nm;
+  std::vector<double> vertical_pitch_nm;
+
+  /// f^H_wires->mm(x): channel height needed for x parallel horizontal wires.
+  double h_wires_to_mm(double wires) const;
+  /// f^V_wires->mm(x): channel width needed for x parallel vertical wires.
+  double v_wires_to_mm(double wires) const;
+};
+
+/// A technology node: area, wiring, delay and power-density characteristics.
+struct TechnologyModel {
+  std::string name;
+  double ge_area_um2 = 0.2;        ///< silicon area of one gate equivalent
+  WireLayerStack wires;
+  double wire_delay_ps_per_mm = 150.0;  ///< buffered-wire signal velocity
+  double logic_power_w_per_mm2 = 0.30;  ///< f^L density (logic-dominated)
+  double wire_power_w_per_mm2 = 0.20;   ///< f^W density (wire-dominated)
+
+  /// f_GE->mm2(x): silicon area for x gate equivalents of logic.
+  double ge_to_mm2(double ge) const {
+    SHG_REQUIRE(ge >= 0.0, "gate-equivalent count must be non-negative");
+    return ge * ge_area_um2 * 1e-6;
+  }
+
+  /// f_mm->s(x): signal propagation time along x mm of buffered wire.
+  double mm_to_s(double mm) const {
+    SHG_REQUIRE(mm >= 0.0, "wire length must be non-negative");
+    return mm * wire_delay_ps_per_mm * 1e-12;
+  }
+
+  /// f^L_mm2->W(x): power of x mm^2 of logic-dominated area.
+  double logic_mm2_to_w(double mm2) const {
+    SHG_REQUIRE(mm2 >= 0.0, "area must be non-negative");
+    return mm2 * logic_power_w_per_mm2;
+  }
+
+  /// f^W_mm2->W(x): power of x mm^2 of wire-dominated area.
+  double wire_mm2_to_w(double mm2) const {
+    SHG_REQUIRE(mm2 >= 0.0, "area must be non-negative");
+    return mm2 * wire_power_w_per_mm2;
+  }
+};
+
+}  // namespace shg::tech

@@ -1,0 +1,28 @@
+// On-chip transport protocol model: f_bw->wires of Table II.
+//
+// The evaluation assumes AXI links (Kurth et al. [29]): a full-duplex link
+// of bandwidth B bits/cycle carries read and write data channels of B bits
+// each plus address/response/handshake sidebands, so the wire count is
+// roughly linear in B with a fixed overhead.
+#pragma once
+
+#include <string>
+
+#include "shg/common/error.hpp"
+
+namespace shg::tech {
+
+/// Wire-count model of one router-to-router link.
+struct TransportModel {
+  std::string name = "axi";
+  double wires_per_bit = 2.4;    ///< duplex data + strobes + metadata
+  double overhead_wires = 160.0; ///< addresses, handshakes, IDs
+
+  /// f_bw->wires(x): physical wires needed for x bits/cycle of bandwidth.
+  double bw_to_wires(double bits_per_cycle) const {
+    SHG_REQUIRE(bits_per_cycle > 0.0, "bandwidth must be positive");
+    return bits_per_cycle * wires_per_bit + overhead_wires;
+  }
+};
+
+}  // namespace shg::tech

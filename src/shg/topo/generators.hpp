@@ -1,0 +1,63 @@
+// Generators for all topologies of the paper (Figure 1 + Section III).
+//
+// Every generator returns a connected Topology over an R x C tile grid and
+// throws shg::Error when the family is not applicable to the given grid
+// (e.g. hypercube requires R and C to be powers of two; SlimNoC requires
+// R*C = 2*p^2 for a prime power p — the footnotes of Table I).
+#pragma once
+
+#include <set>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::topo {
+
+/// Ring (Fig. 1a): links form a single cycle through all tiles. When R*C is
+/// even the cycle is a Hamiltonian cycle of the grid graph (all links of
+/// length 1); for odd R*C no such cycle exists and the boustrophedon path is
+/// closed with one long link.
+Topology make_ring(int rows, int cols);
+
+/// 2D mesh (Fig. 1b): neighboring tiles are connected.
+Topology make_mesh(int rows, int cols);
+
+/// 2D torus (Fig. 1c): mesh plus row/column wrap-around links.
+Topology make_torus(int rows, int cols);
+
+/// Folded 2D torus (Fig. 1d): torus re-embedded so no link is longer than
+/// two tiles (each row/column is a folded cycle: i <-> i+2 plus the two end
+/// links).
+Topology make_folded_torus(int rows, int cols);
+
+/// Hypercube (Fig. 1e): tiles are labeled with Gray-coded row/column bits so
+/// grid neighbors differ in exactly one bit; tiles whose labels differ in one
+/// bit are connected. Requires R and C to be powers of two.
+Topology make_hypercube(int rows, int cols);
+
+/// Flattened butterfly (Fig. 1g): fully connected rows and columns.
+Topology make_flattened_butterfly(int rows, int cols);
+
+/// SlimNoC (Fig. 1f): McKay-Miller-Siran-style graph over GF(p) with
+/// 2*p^2 = R*C vertices, degree ~ 3p/2 and diameter 2. Requires p to be a
+/// prime power; for even p the quadratic-residue split does not exist and a
+/// deterministic search selects the connection sets (see slim_noc.cpp).
+Topology make_slim_noc(int rows, int cols);
+
+/// Sparse Hamming graph (Section III-b): 2D mesh plus, for every row, links
+/// (r, i) <-> (r, i + x) for all x in row_skips, and, for every column, links
+/// (i, c) <-> (i + x, c) for all x in col_skips.
+/// Requires row_skips subset of {2..C-1} and col_skips subset of {2..R-1}.
+Topology make_sparse_hamming(int rows, int cols, const std::set<int>& row_skips,
+                             const std::set<int>& col_skips);
+
+/// Ruche network (related work [41]): mesh plus one fixed skip distance per
+/// dimension — exactly the sparse Hamming graph with SR = {row_skip} and
+/// SC = {col_skip}. Skip values < 2 mean "no skip links in that dimension".
+Topology make_ruche(int rows, int cols, int row_skip, int col_skip);
+
+/// Number of distinct parameterizations of a topology family for a given
+/// grid, as reported in the last column of Table I (0 when not applicable).
+/// Sparse Hamming graph: 2^(R+C-4); all others: 0 or 1.
+double num_configurations(Kind kind, int rows, int cols);
+
+}  // namespace shg::topo

@@ -1,0 +1,245 @@
+#include "shg/topo/gf.hpp"
+
+#include <algorithm>
+
+namespace shg::topo {
+
+namespace {
+
+bool is_prime(int n) {
+  if (n < 2) return false;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+/// Polynomial coefficients of `poly` (encoded base p) as a vector, index =
+/// power of x.
+std::vector<int> digits(int poly, int p) {
+  std::vector<int> out;
+  while (poly > 0) {
+    out.push_back(poly % p);
+    poly /= p;
+  }
+  return out;
+}
+
+int degree(int poly, int p) {
+  int deg = -1;
+  int k = 0;
+  while (poly > 0) {
+    if (poly % p != 0) deg = k;
+    poly /= p;
+    ++k;
+  }
+  return deg;
+}
+
+/// Multiplies two polynomials over GF(p) without reduction.
+std::vector<int> poly_mul(const std::vector<int>& a, const std::vector<int>& b,
+                          int p) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<int> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = (out[i + j] + a[i] * b[j]) % p;
+    }
+  }
+  return out;
+}
+
+/// Remainder of polynomial `a` modulo monic polynomial `m` over GF(p).
+std::vector<int> poly_mod(std::vector<int> a, const std::vector<int>& m,
+                          int p) {
+  const int dm = static_cast<int>(m.size()) - 1;
+  SHG_ASSERT(dm >= 0 && m.back() == 1, "modulus must be monic");
+  while (true) {
+    while (!a.empty() && a.back() == 0) a.pop_back();
+    const int da = static_cast<int>(a.size()) - 1;
+    if (da < dm) break;
+    const int factor = a.back();  // monic modulus: no inverse needed
+    const int shift = da - dm;
+    for (int i = 0; i <= dm; ++i) {
+      a[static_cast<std::size_t>(i + shift)] =
+          ((a[static_cast<std::size_t>(i + shift)] - factor * m[static_cast<std::size_t>(i)]) % p + p) % p;
+    }
+  }
+  return a;
+}
+
+int encode(const std::vector<int>& coeffs, int p) {
+  int out = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    out = out * p + *it;
+  }
+  return out;
+}
+
+/// Tests irreducibility over GF(p) by trial division with every monic
+/// polynomial of degree 1 .. deg/2. Fine for the tiny fields we build.
+bool is_irreducible(int poly, int p) {
+  const int deg = degree(poly, p);
+  if (deg < 1) return false;
+  const auto pcoef = digits(poly, p);
+  int divisor_space = p;  // number of monic polys of degree d is p^d
+  for (int d = 1; d <= deg / 2; ++d) {
+    for (int low = 0; low < divisor_space; ++low) {
+      // monic divisor: x^d + (digits of low)
+      std::vector<int> div = digits(low, p);
+      div.resize(static_cast<std::size_t>(d) + 1, 0);
+      div[static_cast<std::size_t>(d)] = 1;
+      const auto rem = poly_mod(pcoef, div, p);
+      if (std::all_of(rem.begin(), rem.end(), [](int c) { return c == 0; })) {
+        return false;
+      }
+    }
+    divisor_space *= p;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_prime_power(int q, int* p_out, int* e_out) {
+  if (q < 2) return false;
+  for (int p = 2; p <= q; ++p) {
+    if (!is_prime(p)) continue;
+    if (q % p != 0) continue;
+    int e = 0;
+    int rest = q;
+    while (rest % p == 0) {
+      rest /= p;
+      ++e;
+    }
+    if (rest == 1) {
+      if (p_out != nullptr) *p_out = p;
+      if (e_out != nullptr) *e_out = e;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+GaloisField::GaloisField(int q) : q_(q) {
+  SHG_REQUIRE(q >= 2 && q <= 4096, "field order out of supported range");
+  SHG_REQUIRE(is_prime_power(q, &p_, &e_), "field order must be a prime power");
+
+  if (e_ == 1) {
+    reduction_poly_ = 0;  // plain modular arithmetic
+  } else {
+    // Search for a monic irreducible polynomial of degree e:
+    // encoded value = p^e (the x^e term) + low part.
+    int base = 1;
+    for (int i = 0; i < e_; ++i) base *= p_;
+    reduction_poly_ = 0;
+    for (int low = 1; low < base; ++low) {
+      if (is_irreducible(base + low, p_)) {
+        reduction_poly_ = base + low;
+        break;
+      }
+    }
+    SHG_ASSERT(reduction_poly_ != 0, "no irreducible polynomial found");
+  }
+
+  // Cache inverses by brute force and locate a primitive element.
+  inverse_.assign(static_cast<std::size_t>(q_), 0);
+  for (int a = 1; a < q_; ++a) {
+    for (int b = 1; b < q_; ++b) {
+      if (mul_raw(a, b) == 1) {
+        inverse_[static_cast<std::size_t>(a)] = b;
+        break;
+      }
+    }
+    SHG_ASSERT(inverse_[static_cast<std::size_t>(a)] != 0,
+               "every nonzero element must be invertible");
+  }
+  primitive_ = 0;
+  for (int a = 2; a < q_; ++a) {
+    if (element_order(a) == q_ - 1) {
+      primitive_ = a;
+      break;
+    }
+  }
+  if (primitive_ == 0 && q_ == 2) primitive_ = 1;
+  SHG_ASSERT(primitive_ != 0, "field must have a primitive element");
+}
+
+int GaloisField::add(int a, int b) const {
+  check(a);
+  check(b);
+  if (e_ == 1) return (a + b) % p_;
+  int out = 0;
+  int mult = 1;
+  while (a > 0 || b > 0) {
+    out += ((a % p_ + b % p_) % p_) * mult;
+    a /= p_;
+    b /= p_;
+    mult *= p_;
+  }
+  return out;
+}
+
+int GaloisField::neg(int a) const {
+  check(a);
+  if (e_ == 1) return (p_ - a) % p_;
+  int out = 0;
+  int mult = 1;
+  while (a > 0) {
+    out += ((p_ - a % p_) % p_) * mult;
+    a /= p_;
+    mult *= p_;
+  }
+  return out;
+}
+
+int GaloisField::sub(int a, int b) const { return add(a, neg(b)); }
+
+int GaloisField::mul_raw(int a, int b) const {
+  if (e_ == 1) return (a * b) % p_;
+  const auto prod = poly_mul(digits(a, p_), digits(b, p_), p_);
+  auto mod_coeffs = digits(reduction_poly_, p_);
+  const auto rem = poly_mod(prod, mod_coeffs, p_);
+  return encode(rem, p_);
+}
+
+int GaloisField::mul(int a, int b) const {
+  check(a);
+  check(b);
+  return mul_raw(a, b);
+}
+
+int GaloisField::inv(int a) const {
+  check(a);
+  SHG_REQUIRE(a != 0, "zero has no multiplicative inverse");
+  return inverse_[static_cast<std::size_t>(a)];
+}
+
+int GaloisField::pow(int a, int k) const {
+  check(a);
+  SHG_REQUIRE(k >= 0, "negative exponents not supported");
+  int result = 1;
+  int base = a;
+  while (k > 0) {
+    if (k & 1) result = mul_raw(result, base);
+    base = mul_raw(base, base);
+    k >>= 1;
+  }
+  return result;
+}
+
+int GaloisField::element_order(int a) const {
+  check(a);
+  SHG_REQUIRE(a != 0, "zero has no multiplicative order");
+  int x = a;
+  int order = 1;
+  while (x != 1) {
+    x = mul_raw(x, a);
+    ++order;
+    SHG_ASSERT(order <= q_, "order computation diverged");
+  }
+  return order;
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,64 @@
+// Finite field arithmetic GF(p^e) for small prime powers.
+//
+// Needed by the SlimNoC generator: McKay–Miller–Širáň-style graphs are
+// defined over GF(q) for prime powers q (the paper's evaluation needs q = 8
+// for the 128-tile scenarios, since 128 = 2 * 8^2). Elements are represented
+// as integers in [0, q): the base-p digits of the integer are the
+// coefficients of a polynomial over GF(p), reduced modulo a monic
+// irreducible polynomial found by exhaustive search at construction time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg::topo {
+
+/// The finite field GF(p^e), p prime, p^e <= 4096.
+class GaloisField {
+ public:
+  /// Constructs GF(q) where q = p^e. Throws if q is not a prime power.
+  explicit GaloisField(int q);
+
+  int order() const { return q_; }
+  int characteristic() const { return p_; }
+  int extension_degree() const { return e_; }
+
+  /// Field addition (coefficient-wise mod p).
+  int add(int a, int b) const;
+  /// Field subtraction.
+  int sub(int a, int b) const;
+  /// Additive inverse.
+  int neg(int a) const;
+  /// Field multiplication (polynomial product mod the reduction polynomial).
+  int mul(int a, int b) const;
+  /// Multiplicative inverse of a != 0.
+  int inv(int a) const;
+  /// a^k for k >= 0.
+  int pow(int a, int k) const;
+
+  /// A generator of the multiplicative group (order q - 1).
+  int primitive_element() const { return primitive_; }
+
+  /// Multiplicative order of a != 0.
+  int element_order(int a) const;
+
+ private:
+  void check(int a) const {
+    SHG_REQUIRE(a >= 0 && a < q_, "element out of field range");
+  }
+  int mul_raw(int a, int b) const;
+
+  int q_ = 0;
+  int p_ = 0;
+  int e_ = 0;
+  int reduction_poly_ = 0;  ///< monic irreducible, encoded base p, degree e
+  int primitive_ = 0;
+  std::vector<int> inverse_;  ///< cached inverses, inverse_[0] unused
+};
+
+/// True iff q = p^e for a prime p and e >= 1; outputs p and e when true.
+bool is_prime_power(int q, int* p_out = nullptr, int* e_out = nullptr);
+
+}  // namespace shg::topo

@@ -1,0 +1,30 @@
+// Topology serialization: a plain edge-list text format (round-trippable)
+// and BookSim2 "anynet" export for cross-validation against the simulator
+// the paper used.
+#pragma once
+
+#include <string>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::topo {
+
+/// Serializes a topology as a text edge list:
+///   shg-topology v1
+///   name <name>
+///   grid <rows> <cols>
+///   link <r1> <c1> <r2> <c2>   (one per link)
+std::string to_edge_list(const Topology& topo);
+
+/// Parses the edge-list format back into a topology (kind = kCustom unless
+/// the name matches a known generator family).
+Topology from_edge_list(const std::string& text);
+
+/// Exports the topology in BookSim2's anynet_file format, optionally with
+/// per-link latencies:
+///   router 0 node 0 router 1 [latency]
+/// One line per router; `link_latencies` may be empty (all latency 1).
+std::string to_booksim_anynet(const Topology& topo,
+                              const std::vector<int>& link_latencies = {});
+
+}  // namespace shg::topo

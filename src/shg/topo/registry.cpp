@@ -1,0 +1,56 @@
+#include "shg/topo/registry.hpp"
+
+namespace shg::topo {
+
+std::optional<Topology> try_make(Kind kind, int rows, int cols,
+                                 const ShgParams& params) {
+  if (num_configurations(kind, rows, cols) < 1.0) return std::nullopt;
+  switch (kind) {
+    case Kind::kRing:
+      return make_ring(rows, cols);
+    case Kind::kMesh:
+      return make_mesh(rows, cols);
+    case Kind::kTorus:
+      return make_torus(rows, cols);
+    case Kind::kFoldedTorus:
+      return make_folded_torus(rows, cols);
+    case Kind::kHypercube:
+      return make_hypercube(rows, cols);
+    case Kind::kSlimNoc:
+      return make_slim_noc(rows, cols);
+    case Kind::kFlattenedButterfly:
+      return make_flattened_butterfly(rows, cols);
+    case Kind::kSparseHamming:
+      return make_sparse_hamming(rows, cols, params.row_skips,
+                                 params.col_skips);
+    case Kind::kRuche: {
+      const int row_skip =
+          params.row_skips.empty() ? 0 : *params.row_skips.begin();
+      const int col_skip =
+          params.col_skips.empty() ? 0 : *params.col_skips.begin();
+      return make_ruche(rows, cols, row_skip, col_skip);
+    }
+    case Kind::kCustom:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::vector<Kind> table1_families() {
+  return {Kind::kRing,      Kind::kMesh,         Kind::kTorus,
+          Kind::kFoldedTorus, Kind::kHypercube,  Kind::kSlimNoc,
+          Kind::kFlattenedButterfly, Kind::kSparseHamming};
+}
+
+std::vector<Topology> established_suite(int rows, int cols) {
+  std::vector<Topology> suite;
+  for (Kind kind : table1_families()) {
+    if (kind == Kind::kSparseHamming) continue;
+    if (auto topo = try_make(kind, rows, cols)) {
+      suite.push_back(std::move(*topo));
+    }
+  }
+  return suite;
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,30 @@
+// Topology registry: build topologies by family for a given grid, and
+// enumerate the comparison suite used throughout the paper's evaluation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "shg/topo/generators.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::topo {
+
+/// Builds the topology of family `kind` on an R x C grid.
+/// For kSparseHamming / kRuche, `params` supplies the skip sets.
+/// Returns std::nullopt when the family is not applicable to the grid
+/// (hypercube on non-power-of-two grids, SlimNoC when RC != 2p^2 — the
+/// "0 or 1 configurations" cases of Table I).
+std::optional<Topology> try_make(Kind kind, int rows, int cols,
+                                 const ShgParams& params = {});
+
+/// The families compared in Table I / Figure 6, in the paper's row order
+/// (ring, mesh, torus, folded torus, hypercube, SlimNoC, flattened
+/// butterfly, sparse Hamming graph).
+std::vector<Kind> table1_families();
+
+/// All applicable established topologies for a grid (everything from
+/// table1_families() except the sparse Hamming graph itself).
+std::vector<Topology> established_suite(int rows, int cols);
+
+}  // namespace shg::topo

@@ -1,0 +1,68 @@
+#include "shg/topo/render.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace shg::topo {
+
+std::string render_ascii(const Topology& topo) {
+  const int rows = topo.rows();
+  const int cols = topo.cols();
+  const auto& g = topo.graph();
+
+  auto has_unit = [&](int r1, int c1, int r2, int c2) {
+    return g.has_edge(topo.node(r1, c1), topo.node(r2, c2));
+  };
+
+  std::ostringstream os;
+  os << topo.name() << "  (" << rows << "x" << cols << " tiles, "
+     << g.num_edges() << " links, radix " << topo.radix() << ")\n";
+  // Fixed-width cells: "[dd]" (4 chars) + 2-char horizontal connector.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      os << "[" << std::setw(2) << g.degree(topo.node(r, c)) << "]";
+      if (c + 1 < cols) {
+        os << (has_unit(r, c, r, c + 1) ? "--" : "  ");
+      }
+    }
+    os << "\n";
+    if (r + 1 < rows) {
+      for (int c = 0; c < cols; ++c) {
+        os << (has_unit(r, c, r + 1, c) ? " || " : "    ");
+        if (c + 1 < cols) os << "  ";
+      }
+      os << "\n";
+    }
+  }
+
+  // Long links grouped by shape.
+  std::map<std::string, int> groups;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (topo.link_grid_length(e) <= 1) continue;
+    const auto& edge = g.edge(e);
+    const TileCoord a = topo.coord(edge.u);
+    const TileCoord b = topo.coord(edge.v);
+    std::ostringstream key;
+    if (a.row == b.row) {
+      key << "row skip +" << std::abs(a.col - b.col);
+    } else if (a.col == b.col) {
+      key << "column skip +" << std::abs(a.row - b.row);
+    } else {
+      key << "diagonal (" << std::abs(a.row - b.row) << ","
+          << std::abs(a.col - b.col) << ")";
+    }
+    ++groups[key.str()];
+  }
+  if (!groups.empty()) {
+    os << "long links:";
+    for (const auto& [key, count] : groups) {
+      os << "  " << key << " x" << count;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,15 @@
+// ASCII rendering of topologies (the Figure 1 / Figure 2 visualizations).
+#pragma once
+
+#include <string>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::topo {
+
+/// Renders the tile grid with unit-length links drawn between neighbors and
+/// a per-tile degree annotation; longer links are listed below the grid
+/// grouped by shape (row skip +x, column skip +x, diagonal).
+std::string render_ascii(const Topology& topo);
+
+}  // namespace shg::topo

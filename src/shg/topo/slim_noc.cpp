@@ -1,0 +1,260 @@
+// SlimNoC topology generator (Fig. 1f, reference [26]).
+//
+// SlimNoC instantiates McKay-Miller-Siran-style (MMS) graphs: N = 2*p^2
+// vertices (s, x, y) with s in {0,1} and x, y in GF(p), diameter 2, degree
+// about 1.5*p. Vertex groups (s, x) of p vertices each are placed as
+// rectangular blocks in the tile grid, which produces the characteristic
+// non-uniform link density the paper uses as a counter-example for design
+// principle #2.
+//
+// Connection rule (Hafner's generalization):
+//   (0, x, y) ~ (0, x, y')  iff  y - y' in X
+//   (1, m, c) ~ (1, m, c')  iff  c - c' in X'
+//   (0, x, y) ~ (1, m, c)   iff  y = m * x + c
+//
+// For p ≡ 1 (mod 4), X = nonzero squares and X' = non-squares (the classic
+// MMS choice; both sets are closed under negation because -1 is a square).
+// For even p (a power of two) every element is a square, so no
+// quadratic-residue split exists; since -a = a in characteristic 2, *any*
+// subset is symmetric, and we select X, X' of size p/2 by deterministic
+// exhaustive search for a diameter-2 pair. For p ≡ 3 (mod 4) no symmetric
+// set of size (p-1)/2 exists (it would need to pair {a, -a} but has odd
+// cardinality); those orders are rejected, matching footnote ‡ of Table I in
+// spirit: SlimNoC is only applicable for particular tile counts.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/topo/generators.hpp"
+#include "shg/topo/gf.hpp"
+
+namespace shg::topo {
+
+namespace {
+
+/// Dense adjacency as bitsets for fast diameter-2 checks during set search.
+class AdjacencyMask {
+ public:
+  explicit AdjacencyMask(int n)
+      : n_(n), words_((static_cast<std::size_t>(n) + 63) / 64),
+        bits_(static_cast<std::size_t>(n) * words_, 0) {}
+
+  void add(int u, int v) {
+    bits_[static_cast<std::size_t>(u) * words_ + static_cast<std::size_t>(v) / 64] |=
+        std::uint64_t{1} << (v % 64);
+    bits_[static_cast<std::size_t>(v) * words_ + static_cast<std::size_t>(u) / 64] |=
+        std::uint64_t{1} << (u % 64);
+  }
+
+  bool adjacent(int u, int v) const {
+    return (bits_[static_cast<std::size_t>(u) * words_ +
+                  static_cast<std::size_t>(v) / 64] >>
+            (v % 64)) &
+           1;
+  }
+
+  bool share_neighbor(int u, int v) const {
+    const auto* a = &bits_[static_cast<std::size_t>(u) * words_];
+    const auto* b = &bits_[static_cast<std::size_t>(v) * words_];
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((a[w] & b[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  bool diameter_at_most_two() const {
+    for (int u = 0; u < n_; ++u) {
+      for (int v = u + 1; v < n_; ++v) {
+        if (!adjacent(u, v) && !share_neighbor(u, v)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  int n_;
+  std::size_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+struct MmsSets {
+  std::vector<int> x;        ///< X for group s=0
+  std::vector<int> x_prime;  ///< X' for group s=1
+};
+
+/// Vertex numbering: (s, x, y) -> s*p^2 + x*p + y.
+int vertex_index(int s, int x, int y, int p) { return (s * p + x) * p + y; }
+
+/// Builds the full MMS edge list for given connection sets.
+std::vector<std::pair<int, int>> mms_edges(const GaloisField& field,
+                                           const MmsSets& sets) {
+  const int p = field.order();
+  std::vector<std::pair<int, int>> edges;
+  // Within-group edges, group s=0 (rule: y - y' in X).
+  for (int x = 0; x < p; ++x) {
+    for (int y = 0; y < p; ++y) {
+      for (int y2 = y + 1; y2 < p; ++y2) {
+        const int diff = field.sub(y, y2);
+        if (std::find(sets.x.begin(), sets.x.end(), diff) != sets.x.end()) {
+          edges.emplace_back(vertex_index(0, x, y, p),
+                             vertex_index(0, x, y2, p));
+        }
+      }
+    }
+  }
+  // Within-group edges, group s=1.
+  for (int m = 0; m < p; ++m) {
+    for (int c = 0; c < p; ++c) {
+      for (int c2 = c + 1; c2 < p; ++c2) {
+        const int diff = field.sub(c, c2);
+        if (std::find(sets.x_prime.begin(), sets.x_prime.end(), diff) !=
+            sets.x_prime.end()) {
+          edges.emplace_back(vertex_index(1, m, c, p),
+                             vertex_index(1, m, c2, p));
+        }
+      }
+    }
+  }
+  // Cross edges: (0, x, y) ~ (1, m, c) iff y = m*x + c.
+  for (int x = 0; x < p; ++x) {
+    for (int m = 0; m < p; ++m) {
+      for (int c = 0; c < p; ++c) {
+        const int y = field.add(field.mul(m, x), c);
+        edges.emplace_back(vertex_index(0, x, y, p),
+                           vertex_index(1, m, c, p));
+      }
+    }
+  }
+  return edges;
+}
+
+bool has_diameter_two(const GaloisField& field, const MmsSets& sets) {
+  const int p = field.order();
+  AdjacencyMask mask(2 * p * p);
+  for (const auto& [u, v] : mms_edges(field, sets)) mask.add(u, v);
+  return mask.diameter_at_most_two();
+}
+
+/// Enumerates all k-subsets of `universe` in lexicographic order.
+void for_each_subset(const std::vector<int>& universe, int k,
+                     const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> pick(static_cast<std::size_t>(k));
+  std::function<bool(int, int)> rec = [&](int start, int depth) -> bool {
+    if (depth == k) return fn(pick);
+    for (int i = start; i <= static_cast<int>(universe.size()) - (k - depth);
+         ++i) {
+      pick[static_cast<std::size_t>(depth)] =
+          universe[static_cast<std::size_t>(i)];
+      if (rec(i + 1, depth + 1)) return true;
+    }
+    return false;
+  };
+  rec(0, 0);
+}
+
+MmsSets select_sets(const GaloisField& field) {
+  const int p = field.order();
+  MmsSets sets;
+  if (p % 4 == 1) {
+    // Classic MMS: X = nonzero squares, X' = non-squares.
+    std::vector<bool> is_square(static_cast<std::size_t>(p), false);
+    for (int a = 1; a < p; ++a) {
+      is_square[static_cast<std::size_t>(field.mul(a, a))] = true;
+    }
+    for (int a = 1; a < p; ++a) {
+      (is_square[static_cast<std::size_t>(a)] ? sets.x : sets.x_prime)
+          .push_back(a);
+    }
+    return sets;
+  }
+  if (p % 2 == 0) {
+    // Characteristic 2: exhaustively search size-p/2 subsets for a
+    // diameter-2 pair; deterministic (lexicographic) order.
+    std::vector<int> universe;
+    for (int a = 1; a < p; ++a) universe.push_back(a);
+    const int k = p / 2;
+    bool found = false;
+    for_each_subset(universe, k, [&](const std::vector<int>& x) {
+      MmsSets candidate;
+      candidate.x = x;
+      bool inner_found = false;
+      for_each_subset(universe, k, [&](const std::vector<int>& xp) {
+        candidate.x_prime = xp;
+        if (has_diameter_two(field, candidate)) {
+          sets = candidate;
+          inner_found = true;
+          return true;
+        }
+        return false;
+      });
+      found = inner_found;
+      return inner_found;
+    });
+    SHG_REQUIRE(found, "no diameter-2 MMS connection sets found for even p");
+    return sets;
+  }
+  throw Error(
+      "SlimNoC: p ≡ 3 (mod 4) is unsupported — no symmetric connection set "
+      "of size (p-1)/2 exists; choose a tile count with p ≡ 1 (mod 4) or p a "
+      "power of two");
+}
+
+/// Chooses block dimensions (block_rows x block_cols) holding one p-vertex
+/// group, such that blocks tile the R x C grid exactly.
+std::pair<int, int> choose_block_shape(int rows, int cols, int p) {
+  std::pair<int, int> best{-1, -1};
+  double best_badness = 1e300;
+  for (int br = 1; br <= p; ++br) {
+    if (p % br != 0) continue;
+    const int bc = p / br;
+    if (rows % br != 0 || cols % bc != 0) continue;
+    // Prefer square-ish blocks: minimizes intra-group link length.
+    const double badness = std::abs(std::log2(static_cast<double>(br) / bc));
+    if (badness < best_badness) {
+      best_badness = badness;
+      best = {br, bc};
+    }
+  }
+  SHG_REQUIRE(best.first > 0,
+              "SlimNoC groups cannot be arranged as blocks in this grid");
+  return best;
+}
+
+}  // namespace
+
+Topology make_slim_noc(int rows, int cols) {
+  const int n = rows * cols;
+  SHG_REQUIRE(n >= 2 && n % 2 == 0,
+              "SlimNoC requires an even number of tiles");
+  const int half = n / 2;
+  const int p = static_cast<int>(std::lround(std::sqrt(half)));
+  SHG_REQUIRE(p * p == half && is_prime_power(p),
+              "SlimNoC requires R*C = 2*p^2 for a prime power p (Table I ‡)");
+
+  const GaloisField field(p);
+  const MmsSets sets = select_sets(field);
+
+  // Grid embedding: 2p groups of p vertices, each group a block.
+  const auto [block_rows, block_cols] = choose_block_shape(rows, cols, p);
+  const int group_grid_cols = cols / block_cols;
+
+  Topology topo(Kind::kSlimNoc, "slim_noc", rows, cols);
+  auto tile_of_vertex = [&](int vertex) {
+    const int group = vertex / p;   // s*p + x
+    const int within = vertex % p;  // y
+    const int g_row = group / group_grid_cols;
+    const int g_col = group % group_grid_cols;
+    return TileCoord{g_row * block_rows + within / block_cols,
+                     g_col * block_cols + within % block_cols};
+  };
+  for (const auto& [u, v] : mms_edges(field, sets)) {
+    topo.add_link(tile_of_vertex(u), tile_of_vertex(v));
+  }
+  SHG_REQUIRE(graph::is_connected(topo.graph()), "SlimNoC must be connected");
+  return topo;
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,65 @@
+#include "shg/topo/topology.hpp"
+
+#include "shg/common/geometry.hpp"
+
+namespace shg::topo {
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kRing:
+      return "Ring";
+    case Kind::kMesh:
+      return "2D Mesh";
+    case Kind::kTorus:
+      return "2D Torus";
+    case Kind::kFoldedTorus:
+      return "Folded 2D Torus";
+    case Kind::kHypercube:
+      return "Hypercube";
+    case Kind::kSlimNoc:
+      return "SlimNoC";
+    case Kind::kFlattenedButterfly:
+      return "Flattened Butterfly";
+    case Kind::kSparseHamming:
+      return "Sparse Hamming Graph";
+    case Kind::kRuche:
+      return "Ruche Network";
+    case Kind::kCustom:
+      return "Custom";
+  }
+  return "Unknown";
+}
+
+Topology::Topology(Kind kind, std::string name, int rows, int cols)
+    : kind_(kind),
+      name_(std::move(name)),
+      rows_(rows),
+      cols_(cols),
+      graph_(rows * cols) {
+  SHG_REQUIRE(rows >= 1 && cols >= 1, "grid must have positive dimensions");
+}
+
+int Topology::link_grid_length(graph::EdgeId e) const {
+  const auto& edge = graph_.edge(e);
+  const TileCoord a = coord(edge.u);
+  const TileCoord b = coord(edge.v);
+  return manhattan(PointI{a.col, a.row}, PointI{b.col, b.row});
+}
+
+bool Topology::link_axis_aligned(graph::EdgeId e) const {
+  const auto& edge = graph_.edge(e);
+  const TileCoord a = coord(edge.u);
+  const TileCoord b = coord(edge.v);
+  return a.row == b.row || a.col == b.col;
+}
+
+std::vector<double> Topology::link_grid_lengths() const {
+  std::vector<double> lengths;
+  lengths.reserve(static_cast<std::size_t>(graph_.num_edges()));
+  for (graph::EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    lengths.push_back(static_cast<double>(link_grid_length(e)));
+  }
+  return lengths;
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,116 @@
+// NoC topology: a graph of router-to-router links over an R x C tile grid.
+//
+// Mirrors the paper's Section II-A assumptions: the chip is an R x C grid of
+// identical tiles, each with one local router; the topology is the set of
+// inter-tile links. Tiles are addressed by (row, col) or by the flattened
+// NodeId row * C + col. The physical embedding (millimeters, channels,
+// detailed routes) lives in shg::phys; at this level geometry is measured in
+// whole tiles (grid Manhattan distance), which is what the Table I topology
+// traits need.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shg/graph/adjacency.hpp"
+
+namespace shg::topo {
+
+/// Identifies the generator family a topology came from.
+enum class Kind {
+  kRing,
+  kMesh,
+  kTorus,
+  kFoldedTorus,
+  kHypercube,
+  kSlimNoc,
+  kFlattenedButterfly,
+  kSparseHamming,
+  kRuche,
+  kCustom,
+};
+
+/// Human-readable family name ("2D Mesh", "Sparse Hamming Graph", ...).
+std::string kind_name(Kind kind);
+
+/// Tile position in the grid.
+struct TileCoord {
+  int row = 0;
+  int col = 0;
+
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+/// Skip-distance parameter sets of a sparse Hamming graph (Section III-b).
+/// `row_skips` = SR (subset of {2..C-1}), applied within every row;
+/// `col_skips` = SC (subset of {2..R-1}), applied within every column.
+struct ShgParams {
+  std::set<int> row_skips;
+  std::set<int> col_skips;
+
+  friend bool operator==(const ShgParams&, const ShgParams&) = default;
+};
+
+/// A NoC topology over an R x C tile grid.
+class Topology {
+ public:
+  Topology(Kind kind, std::string name, int rows, int cols);
+
+  Kind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_tiles() const { return rows_ * cols_; }
+
+  const graph::Graph& graph() const { return graph_; }
+
+  graph::NodeId node(int row, int col) const {
+    SHG_REQUIRE(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "tile coordinate out of range");
+    return row * cols_ + col;
+  }
+  graph::NodeId node(TileCoord t) const { return node(t.row, t.col); }
+
+  TileCoord coord(graph::NodeId id) const {
+    SHG_REQUIRE(id >= 0 && id < num_tiles(), "node id out of range");
+    return TileCoord{id / cols_, id % cols_};
+  }
+
+  /// Adds an undirected link between two tiles; returns its edge id.
+  graph::EdgeId add_link(TileCoord a, TileCoord b) {
+    return graph_.add_edge(node(a), node(b));
+  }
+  graph::EdgeId add_link(graph::NodeId a, graph::NodeId b) {
+    return graph_.add_edge(a, b);
+  }
+
+  /// Grid Manhattan length of a link, in tiles (a mesh link has length 1).
+  int link_grid_length(graph::EdgeId e) const;
+
+  /// True iff the link stays within one row or one column.
+  bool link_axis_aligned(graph::EdgeId e) const;
+
+  /// Grid Manhattan lengths of all links, indexed by edge id. Used as edge
+  /// weights for the physical-path-length analyses (design principle #4).
+  std::vector<double> link_grid_lengths() const;
+
+  /// Router radix as reported in Table I: the maximum number of
+  /// router-to-router links at any tile (local endpoint ports excluded).
+  int radix() const { return graph_.max_degree(); }
+
+  /// Sparse Hamming graph parameters; empty sets for other families
+  /// (a plain mesh is the SHG with SR = SC = {}).
+  const ShgParams& shg_params() const { return shg_params_; }
+  void set_shg_params(ShgParams params) { shg_params_ = std::move(params); }
+
+ private:
+  Kind kind_;
+  std::string name_;
+  int rows_;
+  int cols_;
+  graph::Graph graph_;
+  ShgParams shg_params_;
+};
+
+}  // namespace shg::topo

@@ -1,0 +1,213 @@
+#include "shg/topo/traits.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "shg/graph/shortest_paths.hpp"
+
+namespace shg::topo {
+
+std::string compliance_symbol(Compliance c) {
+  switch (c) {
+    case Compliance::kYes:
+      return "yes";
+    case Compliance::kPartial:
+      return "~";
+    case Compliance::kNo:
+      return "no";
+  }
+  return "?";
+}
+
+namespace {
+
+// Thresholds calibrated (see tests/topo_traits_test.cpp) so that the
+// computed labels reproduce the authors' qualitative judgments in Table I
+// at the paper's evaluation sizes:
+//  * a topology has uniform link density when the global peak-to-mean
+//    channel-cut load stays below kUniformRatio (mesh/torus = 1.0,
+//    hypercube ~1.25, flattened butterfly >= 1.33), and
+//  * it only earns a full "yes" when no channel is mostly empty either
+//    (the ring's turn columns carry links on under half their length).
+constexpr double kUniformRatio = 1.26;
+constexpr double kWorstChannelUtil = 0.6;
+
+/// Channel-cut load analysis for axis-aligned topologies: for every row
+/// channel, the number of links crossing each column boundary (and vice
+/// versa for column channels). This measures exactly the quantity the paper
+/// uses to define uniform link density: the spacing between rows/columns is
+/// dictated by the maximum-density section of the channel (Section IV-B2,
+/// step 3).
+struct CutLoads {
+  double ratio = 1.0;       ///< global max / global mean
+  double worst_util = 1.0;  ///< min over channels of sum(load)/(max*len)
+};
+
+CutLoads cut_loads(const Topology& topo) {
+  const int rows = topo.rows();
+  const int cols = topo.cols();
+  // loads_row[r][c] = links of row r crossing the boundary between columns
+  // c and c+1; loads_col[c][r] analogous.
+  std::vector<std::vector<int>> loads_row(
+      static_cast<std::size_t>(rows),
+      std::vector<int>(static_cast<std::size_t>(std::max(0, cols - 1)), 0));
+  std::vector<std::vector<int>> loads_col(
+      static_cast<std::size_t>(cols),
+      std::vector<int>(static_cast<std::size_t>(std::max(0, rows - 1)), 0));
+  for (const auto& edge : topo.graph().edges()) {
+    const TileCoord a = topo.coord(edge.u);
+    const TileCoord b = topo.coord(edge.v);
+    if (a.row == b.row && a.col != b.col) {
+      const auto [lo, hi] = std::minmax(a.col, b.col);
+      for (int c = lo; c < hi; ++c) {
+        ++loads_row[static_cast<std::size_t>(a.row)][static_cast<std::size_t>(c)];
+      }
+    } else if (a.col == b.col && a.row != b.row) {
+      const auto [lo, hi] = std::minmax(a.row, b.row);
+      for (int r = lo; r < hi; ++r) {
+        ++loads_col[static_cast<std::size_t>(a.col)][static_cast<std::size_t>(r)];
+      }
+    }
+  }
+
+  CutLoads result;
+  long long total = 0;
+  long long cuts = 0;
+  int global_max = 0;
+  double worst_util = 1.0;
+  auto scan_channel = [&](const std::vector<int>& channel) {
+    const int channel_max = channel.empty()
+                                ? 0
+                                : *std::max_element(channel.begin(),
+                                                    channel.end());
+    if (channel_max == 0) return;  // empty channels occupy no area
+    long long channel_sum = 0;
+    for (int load : channel) channel_sum += load;
+    total += channel_sum;
+    cuts += static_cast<long long>(channel.size());
+    global_max = std::max(global_max, channel_max);
+    const double util =
+        static_cast<double>(channel_sum) /
+        (static_cast<double>(channel_max) * static_cast<double>(channel.size()));
+    worst_util = std::min(worst_util, util);
+  };
+  for (const auto& channel : loads_row) scan_channel(channel);
+  for (const auto& channel : loads_col) scan_channel(channel);
+  if (cuts > 0) {
+    const double mean = static_cast<double>(total) / static_cast<double>(cuts);
+    result.ratio = static_cast<double>(global_max) / mean;
+    result.worst_util = worst_util;
+  }
+  return result;
+}
+
+}  // namespace
+
+TopologyTraits analyze(const Topology& topo) {
+  const auto& g = topo.graph();
+  SHG_REQUIRE(g.num_edges() > 0, "cannot analyze a topology without links");
+  SHG_REQUIRE(graph::is_connected(g), "cannot analyze a disconnected topology");
+
+  TopologyTraits traits;
+  traits.radix = topo.radix();
+  traits.diameter = graph::diameter(g);
+  traits.avg_hops = topo.num_tiles() >= 2 ? graph::average_hops(g) : 0.0;
+
+  // --- Routability metrics --------------------------------------------
+  auto& m = traits.metrics;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    m.max_link_length = std::max(m.max_link_length, topo.link_grid_length(e));
+    m.all_axis_aligned = m.all_axis_aligned && topo.link_axis_aligned(e);
+  }
+  std::vector<int> row_links(static_cast<std::size_t>(topo.num_tiles()), 0);
+  std::vector<int> col_links(static_cast<std::size_t>(topo.num_tiles()), 0);
+  for (const auto& edge : g.edges()) {
+    const TileCoord a = topo.coord(edge.u);
+    const TileCoord b = topo.coord(edge.v);
+    if (a.row == b.row) {
+      ++row_links[static_cast<std::size_t>(edge.u)];
+      ++row_links[static_cast<std::size_t>(edge.v)];
+    } else if (a.col == b.col) {
+      ++col_links[static_cast<std::size_t>(edge.u)];
+      ++col_links[static_cast<std::size_t>(edge.v)];
+    }
+  }
+  m.max_row_links_per_tile =
+      *std::max_element(row_links.begin(), row_links.end());
+  m.max_col_links_per_tile =
+      *std::max_element(col_links.begin(), col_links.end());
+
+  // --- SL: short links --------------------------------------------------
+  // Adjacent-tile links are free; length-2 links (folded torus) cost little;
+  // anything longer violates the criterion.
+  traits.short_links = m.max_link_length <= 1   ? Compliance::kYes
+                       : m.max_link_length <= 2 ? Compliance::kPartial
+                                                : Compliance::kNo;
+
+  // --- AL: aligned links -------------------------------------------------
+  traits.aligned_links =
+      m.all_axis_aligned ? Compliance::kYes : Compliance::kNo;
+
+  // --- ULD: uniform link density -----------------------------------------
+  if (!m.all_axis_aligned) {
+    traits.uniform_link_density = Compliance::kNo;
+    m.cut_load_ratio = std::numeric_limits<double>::infinity();
+    m.worst_channel_util = 0.0;
+  } else {
+    const CutLoads loads = cut_loads(topo);
+    m.cut_load_ratio = loads.ratio;
+    m.worst_channel_util = loads.worst_util;
+    if (loads.ratio <= kUniformRatio) {
+      traits.uniform_link_density = loads.worst_util >= kWorstChannelUtil
+                                        ? Compliance::kYes
+                                        : Compliance::kPartial;
+    } else {
+      traits.uniform_link_density = Compliance::kNo;
+    }
+  }
+
+  // --- OPP: optimized port placement --------------------------------------
+  // A single tile-type port template (identical across tiles, as required by
+  // the modular tiled design) can place every link on its ideal face exactly
+  // when the per-dimension worst-case demands fit in the radix. Row and
+  // column demands are attained simultaneously at some tile, so the template
+  // is optimal iff max_row + max_col == radix.
+  traits.port_placement =
+      (m.all_axis_aligned &&
+       m.max_row_links_per_tile + m.max_col_links_per_tile == traits.radix)
+          ? Compliance::kYes
+          : Compliance::kNo;
+
+  // --- Minimal physical paths (design principle #4) -----------------------
+  const auto weights = topo.link_grid_lengths();
+  bool present = true;
+  bool used = true;
+  for (graph::NodeId dest = 0; dest < topo.num_tiles() && (present || used);
+       ++dest) {
+    const auto physical = graph::dijkstra(g, dest, weights);
+    const auto worst_min_hop =
+        graph::max_weight_over_min_hop_paths(g, dest, weights);
+    const TileCoord d = topo.coord(dest);
+    for (graph::NodeId src = 0; src < topo.num_tiles(); ++src) {
+      if (src == dest) continue;
+      const TileCoord s = topo.coord(src);
+      const double lower_bound =
+          std::abs(s.row - d.row) + std::abs(s.col - d.col);
+      if (physical[static_cast<std::size_t>(src)] > lower_bound + 1e-9) {
+        present = false;
+      }
+      if (worst_min_hop[static_cast<std::size_t>(src)] > lower_bound + 1e-9) {
+        used = false;
+      }
+    }
+  }
+  traits.minimal_paths_present = present;
+  // A path that is not present cannot be used.
+  traits.minimal_paths_used = present && used;
+
+  return traits;
+}
+
+}  // namespace shg::topo

@@ -1,0 +1,53 @@
+// Topology trait analysis: computes every column of the paper's Table I
+// from the actual embedded graph (nothing is hard-coded per family).
+//
+// Geometry at this level is measured in whole tiles: a mesh link has length
+// 1, the grid Manhattan distance is the physical lower bound for any path
+// (design principle #4).
+#pragma once
+
+#include <string>
+
+#include "shg/topo/topology.hpp"
+
+namespace shg::topo {
+
+/// Three-valued compliance as printed in Table I: ✔ / ∼ / ✘.
+enum class Compliance { kYes, kPartial, kNo };
+
+/// "yes" / "~" / "no" (ASCII-safe rendering of ✔ / ∼ / ✘).
+std::string compliance_symbol(Compliance c);
+
+/// Raw measurements backing the compliance judgments; exposed so benches can
+/// print the quantitative evidence next to the qualitative labels.
+struct RoutabilityMetrics {
+  int max_link_length = 0;        ///< in tiles; 1 = adjacent-tile links only
+  bool all_axis_aligned = true;   ///< no link changes both row and column
+  double cut_load_ratio = 1.0;    ///< max / mean channel-cut load
+  double worst_channel_util = 1.0;  ///< min over channels of used/peak area
+  int max_row_links_per_tile = 0;
+  int max_col_links_per_tile = 0;
+};
+
+/// One row of Table I.
+struct TopologyTraits {
+  int radix = 0;      ///< max router-to-router links at any tile
+  int diameter = 0;   ///< max hops between any tile pair
+  double avg_hops = 0.0;
+
+  Compliance short_links = Compliance::kYes;        // SL
+  Compliance aligned_links = Compliance::kYes;      // AL
+  Compliance uniform_link_density = Compliance::kYes;  // ULD
+  Compliance port_placement = Compliance::kYes;     // OPP
+
+  bool minimal_paths_present = false;  ///< physically minimal paths exist
+  bool minimal_paths_used = false;     ///< every hop-minimal path is minimal
+
+  RoutabilityMetrics metrics;
+};
+
+/// Computes all Table I traits of a topology. Cost: O(N * E) graph sweeps —
+/// instantaneous at NoC scale.
+TopologyTraits analyze(const Topology& topo);
+
+}  // namespace shg::topo

@@ -1,0 +1,136 @@
+// Tests for the customization engine (Section V-a) and Pareto utilities.
+#include <gtest/gtest.h>
+
+#include "shg/customize/pareto.hpp"
+#include "shg/customize/search.hpp"
+#include "shg/tech/presets.hpp"
+
+namespace shg::customize {
+namespace {
+
+using tech::ArchParams;
+using tech::KncScenario;
+using tech::knc_scenario;
+
+TEST(Screening, MeshBaseline) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const CandidateMetrics mesh = screen_candidate(arch, topo::ShgParams{});
+  EXPECT_GT(mesh.area_overhead, 0.0);
+  EXPECT_NEAR(mesh.diameter, 14.0, 1e-9);
+  // Uniform-traffic bound for an 8x8 mesh: 2*112 links / (64 * ~5.33 hops).
+  EXPECT_NEAR(mesh.avg_hops, 16.0 / 3.0, 0.01);
+  EXPECT_NEAR(mesh.throughput_bound, 224.0 / (64.0 * 16.0 / 3.0), 1e-3);
+}
+
+TEST(Screening, SkipsRaiseThroughputBoundAndCost) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const CandidateMetrics mesh = screen_candidate(arch, topo::ShgParams{});
+  const CandidateMetrics shg =
+      screen_candidate(arch, topo::ShgParams{{4}, {2, 5}});
+  EXPECT_GT(shg.throughput_bound, mesh.throughput_bound);
+  EXPECT_LT(shg.avg_hops, mesh.avg_hops);
+  EXPECT_GT(shg.area_overhead, mesh.area_overhead);
+}
+
+TEST(Greedy, RespectsAreaBudget) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const Goal goal{0.40};
+  const SearchResult result = customize_greedy(arch, goal);
+  EXPECT_LE(result.metrics.area_overhead, goal.max_area_overhead);
+  EXPECT_LE(result.cost.area_overhead, goal.max_area_overhead + 1e-9);
+  // The search must have moved beyond the plain mesh.
+  EXPECT_FALSE(result.params.row_skips.empty() &&
+               result.params.col_skips.empty());
+  EXPECT_GE(result.history.size(), 2u);
+}
+
+TEST(Greedy, ImprovesOnMeshLexicographically) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const SearchResult result = customize_greedy(arch, Goal{0.40});
+  const CandidateMetrics mesh = screen_candidate(arch, topo::ShgParams{});
+  EXPECT_GT(result.metrics.throughput_bound, mesh.throughput_bound);
+  EXPECT_LT(result.metrics.avg_hops, mesh.avg_hops);
+}
+
+TEST(Greedy, TighterBudgetGivesSparserTopology) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const SearchResult tight = customize_greedy(arch, Goal{0.15});
+  const SearchResult loose = customize_greedy(arch, Goal{0.40});
+  EXPECT_LE(tight.metrics.area_overhead, 0.15);
+  const std::size_t tight_links =
+      tight.params.row_skips.size() + tight.params.col_skips.size();
+  const std::size_t loose_links =
+      loose.params.row_skips.size() + loose.params.col_skips.size();
+  EXPECT_LE(tight_links, loose_links);
+  EXPECT_LE(tight.metrics.throughput_bound,
+            loose.metrics.throughput_bound + 1e-12);
+}
+
+TEST(Greedy, HistoryIsMonotone) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const SearchResult result = customize_greedy(arch, Goal{0.40});
+  for (std::size_t i = 1; i < result.history.size(); ++i) {
+    EXPECT_GT(result.history[i].metrics.throughput_bound,
+              result.history[i - 1].metrics.throughput_bound);
+    EXPECT_GE(result.history[i].metrics.area_overhead,
+              result.history[i - 1].metrics.area_overhead);
+  }
+}
+
+TEST(Exhaustive, MatchesOrBeatsGreedyOnSmallSpace) {
+  // Restrict both searches to the same candidate space on scenario a.
+  ArchParams arch = knc_scenario(KncScenario::kA);
+  const Goal goal{0.30};
+  const SearchResult exhaustive =
+      customize_exhaustive(arch, goal, {2, 3, 4}, {2, 3, 4});
+  EXPECT_LE(exhaustive.metrics.area_overhead, goal.max_area_overhead);
+  // Exhaustive over the full subset lattice can only be at least as good as
+  // any greedy path through it.
+  const SearchResult greedy = customize_greedy(arch, goal);
+  if (greedy.params.row_skips.size() <= 3 &&
+      greedy.params.col_skips.size() <= 3) {
+    EXPECT_GE(exhaustive.metrics.throughput_bound,
+              greedy.metrics.throughput_bound * 0.8);
+  }
+}
+
+TEST(Exhaustive, RejectsHugeSpaces) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const std::vector<int> too_many = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_THROW(
+      customize_exhaustive(arch, Goal{0.4}, too_many, too_many), Error);
+}
+
+TEST(Pareto, DominanceRules) {
+  const MetricPoint a{"a", 0.1, 1.0, 10.0, 0.5};
+  const MetricPoint b{"b", 0.2, 2.0, 20.0, 0.4};  // worse everywhere
+  const MetricPoint c{"c", 0.1, 1.0, 10.0, 0.5};  // equal to a
+  const MetricPoint d{"d", 0.05, 3.0, 10.0, 0.5};  // trade-off vs a
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, c));  // equal points do not dominate
+  EXPECT_FALSE(dominates(a, d));
+  EXPECT_FALSE(dominates(d, a));
+}
+
+TEST(Pareto, FrontExtraction) {
+  const std::vector<MetricPoint> points = {
+      {"cheap-slow", 0.05, 0.5, 100.0, 0.05},
+      {"expensive-fast", 0.60, 20.0, 10.0, 0.9},
+      {"dominated", 0.60, 21.0, 15.0, 0.8},
+      {"balanced", 0.30, 5.0, 30.0, 0.5},
+  };
+  const auto front = pareto_front(points);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 1u);
+  EXPECT_EQ(front[2], 3u);
+}
+
+TEST(Pareto, AllEqualAllOnFront) {
+  const std::vector<MetricPoint> points(3, MetricPoint{"x", 0.1, 1, 10, 0.5});
+  EXPECT_EQ(pareto_front(points).size(), 3u);
+}
+
+}  // namespace
+}  // namespace shg::customize

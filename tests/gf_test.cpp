@@ -1,0 +1,110 @@
+// Property tests for the finite field GF(p^e) used by the SlimNoC generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shg/topo/gf.hpp"
+
+namespace shg::topo {
+namespace {
+
+TEST(PrimePower, Recognition) {
+  int p = 0;
+  int e = 0;
+  EXPECT_TRUE(is_prime_power(2, &p, &e));
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(e, 1);
+  EXPECT_TRUE(is_prime_power(8, &p, &e));
+  EXPECT_EQ(p, 2);
+  EXPECT_EQ(e, 3);
+  EXPECT_TRUE(is_prime_power(27, &p, &e));
+  EXPECT_EQ(p, 3);
+  EXPECT_EQ(e, 3);
+  EXPECT_FALSE(is_prime_power(1));
+  EXPECT_FALSE(is_prime_power(6));
+  EXPECT_FALSE(is_prime_power(12));
+  EXPECT_FALSE(is_prime_power(0));
+}
+
+TEST(GaloisField, RejectsNonPrimePowers) {
+  EXPECT_THROW(GaloisField(6), Error);
+  EXPECT_THROW(GaloisField(1), Error);
+}
+
+class GaloisFieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaloisFieldAxioms, AdditiveGroup) {
+  const GaloisField f(GetParam());
+  const int q = f.order();
+  for (int a = 0; a < q; ++a) {
+    EXPECT_EQ(f.add(a, 0), a);
+    EXPECT_EQ(f.add(a, f.neg(a)), 0);
+    for (int b = 0; b < q; ++b) {
+      EXPECT_EQ(f.add(a, b), f.add(b, a));
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, MultiplicativeGroup) {
+  const GaloisField f(GetParam());
+  const int q = f.order();
+  for (int a = 0; a < q; ++a) {
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0);
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1);
+    }
+    for (int b = 0; b < q; ++b) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, AssociativityAndDistributivity) {
+  const GaloisField f(GetParam());
+  const int q = f.order();
+  // Full triple loops are O(q^3); cap the field size in this suite's
+  // parameter list so this stays fast.
+  for (int a = 0; a < q; ++a) {
+    for (int b = 0; b < q; ++b) {
+      for (int c = 0; c < q; ++c) {
+        EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(GaloisFieldAxioms, PrimitiveElementGeneratesEverything) {
+  const GaloisField f(GetParam());
+  const int q = f.order();
+  const int xi = f.primitive_element();
+  EXPECT_EQ(f.element_order(xi), q - 1);
+  std::set<int> generated;
+  int x = 1;
+  for (int i = 0; i < q - 1; ++i) {
+    generated.insert(x);
+    x = f.mul(x, xi);
+  }
+  EXPECT_EQ(static_cast<int>(generated.size()), q - 1);
+}
+
+TEST_P(GaloisFieldAxioms, FrobeniusInCharacteristicP) {
+  const GaloisField f(GetParam());
+  const int q = f.order();
+  const int p = f.characteristic();
+  // (a + b)^p == a^p + b^p in characteristic p.
+  for (int a = 0; a < q; ++a) {
+    for (int b = 0; b < q; ++b) {
+      EXPECT_EQ(f.pow(f.add(a, b), p), f.add(f.pow(a, p), f.pow(b, p)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFields, GaloisFieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16,
+                                           25, 27));
+
+}  // namespace
+}  // namespace shg::topo

@@ -1,0 +1,277 @@
+// Tests for the physical model substrate: floorplan geometry, global
+// routing and detailed routing.
+#include <gtest/gtest.h>
+
+#include "shg/phys/detailed_route.hpp"
+#include "shg/phys/floorplan.hpp"
+#include "shg/phys/global_route.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::phys {
+namespace {
+
+Floorplan tiny_plan() {
+  // 2x2 grid of 1x1 mm tiles with channels 0.1/0.2/0.3 horizontal and
+  // 0.05/0.15/0.25 vertical; 10 um cells.
+  return Floorplan(2, 2, 1.0, 1.0, {0.1, 0.2, 0.3}, {0.05, 0.15, 0.25},
+                   0.01, 0.01);
+}
+
+TEST(Floorplan, PrefixGeometry) {
+  const Floorplan plan = tiny_plan();
+  EXPECT_DOUBLE_EQ(plan.chan_h_top(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.row_top(0), 0.1);
+  EXPECT_DOUBLE_EQ(plan.chan_h_top(1), 1.1);
+  EXPECT_DOUBLE_EQ(plan.row_top(1), 1.3);
+  EXPECT_DOUBLE_EQ(plan.chan_h_top(2), 2.3);
+  EXPECT_DOUBLE_EQ(plan.chip_height(), 2.6);
+
+  EXPECT_DOUBLE_EQ(plan.chan_v_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.col_left(0), 0.05);
+  EXPECT_DOUBLE_EQ(plan.chan_v_left(1), 1.05);
+  EXPECT_DOUBLE_EQ(plan.col_left(1), 1.2);
+  EXPECT_DOUBLE_EQ(plan.chip_width(), 2.45);
+}
+
+TEST(Floorplan, TileCenter) {
+  const Floorplan plan = tiny_plan();
+  const PointMM c = plan.tile_center(0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 0.55);
+  EXPECT_DOUBLE_EQ(c.y, 0.6);
+}
+
+TEST(Floorplan, RejectsBadSpacingCounts) {
+  EXPECT_THROW(Floorplan(2, 2, 1.0, 1.0, {0.1, 0.2}, {0.0, 0.0, 0.0}, 0.01,
+                         0.01),
+               Error);
+  EXPECT_THROW(Floorplan(2, 2, 1.0, 1.0, {0.1, 0.2, -0.1}, {0.0, 0.0, 0.0},
+                         0.01, 0.01),
+               Error);
+}
+
+TEST(GlobalRoute, MeshIsAllStraight) {
+  const auto topo = topo::make_mesh(4, 4);
+  const GlobalRoutingResult result = global_route(topo);
+  for (const auto& route : result.routes) {
+    EXPECT_TRUE(route.straight);
+    EXPECT_TRUE(route.spans.empty());
+  }
+  // Unit links occupy no channel capacity at all.
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_EQ(result.max_h_load(i), 0);
+    EXPECT_EQ(result.max_v_load(i), 0);
+  }
+}
+
+TEST(GlobalRoute, TorusWrapsSpreadOverChannels) {
+  const auto topo = topo::make_torus(4, 4);
+  const GlobalRoutingResult result = global_route(topo);
+  int total_h = 0;
+  int total_v = 0;
+  for (int i = 0; i <= 4; ++i) {
+    EXPECT_LE(result.max_h_load(i), 1) << "channel " << i;
+    EXPECT_LE(result.max_v_load(i), 1) << "channel " << i;
+    total_h += result.max_h_load(i);
+    total_v += result.max_v_load(i);
+  }
+  // 4 row wraps and 4 column wraps must all be placed.
+  EXPECT_EQ(total_h, 4);
+  EXPECT_EQ(total_v, 4);
+}
+
+TEST(GlobalRoute, ShgSkipLoadsAreBalanced) {
+  // Row skips of 4 on an 8x8 grid: 4 spans per row, all overlapping at the
+  // center columns, so 32 spans over 9 channels cannot beat a peak of
+  // ceil(32/9) = 4 — the greedy router must reach that optimum and must
+  // spread load over many channels instead of piling onto one per row.
+  const auto topo = topo::make_sparse_hamming(8, 8, {4}, {});
+  const GlobalRoutingResult result = global_route(topo);
+  int peak = 0;
+  int used_channels = 0;
+  for (int i = 0; i <= 8; ++i) {
+    peak = std::max(peak, result.max_h_load(i));
+    if (result.max_h_load(i) > 0) ++used_channels;
+    EXPECT_EQ(result.max_v_load(i), 0);
+  }
+  EXPECT_EQ(peak, 4);
+  EXPECT_GE(used_channels, 8);
+}
+
+TEST(GlobalRoute, DiagonalLinksGetLRoutes) {
+  const auto topo = topo::make_slim_noc(5, 10);
+  const GlobalRoutingResult result = global_route(topo);
+  bool saw_l_route = false;
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    if (!topo.link_axis_aligned(e)) {
+      const auto& route = result.routes[static_cast<std::size_t>(e)];
+      ASSERT_EQ(route.spans.size(), 2u);
+      EXPECT_TRUE(route.spans[0].horizontal);
+      EXPECT_FALSE(route.spans[1].horizontal);
+      saw_l_route = true;
+    }
+  }
+  EXPECT_TRUE(saw_l_route);
+}
+
+TEST(GlobalRoute, FacesMatchChannels) {
+  const auto topo = topo::make_sparse_hamming(4, 4, {2}, {2});
+  const GlobalRoutingResult result = global_route(topo);
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& route = result.routes[static_cast<std::size_t>(e)];
+    if (route.straight) continue;
+    const auto& edge = topo.graph().edge(e);
+    const auto [u, v] = std::minmax(edge.u, edge.v);
+    const auto cu = topo.coord(u);
+    if (route.spans[0].horizontal) {
+      // North face iff the channel above u's row was chosen.
+      if (route.spans[0].index == cu.row) {
+        EXPECT_EQ(route.face_u, Face::kNorth);
+      } else {
+        EXPECT_EQ(route.face_u, Face::kSouth);
+        EXPECT_EQ(route.spans[0].index, cu.row + 1);
+      }
+    }
+  }
+}
+
+TEST(GlobalRoute, LoadConservation) {
+  // Every channel-span position increments exactly one load counter, so the
+  // total load mass must equal the sum of span extents.
+  for (const auto& topo :
+       {topo::make_torus(6, 6), topo::make_sparse_hamming(6, 8, {3, 5}, {2}),
+        topo::make_slim_noc(5, 10)}) {
+    const GlobalRoutingResult result = global_route(topo);
+    long long span_mass = 0;
+    for (const auto& route : result.routes) {
+      for (const auto& span : route.spans) {
+        span_mass += span.hi - span.lo + 1;
+      }
+    }
+    long long load_mass = 0;
+    for (const auto& channel : result.h_loads) {
+      for (int load : channel) load_mass += load;
+    }
+    for (const auto& channel : result.v_loads) {
+      for (int load : channel) load_mass += load;
+    }
+    EXPECT_EQ(load_mass, span_mass) << topo.name();
+  }
+}
+
+TEST(GlobalRoute, EveryNonUnitLinkHasSpans) {
+  const auto topo = topo::make_sparse_hamming(6, 6, {2, 4}, {3});
+  const GlobalRoutingResult result = global_route(topo);
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& route = result.routes[static_cast<std::size_t>(e)];
+    if (topo.link_grid_length(e) == 1) {
+      EXPECT_TRUE(route.straight);
+    } else {
+      EXPECT_FALSE(route.straight);
+      EXPECT_FALSE(route.spans.empty());
+    }
+  }
+}
+
+class DetailedRouteFixture : public ::testing::Test {
+ protected:
+  // Builds a floorplan sized like the cost model would for the topology:
+  // 1 mm tiles, spacing = peak load * cell size, 10 um cells.
+  static Floorplan plan_for(const topo::Topology& topo,
+                            const GlobalRoutingResult& global) {
+    const double cell = 0.01;
+    std::vector<double> h_spacing(static_cast<std::size_t>(topo.rows()) + 1);
+    std::vector<double> v_spacing(static_cast<std::size_t>(topo.cols()) + 1);
+    for (int i = 0; i <= topo.rows(); ++i) {
+      h_spacing[static_cast<std::size_t>(i)] = global.max_h_load(i) * cell;
+    }
+    for (int j = 0; j <= topo.cols(); ++j) {
+      v_spacing[static_cast<std::size_t>(j)] = global.max_v_load(j) * cell;
+    }
+    return Floorplan(topo.rows(), topo.cols(), 1.0, 1.0, std::move(h_spacing),
+                     std::move(v_spacing), cell, cell);
+  }
+};
+
+TEST_F(DetailedRouteFixture, MeshLinksAreTilePitchLong) {
+  const auto topo = topo::make_mesh(4, 4);
+  const auto global = global_route(topo);
+  const auto plan = plan_for(topo, global);
+  const auto detailed = detailed_route(topo, plan, global);
+  ASSERT_EQ(detailed.routes.size(),
+            static_cast<std::size_t>(topo.graph().num_edges()));
+  for (const auto& route : detailed.routes) {
+    // Zero-width channels: the channel crossing has zero length and the
+    // total is the two half-tile runs from the ports to the router centers.
+    EXPECT_NEAR(route.channel_length_mm, 0.0, 1e-9);
+    EXPECT_NEAR(route.total_length_mm, 1.0, 1e-9);
+  }
+  EXPECT_EQ(detailed.collision_cells, 0);
+}
+
+TEST_F(DetailedRouteFixture, LongLinkLengthScalesWithSpan) {
+  const auto topo = topo::make_sparse_hamming(4, 4, {3}, {});
+  const auto global = global_route(topo);
+  const auto plan = plan_for(topo, global);
+  const auto detailed = detailed_route(topo, plan, global);
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    if (topo.link_grid_length(e) == 3) {
+      // Three tile pitches in the channel plus the two half-tile runs from
+      // the north/south ports down to the router centers.
+      EXPECT_GT(detailed.routes[static_cast<std::size_t>(e)].total_length_mm,
+                3.5);
+      EXPECT_LT(detailed.routes[static_cast<std::size_t>(e)].total_length_mm,
+                4.8);
+    }
+  }
+}
+
+TEST_F(DetailedRouteFixture, ParallelRunsLandInDistinctCells) {
+  // Flattened butterfly rows produce many parallel spans; with left-edge
+  // track assignment inside adequately sized channels, the only possible
+  // collisions are port jogs, which must stay a small fraction of cells.
+  const auto topo = topo::make_flattened_butterfly(4, 4);
+  const auto global = global_route(topo);
+  const auto plan = plan_for(topo, global);
+  const auto detailed = detailed_route(topo, plan, global);
+  EXPECT_GT(detailed.h_cells, 0);
+  EXPECT_GT(detailed.v_cells, 0);
+  EXPECT_LT(static_cast<double>(detailed.collision_cells),
+            0.05 * static_cast<double>(detailed.h_cells + detailed.v_cells));
+}
+
+TEST_F(DetailedRouteFixture, LengthsDominateManhattanLowerBound) {
+  // No detailed route can be shorter than the Manhattan distance between
+  // the two router centers (tile pitch 1 mm + channel widths).
+  const auto topo = topo::make_sparse_hamming(5, 5, {3}, {2});
+  const auto global = global_route(topo);
+  const auto plan = plan_for(topo, global);
+  const auto detailed = detailed_route(topo, plan, global);
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& edge = topo.graph().edge(e);
+    const auto cu = topo.coord(edge.u);
+    const auto cv = topo.coord(edge.v);
+    const PointMM a = plan.tile_center(cu.row, cu.col);
+    const PointMM b = plan.tile_center(cv.row, cv.col);
+    EXPECT_GE(detailed.routes[static_cast<std::size_t>(e)].total_length_mm,
+              manhattan(a, b) - 1e-9)
+        << "edge " << e;
+  }
+}
+
+TEST_F(DetailedRouteFixture, SegmentsStartAndEndAtPorts) {
+  const auto topo = topo::make_torus(4, 4);
+  const auto global = global_route(topo);
+  const auto plan = plan_for(topo, global);
+  const auto detailed = detailed_route(topo, plan, global);
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const auto& segs = detailed.routes[static_cast<std::size_t>(e)].segments;
+    ASSERT_FALSE(segs.empty());
+    // Consecutive segments must be connected.
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      EXPECT_EQ(segs[i].b, segs[i + 1].a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shg::phys

@@ -1,0 +1,231 @@
+// Parameterized property tests: structural and behavioural invariants swept
+// across grid shapes, topology families and random SHG parameterizations.
+#include <gtest/gtest.h>
+
+#include "shg/common/prng.hpp"
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/model/cost_model.hpp"
+#include "shg/sim/routing.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+#include "shg/topo/registry.hpp"
+#include "shg/topo/traits.hpp"
+
+namespace shg {
+namespace {
+
+using GridShape = std::pair<int, int>;
+
+// ---------------------------------------------------------------------------
+// Generator invariants across grid shapes
+// ---------------------------------------------------------------------------
+
+class GeneratorProperties : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(GeneratorProperties, AllFamiliesConnectedWithConsistentCounts) {
+  const auto [rows, cols] = GetParam();
+  for (topo::Kind kind : topo::table1_families()) {
+    const auto built = topo::try_make(kind, rows, cols,
+                                      topo::ShgParams{{2}, {2}});
+    if (!built.has_value()) continue;
+    EXPECT_TRUE(graph::is_connected(built->graph())) << built->name();
+    EXPECT_EQ(built->num_tiles(), rows * cols);
+    EXPECT_GE(built->radix(), 2) << built->name();
+    // Handshake: degree sum equals twice the link count.
+    long long degree_sum = 0;
+    for (graph::NodeId u = 0; u < built->num_tiles(); ++u) {
+      degree_sum += built->graph().degree(u);
+    }
+    EXPECT_EQ(degree_sum, 2LL * built->graph().num_edges()) << built->name();
+  }
+}
+
+TEST_P(GeneratorProperties, DiameterFormulasFromTableI) {
+  const auto [rows, cols] = GetParam();
+  EXPECT_EQ(graph::diameter(topo::make_mesh(rows, cols).graph()),
+            rows + cols - 2);
+  if (rows > 2 && cols > 2) {
+    EXPECT_EQ(graph::diameter(topo::make_torus(rows, cols).graph()),
+              rows / 2 + cols / 2);
+  }
+  EXPECT_EQ(graph::diameter(
+                topo::make_flattened_butterfly(rows, cols).graph()),
+            2);
+  if (rows * cols % 2 == 0 && rows >= 2 && cols >= 2) {
+    EXPECT_EQ(graph::diameter(topo::make_ring(rows, cols).graph()),
+              rows * cols / 2);
+  }
+}
+
+TEST_P(GeneratorProperties, ShgInterpolatesMeshAndFb) {
+  const auto [rows, cols] = GetParam();
+  const int mesh_links = topo::make_mesh(rows, cols).graph().num_edges();
+  const int fb_links =
+      topo::make_flattened_butterfly(rows, cols).graph().num_edges();
+  const int shg_links =
+      topo::make_sparse_hamming(rows, cols, {2}, {2}).graph().num_edges();
+  EXPECT_GT(shg_links, mesh_links);
+  EXPECT_LT(shg_links, fb_links);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, GeneratorProperties,
+                         ::testing::Values(GridShape{4, 4}, GridShape{4, 6},
+                                           GridShape{6, 6}, GridShape{8, 8},
+                                           GridShape{4, 8}, GridShape{8, 16},
+                                           GridShape{6, 10}));
+
+// ---------------------------------------------------------------------------
+// Random SHG parameterizations (fixed-seed fuzz)
+// ---------------------------------------------------------------------------
+
+class ShgRandomConfig : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShgRandomConfig, MonotoneUnderSkipAddition) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()));
+  const int rows = 6 + static_cast<int>(rng.below(3));
+  const int cols = 6 + static_cast<int>(rng.below(5));
+  std::set<int> sr;
+  std::set<int> sc;
+  for (int i = 0; i < 3; ++i) {
+    sr.insert(rng.range(2, cols - 1));
+    sc.insert(rng.range(2, rows - 1));
+  }
+  const auto base = topo::make_sparse_hamming(rows, cols, sr, sc);
+  // Adding one more skip distance never hurts diameter or average hops and
+  // never removes links.
+  std::set<int> sr_more = sr;
+  for (int x = 2; x < cols; ++x) {
+    if (sr.count(x) == 0) {
+      sr_more.insert(x);
+      break;
+    }
+  }
+  const auto more = topo::make_sparse_hamming(rows, cols, sr_more, sc);
+  EXPECT_GE(more.graph().num_edges(), base.graph().num_edges());
+  EXPECT_LE(graph::diameter(more.graph()), graph::diameter(base.graph()));
+  EXPECT_LE(graph::average_hops(more.graph()),
+            graph::average_hops(base.graph()) + 1e-12);
+}
+
+TEST_P(ShgRandomConfig, TraitsInvariants) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  const int rows = 5 + static_cast<int>(rng.below(4));
+  const int cols = 5 + static_cast<int>(rng.below(4));
+  std::set<int> sr;
+  std::set<int> sc;
+  if (rng.chance(0.8)) sr.insert(rng.range(2, cols - 1));
+  if (rng.chance(0.8)) sc.insert(rng.range(2, rows - 1));
+  const auto topo = topo::make_sparse_hamming(rows, cols, sr, sc);
+  const auto traits = topo::analyze(topo);
+  // Always true for SHG (Table I): aligned links, optimal port placement,
+  // physically minimal paths present (mesh sub-topology).
+  EXPECT_EQ(traits.aligned_links, topo::Compliance::kYes);
+  EXPECT_EQ(traits.port_placement, topo::Compliance::kYes);
+  EXPECT_TRUE(traits.minimal_paths_present);
+  EXPECT_GE(traits.diameter, 2);
+  EXPECT_LE(traits.diameter, rows + cols - 2);
+  EXPECT_GE(traits.radix, 4);
+  EXPECT_LE(traits.radix, rows + cols - 2);
+  EXPECT_LE(traits.avg_hops, traits.diameter);
+}
+
+TEST_P(ShgRandomConfig, RoutingDeliversOnRandomShg) {
+  Prng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const int rows = 5 + static_cast<int>(rng.below(3));
+  const int cols = 5 + static_cast<int>(rng.below(3));
+  std::set<int> sr;
+  std::set<int> sc;
+  if (rng.chance(0.7)) sr.insert(rng.range(2, cols - 1));
+  if (rng.chance(0.7)) sc.insert(rng.range(2, rows - 1));
+  const auto topo = topo::make_sparse_hamming(rows, cols, sr, sc);
+  const auto routing = sim::make_xy_hamming_routing(topo, 4);
+  // Sampled pairs: follow first candidates to the destination.
+  for (int trial = 0; trial < 60; ++trial) {
+    const int src = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(topo.num_tiles())));
+    const int dest = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(topo.num_tiles())));
+    if (src == dest) continue;
+    int node = src;
+    int from = -1;
+    int in_vc = -1;
+    int steps = 0;
+    while (node != dest) {
+      int in_port = -1;
+      if (from >= 0) {
+        const auto& nbrs = topo.graph().neighbors(node);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (nbrs[i].node == from) in_port = static_cast<int>(i);
+        }
+      }
+      const auto candidates = routing->route(node, in_port, in_vc, dest);
+      ASSERT_FALSE(candidates.empty());
+      from = node;
+      node = topo.graph()
+                 .neighbors(node)[static_cast<std::size_t>(
+                     candidates.front().out_port)]
+                 .node;
+      in_vc = candidates.front().vc_begin;
+      ASSERT_LE(++steps, topo.num_tiles());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShgRandomConfig, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Cost model invariants across scenarios and families
+// ---------------------------------------------------------------------------
+
+class CostModelProperties
+    : public ::testing::TestWithParam<tech::KncScenario> {};
+
+TEST_P(CostModelProperties, EverySuiteTopologySatisfiesInvariants) {
+  const auto arch = tech::knc_scenario(GetParam());
+  for (const auto& topology :
+       topo::established_suite(arch.rows, arch.cols)) {
+    const auto report = model::evaluate_cost(arch, topology);
+    EXPECT_GT(report.area_overhead, 0.0) << topology.name();
+    EXPECT_LT(report.area_overhead, 1.0) << topology.name();
+    EXPECT_GT(report.noc_power_w, 0.0) << topology.name();
+    EXPECT_NEAR(report.total_area_mm2,
+                report.base_area_mm2 + report.noc_area_mm2, 1e-9);
+    // Epsilon: on rings all links are identical and the accumulated mean
+    // can exceed the max by an ulp.
+    EXPECT_GE(report.max_link_latency_cycles,
+              report.avg_link_latency_cycles - 1e-9);
+    for (const auto& link : report.links) {
+      EXPECT_GE(link.latency_cycles, 1) << topology.name();
+      EXPECT_GT(link.length_mm, 0.0) << topology.name();
+    }
+    // The chip must physically contain all tiles.
+    EXPECT_GE(report.chip_width_mm, arch.cols * report.tile_w_mm - 1e-9);
+    EXPECT_GE(report.chip_height_mm, arch.rows * report.tile_h_mm - 1e-9);
+  }
+}
+
+TEST_P(CostModelProperties, RingIsAlwaysCheapestMeshSecond) {
+  const auto arch = tech::knc_scenario(GetParam());
+  const auto suite = topo::established_suite(arch.rows, arch.cols);
+  // Suite order: ring, mesh, ... — design principle #1: the two lowest-radix
+  // short-link topologies must be the two cheapest of the whole suite.
+  const double ring_overhead =
+      model::evaluate_cost(arch, suite[0]).area_overhead;
+  const double mesh_overhead =
+      model::evaluate_cost(arch, suite[1]).area_overhead;
+  for (std::size_t i = 2; i < suite.size(); ++i) {
+    const double overhead =
+        model::evaluate_cost(arch, suite[i]).area_overhead;
+    EXPECT_GT(overhead, ring_overhead) << suite[i].name();
+    EXPECT_GT(overhead, mesh_overhead) << suite[i].name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, CostModelProperties,
+                         ::testing::Values(tech::KncScenario::kA,
+                                           tech::KncScenario::kB,
+                                           tech::KncScenario::kC,
+                                           tech::KncScenario::kD));
+
+}  // namespace
+}  // namespace shg

@@ -1,0 +1,140 @@
+// Unit tests for simulator components: channels, arbiters, traffic patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shg/sim/arbiter.hpp"
+#include "shg/sim/channel.hpp"
+#include "shg/sim/traffic.hpp"
+
+namespace shg::sim {
+namespace {
+
+TEST(Channel, FlitsTakeLatencyCycles) {
+  Channel ch(3);
+  Flit flit;
+  flit.packet_id = 7;
+  ch.push_flit(flit, 10);
+  EXPECT_FALSE(ch.pop_flit(10).has_value());
+  EXPECT_FALSE(ch.pop_flit(12).has_value());
+  const auto out = ch.pop_flit(13);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->packet_id, 7);
+  EXPECT_FALSE(ch.pop_flit(14).has_value());
+}
+
+TEST(Channel, PreservesOrder) {
+  Channel ch(1);
+  for (int i = 0; i < 5; ++i) {
+    Flit flit;
+    flit.packet_id = i;
+    ch.push_flit(flit, i);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto out = ch.pop_flit(100);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->packet_id, i);
+  }
+}
+
+TEST(Channel, CreditsFlowIndependently) {
+  Channel ch(2);
+  ch.push_credit(Credit{3}, 0);
+  Flit flit;
+  ch.push_flit(flit, 0);
+  const auto credit = ch.pop_credit(2);
+  ASSERT_TRUE(credit.has_value());
+  EXPECT_EQ(credit->vc, 3);
+  EXPECT_TRUE(ch.pop_flit(2).has_value());
+  EXPECT_TRUE(ch.idle());
+}
+
+TEST(Channel, RejectsZeroLatency) {
+  EXPECT_THROW(Channel(0), Error);
+}
+
+TEST(Arbiter, RotatesFairly) {
+  RoundRobinArbiter arb(3);
+  std::vector<bool> all{true, true, true};
+  EXPECT_EQ(arb.arbitrate(all), 0);
+  EXPECT_EQ(arb.arbitrate(all), 1);
+  EXPECT_EQ(arb.arbitrate(all), 2);
+  EXPECT_EQ(arb.arbitrate(all), 0);
+}
+
+TEST(Arbiter, SkipsNonRequesters) {
+  RoundRobinArbiter arb(4);
+  EXPECT_EQ(arb.arbitrate({false, false, true, false}), 2);
+  EXPECT_EQ(arb.arbitrate({true, false, true, false}), 0);  // after 2 -> 3,0
+  EXPECT_EQ(arb.arbitrate({false, false, false, false}), -1);
+}
+
+TEST(Traffic, UniformAvoidsSelfAndCoversAll) {
+  const auto pattern = make_uniform(16);
+  Prng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int d = pattern->dest(3, rng);
+    ASSERT_NE(d, 3);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 16);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(Traffic, TransposeAndFixedPoints) {
+  const auto pattern = make_transpose(4, 4);
+  Prng rng(1);
+  EXPECT_EQ(pattern->dest(1, rng), 4);   // (0,1) -> (1,0)
+  EXPECT_EQ(pattern->dest(7, rng), 13);  // (1,3) -> (3,1)
+  EXPECT_EQ(pattern->dest(5, rng), 5);   // diagonal fixed point
+  EXPECT_THROW(make_transpose(4, 8), Error);
+}
+
+TEST(Traffic, BitComplement) {
+  const auto pattern = make_bit_complement(64);
+  Prng rng(1);
+  EXPECT_EQ(pattern->dest(0, rng), 63);
+  EXPECT_EQ(pattern->dest(21, rng), 42);
+}
+
+TEST(Traffic, BitReverseAndShuffle) {
+  const auto rev = make_bit_reverse(8);
+  Prng rng(1);
+  EXPECT_EQ(rev->dest(1, rng), 4);  // 001 -> 100
+  EXPECT_EQ(rev->dest(3, rng), 6);  // 011 -> 110
+  const auto shuffle = make_shuffle(8);
+  EXPECT_EQ(shuffle->dest(5, rng), 3);  // 101 -> 011
+  EXPECT_THROW(make_bit_reverse(12), Error);
+}
+
+TEST(Traffic, Tornado) {
+  const auto pattern = make_tornado(4, 4);
+  Prng rng(1);
+  // (0,0) -> (1,1): half-way minus one in each dimension.
+  EXPECT_EQ(pattern->dest(0, rng), 5);
+}
+
+TEST(Traffic, NeighborWrapsAround) {
+  const auto pattern = make_neighbor(4, 4);
+  Prng rng(1);
+  EXPECT_EQ(pattern->dest(0, rng), 1);
+  EXPECT_EQ(pattern->dest(3, rng), 0);  // (0,3) -> (0,0)
+}
+
+TEST(Traffic, HotspotBias) {
+  const auto pattern = make_hotspot(16, {5}, 0.5);
+  Prng rng(9);
+  int to_hotspot = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (pattern->dest(0, rng) == 5) ++to_hotspot;
+  }
+  // 50% directed + ~1/15 of the uniform rest.
+  EXPECT_NEAR(to_hotspot / 4000.0, 0.5 + 0.5 / 15.0, 0.04);
+  EXPECT_THROW(make_hotspot(16, {}, 0.5), Error);
+  EXPECT_THROW(make_hotspot(16, {20}, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace shg::sim

@@ -1,0 +1,69 @@
+// Tests for simulation statistics: distributions and fairness.
+#include <gtest/gtest.h>
+
+#include "shg/sim/stats.hpp"
+
+namespace shg::sim {
+namespace {
+
+TEST(Distribution, MeanMinMax) {
+  Distribution d;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) d.add(x);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 4.0);
+  EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Distribution, PercentilesNearestRank) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.percentile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 100.0);
+}
+
+TEST(Distribution, PercentileAfterMoreSamples) {
+  // The lazily sorted cache must refresh when samples are added.
+  Distribution d;
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 1.0);
+  d.add(10.0);
+  EXPECT_DOUBLE_EQ(d.percentile(1.0), 10.0);
+}
+
+TEST(Distribution, Stddev) {
+  Distribution d;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) d.add(x);
+  EXPECT_NEAR(d.stddev(), 2.0, 1e-12);
+}
+
+TEST(Distribution, EmptyThrows) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_THROW(d.mean(), Error);
+  EXPECT_THROW(d.percentile(0.5), Error);
+  d.add(1.0);
+  EXPECT_THROW(d.percentile(1.5), Error);
+}
+
+TEST(Fairness, PerfectlyFair) {
+  EXPECT_DOUBLE_EQ(fairness_ratio({5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Fairness, StarvedSourceShowsUp) {
+  // One source sees 4x the latency of the others.
+  const double ratio = fairness_ratio({10.0, 10.0, 40.0, 10.0});
+  EXPECT_NEAR(ratio, 40.0 / 17.5, 1e-12);
+}
+
+TEST(Fairness, Validation) {
+  EXPECT_THROW(fairness_ratio({}), Error);
+  EXPECT_THROW(fairness_ratio({-1.0}), Error);
+  EXPECT_THROW(fairness_ratio({0.0, 0.0}), Error);
+}
+
+}  // namespace
+}  // namespace shg::sim

@@ -1,0 +1,143 @@
+// Tests for the Table II technology / transport / router-area models.
+#include <gtest/gtest.h>
+
+#include "shg/tech/presets.hpp"
+
+namespace shg::tech {
+namespace {
+
+TEST(WireStack, PaperExampleFormula) {
+  // Section IV-B1 worked example: horizontal layers with 40/50/60 nm pitch,
+  // vertical layers with 45/55 nm pitch.
+  const WireLayerStack stack = paper_example_wire_stack();
+  const double h_density = 1.0 / 40 + 1.0 / 50 + 1.0 / 60;  // wires per nm
+  const double v_density = 1.0 / 45 + 1.0 / 55;
+  EXPECT_NEAR(stack.h_wires_to_mm(1000.0), 1000.0 / h_density * 1e-6, 1e-12);
+  EXPECT_NEAR(stack.v_wires_to_mm(1000.0), 1000.0 / v_density * 1e-6, 1e-12);
+}
+
+TEST(WireStack, Linearity) {
+  const WireLayerStack stack = paper_example_wire_stack();
+  EXPECT_NEAR(stack.h_wires_to_mm(2000.0), 2.0 * stack.h_wires_to_mm(1000.0),
+              1e-12);
+  EXPECT_NEAR(stack.v_wires_to_mm(0.0), 0.0, 1e-15);
+}
+
+TEST(WireStack, MoreLayersNeedLessSpace) {
+  WireLayerStack one;
+  one.horizontal_pitch_nm = {50.0};
+  one.vertical_pitch_nm = {50.0};
+  WireLayerStack two = one;
+  two.horizontal_pitch_nm.push_back(50.0);
+  EXPECT_NEAR(two.h_wires_to_mm(100.0), one.h_wires_to_mm(100.0) / 2.0, 1e-12);
+}
+
+TEST(WireStack, RejectsInvalid) {
+  WireLayerStack empty;
+  EXPECT_THROW(empty.h_wires_to_mm(10.0), Error);
+  WireLayerStack bad;
+  bad.horizontal_pitch_nm = {0.0};
+  EXPECT_THROW(bad.h_wires_to_mm(10.0), Error);
+  const WireLayerStack ok = paper_example_wire_stack();
+  EXPECT_THROW(ok.h_wires_to_mm(-1.0), Error);
+}
+
+TEST(Technology, GeToMm2) {
+  TechnologyModel tech = tech_22nm();
+  // 0.2 um^2 per GE: 1 MGE = 0.2 mm^2 * 1e-... -> 1e6 * 0.2e-6 mm^2.
+  EXPECT_NEAR(tech.ge_to_mm2(1e6), 0.2, 1e-9);
+  EXPECT_NEAR(tech.ge_to_mm2(35e6), 7.0, 1e-6);
+}
+
+TEST(Technology, WireDelay) {
+  const TechnologyModel tech = tech_22nm();
+  // 150 ps/mm: 10 mm -> 1.5 ns.
+  EXPECT_NEAR(tech.mm_to_s(10.0), 1.5e-9, 1e-15);
+  // At 1.2 GHz that is 1.8 cycles.
+  EXPECT_NEAR(tech.mm_to_s(10.0) * 1.2e9, 1.8, 1e-9);
+}
+
+TEST(Technology, PowerDensities) {
+  const TechnologyModel tech = tech_22nm();
+  EXPECT_NEAR(tech.logic_mm2_to_w(100.0), 100.0 * tech.logic_power_w_per_mm2,
+              1e-12);
+  EXPECT_NEAR(tech.wire_mm2_to_w(50.0), 50.0 * tech.wire_power_w_per_mm2,
+              1e-12);
+  EXPECT_THROW(tech.logic_mm2_to_w(-1.0), Error);
+}
+
+TEST(Transport, AxiWireCount) {
+  const TransportModel axi{"axi", 2.4, 160.0};
+  EXPECT_NEAR(axi.bw_to_wires(512.0), 512.0 * 2.4 + 160.0, 1e-9);
+  EXPECT_THROW(axi.bw_to_wires(0.0), Error);
+}
+
+TEST(RouterArea, FormulaComposition) {
+  const RouterAreaModel model{2.0, 0.3, 2000.0};
+  const RouterArchitecture arch{8, 32};
+  const double area = model.area_ge(5, 5, 512.0, arch);
+  const double buffers = 5.0 * 8 * 32 * 512 * 2.0;
+  const double xbar = 5.0 * 5.0 * 512 * 0.3;
+  const double ctl = 10.0 * 2000.0;
+  EXPECT_NEAR(area, buffers + xbar + ctl, 1e-6);
+}
+
+TEST(RouterArea, GrowsSuperlinearlyInRadix) {
+  const RouterAreaModel model{};
+  const RouterArchitecture arch{8, 32};
+  const double r4 = model.area_ge(4, 4, 512.0, arch);
+  const double r8 = model.area_ge(8, 8, 512.0, arch);
+  // Crossbar term is quadratic: doubling the radix more than doubles area.
+  EXPECT_GT(r8, 2.0 * r4 - 1e-9);
+}
+
+TEST(RouterArea, RejectsInvalid) {
+  const RouterAreaModel model{};
+  const RouterArchitecture arch{8, 32};
+  EXPECT_THROW(model.area_ge(0, 4, 512.0, arch), Error);
+  EXPECT_THROW(model.area_ge(4, 4, -1.0, arch), Error);
+  EXPECT_THROW(model.area_ge(4, 4, 512.0, RouterArchitecture{0, 32}), Error);
+}
+
+TEST(Presets, KncScenarios) {
+  const ArchParams a = knc_scenario(KncScenario::kA);
+  EXPECT_EQ(a.num_tiles(), 64);
+  EXPECT_NEAR(a.endpoint_area_ge, 35e6, 1);
+  EXPECT_EQ(a.endpoints_per_tile, 1);
+  EXPECT_NEAR(a.frequency_hz, 1.2e9, 1);
+  EXPECT_NEAR(a.link_bandwidth_bits, 512.0, 1e-9);
+  EXPECT_EQ(a.router_arch.num_vcs, 8);
+  EXPECT_EQ(a.router_arch.buffer_depth_flits, 32);
+
+  const ArchParams b = knc_scenario(KncScenario::kB);
+  EXPECT_EQ(b.num_tiles(), 64);
+  EXPECT_NEAR(b.endpoint_area_ge, 70e6, 1);
+  EXPECT_EQ(b.endpoints_per_tile, 2);
+
+  const ArchParams c = knc_scenario(KncScenario::kC);
+  EXPECT_EQ(c.num_tiles(), 128);
+  const ArchParams d = knc_scenario(KncScenario::kD);
+  EXPECT_EQ(d.num_tiles(), 128);
+  EXPECT_NEAR(d.endpoint_area_ge, 70e6, 1);
+}
+
+TEST(Presets, KncBaseAreaMatchesKnightsCornerScale) {
+  // 64 tiles x 35 MGE at 0.2 um^2/GE = 448 mm^2 of endpoint silicon; with
+  // the NoC on top this lands in Knights Corner's ~700 mm^2 die class.
+  const ArchParams a = knc_scenario(KncScenario::kA);
+  EXPECT_NEAR(a.tech.ge_to_mm2(a.num_tiles() * a.endpoint_area_ge), 448.0,
+              1.0);
+}
+
+TEST(Presets, MempoolArch) {
+  const ArchParams mp = mempool_arch();
+  EXPECT_EQ(mp.num_tiles(), 64);
+  EXPECT_EQ(mp.endpoints_per_tile, 4);
+  EXPECT_NEAR(mp.frequency_hz, 0.5e9, 1);
+  // Low-power node: far lower power density than the KNC-class node.
+  EXPECT_LT(mp.tech.logic_power_w_per_mm2,
+            tech_22nm().logic_power_w_per_mm2 / 3.0);
+}
+
+}  // namespace
+}  // namespace shg::tech

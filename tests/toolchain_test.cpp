@@ -1,0 +1,105 @@
+// Integration tests for the full prediction toolchain (Fig. 3): cost model
+// feeding link latencies into the cycle-accurate simulator.
+#include <gtest/gtest.h>
+
+#include "shg/eval/scenario.hpp"
+#include "shg/eval/toolchain.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::eval {
+namespace {
+
+/// A small 4x4 architecture so the integration tests stay fast.
+tech::ArchParams small_arch() {
+  tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  arch.name = "small-4x4";
+  arch.rows = 4;
+  arch.cols = 4;
+  return arch;
+}
+
+PerfConfig fast_perf(const tech::ArchParams& arch) {
+  PerfConfig config = default_perf_config(arch);
+  config.sim.num_vcs = 2;
+  config.sim.buffer_depth_flits = 8;
+  config.sim.warmup_cycles = 300;
+  config.sim.measure_cycles = 1000;
+  config.sim.drain_cycles = 20000;
+  config.bisection_iterations = 5;
+  return config;
+}
+
+TEST(Toolchain, PredictsMesh) {
+  const tech::ArchParams arch = small_arch();
+  const auto topo = topo::make_mesh(4, 4);
+  const Prediction prediction = predict(arch, topo, fast_perf(arch));
+  EXPECT_GT(prediction.cost.area_overhead, 0.0);
+  EXPECT_LT(prediction.cost.area_overhead, 0.3);
+  EXPECT_GT(prediction.perf.zero_load_latency_cycles, 4.0);
+  EXPECT_LT(prediction.perf.zero_load_latency_cycles, 40.0);
+  EXPECT_GT(prediction.perf.saturation_throughput, 0.1);
+}
+
+TEST(Toolchain, LinkLatenciesFeedTheSimulator) {
+  // Same topology, but a technology with 4x slower wires: the cost model
+  // must produce higher link latencies and the simulated zero-load latency
+  // must rise accordingly.
+  const auto topo = topo::make_flattened_butterfly(4, 4);
+  tech::ArchParams fast_arch = small_arch();
+  tech::ArchParams slow_arch = small_arch();
+  slow_arch.tech.wire_delay_ps_per_mm *= 6.0;
+  const Prediction fast = predict(fast_arch, topo, fast_perf(fast_arch));
+  const Prediction slow = predict(slow_arch, topo, fast_perf(slow_arch));
+  EXPECT_GT(slow.cost.avg_link_latency_cycles,
+            fast.cost.avg_link_latency_cycles);
+  EXPECT_GT(slow.perf.zero_load_latency_cycles,
+            fast.perf.zero_load_latency_cycles);
+}
+
+TEST(Toolchain, FbTradesAreaForPerformance) {
+  const tech::ArchParams arch = small_arch();
+  const PerfConfig config = fast_perf(arch);
+  const Prediction mesh = predict(arch, topo::make_mesh(4, 4), config);
+  const Prediction fb =
+      predict(arch, topo::make_flattened_butterfly(4, 4), config);
+  EXPECT_GT(fb.cost.area_overhead, mesh.cost.area_overhead);
+  EXPECT_GT(fb.perf.saturation_throughput, mesh.perf.saturation_throughput);
+}
+
+TEST(Scenarios, MatchThePaper) {
+  const auto scenarios = figure6_scenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].label, "a");
+  EXPECT_EQ(scenarios[0].arch.num_tiles(), 64);
+  EXPECT_EQ(scenarios[0].shg, (topo::ShgParams{{4}, {2, 5}}));
+  EXPECT_EQ(scenarios[1].shg, (topo::ShgParams{{2, 4}, {2, 4}}));
+  EXPECT_EQ(scenarios[2].arch.num_tiles(), 128);
+  EXPECT_EQ(scenarios[2].shg, (topo::ShgParams{{3}, {2, 5}}));
+  EXPECT_EQ(scenarios[3].shg, (topo::ShgParams{{2, 4}, {2, 4}}));
+}
+
+TEST(Scenarios, TopologySuites) {
+  // Scenario a (64 tiles): 6 established topologies + SHG.
+  const auto a = scenario_topologies(figure6_scenario(tech::KncScenario::kA));
+  EXPECT_EQ(a.size(), 7u);
+  EXPECT_EQ(a.back().kind(), topo::Kind::kSparseHamming);
+  // Scenario c (128 tiles): SlimNoC applies too.
+  const auto c = scenario_topologies(figure6_scenario(tech::KncScenario::kC));
+  EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(Scenarios, ShgConfigsStayUnderBudgetInOurCalibration) {
+  // The paper customizes to at most 40% NoC area overhead; our calibrated
+  // model must agree that the published configurations respect that budget.
+  for (const auto& scenario : figure6_scenarios()) {
+    const auto topo = topo::make_sparse_hamming(
+        scenario.arch.rows, scenario.arch.cols, scenario.shg.row_skips,
+        scenario.shg.col_skips);
+    const auto cost = predict_cost(scenario.arch, topo);
+    EXPECT_LE(cost.area_overhead, 0.40)
+        << "scenario " << scenario.label;
+  }
+}
+
+}  // namespace
+}  // namespace shg::eval

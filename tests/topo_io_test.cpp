@@ -1,0 +1,92 @@
+// Tests for topology serialization: edge-list round trips and BookSim2
+// anynet export.
+#include <gtest/gtest.h>
+
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/topo/generators.hpp"
+#include "shg/topo/io.hpp"
+
+namespace shg::topo {
+namespace {
+
+TEST(EdgeList, RoundTripPreservesStructure) {
+  for (const auto& original :
+       {make_mesh(4, 6), make_sparse_hamming(5, 5, {2, 3}, {2}),
+        make_slim_noc(5, 10)}) {
+    const std::string text = to_edge_list(original);
+    const Topology parsed = from_edge_list(text);
+    EXPECT_EQ(parsed.rows(), original.rows());
+    EXPECT_EQ(parsed.cols(), original.cols());
+    EXPECT_EQ(parsed.name(), original.name());
+    EXPECT_EQ(parsed.graph().num_edges(), original.graph().num_edges());
+    for (const auto& edge : original.graph().edges()) {
+      EXPECT_TRUE(parsed.graph().has_edge(edge.u, edge.v));
+    }
+    EXPECT_EQ(graph::diameter(parsed.graph()),
+              graph::diameter(original.graph()));
+  }
+}
+
+TEST(EdgeList, ParsedKindIsCustom) {
+  const Topology parsed = from_edge_list(to_edge_list(make_mesh(3, 3)));
+  EXPECT_EQ(parsed.kind(), Kind::kCustom);
+}
+
+TEST(EdgeList, RejectsMalformedInput) {
+  EXPECT_THROW(from_edge_list("not a topology"), Error);
+  EXPECT_THROW(from_edge_list("shg-topology v1\nname x\n"), Error);
+  EXPECT_THROW(from_edge_list("shg-topology v1\ngrid 2 2\nfrobnicate 1\n"),
+               Error);
+  EXPECT_THROW(from_edge_list("shg-topology v1\ngrid 2 2\nlink 0 0\n"),
+               Error);
+  // Link outside the grid.
+  EXPECT_THROW(from_edge_list("shg-topology v1\ngrid 2 2\nlink 0 0 5 5\n"),
+               Error);
+}
+
+TEST(Anynet, OneLinePerRouter) {
+  const Topology topo = make_mesh(2, 3);
+  const std::string anynet = to_booksim_anynet(topo);
+  int router_lines = 0;
+  std::istringstream is(anynet);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("router ", 0) == 0) ++router_lines;
+  }
+  EXPECT_EQ(router_lines, 6);
+  // Every router line names itself and its node.
+  EXPECT_NE(anynet.find("router 0 node 0"), std::string::npos);
+  EXPECT_NE(anynet.find("router 5 node 5"), std::string::npos);
+}
+
+TEST(Anynet, IncludesLatenciesWhenGiven) {
+  const Topology topo = make_mesh(2, 2);
+  const std::vector<int> latencies = {7, 8, 9, 6};
+  const std::string anynet = to_booksim_anynet(topo, latencies);
+  EXPECT_NE(anynet.find(" 7"), std::string::npos);
+  EXPECT_THROW(to_booksim_anynet(topo, {1, 2}), Error);
+}
+
+TEST(Anynet, MentionsEveryAdjacency) {
+  const Topology topo = make_ring(2, 4);
+  const std::string anynet = to_booksim_anynet(topo);
+  // Node 0's two ring neighbors must appear on router 0's line.
+  std::istringstream is(anynet);
+  std::string line;
+  std::string router0;
+  while (std::getline(is, line)) {
+    if (line.rfind("router 0 ", 0) == 0) router0 = line;
+  }
+  ASSERT_FALSE(router0.empty());
+  int mentions = 0;
+  for (const auto& n : topo.graph().neighbors(0)) {
+    if (router0.find("router " + std::to_string(n.node)) !=
+        std::string::npos) {
+      ++mentions;
+    }
+  }
+  EXPECT_EQ(mentions, 2);
+}
+
+}  // namespace
+}  // namespace shg::topo

@@ -1,0 +1,175 @@
+// Reproduction tests for Table I: the trait analyzer must recover the
+// paper's qualitative judgments from the actual embedded graphs at the
+// paper's evaluation scale (8x8 / 8x16 grids).
+#include <gtest/gtest.h>
+
+#include "shg/topo/generators.hpp"
+#include "shg/topo/traits.hpp"
+
+namespace shg::topo {
+namespace {
+
+using enum Compliance;
+
+TEST(TableI, Ring8x8) {
+  const auto t = analyze(make_ring(8, 8));
+  EXPECT_EQ(t.radix, 2);
+  EXPECT_EQ(t.diameter, 64 / 2);  // RC/2
+  EXPECT_EQ(t.short_links, kYes);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kPartial);
+  EXPECT_EQ(t.port_placement, kNo);
+  EXPECT_FALSE(t.minimal_paths_present);
+  EXPECT_FALSE(t.minimal_paths_used);
+}
+
+TEST(TableI, Mesh8x8) {
+  const auto t = analyze(make_mesh(8, 8));
+  EXPECT_EQ(t.radix, 4);
+  EXPECT_EQ(t.diameter, 8 + 8 - 2);
+  EXPECT_EQ(t.short_links, kYes);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kYes);
+  EXPECT_EQ(t.port_placement, kYes);
+  EXPECT_TRUE(t.minimal_paths_present);
+  EXPECT_TRUE(t.minimal_paths_used);
+}
+
+TEST(TableI, Torus8x8) {
+  const auto t = analyze(make_torus(8, 8));
+  EXPECT_EQ(t.radix, 4);
+  EXPECT_EQ(t.diameter, 8 / 2 + 8 / 2);
+  EXPECT_EQ(t.short_links, kNo);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kYes);
+  EXPECT_EQ(t.port_placement, kYes);
+  EXPECT_TRUE(t.minimal_paths_present);
+  EXPECT_FALSE(t.minimal_paths_used);
+}
+
+TEST(TableI, FoldedTorus8x8) {
+  const auto t = analyze(make_folded_torus(8, 8));
+  EXPECT_EQ(t.radix, 4);
+  EXPECT_EQ(t.diameter, 8 / 2 + 8 / 2);
+  EXPECT_EQ(t.short_links, kPartial);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kYes);
+  EXPECT_EQ(t.port_placement, kYes);
+  EXPECT_FALSE(t.minimal_paths_present);
+  EXPECT_FALSE(t.minimal_paths_used);
+}
+
+TEST(TableI, Hypercube8x8) {
+  const auto t = analyze(make_hypercube(8, 8));
+  EXPECT_EQ(t.radix, 6);  // log2(RC)
+  EXPECT_EQ(t.diameter, 6);
+  EXPECT_EQ(t.short_links, kNo);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kYes);
+  EXPECT_EQ(t.port_placement, kYes);
+  EXPECT_TRUE(t.minimal_paths_present);
+  EXPECT_FALSE(t.minimal_paths_used);
+}
+
+TEST(TableI, SlimNoc8x16) {
+  const auto t = analyze(make_slim_noc(8, 16));
+  EXPECT_EQ(t.diameter, 2);
+  EXPECT_EQ(t.short_links, kNo);
+  EXPECT_EQ(t.aligned_links, kNo);
+  EXPECT_EQ(t.uniform_link_density, kNo);
+  EXPECT_EQ(t.port_placement, kNo);
+  EXPECT_FALSE(t.minimal_paths_present);
+  EXPECT_FALSE(t.minimal_paths_used);
+}
+
+TEST(TableI, FlattenedButterfly8x8) {
+  const auto t = analyze(make_flattened_butterfly(8, 8));
+  EXPECT_EQ(t.radix, 8 + 8 - 2);
+  EXPECT_EQ(t.diameter, 2);
+  EXPECT_EQ(t.short_links, kNo);
+  EXPECT_EQ(t.aligned_links, kYes);
+  EXPECT_EQ(t.uniform_link_density, kNo);
+  EXPECT_EQ(t.port_placement, kYes);
+  EXPECT_TRUE(t.minimal_paths_present);
+  EXPECT_TRUE(t.minimal_paths_used);
+}
+
+TEST(TableI, SparseHammingSpansTheAdvertisedIntervals) {
+  // Radix in [4, R+C-2], diameter in [2, R+C-2].
+  const auto mesh_like = analyze(make_sparse_hamming(8, 8, {}, {}));
+  EXPECT_EQ(mesh_like.radix, 4);
+  EXPECT_EQ(mesh_like.diameter, 14);
+
+  std::set<int> all;
+  for (int x = 2; x < 8; ++x) all.insert(x);
+  const auto fb_like = analyze(make_sparse_hamming(8, 8, all, all));
+  EXPECT_EQ(fb_like.radix, 14);
+  EXPECT_EQ(fb_like.diameter, 2);
+}
+
+TEST(TableI, SparseHammingParenthesizedColumns) {
+  // (SL): achieved only for some parametrizations.
+  EXPECT_EQ(analyze(make_sparse_hamming(8, 8, {}, {})).short_links, kYes);
+  EXPECT_EQ(analyze(make_sparse_hamming(8, 8, {4}, {})).short_links, kNo);
+  // AL: always yes (all skip links stay in their row/column).
+  EXPECT_EQ(analyze(make_sparse_hamming(8, 8, {4}, {2, 5})).aligned_links,
+            kYes);
+  // (ULD): some parametrizations uniform, some not.
+  EXPECT_EQ(analyze(make_sparse_hamming(8, 8, {2}, {2})).uniform_link_density,
+            kYes);
+  EXPECT_NE(analyze(make_sparse_hamming(8, 8, {4}, {4})).uniform_link_density,
+            kYes);
+  // OPP: always yes.
+  EXPECT_EQ(analyze(make_sparse_hamming(8, 8, {4}, {2, 5})).port_placement,
+            kYes);
+  // Minimal paths present: always (mesh sub-topology).
+  EXPECT_TRUE(
+      analyze(make_sparse_hamming(8, 8, {4}, {2, 5})).minimal_paths_present);
+  // (Used): holds for the mesh, broken by overshooting skips.
+  EXPECT_TRUE(analyze(make_sparse_hamming(8, 8, {}, {})).minimal_paths_used);
+  EXPECT_FALSE(
+      analyze(make_sparse_hamming(8, 8, {4}, {})).minimal_paths_used);
+}
+
+TEST(TableI, PaperScenarioShgTraits) {
+  // The customized configurations used in Figure 6 keep OPP and AL while
+  // trading SL/ULD for diameter, exactly the design-principle trade the
+  // paper describes.
+  for (const auto& [rows, cols, sr, sc] :
+       {std::tuple<int, int, std::set<int>, std::set<int>>{8, 8, {4}, {2, 5}},
+        {8, 8, {2, 4}, {2, 4}},
+        {8, 16, {3}, {2, 5}},
+        {8, 16, {2, 4}, {2, 4}}}) {
+    const auto t = analyze(make_sparse_hamming(rows, cols, sr, sc));
+    EXPECT_EQ(t.aligned_links, kYes);
+    EXPECT_EQ(t.port_placement, kYes);
+    EXPECT_TRUE(t.minimal_paths_present);
+    EXPECT_LT(t.diameter, rows + cols - 2);
+    EXPECT_GE(t.diameter, 2);
+  }
+}
+
+TEST(Traits, MetricsExposeEvidence) {
+  const auto mesh = analyze(make_mesh(8, 8));
+  EXPECT_EQ(mesh.metrics.max_link_length, 1);
+  EXPECT_TRUE(mesh.metrics.all_axis_aligned);
+  EXPECT_NEAR(mesh.metrics.cut_load_ratio, 1.0, 1e-9);
+  EXPECT_NEAR(mesh.metrics.worst_channel_util, 1.0, 1e-9);
+  EXPECT_EQ(mesh.metrics.max_row_links_per_tile, 2);
+  EXPECT_EQ(mesh.metrics.max_col_links_per_tile, 2);
+
+  const auto fb = analyze(make_flattened_butterfly(8, 8));
+  // Peak cut load in a fully connected row of 8: 4*4 = 16; mean 12.
+  EXPECT_NEAR(fb.metrics.cut_load_ratio, 16.0 / 12.0, 1e-9);
+}
+
+TEST(Traits, AverageHopsConsistentWithDiameter) {
+  for (int dim = 4; dim <= 8; dim += 2) {
+    const auto t = analyze(make_mesh(dim, dim));
+    EXPECT_GT(t.avg_hops, 0.0);
+    EXPECT_LE(t.avg_hops, t.diameter);
+  }
+}
+
+}  // namespace
+}  // namespace shg::topo
