@@ -1,0 +1,414 @@
+// Hot-path benchmark: tracks the performance layer introduced with the
+// route-table / fused-BFS / parallel-DSE overhaul, and guards the perf
+// trajectory from that PR onward.
+//
+// Four measurements on a 10x10 KNC-class fabric:
+//  1. route_lookup — precomputed RouteTable::lookup vs a live virtual
+//     RoutingFunction::route() call (which allocates a vector per call);
+//  2. fused_bfs    — fused distance_summary (one all-pairs sweep, reused
+//     workspace) vs the pre-PR metric path (average_hops + diameter, each
+//     its own allocating sweep plus a connectivity probe);
+//  3. dse_screen   — greedy-DSE candidate screening: the pre-PR path (full
+//     five-step cost model + two-sweep metrics) vs customize::screen_candidate
+//     (area-only cost fast path + fused sweep). The acceptance bar is a
+//     >= 5x speedup here;
+//  4. sim_cycle    — full simulation cycle loop with the route table on vs
+//     off, asserting bit-identical SimResults.
+//
+// Output: a human-readable table on stdout and machine-readable JSON
+// (default BENCH_hotpath.json; see --out). `--smoke` shrinks repetition
+// counts for CI smoke runs — speedup ratios stay meaningful, absolute
+// numbers get noisier.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "shg/customize/search.hpp"
+#include "shg/eval/perf.hpp"
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/model/cost_model.hpp"
+#include "shg/sim/route_table.hpp"
+#include "shg/sim/simulator.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace {
+
+using namespace shg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Sink defeating dead-code elimination without a benchmark-library
+// dependency.
+volatile long long g_sink = 0;
+
+// ---------------------------------------------------------------------------
+// Pre-PR reference implementations (kept verbatim so the speedup is measured
+// against the real seed code path, not a strawman).
+// ---------------------------------------------------------------------------
+
+std::vector<int> legacy_bfs_distances(const graph::Graph& g,
+                                      graph::NodeId src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
+                        graph::kUnreachable);
+  std::queue<graph::NodeId> queue;
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const graph::NodeId u = queue.front();
+    queue.pop();
+    for (const graph::Neighbor& n : g.neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(n.node)];
+      if (d == graph::kUnreachable) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push(n.node);
+      }
+    }
+  }
+  return dist;
+}
+
+bool legacy_is_connected(const graph::Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = legacy_bfs_distances(g, 0);
+  for (int d : dist) {
+    if (d == graph::kUnreachable) return false;
+  }
+  return true;
+}
+
+int legacy_diameter(const graph::Graph& g) {
+  if (!legacy_is_connected(g)) return -1;
+  int best = 0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = legacy_bfs_distances(g, u);
+    for (int d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+double legacy_average_hops(const graph::Graph& g) {
+  if (!legacy_is_connected(g)) return -1.0;
+  double total = 0.0;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = legacy_bfs_distances(g, u);
+    for (int d : dist) total += d;
+  }
+  return total /
+         (static_cast<double>(g.num_nodes()) * (g.num_nodes() - 1));
+}
+
+/// The seed's screen_candidate: full five-step cost model plus two separate
+/// all-pairs metric sweeps.
+customize::CandidateMetrics legacy_screen_candidate(
+    const tech::ArchParams& arch, const topo::ShgParams& params) {
+  const topo::Topology topo = topo::make_sparse_hamming(
+      arch.rows, arch.cols, params.row_skips, params.col_skips);
+  const model::CostReport cost = model::evaluate_cost(arch, topo);
+  customize::CandidateMetrics metrics;
+  metrics.area_overhead = cost.area_overhead;
+  metrics.avg_hops = legacy_average_hops(topo.graph());
+  metrics.diameter = legacy_diameter(topo.graph());
+  const double directed_links = 2.0 * topo.graph().num_edges();
+  metrics.throughput_bound =
+      directed_links /
+      (static_cast<double>(topo.num_tiles()) * metrics.avg_hops);
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark plumbing
+// ---------------------------------------------------------------------------
+
+struct BenchResult {
+  std::string name;
+  double old_seconds = 0.0;
+  double new_seconds = 0.0;
+  long long ops = 0;  ///< operations per timed side
+  std::string note;
+
+  double speedup() const {
+    return new_seconds > 0.0 ? old_seconds / new_seconds : 0.0;
+  }
+};
+
+void print_result(const BenchResult& r) {
+  std::printf("%-12s  old %10.4f s  new %10.4f s  speedup %6.2fx  %s\n",
+              r.name.c_str(), r.old_seconds, r.new_seconds, r.speedup(),
+              r.note.c_str());
+}
+
+tech::ArchParams fabric_10x10() {
+  tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  arch.name = "knc-like-10x10";
+  arch.rows = 10;
+  arch.cols = 10;
+  return arch;
+}
+
+// 1. Route-table lookup vs live routing call.
+BenchResult bench_route_lookup(bool smoke) {
+  const topo::Topology topo =
+      topo::make_sparse_hamming(10, 10, {3, 6}, {3, 6});
+  const int num_vcs = 8;
+  const auto routing = sim::make_default_routing(topo, num_vcs);
+  const sim::RouteTable table(topo, *routing, num_vcs);
+
+  // The state sample: every injection state plus every first-network-hop
+  // state reachable from it (the two shapes the router actually queries).
+  struct State {
+    int node, in_port, in_vc, dest;
+  };
+  std::vector<State> states;
+  for (int node = 0; node < topo.num_tiles(); ++node) {
+    for (int dest = 0; dest < topo.num_tiles(); ++dest) {
+      if (dest == node) continue;
+      states.push_back({node, -1, -1, dest});
+      const auto cands = routing->route(node, -1, -1, dest);
+      const auto& cand = cands.front();
+      const int next = topo.graph()
+                           .neighbors(node)[static_cast<std::size_t>(
+                               cand.out_port)]
+                           .node;
+      if (next == dest) continue;
+      // Arrival port at `next` coming from `node`.
+      const auto& nbrs = topo.graph().neighbors(next);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i].node == node) {
+          states.push_back({next, static_cast<int>(i), cand.vc_begin, dest});
+          break;
+        }
+      }
+    }
+  }
+
+  const int reps = smoke ? 20 : 200;
+  BenchResult result;
+  result.name = "route_lookup";
+  result.ops = static_cast<long long>(states.size()) * reps;
+  result.note = std::to_string(states.size()) + " states x " +
+                std::to_string(reps) + " reps";
+
+  auto t0 = Clock::now();
+  long long sink = 0;
+  for (int r = 0; r < reps; ++r) {
+    for (const State& s : states) {
+      const auto cands = routing->route(s.node, s.in_port, s.in_vc, s.dest);
+      sink += cands.front().out_port;
+    }
+  }
+  result.old_seconds = seconds_since(t0);
+
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const State& s : states) {
+      const auto cands = table.lookup(s.node, s.in_port, s.in_vc, s.dest);
+      sink += cands.front().out_port;
+    }
+  }
+  result.new_seconds = seconds_since(t0);
+  g_sink += sink;
+  return result;
+}
+
+// 2. Fused distance summary vs two legacy sweeps.
+BenchResult bench_fused_bfs(bool smoke) {
+  const topo::Topology topo =
+      topo::make_sparse_hamming(10, 10, {3, 6}, {3, 6});
+  const graph::Graph& g = topo.graph();
+  const int reps = smoke ? 50 : 500;
+
+  BenchResult result;
+  result.name = "fused_bfs";
+  result.ops = reps;
+  result.note = "avg_hops+diameter on " + std::to_string(g.num_nodes()) +
+                " nodes";
+
+  auto t0 = Clock::now();
+  double acc = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    acc += legacy_average_hops(g);
+    acc += legacy_diameter(g);
+  }
+  result.old_seconds = seconds_since(t0);
+
+  graph::BfsWorkspace ws;
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    const graph::DistanceSummary summary = graph::distance_summary(g, ws);
+    acc += summary.avg_hops + summary.diameter;
+  }
+  result.new_seconds = seconds_since(t0);
+  g_sink += static_cast<long long>(acc);
+  return result;
+}
+
+// 3. Greedy-DSE candidate screening, old path vs new path.
+BenchResult bench_dse_screen(bool smoke) {
+  const tech::ArchParams arch = fabric_10x10();
+  // The first greedy neighborhood: the mesh plus every single-skip
+  // candidate — exactly what customize_greedy screens per iteration.
+  std::vector<topo::ShgParams> batch;
+  batch.push_back(topo::ShgParams{});
+  for (int x = 2; x < arch.cols; ++x) {
+    batch.push_back(topo::ShgParams{{x}, {}});
+  }
+  for (int x = 2; x < arch.rows; ++x) {
+    batch.push_back(topo::ShgParams{{}, {x}});
+  }
+  const int reps = smoke ? 2 : 10;
+
+  BenchResult result;
+  result.name = "dse_screen";
+  result.ops = static_cast<long long>(batch.size()) * reps;
+  result.note = std::to_string(batch.size()) + " candidates x " +
+                std::to_string(reps) + " reps";
+
+  auto t0 = Clock::now();
+  double acc = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& params : batch) {
+      acc += legacy_screen_candidate(arch, params).throughput_bound;
+    }
+  }
+  result.old_seconds = seconds_since(t0);
+
+  t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& params : batch) {
+      acc += customize::screen_candidate(arch, params).throughput_bound;
+    }
+  }
+  result.new_seconds = seconds_since(t0);
+  g_sink += static_cast<long long>(acc * 1000.0);
+  return result;
+}
+
+// 4. Full simulation cycle loop: route table off vs on, identical results.
+BenchResult bench_sim_cycle(bool smoke, bool* results_identical) {
+  const topo::Topology topo =
+      topo::make_sparse_hamming(10, 10, {3, 6}, {3, 6});
+  const std::vector<int> latencies(
+      static_cast<std::size_t>(topo.graph().num_edges()), 1);
+  const auto pattern = sim::make_uniform(topo.num_tiles());
+
+  sim::SimConfig config;
+  config.injection_rate = 0.10;
+  config.warmup_cycles = smoke ? 200 : 1000;
+  config.measure_cycles = smoke ? 600 : 3000;
+
+  BenchResult result;
+  result.name = "sim_cycle";
+  // Both sides include the allocator fast paths of this PR; the old/new
+  // delta isolates the route table. The absolute seconds (and ops =
+  // simulated cycles) are what tracks the inner-loop trajectory over PRs.
+  result.note = "10x10 SHG, uniform, rate 0.10; delta isolates route table";
+
+  config.use_route_table = false;
+  sim::Simulator live(topo, latencies, config, *pattern, 1);
+  auto t0 = Clock::now();
+  const sim::SimResult live_result = live.run();
+  result.old_seconds = seconds_since(t0);
+
+  config.use_route_table = true;
+  config.verify_route_table = true;  // equivalence-checking mode
+  sim::Simulator tabled(topo, latencies, config, *pattern, 1);
+  t0 = Clock::now();
+  const sim::SimResult table_result = tabled.run();
+  result.new_seconds = seconds_since(t0);
+  result.ops = live_result.cycles_run;
+
+  *results_identical =
+      live_result.offered_rate == table_result.offered_rate &&
+      live_result.accepted_rate == table_result.accepted_rate &&
+      live_result.avg_packet_latency == table_result.avg_packet_latency &&
+      live_result.max_packet_latency == table_result.max_packet_latency &&
+      live_result.p50_packet_latency == table_result.p50_packet_latency &&
+      live_result.p95_packet_latency == table_result.p95_packet_latency &&
+      live_result.p99_packet_latency == table_result.p99_packet_latency &&
+      live_result.avg_hops == table_result.avg_hops &&
+      live_result.fairness == table_result.fairness &&
+      live_result.measured_packets == table_result.measured_packets &&
+      live_result.drained == table_result.drained &&
+      live_result.cycles_run == table_result.cycles_run;
+  return result;
+}
+
+void append_json(std::string& json, const BenchResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"old_seconds\": %.6f, "
+                "\"new_seconds\": %.6f, \"speedup\": %.3f, \"ops\": %lld, "
+                "\"note\": \"%s\"}",
+                r.name.c_str(), r.old_seconds, r.new_seconds, r.speedup(),
+                r.ops, r.note.c_str());
+  if (!json.empty()) json += ",\n";
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("usage: bench_hotpath [--smoke] [--out file.json]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== bench_hotpath (%s mode) ===\n", smoke ? "smoke" : "full");
+
+  bool results_identical = false;
+  std::vector<BenchResult> results;
+  results.push_back(bench_route_lookup(smoke));
+  print_result(results.back());
+  results.push_back(bench_fused_bfs(smoke));
+  print_result(results.back());
+  results.push_back(bench_dse_screen(smoke));
+  print_result(results.back());
+  results.push_back(bench_sim_cycle(smoke, &results_identical));
+  print_result(results.back());
+
+  std::printf("sim results identical (table on vs off): %s\n",
+              results_identical ? "yes" : "NO — BUG");
+
+  double dse_speedup = 0.0;
+  std::string entries;
+  for (const BenchResult& r : results) {
+    append_json(entries, r);
+    if (r.name == "dse_screen") dse_speedup = r.speedup();
+  }
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"shg.bench_hotpath.v1\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"fabric\": \"knc-like-10x10\",\n"
+      << "  \"sim_results_identical\": "
+      << (results_identical ? "true" : "false") << ",\n"
+      << "  \"dse_screen_speedup\": " << dse_speedup << ",\n"
+      << "  \"benchmarks\": [\n"
+      << entries << "\n  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Exit non-zero when the acceptance invariants are violated so CI can
+  // gate on the smoke run.
+  if (!results_identical) return 1;
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Minimal thread-pool parallelism for coarse-grained fan-out loops.
+//
+// Contract (relied on by DSE screening, exploration and load sweeps):
+//  * parallel_for(n, fn) invokes fn(i) exactly once for every i in [0, n)
+//    (unless a task throws, which aborts the remaining unclaimed tasks);
+//  * tasks write results into caller-owned slots indexed by i, so the
+//    observable output ordering is deterministic and identical to a serial
+//    loop regardless of the worker count or interleaving;
+//  * fn must not touch shared mutable state (give each task its own PRNG,
+//    workspace and output slot — seed per-task PRNGs from the task index);
+//  * exceptions thrown by fn are captured and the first one (by task index)
+//    is rethrown on the calling thread after all workers finish;
+//  * the worker count honors set_max_threads(); with <= 1 workers (or n <= 1)
+//    the loop degrades to a plain serial loop on the calling thread, which
+//    the determinism tests use as the reference execution.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "shg/common/error.hpp"
+
+namespace shg {
+
+namespace detail {
+inline std::atomic<int>& max_threads_setting() {
+  static std::atomic<int> value{0};  // 0 = auto (hardware concurrency)
+  return value;
+}
+}  // namespace detail
+
+/// Caps the number of worker threads parallel_for may use. 0 restores the
+/// automatic choice (hardware concurrency); 1 forces serial execution.
+inline void set_max_threads(int n) {
+  SHG_REQUIRE(n >= 0, "thread cap must be >= 0 (0 = auto)");
+  detail::max_threads_setting().store(n, std::memory_order_relaxed);
+}
+
+/// The effective worker cap: set_max_threads() value, or the hardware
+/// concurrency when unset (at least 1).
+inline int max_threads() {
+  const int setting =
+      detail::max_threads_setting().load(std::memory_order_relaxed);
+  if (setting > 0) return setting;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Runs fn(i) for every i in [0, n) across up to max_threads() workers.
+/// Tasks are claimed from a shared atomic counter, so long tasks do not
+/// stall short ones. Blocks until every task has finished.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(max_threads()), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> have_failure{false};
+  // First failure by task index, so the rethrown error is deterministic.
+  std::mutex failure_mutex;
+  std::size_t failed_index = n;
+  std::exception_ptr failure = nullptr;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      if (have_failure.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (i < failed_index) {
+          failed_index = i;
+          failure = std::current_exception();
+        }
+        have_failure.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace shg

@@ -4,6 +4,7 @@
 #include <functional>
 #include <sstream>
 
+#include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
 
 namespace shg::customize {
@@ -33,29 +34,47 @@ std::string label_for(const topo::ShgParams& params, const char* family) {
   return os.str();
 }
 
+/// Screens every enumerated parameterization in parallel, then filters and
+/// labels in enumeration order — the returned points are identical (values
+/// and order) to the old screen-inside-the-enumeration serial loop.
+std::vector<ExploredPoint> screen_all(const tech::ArchParams& arch,
+                                      std::vector<topo::ShgParams> batch,
+                                      double max_area_overhead,
+                                      const char* family) {
+  std::vector<CandidateMetrics> metrics(batch.size());
+  parallel_for(batch.size(), [&](std::size_t i) {
+    metrics[i] = screen_candidate(arch, batch[i]);
+  });
+  std::vector<ExploredPoint> points;
+  points.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (metrics[i].area_overhead > max_area_overhead) continue;
+    std::string label = label_for(batch[i], family);
+    points.push_back(
+        ExploredPoint{std::move(batch[i]), metrics[i], std::move(label)});
+  }
+  return points;
+}
+
 }  // namespace
 
 std::vector<ExploredPoint> explore_shg(const tech::ArchParams& arch,
                                        const ExploreOptions& options) {
-  std::vector<ExploredPoint> points;
+  std::vector<topo::ShgParams> batch;
   for_each_skip_subset(arch.cols, options.max_row_skips,
                        [&](const std::set<int>& row_skips) {
     for_each_skip_subset(arch.rows, options.max_col_skips,
                          [&](const std::set<int>& col_skips) {
-      topo::ShgParams params{row_skips, col_skips};
-      const CandidateMetrics metrics = screen_candidate(arch, params);
-      if (metrics.area_overhead > options.max_area_overhead) return;
-      points.push_back(
-          ExploredPoint{params, metrics, label_for(params, "shg")});
+      batch.push_back(topo::ShgParams{row_skips, col_skips});
     });
   });
-  return points;
+  return screen_all(arch, std::move(batch), options.max_area_overhead, "shg");
 }
 
 std::vector<ExploredPoint> explore_ruche(const tech::ArchParams& arch,
                                          const ExploreOptions& options) {
   // Ruche networks: exactly one skip distance (or none) per dimension.
-  std::vector<ExploredPoint> points;
+  std::vector<topo::ShgParams> batch;
   for (int rx = 0; rx < arch.cols; ++rx) {
     if (rx == 1) continue;  // 0 = no skip; skips start at 2
     for (int ry = 0; ry < arch.rows; ++ry) {
@@ -63,13 +82,11 @@ std::vector<ExploredPoint> explore_ruche(const tech::ArchParams& arch,
       topo::ShgParams params;
       if (rx >= 2) params.row_skips.insert(rx);
       if (ry >= 2) params.col_skips.insert(ry);
-      const CandidateMetrics metrics = screen_candidate(arch, params);
-      if (metrics.area_overhead > options.max_area_overhead) continue;
-      points.push_back(
-          ExploredPoint{params, metrics, label_for(params, "ruche")});
+      batch.push_back(std::move(params));
     }
   }
-  return points;
+  return screen_all(arch, std::move(batch), options.max_area_overhead,
+                    "ruche");
 }
 
 std::vector<ExploredPoint> trade_off_front(std::vector<ExploredPoint> points) {

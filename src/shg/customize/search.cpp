@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
 #include "shg/graph/shortest_paths.hpp"
 #include "shg/topo/generators.hpp"
@@ -20,17 +21,36 @@ bool better(const CandidateMetrics& a, const CandidateMetrics& b) {
   return a.avg_hops < b.avg_hops;
 }
 
+/// Screens a batch of parameterizations concurrently; results are indexed
+/// like the input, so downstream reductions see the same order as a serial
+/// loop (deterministic regardless of the worker count).
+std::vector<CandidateMetrics> screen_batch(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch) {
+  std::vector<CandidateMetrics> metrics(batch.size());
+  parallel_for(batch.size(), [&](std::size_t i) {
+    metrics[i] = screen_candidate(arch, batch[i]);
+  });
+  return metrics;
+}
+
 }  // namespace
 
 CandidateMetrics screen_candidate(const tech::ArchParams& arch,
                                   const topo::ShgParams& params) {
   const topo::Topology topo = topo::make_sparse_hamming(
       arch.rows, arch.cols, params.row_skips, params.col_skips);
-  const model::CostReport cost = model::evaluate_cost(arch, topo);
+  // Screening needs only the area overhead, so the cost model's area-only
+  // fast path (steps 1-4) replaces the full evaluation — detailed routing
+  // only feeds power/latency numbers no screening decision reads.
+  const model::ScreeningCost cost = model::evaluate_screening_cost(arch, topo);
+  // One fused all-pairs sweep replaces the average_hops + diameter pair,
+  // which ran two full sweeps plus two connectivity probes.
+  const graph::DistanceSummary summary = graph::distance_summary(topo.graph());
+  SHG_REQUIRE(summary.connected, "screening requires a connected topology");
   CandidateMetrics metrics;
   metrics.area_overhead = cost.area_overhead;
-  metrics.avg_hops = graph::average_hops(topo.graph());
-  metrics.diameter = graph::diameter(topo.graph());
+  metrics.avg_hops = summary.avg_hops;
+  metrics.diameter = static_cast<double>(summary.diameter);
   const double directed_links = 2.0 * topo.graph().num_edges();
   metrics.throughput_bound =
       directed_links /
@@ -50,39 +70,44 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal) {
       SearchStep{result.params, result.metrics, "start: mesh (SR={}, SC={})"});
 
   while (true) {
-    topo::ShgParams best_params;
-    CandidateMetrics best_metrics;
-    double best_score = 0.0;
-    bool found = false;
-
-    auto consider = [&](topo::ShgParams candidate, const std::string&) {
-      const CandidateMetrics metrics = screen_candidate(arch, candidate);
-      if (metrics.area_overhead > goal.max_area_overhead) return;
-      const double gain =
-          metrics.throughput_bound - result.metrics.throughput_bound;
-      const double extra_area =
-          std::max(1e-9, metrics.area_overhead - result.metrics.area_overhead);
-      const double score = gain / extra_area;
-      if (gain <= 0.0) return;
-      if (!found || score > best_score) {
-        found = true;
-        best_score = score;
-        best_params = std::move(candidate);
-        best_metrics = metrics;
-      }
-    };
-
+    // Enumerate this iteration's neighborhood (one extra skip distance per
+    // candidate), screen the whole batch in parallel, then reduce serially
+    // in enumeration order — identical winner and tie-breaks to the old
+    // one-candidate-at-a-time loop.
+    std::vector<topo::ShgParams> batch;
     for (int x = 2; x < arch.cols; ++x) {
       if (result.params.row_skips.count(x) != 0) continue;
       topo::ShgParams candidate = result.params;
       candidate.row_skips.insert(x);
-      consider(std::move(candidate), "row");
+      batch.push_back(std::move(candidate));
     }
     for (int x = 2; x < arch.rows; ++x) {
       if (result.params.col_skips.count(x) != 0) continue;
       topo::ShgParams candidate = result.params;
       candidate.col_skips.insert(x);
-      consider(std::move(candidate), "col");
+      batch.push_back(std::move(candidate));
+    }
+    const std::vector<CandidateMetrics> screened = screen_batch(arch, batch);
+
+    topo::ShgParams best_params;
+    CandidateMetrics best_metrics;
+    double best_score = 0.0;
+    bool found = false;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const CandidateMetrics& metrics = screened[i];
+      if (metrics.area_overhead > goal.max_area_overhead) continue;
+      const double gain =
+          metrics.throughput_bound - result.metrics.throughput_bound;
+      const double extra_area =
+          std::max(1e-9, metrics.area_overhead - result.metrics.area_overhead);
+      const double score = gain / extra_area;
+      if (gain <= 0.0) continue;
+      if (!found || score > best_score) {
+        found = true;
+        best_score = score;
+        best_params = batch[i];
+        best_metrics = metrics;
+      }
     }
     if (!found) break;
 
@@ -114,6 +139,8 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
 
   const std::size_t row_masks = std::size_t{1} << row_candidates.size();
   const std::size_t col_masks = std::size_t{1} << col_candidates.size();
+  std::vector<topo::ShgParams> batch;
+  batch.reserve(row_masks * col_masks);
   for (std::size_t rm = 0; rm < row_masks; ++rm) {
     for (std::size_t cm = 0; cm < col_masks; ++cm) {
       topo::ShgParams params;
@@ -123,13 +150,17 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
       for (std::size_t i = 0; i < col_candidates.size(); ++i) {
         if ((cm >> i) & 1) params.col_skips.insert(col_candidates[i]);
       }
-      const CandidateMetrics metrics = screen_candidate(arch, params);
-      if (metrics.area_overhead > goal.max_area_overhead) continue;
-      if (!have_best || better(metrics, best.metrics)) {
-        have_best = true;
-        best.params = std::move(params);
-        best.metrics = metrics;
-      }
+      batch.push_back(std::move(params));
+    }
+  }
+  const std::vector<CandidateMetrics> screened = screen_batch(arch, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const CandidateMetrics& metrics = screened[i];
+    if (metrics.area_overhead > goal.max_area_overhead) continue;
+    if (!have_best || better(metrics, best.metrics)) {
+      have_best = true;
+      best.params = std::move(batch[i]);
+      best.metrics = metrics;
     }
   }
   SHG_REQUIRE(have_best, "no parameterization fits the area budget");

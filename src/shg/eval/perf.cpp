@@ -2,16 +2,25 @@
 
 namespace shg::eval {
 
-sim::SimResult simulate_at_rate(const topo::Topology& topo,
-                                const std::vector<int>& link_latencies,
-                                int endpoints_per_tile,
-                                const sim::TrafficPattern& pattern,
-                                const PerfConfig& config, double rate) {
+sim::SimResult simulate_at_rate(
+    const topo::Topology& topo, const std::vector<int>& link_latencies,
+    int endpoints_per_tile, const sim::TrafficPattern& pattern,
+    const PerfConfig& config, double rate,
+    std::shared_ptr<const sim::RouteTable> shared_table) {
   sim::SimConfig sim_config = config.sim;
   sim_config.injection_rate = rate;
   sim::Simulator simulator(topo, link_latencies, sim_config, pattern,
-                           endpoints_per_tile);
+                           endpoints_per_tile, nullptr,
+                           std::move(shared_table));
   return simulator.run();
+}
+
+std::shared_ptr<const sim::RouteTable> make_shared_route_table(
+    const topo::Topology& topo, const PerfConfig& config) {
+  if (!config.sim.use_route_table) return nullptr;
+  const auto routing = sim::make_default_routing(topo, config.sim.num_vcs);
+  return std::make_shared<const sim::RouteTable>(topo, *routing,
+                                                 config.sim.num_vcs);
 }
 
 namespace {
@@ -37,10 +46,14 @@ PerfResult evaluate_performance(const topo::Topology& topo,
                                 const PerfConfig& config) {
   PerfResult result;
 
+  // One route table serves every probe of this evaluation (the topology,
+  // routing and VC count never change across rates).
+  const auto table = make_shared_route_table(topo, config);
+
   // Zero-load latency: a rate low enough that queueing is negligible.
   const sim::SimResult zero = simulate_at_rate(
       topo, link_latencies, endpoints_per_tile, pattern, config,
-      config.zero_load_rate);
+      config.zero_load_rate, table);
   SHG_REQUIRE(zero.drained && zero.measured_packets > 0,
               "zero-load run must drain; topology or routing is broken");
   result.zero_load_latency_cycles = zero.avg_packet_latency;
@@ -52,7 +65,7 @@ PerfResult evaluate_performance(const topo::Topology& topo,
   double hi = 1.0;
   sim::SimResult at_lo = zero;
   const sim::SimResult full = simulate_at_rate(
-      topo, link_latencies, endpoints_per_tile, pattern, config, 1.0);
+      topo, link_latencies, endpoints_per_tile, pattern, config, 1.0, table);
   if (!is_saturated(full, result.zero_load_latency_cycles, config)) {
     result.saturation_throughput = 1.0;
     result.accepted_at_saturation = full.accepted_rate;
@@ -61,7 +74,8 @@ PerfResult evaluate_performance(const topo::Topology& topo,
   for (int iter = 0; iter < config.bisection_iterations; ++iter) {
     const double mid = (lo + hi) / 2.0;
     const sim::SimResult probe = simulate_at_rate(
-        topo, link_latencies, endpoints_per_tile, pattern, config, mid);
+        topo, link_latencies, endpoints_per_tile, pattern, config, mid,
+        table);
     if (is_saturated(probe, result.zero_load_latency_cycles, config)) {
       hi = mid;
     } else {

@@ -39,10 +39,18 @@ PerfResult evaluate_performance(const topo::Topology& topo,
                                 const PerfConfig& config);
 
 /// Single simulation at a fixed rate (helper for sweeps and benches).
-sim::SimResult simulate_at_rate(const topo::Topology& topo,
-                                const std::vector<int>& link_latencies,
-                                int endpoints_per_tile,
-                                const sim::TrafficPattern& pattern,
-                                const PerfConfig& config, double rate);
+/// `shared_table` optionally reuses one precomputed route table across many
+/// rates on the same topology (see make_shared_route_table).
+sim::SimResult simulate_at_rate(
+    const topo::Topology& topo, const std::vector<int>& link_latencies,
+    int endpoints_per_tile, const sim::TrafficPattern& pattern,
+    const PerfConfig& config, double rate,
+    std::shared_ptr<const sim::RouteTable> shared_table = nullptr);
+
+/// Builds the route table the default routing of `topo` would use, for
+/// sharing across the simulations of a sweep or bisection. Returns null when
+/// the config disables route tables.
+std::shared_ptr<const sim::RouteTable> make_shared_route_table(
+    const topo::Topology& topo, const PerfConfig& config);
 
 }  // namespace shg::eval

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
 
 namespace shg::eval {
@@ -14,18 +15,25 @@ LoadLatencyCurve sweep_load_latency(const topo::Topology& topo,
                                     const std::vector<double>& rates,
                                     std::string label) {
   SHG_REQUIRE(!rates.empty(), "need at least one rate");
-  LoadLatencyCurve curve;
-  curve.label = std::move(label);
   for (double rate : rates) {
     SHG_REQUIRE(rate > 0.0 && rate <= 1.0, "rates must be in (0, 1]");
-    const sim::SimResult result = simulate_at_rate(
-        topo, link_latencies, endpoints_per_tile, pattern, config, rate);
-    curve.points.push_back(SweepPoint{result.offered_rate,
-                                      result.accepted_rate,
-                                      result.avg_packet_latency,
-                                      result.p99_packet_latency,
-                                      result.drained});
   }
+  LoadLatencyCurve curve;
+  curve.label = std::move(label);
+  // Each sweep point is an independent simulation: its Simulator owns a
+  // private PRNG seeded from config.sim.seed, so the per-rate results (and
+  // therefore the curve) are identical whether points run serially or
+  // concurrently. Results land in rate-indexed slots to keep the order.
+  curve.points.resize(rates.size());
+  const auto table = make_shared_route_table(topo, config);
+  parallel_for(rates.size(), [&](std::size_t i) {
+    const sim::SimResult result =
+        simulate_at_rate(topo, link_latencies, endpoints_per_tile, pattern,
+                         config, rates[i], table);
+    curve.points[i] = SweepPoint{result.offered_rate, result.accepted_rate,
+                                 result.avg_packet_latency,
+                                 result.p99_packet_latency, result.drained};
+  });
   return curve;
 }
 

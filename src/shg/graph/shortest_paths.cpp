@@ -5,64 +5,102 @@
 
 namespace shg::graph {
 
-std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+void bfs_distances(const Graph& g, NodeId src, BfsWorkspace& ws) {
   SHG_REQUIRE(src >= 0 && src < g.num_nodes(), "bfs source out of range");
-  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()),
-                        kUnreachable);
-  std::queue<NodeId> queue;
-  dist[static_cast<std::size_t>(src)] = 0;
-  queue.push(src);
-  while (!queue.empty()) {
-    const NodeId u = queue.front();
-    queue.pop();
-    for (const Neighbor& n : g.neighbors(u)) {
-      auto& d = dist[static_cast<std::size_t>(n.node)];
-      if (d == kUnreachable) {
-        d = dist[static_cast<std::size_t>(u)] + 1;
-        queue.push(n.node);
+  const int n = g.num_nodes();
+  ws.resize(n);
+  int* dist = ws.dist.data();
+  NodeId* queue = ws.queue.data();
+  std::fill(dist, dist + n, kUnreachable);
+  dist[src] = 0;
+  queue[0] = src;
+  int head = 0;
+  int tail = 1;
+  while (head < tail) {
+    const NodeId u = queue[head++];
+    const int du = dist[u] + 1;
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (dist[nb.node] == kUnreachable) {
+        dist[nb.node] = du;
+        queue[tail++] = nb.node;
       }
     }
   }
-  return dist;
+}
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  BfsWorkspace ws;
+  bfs_distances(g, src, ws);
+  ws.dist.resize(static_cast<std::size_t>(g.num_nodes()));
+  return std::move(ws.dist);
 }
 
 std::vector<std::vector<int>> all_pairs_hops(const Graph& g) {
   std::vector<std::vector<int>> result;
   result.reserve(static_cast<std::size_t>(g.num_nodes()));
+  BfsWorkspace ws;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    result.push_back(bfs_distances(g, u));
+    bfs_distances(g, u, ws);
+    result.emplace_back(ws.dist.begin(),
+                        ws.dist.begin() + g.num_nodes());
   }
   return result;
 }
 
 bool is_connected(const Graph& g) {
   if (g.num_nodes() <= 1) return true;
-  const auto dist = bfs_distances(g, 0);
-  return std::none_of(dist.begin(), dist.end(),
+  BfsWorkspace ws;
+  bfs_distances(g, 0, ws);
+  return std::none_of(ws.dist.begin(), ws.dist.begin() + g.num_nodes(),
                       [](int d) { return d == kUnreachable; });
 }
 
-int diameter(const Graph& g) {
-  SHG_REQUIRE(is_connected(g), "diameter requires a connected graph");
-  int best = 0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = bfs_distances(g, u);
-    for (int d : dist) best = std::max(best, d);
+DistanceSummary distance_summary(const Graph& g, BfsWorkspace& ws) {
+  DistanceSummary summary;
+  const int n = g.num_nodes();
+  if (n <= 1) return summary;
+  long long total = 0;
+  long long reachable_pairs = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    bfs_distances(g, u, ws);
+    const int* dist = ws.dist.data();
+    for (int v = 0; v < n; ++v) {
+      const int d = dist[v];
+      if (d == kUnreachable) {
+        summary.connected = false;
+        continue;
+      }
+      total += d;
+      ++reachable_pairs;
+      if (d > summary.diameter) summary.diameter = d;
+    }
   }
-  return best;
+  // reachable_pairs counts (u, u) self-pairs at distance 0; exclude them
+  // from the mean's denominator (they contribute nothing to the numerator).
+  reachable_pairs -= n;
+  if (reachable_pairs > 0) {
+    summary.avg_hops =
+        static_cast<double>(total) / static_cast<double>(reachable_pairs);
+  }
+  return summary;
+}
+
+DistanceSummary distance_summary(const Graph& g) {
+  BfsWorkspace ws;
+  return distance_summary(g, ws);
+}
+
+int diameter(const Graph& g) {
+  const DistanceSummary summary = distance_summary(g);
+  SHG_REQUIRE(summary.connected, "diameter requires a connected graph");
+  return summary.diameter;
 }
 
 double average_hops(const Graph& g) {
-  SHG_REQUIRE(is_connected(g), "average_hops requires a connected graph");
   SHG_REQUIRE(g.num_nodes() >= 2, "average_hops requires >= 2 nodes");
-  double total = 0.0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = bfs_distances(g, u);
-    for (int d : dist) total += d;
-  }
-  const double pairs =
-      static_cast<double>(g.num_nodes()) * (g.num_nodes() - 1);
-  return total / pairs;
+  const DistanceSummary summary = distance_summary(g);
+  SHG_REQUIRE(summary.connected, "average_hops requires a connected graph");
+  return summary.avg_hops;
 }
 
 std::vector<double> dijkstra(const Graph& g, NodeId src,

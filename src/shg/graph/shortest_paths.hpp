@@ -15,8 +15,44 @@ namespace shg::graph {
 /// Marker for unreachable nodes in hop-distance vectors.
 inline constexpr int kUnreachable = std::numeric_limits<int>::max();
 
+/// Reusable scratch space for BFS sweeps. Constructing a workspace once and
+/// passing it to the `bfs_distances` / `distance_summary` overloads below
+/// removes the per-call heap allocation that dominates all-pairs sweeps
+/// (the DSE screening hot path runs thousands of them per candidate batch).
+/// After a sweep, `dist` holds the hop distances of the last source.
+struct BfsWorkspace {
+  std::vector<int> dist;      ///< per-node hop distance (kUnreachable = not seen)
+  std::vector<NodeId> queue;  ///< flat FIFO; reused ring storage
+
+  /// Grows the buffers to `num_nodes` (no-op when already large enough).
+  void resize(int num_nodes) {
+    const auto n = static_cast<std::size_t>(num_nodes);
+    if (dist.size() < n) dist.resize(n);
+    if (queue.size() < n) queue.resize(n);
+  }
+};
+
 /// BFS hop distances from `src` to every node (kUnreachable if disconnected).
 std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// Allocation-free BFS: fills `ws.dist[0..num_nodes)` in place, reusing the
+/// workspace buffers. Equivalent to the allocating overload.
+void bfs_distances(const Graph& g, NodeId src, BfsWorkspace& ws);
+
+/// Fused single-pass all-pairs summary: average hops, diameter and
+/// connectivity computed in ONE sweep of n BFS runs. Replaces the
+/// `average_hops` + `diameter` pair (each of which runs its own all-pairs
+/// sweep plus a connectivity probe — 2n + 2 BFS in total) on screening
+/// paths. For disconnected graphs `connected` is false and the distance
+/// statistics cover reachable pairs only.
+struct DistanceSummary {
+  bool connected = true;
+  int diameter = 0;        ///< max finite hop distance over ordered pairs
+  double avg_hops = 0.0;   ///< mean over reachable ordered pairs (u != v)
+};
+
+DistanceSummary distance_summary(const Graph& g);
+DistanceSummary distance_summary(const Graph& g, BfsWorkspace& ws);
 
 /// All-pairs hop distances; result[u][v] is the hop distance from u to v.
 std::vector<std::vector<int>> all_pairs_hops(const Graph& g);

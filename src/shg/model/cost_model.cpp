@@ -14,12 +14,19 @@ std::vector<int> CostReport::link_latencies() const {
   return latencies;
 }
 
-CostReport evaluate_cost(const tech::ArchParams& arch,
-                         const topo::Topology& topo) {
+namespace {
+
+/// Steps 1-4 of the model, shared by the full evaluation and the area-only
+/// screening path. Fills the step 1-4 fields of `report` and returns the
+/// floorplan (plus the global routing via `global_out` when the caller needs
+/// step 5).
+phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
+                                       const topo::Topology& topo,
+                                       CostReport& report,
+                                       phys::GlobalRoutingResult* global_out) {
   SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
               "topology grid does not match the architecture parameters");
   const tech::TechnologyModel& tech = arch.tech;
-  CostReport report;
 
   // ---- Step 1: tile area estimate and placement -------------------------
   // Router ports: one manager + one subordinate port per topology link plus
@@ -33,7 +40,7 @@ CostReport evaluate_cost(const tech::ArchParams& arch,
   report.tile_w_mm = std::sqrt(tile_area_mm2 / arch.tile_aspect_ratio);
 
   // ---- Step 2: global routing in the grid of tiles -----------------------
-  const phys::GlobalRoutingResult global = phys::global_route(topo);
+  phys::GlobalRoutingResult global = phys::global_route(topo);
 
   // ---- Step 3: spacing between rows and columns of tiles -----------------
   const double wires = arch.wires_per_link();
@@ -55,19 +62,12 @@ CostReport evaluate_cost(const tech::ArchParams& arch,
   // ---- Step 4: discretization into unit cells ----------------------------
   report.cell_h_mm = tech.wires.h_wires_to_mm(wires);
   report.cell_w_mm = tech.wires.v_wires_to_mm(wires);
-  const phys::Floorplan plan(arch.rows, arch.cols, report.tile_w_mm,
-                             report.tile_h_mm, std::move(h_spacing),
-                             std::move(v_spacing), report.cell_w_mm,
-                             report.cell_h_mm);
+  phys::Floorplan plan(arch.rows, arch.cols, report.tile_w_mm,
+                       report.tile_h_mm, std::move(h_spacing),
+                       std::move(v_spacing), report.cell_w_mm,
+                       report.cell_h_mm);
   report.chip_width_mm = plan.chip_width();
   report.chip_height_mm = plan.chip_height();
-
-  // ---- Step 5: detailed routing in the grid of unit cells ----------------
-  const phys::DetailedRoutingResult detailed =
-      phys::detailed_route(topo, plan, global);
-  report.h_cells = detailed.h_cells;
-  report.v_cells = detailed.v_cells;
-  report.collision_cells = detailed.collision_cells;
 
   // ---- Area estimate (IV-B2b) --------------------------------------------
   report.total_area_mm2 = plan.chip_area_mm2();
@@ -76,6 +76,40 @@ CostReport evaluate_cost(const tech::ArchParams& arch,
                      arch.endpoint_area_ge);
   report.noc_area_mm2 = report.total_area_mm2 - report.base_area_mm2;
   report.area_overhead = report.noc_area_mm2 / report.total_area_mm2;
+
+  if (global_out != nullptr) *global_out = std::move(global);
+  return plan;
+}
+
+}  // namespace
+
+ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
+                                      const topo::Topology& topo) {
+  CostReport report;
+  floorplan_steps_1_to_4(arch, topo, report, nullptr);
+  ScreeningCost cost;
+  cost.total_area_mm2 = report.total_area_mm2;
+  cost.base_area_mm2 = report.base_area_mm2;
+  cost.noc_area_mm2 = report.noc_area_mm2;
+  cost.area_overhead = report.area_overhead;
+  return cost;
+}
+
+CostReport evaluate_cost(const tech::ArchParams& arch,
+                         const topo::Topology& topo) {
+  const tech::TechnologyModel& tech = arch.tech;
+  CostReport report;
+  phys::GlobalRoutingResult global;
+  const phys::Floorplan plan =
+      floorplan_steps_1_to_4(arch, topo, report, &global);
+  const double tile_area_mm2 = tech.ge_to_mm2(report.tile_area_ge);
+
+  // ---- Step 5: detailed routing in the grid of unit cells ----------------
+  const phys::DetailedRoutingResult detailed =
+      phys::detailed_route(topo, plan, global);
+  report.h_cells = detailed.h_cells;
+  report.v_cells = detailed.v_cells;
+  report.collision_cells = detailed.collision_cells;
 
   // ---- Power estimate (IV-B2c) --------------------------------------------
   // N^L_cell * A_C == total tile silicon area (logic-dominated);

@@ -77,4 +77,19 @@ struct CostReport {
 CostReport evaluate_cost(const tech::ArchParams& arch,
                          const topo::Topology& topo);
 
+/// Area-only fast path for DSE screening. Chip area depends only on steps
+/// 1-4 (tile area, global routing, channel spacing, floorplan); step 5
+/// (detailed routing) feeds the power and per-link latency estimates alone
+/// and dominates the full model's runtime. The returned overhead is
+/// identical to evaluate_cost(...).area_overhead.
+struct ScreeningCost {
+  double total_area_mm2 = 0.0;
+  double base_area_mm2 = 0.0;
+  double noc_area_mm2 = 0.0;
+  double area_overhead = 0.0;
+};
+
+ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
+                                      const topo::Topology& topo);
+
 }  // namespace shg::model

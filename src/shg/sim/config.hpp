@@ -26,6 +26,16 @@ struct SimConfig {
   long long measure_cycles = 3000;
   long long drain_cycles = 40000;  ///< cap on the drain phase
 
+  // Route-table acceleration: precompute every routing decision into a flat
+  // table at simulator construction so no RoutingFunction::route() call (or
+  // vector allocation) happens per head flit. Results are bit-identical with
+  // the table on or off; turn it off only when the table's memory footprint
+  // is a concern (it grows with nodes^2 * radix * VCs).
+  bool use_route_table = true;
+  // Equivalence-checking mode: after building the table, re-derive every
+  // entry from the live routing function and fail loudly on any mismatch.
+  bool verify_route_table = false;
+
   std::uint64_t seed = 0x5eed;
 
   void validate() const {

@@ -65,9 +65,10 @@ long long NetworkInterface::queued_flits() const {
 Network::Network(const topo::Topology& topo,
                  const std::vector<int>& link_latencies,
                  const SimConfig& config, const RoutingFunction* routing,
-                 int endpoints_per_tile)
+                 int endpoints_per_tile, const RouteTable* table)
     : endpoints_per_tile_(endpoints_per_tile) {
   const auto& g = topo.graph();
+  config.validate();
   SHG_REQUIRE(static_cast<int>(link_latencies.size()) == g.num_edges(),
               "need one latency per link");
   SHG_REQUIRE(endpoints_per_tile >= 1, "need at least one endpoint per tile");
@@ -84,7 +85,7 @@ Network::Network(const topo::Topology& topo,
   routers_.reserve(static_cast<std::size_t>(g.num_nodes()));
   for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
     routers_.push_back(std::make_unique<Router>(
-        u, g.degree(u), endpoints_per_tile, config, routing));
+        u, g.degree(u), endpoints_per_tile, config, routing, table));
     nis_.emplace_back(endpoints_per_tile, config.num_vcs);
   }
   for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {

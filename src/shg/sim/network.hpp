@@ -41,9 +41,11 @@ class NetworkInterface {
 /// The full network: owns routers, channels and NIs.
 class Network {
  public:
+  /// With a non-null `table`, routers look routes up in the precomputed
+  /// table instead of calling `routing` per head flit.
   Network(const topo::Topology& topo, const std::vector<int>& link_latencies,
           const SimConfig& config, const RoutingFunction* routing,
-          int endpoints_per_tile);
+          int endpoints_per_tile, const RouteTable* table = nullptr);
 
   int num_tiles() const { return static_cast<int>(routers_.size()); }
   int endpoints_per_tile() const { return endpoints_per_tile_; }

@@ -1,0 +1,108 @@
+#include "shg/sim/route_table.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace shg::sim {
+
+RouteTable::RouteTable(const topo::Topology& topo,
+                       const RoutingFunction& routing, int num_vcs)
+    : num_nodes_(topo.graph().num_nodes()),
+      num_vcs_(num_vcs),
+      routing_name_(routing.name()) {
+  SHG_REQUIRE(num_vcs >= 1, "route table needs at least one VC");
+  const auto& g = topo.graph();
+  const std::size_t n = static_cast<std::size_t>(num_nodes_);
+
+  slot_base_.resize(n + 1);
+  degree_.resize(n);
+  std::size_t slots = 0;
+  for (graph::NodeId u = 0; u < num_nodes_; ++u) {
+    slot_base_[static_cast<std::size_t>(u)] = slots;
+    degree_[static_cast<std::size_t>(u)] = g.degree(u);
+    slots += 1 + static_cast<std::size_t>(g.degree(u)) *
+                     static_cast<std::size_t>(num_vcs);
+  }
+  slot_base_[n] = slots;
+
+  const std::size_t rows = slots * n;
+  offsets_.assign(rows + 1, 0);
+
+  // Two passes over the state space would double the routing-function work,
+  // so fill the arena in one pass and patch offsets as we go. Rows are
+  // visited in exactly arena order (node-major, slot, dest).
+  for (graph::NodeId node = 0; node < num_nodes_; ++node) {
+    const int degree = degree_[static_cast<std::size_t>(node)];
+    for (int slot = 0; slot < 1 + degree * num_vcs; ++slot) {
+      const int in_port = slot == 0 ? -1 : (slot - 1) / num_vcs;
+      const int in_vc = slot == 0 ? -1 : (slot - 1) % num_vcs;
+      for (graph::NodeId dest = 0; dest < num_nodes_; ++dest) {
+        const std::size_t row =
+            (slot_base_[static_cast<std::size_t>(node)] +
+             static_cast<std::size_t>(slot)) *
+                n +
+            static_cast<std::size_t>(dest);
+        offsets_[row] = static_cast<std::uint32_t>(arena_.size());
+        if (dest == node) continue;  // ejection: router bypasses routing
+        // Routing functions may reject states their own invariants make
+        // unreachable (e.g. the up*/down* escape has no continuation for an
+        // arrival direction the escape path never produces). Store those
+        // rows empty: the simulator never looks them up, and if it ever did
+        // the router's non-empty assertion reproduces live-mode failure.
+        std::vector<RouteCandidate> candidates;
+        try {
+          candidates = routing.route(node, in_port, in_vc, dest);
+        } catch (const Error&) {
+          continue;
+        }
+        arena_.insert(arena_.end(), candidates.begin(), candidates.end());
+        SHG_ASSERT(arena_.size() <=
+                       std::numeric_limits<std::uint32_t>::max(),
+                   "route table arena exceeds 32-bit offsets");
+      }
+    }
+  }
+  offsets_[rows] = static_cast<std::uint32_t>(arena_.size());
+  arena_.shrink_to_fit();
+}
+
+void RouteTable::verify_against(const RoutingFunction& routing) const {
+  for (graph::NodeId node = 0; node < num_nodes_; ++node) {
+    const int degree = degree_[static_cast<std::size_t>(node)];
+    for (int slot = 0; slot < 1 + degree * num_vcs_; ++slot) {
+      const int in_port = slot == 0 ? -1 : (slot - 1) / num_vcs_;
+      const int in_vc = slot == 0 ? -1 : (slot - 1) % num_vcs_;
+      for (graph::NodeId dest = 0; dest < num_nodes_; ++dest) {
+        if (dest == node) continue;
+        std::vector<RouteCandidate> expected;
+        try {
+          expected = routing.route(node, in_port, in_vc, dest);
+        } catch (const Error&) {
+          // The reference function rejects this state as unreachable; the
+          // table must agree by having stored nothing for it.
+          SHG_REQUIRE(lookup(node, in_port, in_vc, dest).empty(),
+                      "route table has candidates for a state the routing "
+                      "function rejects");
+          continue;
+        }
+        const auto actual = lookup(node, in_port, in_vc, dest);
+        const bool match =
+            expected.size() == actual.size() &&
+            std::equal(expected.begin(), expected.end(), actual.begin(),
+                       [](const RouteCandidate& a, const RouteCandidate& b) {
+                         return a.out_port == b.out_port &&
+                                a.vc_begin == b.vc_begin &&
+                                a.vc_end == b.vc_end;
+                       });
+        SHG_REQUIRE(match, "route table mismatch vs " + routing.name() +
+                               " at node " + std::to_string(node) +
+                               " in_port " + std::to_string(in_port) +
+                               " in_vc " + std::to_string(in_vc) + " dest " +
+                               std::to_string(dest));
+      }
+    }
+  }
+}
+
+}  // namespace shg::sim

@@ -1,0 +1,114 @@
+// Precomputed routing tables: the simulator's head-flit hot path.
+//
+// RoutingFunction::route() returns a freshly allocated std::vector per call;
+// the router used to invoke it for every head flit reaching the front of a
+// VC, i.e. once per packet per hop per cycle of contention. A RouteTable
+// evaluates the routing function ONCE for every reachable routing state at
+// simulator construction and stores the candidate lists in a flat CSR-style
+// arena; lookups are two array reads and return a span into the arena — no
+// virtual call, no allocation.
+//
+// State space. The router queries routing in exactly two shapes:
+//  * injection: (node, in_port = -1, in_vc = -1, dest) — fresh local packet;
+//  * network hop: (node, in_port in [0, degree(node)), in_vc in [0, V), dest).
+// Per node that is 1 + degree(node) * V input "slots", each with one row per
+// destination. Rows with dest == node are empty (ejection is handled by the
+// router directly and never consults routing). Rows whose state the routing
+// function itself rejects as unreachable (it throws — e.g. an escape-path
+// continuation for an arrival direction the escape path never produces) are
+// also stored empty; the simulator never queries them, and the router's
+// non-empty assertion reproduces live-mode failure if it ever does.
+//
+// Arena layout (CSR):
+//   global slot  g = slot_base_[node] + slot,
+//                slot = 0 for injection, 1 + in_port * V + in_vc otherwise;
+//   row          r = g * N + dest;
+//   candidates   arena_[offsets_[r] .. offsets_[r + 1]).
+// Candidate order is preserved from the routing function (the VC allocator
+// tries candidates front to back), so simulation results are bit-identical
+// with the table on or off.
+//
+// Equivalence checking: verify_against() re-derives every row from a live
+// routing function and throws on the first mismatch; SimConfig's
+// verify_route_table flag runs it at simulator construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shg/sim/routing.hpp"
+
+namespace shg::sim {
+
+class RouteTable {
+ public:
+  /// Builds the full table by exhaustively querying `routing`. The routing
+  /// function must be total over the state space described above.
+  RouteTable(const topo::Topology& topo, const RoutingFunction& routing,
+             int num_vcs);
+
+  /// Candidates for a head flit at `node` that arrived through `in_port` on
+  /// `in_vc` (-1/-1 for injection) and wants to reach `dest` (!= node).
+  std::span<const RouteCandidate> lookup(int node, int in_port, int in_vc,
+                                         int dest) const {
+    const std::size_t row = row_index(node, in_port, in_vc, dest);
+    const std::uint32_t begin = offsets_[row];
+    const std::uint32_t end = offsets_[row + 1];
+    return {arena_.data() + begin, arena_.data() + end};
+  }
+
+  /// Name of the routing function the table was built from.
+  const std::string& routing_name() const { return routing_name_; }
+
+  int num_vcs() const { return num_vcs_; }
+  int num_nodes() const { return num_nodes_; }
+
+  /// True iff the table's dimensions (node count and per-node network port
+  /// counts) match `topo` — the cheap structural guard against wiring a
+  /// shared table into a simulator for a different topology.
+  bool matches(const topo::Topology& topo) const {
+    if (topo.graph().num_nodes() != num_nodes_) return false;
+    for (graph::NodeId u = 0; u < num_nodes_; ++u) {
+      if (topo.graph().degree(u) != degree_[static_cast<std::size_t>(u)]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Number of (node, in_port, in_vc, dest) rows, including empty ones.
+  std::size_t num_rows() const { return offsets_.size() - 1; }
+
+  /// Total candidates stored in the arena.
+  std::size_t num_candidates() const { return arena_.size(); }
+
+  /// Re-derives every row from `routing` and throws shg::Error with the
+  /// offending state on the first mismatch (candidate count, order, out
+  /// port or VC range). Passing the function the table was built from must
+  /// always succeed; passing a different function checks route equivalence.
+  void verify_against(const RoutingFunction& routing) const;
+
+ private:
+  std::size_t row_index(int node, int in_port, int in_vc, int dest) const {
+    const std::size_t slot =
+        in_port < 0 ? 0
+                    : 1 + static_cast<std::size_t>(in_port) *
+                              static_cast<std::size_t>(num_vcs_) +
+                          static_cast<std::size_t>(in_vc);
+    return (slot_base_[static_cast<std::size_t>(node)] + slot) *
+               static_cast<std::size_t>(num_nodes_) +
+           static_cast<std::size_t>(dest);
+  }
+
+  int num_nodes_ = 0;
+  int num_vcs_ = 0;
+  std::vector<std::size_t> slot_base_;  ///< per node: first global slot
+  std::vector<int> degree_;             ///< per node: network port count
+  std::vector<std::uint32_t> offsets_;  ///< CSR row offsets (rows + 1)
+  std::vector<RouteCandidate> arena_;   ///< all candidate lists, flattened
+  std::string routing_name_;
+};
+
+}  // namespace shg::sim

@@ -12,15 +12,20 @@ constexpr int kSinkCredits = std::numeric_limits<int>::max() / 2;
 }  // namespace
 
 Router::Router(int node, int num_net_ports, int num_local_ports,
-               const SimConfig& config, const RoutingFunction* routing)
+               const SimConfig& config, const RoutingFunction* routing,
+               const RouteTable* table)
     : node_(node),
       num_net_ports_(num_net_ports),
       num_local_ports_(num_local_ports),
       config_(config),
-      routing_(routing) {
+      routing_(routing),
+      table_(table) {
   SHG_REQUIRE(num_net_ports >= 0 && num_local_ports >= 1,
               "router needs at least one local port");
-  SHG_REQUIRE(routing != nullptr, "router needs a routing function");
+  SHG_REQUIRE(routing != nullptr || table != nullptr,
+              "router needs a routing function or a route table");
+  SHG_REQUIRE(table == nullptr || table->num_vcs() == config.num_vcs,
+              "route table was built for a different VC count");
   config_.validate();
   const int ports = num_ports();
   in_channels_.assign(static_cast<std::size_t>(ports), nullptr);
@@ -59,6 +64,7 @@ bool Router::try_inject(int local_port, int vc, const Flit& flit, Cycle now) {
   stored.vc = vc;
   stored.ready_cycle = now + config_.router_delay_cycles;
   ivc.buffer.push_back(stored);
+  ++buffered_;
   return true;
 }
 
@@ -78,6 +84,7 @@ void Router::deliver_phase(Cycle now) {
                    "credit protocol violated: buffer overflow");
         flit->ready_cycle = now + config_.router_delay_cycles;
         ivc.buffer.push_back(*flit);
+        ++buffered_;
       }
     }
     Channel* out = out_channels_[static_cast<std::size_t>(p)];
@@ -93,12 +100,12 @@ void Router::compute_route(int port, int vc) {
   InputVc& ivc = in_vc(port, vc);
   const Flit& head = ivc.buffer.front();
   SHG_ASSERT(head.head, "route computation requires a head flit");
-  ivc.candidates.clear();
   if (head.dest == node_) {
     // Ejection: pick the endpoint port by packet id (spreads load over the
     // tile's endpoints); any VC of the sink port is acceptable.
     const int local = num_net_ports_ + (head.packet_id % num_local_ports_);
-    ivc.candidates.push_back(RouteCandidate{local, 0, config_.num_vcs});
+    ivc.eject = RouteCandidate{local, 0, config_.num_vcs};
+    ivc.routes = {&ivc.eject, 1};
   } else {
     // Local input ports report in_port == -1 AND in_vc == -1: the local
     // buffer VC an injected packet happens to sit in carries no routing
@@ -108,14 +115,26 @@ void Router::compute_route(int port, int vc) {
     // crossed the dateline" and legally traversed the wrap edge on the
     // class-1 channels, closing the cycle the dateline breaks.
     const bool from_network = port < num_net_ports_;
-    ivc.candidates = routing_->route(node_, from_network ? port : -1,
-                                     from_network ? vc : -1, head.dest);
-    SHG_ASSERT(!ivc.candidates.empty(), "routing returned no candidates");
+    const int in_port = from_network ? port : -1;
+    const int in_vc = from_network ? vc : -1;
+    if (table_ != nullptr) {
+      ivc.routes = table_->lookup(node_, in_port, in_vc, head.dest);
+    } else {
+      ivc.live_candidates = routing_->route(node_, in_port, in_vc, head.dest);
+      ivc.routes = ivc.live_candidates;
+    }
+    SHG_ASSERT(!ivc.routes.empty(), "routing returned no candidates");
   }
   ivc.state = InputVc::State::kVcAlloc;
 }
 
 void Router::allocate_phase(Cycle now) {
+  // Empty router fast path: with no buffered flit there is nothing to
+  // route, no VC to request and no switch grant to make, and the
+  // round-robin pointers only advance on grants — skipping the three
+  // allocator sweeps is bit-identical to running them. At low and moderate
+  // loads most routers are empty in most cycles.
+  if (buffered_ == 0) return;
   const int ports = num_ports();
   const int vcs = config_.num_vcs;
 
@@ -138,7 +157,7 @@ void Router::allocate_phase(Cycle now) {
       InputVc& ivc = in_vc(p, v);
       if (ivc.state != InputVc::State::kVcAlloc) continue;
       int request = -1;
-      for (const RouteCandidate& cand : ivc.candidates) {
+      for (const RouteCandidate& cand : ivc.routes) {
         for (int ov = cand.vc_begin; ov < cand.vc_end; ++ov) {
           if (!out_vc(cand.out_port, ov).busy) {
             request = cand.out_port * vcs + ov;
@@ -220,6 +239,7 @@ void Router::allocate_phase(Cycle now) {
     InputVc& ivc = in_vc(winner, iv);
     Flit flit = ivc.buffer.front();
     ivc.buffer.pop_front();
+    --buffered_;
     flit.vc = ivc.out_vc;
     ++flit.hops;
     OutputVc& ovc = out_vc(ivc.out_port, ivc.out_vc);
@@ -244,17 +264,10 @@ void Router::allocate_phase(Cycle now) {
       ivc.state = InputVc::State::kIdle;
       ivc.out_port = -1;
       ivc.out_vc = -1;
-      ivc.candidates.clear();
+      ivc.routes = {};
+      ivc.live_candidates.clear();
     }
   }
-}
-
-long long Router::buffered_flits() const {
-  long long total = 0;
-  for (const InputVc& ivc : input_vcs_) {
-    total += static_cast<long long>(ivc.buffer.size());
-  }
-  return total;
 }
 
 std::string Router::debug_state() const {

@@ -16,18 +16,23 @@
 #pragma once
 
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "shg/sim/channel.hpp"
 #include "shg/sim/config.hpp"
+#include "shg/sim/route_table.hpp"
 #include "shg/sim/routing.hpp"
 
 namespace shg::sim {
 
 class Router {
  public:
+  /// With a non-null `table`, head-flit route computation is a table lookup
+  /// (no virtual call, no allocation); otherwise `routing` is called live.
   Router(int node, int num_net_ports, int num_local_ports,
-         const SimConfig& config, const RoutingFunction* routing);
+         const SimConfig& config, const RoutingFunction* routing,
+         const RouteTable* table = nullptr);
 
   int node() const { return node_; }
   int num_ports() const { return num_net_ports_ + num_local_ports_; }
@@ -56,8 +61,9 @@ class Router {
   /// drained by the network interface each cycle.
   std::vector<Flit>& ejected() { return ejected_; }
 
-  /// Total buffered flits (for progress/deadlock accounting).
-  long long buffered_flits() const;
+  /// Total buffered flits (for progress/deadlock accounting). O(1): the
+  /// router maintains the count as flits enter and leave its input VCs.
+  long long buffered_flits() const { return buffered_; }
 
   /// Human-readable dump of all occupied input VCs and allocated output VCs
   /// (deadlock diagnostics).
@@ -67,7 +73,11 @@ class Router {
   struct InputVc {
     std::deque<Flit> buffer;
     enum class State { kIdle, kVcAlloc, kActive } state = State::kIdle;
-    std::vector<RouteCandidate> candidates;  ///< cached for the head packet
+    /// Candidates of the head packet: a view into the route table's arena,
+    /// into `live_candidates`, or over `eject` — valid until the tail leaves.
+    std::span<const RouteCandidate> routes;
+    std::vector<RouteCandidate> live_candidates;  ///< live-routing mode only
+    RouteCandidate eject;                         ///< ejection storage
     int out_port = -1;
     int out_vc = -1;
   };
@@ -96,9 +106,11 @@ class Router {
   int num_local_ports_;
   SimConfig config_;
   const RoutingFunction* routing_;
+  const RouteTable* table_;
 
   std::vector<Channel*> in_channels_;   ///< per port; null for local ports
   std::vector<Channel*> out_channels_;  ///< per port; null for local ports
+  long long buffered_ = 0;              ///< flits across all input VCs
   std::vector<InputVc> input_vcs_;      ///< [port][vc] flattened
   std::vector<OutputVc> output_vcs_;    ///< [port][vc] flattened
   std::vector<Flit> ejected_;

@@ -9,28 +9,60 @@ namespace shg::sim {
 Simulator::Simulator(const topo::Topology& topo,
                      std::vector<int> link_latencies, SimConfig config,
                      const TrafficPattern& pattern, int endpoints_per_tile,
-                     std::unique_ptr<RoutingFunction> routing)
+                     std::unique_ptr<RoutingFunction> routing,
+                     std::shared_ptr<const RouteTable> shared_table)
     : topo_(&topo),
       link_latencies_(std::move(link_latencies)),
       config_(config),
       pattern_(&pattern),
       endpoints_per_tile_(endpoints_per_tile),
-      routing_(routing ? std::move(routing)
-                       : make_default_routing(topo, config.num_vcs)) {
+      routing_(std::move(routing)),
+      route_table_(std::move(shared_table)) {
   config_.validate();
+  if (route_table_ != nullptr) {
+    SHG_REQUIRE(route_table_->num_vcs() == config_.num_vcs,
+                "shared route table was built for a different VC count");
+    SHG_REQUIRE(route_table_->matches(topo),
+                "shared route table was built for a different topology");
+  }
+  // With a shared table and no verification request, the routing function
+  // is never consulted — skip constructing the default one (for table-based
+  // families its constructor redoes the all-pairs work the shared table
+  // exists to amortize).
+  const bool need_routing =
+      routing_ == nullptr &&
+      (route_table_ == nullptr || config_.verify_route_table);
+  if (need_routing) {
+    routing_ = make_default_routing(topo, config_.num_vcs);
+  }
+  if (route_table_ == nullptr && config_.use_route_table) {
+    route_table_ =
+        std::make_shared<const RouteTable>(topo, *routing_, config_.num_vcs);
+  }
+  if (route_table_ != nullptr && config_.verify_route_table) {
+    route_table_->verify_against(*routing_);
+  }
 }
 
 SimResult Simulator::run() {
   Network network(*topo_, link_latencies_, config_, routing_.get(),
-                  endpoints_per_tile_);
+                  endpoints_per_tile_, route_table_.get());
   Prng rng(config_.seed);
-  std::vector<PacketRecord> packets;
-  packets.reserve(4096);
 
   const Cycle generation_end = config_.warmup_cycles + config_.measure_cycles;
   const Cycle hard_end = generation_end + config_.drain_cycles;
   const double packet_prob =
       config_.injection_rate / static_cast<double>(config_.packet_size_flits);
+
+  // Reserve the packet log from the expected injection volume (Bernoulli
+  // mean + 10% headroom) instead of a fixed guess, so high-rate runs do not
+  // pay repeated geometric reallocations of a multi-megabyte vector.
+  std::vector<PacketRecord> packets;
+  const double expected_packets =
+      packet_prob * static_cast<double>(generation_end) *
+      static_cast<double>(topo_->num_tiles()) *
+      static_cast<double>(endpoints_per_tile_);
+  packets.reserve(static_cast<std::size_t>(expected_packets * 1.1) + 256);
 
   long long measured_created = 0;
   long long measured_ejected = 0;
@@ -43,8 +75,16 @@ SimResult Simulator::run() {
       static_cast<std::size_t>(topo_->num_tiles()), 0);
   Cycle last_ejection = 0;
 
+  // Reusable per-packet flit staging. Head/tail flags depend only on the
+  // slot, so they are set once; the per-packet loop only fills the fields
+  // that actually vary (id, endpoints, creation time).
   std::vector<Flit> scratch_flits(
       static_cast<std::size_t>(config_.packet_size_flits));
+  for (int f = 0; f < config_.packet_size_flits; ++f) {
+    scratch_flits[static_cast<std::size_t>(f)].head = f == 0;
+    scratch_flits[static_cast<std::size_t>(f)].tail =
+        f == config_.packet_size_flits - 1;
+  }
 
   SimResult result;
   result.offered_rate = config_.injection_rate;
@@ -64,12 +104,9 @@ SimResult Simulator::run() {
           if (measured) ++measured_created;
           for (int f = 0; f < config_.packet_size_flits; ++f) {
             Flit& flit = scratch_flits[static_cast<std::size_t>(f)];
-            flit = Flit{};
             flit.packet_id = id;
             flit.src = tile;
             flit.dest = dest;
-            flit.head = f == 0;
-            flit.tail = f == config_.packet_size_flits - 1;
             flit.create_cycle = now;
           }
           network.interface(tile).enqueue_packet(port, scratch_flits);

@@ -8,6 +8,7 @@
 
 #include "shg/sim/config.hpp"
 #include "shg/sim/network.hpp"
+#include "shg/sim/route_table.hpp"
 #include "shg/sim/routing.hpp"
 #include "shg/sim/traffic.hpp"
 
@@ -37,16 +38,30 @@ class Simulator {
   /// `link_latencies`: cycles per link, from the cost model (Section IV-B2d).
   /// `endpoints_per_tile`: local injection/ejection ports per tile.
   /// If `routing` is null, the topology family's default deadlock-free
-  /// routing is used.
+  /// routing is used. `shared_table` lets callers running many simulations
+  /// on one topology (sweeps, bisection) reuse one precomputed route table
+  /// instead of rebuilding it per run; it must match the routing function
+  /// and VC count, which verify_route_table can check.
   Simulator(const topo::Topology& topo, std::vector<int> link_latencies,
             SimConfig config, const TrafficPattern& pattern,
             int endpoints_per_tile,
-            std::unique_ptr<RoutingFunction> routing = nullptr);
+            std::unique_ptr<RoutingFunction> routing = nullptr,
+            std::shared_ptr<const RouteTable> shared_table = nullptr);
 
   /// Runs warmup + measurement + drain and returns the statistics.
   SimResult run();
 
-  const RoutingFunction& routing() const { return *routing_; }
+  /// The live routing function. Not available when a shared route table
+  /// (without verification) made constructing one unnecessary.
+  const RoutingFunction& routing() const {
+    SHG_REQUIRE(routing_ != nullptr,
+                "simulator runs purely from a shared route table; no live "
+                "routing function was constructed");
+    return *routing_;
+  }
+
+  /// The precomputed route table (null when config.use_route_table is off).
+  const RouteTable* route_table() const { return route_table_.get(); }
 
  private:
   struct PacketRecord {
@@ -62,6 +77,7 @@ class Simulator {
   const TrafficPattern* pattern_;
   int endpoints_per_tile_;
   std::unique_ptr<RoutingFunction> routing_;
+  std::shared_ptr<const RouteTable> route_table_;
 };
 
 }  // namespace shg::sim

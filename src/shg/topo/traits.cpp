@@ -108,12 +108,14 @@ CutLoads cut_loads(const Topology& topo) {
 TopologyTraits analyze(const Topology& topo) {
   const auto& g = topo.graph();
   SHG_REQUIRE(g.num_edges() > 0, "cannot analyze a topology without links");
-  SHG_REQUIRE(graph::is_connected(g), "cannot analyze a disconnected topology");
+  // One fused all-pairs sweep yields connectivity, diameter and mean hops.
+  const graph::DistanceSummary summary = graph::distance_summary(g);
+  SHG_REQUIRE(summary.connected, "cannot analyze a disconnected topology");
 
   TopologyTraits traits;
   traits.radix = topo.radix();
-  traits.diameter = graph::diameter(g);
-  traits.avg_hops = topo.num_tiles() >= 2 ? graph::average_hops(g) : 0.0;
+  traits.diameter = summary.diameter;
+  traits.avg_hops = topo.num_tiles() >= 2 ? summary.avg_hops : 0.0;
 
   // --- Routability metrics --------------------------------------------
   auto& m = traits.metrics;

@@ -90,6 +90,45 @@ TEST(ShortestPaths, DiameterRequiresConnected) {
   EXPECT_THROW(diameter(g), Error);
 }
 
+TEST(ShortestPaths, WorkspaceBfsMatchesAllocating) {
+  const Graph g = cycle_graph(9);
+  BfsWorkspace ws;
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    const auto expected = bfs_distances(g, src);
+    bfs_distances(g, src, ws);
+    for (int v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(ws.dist[static_cast<std::size_t>(v)],
+                expected[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(ShortestPaths, DistanceSummaryMatchesLegacyMetrics) {
+  for (const Graph& g : {path_graph(7), cycle_graph(8), cycle_graph(9)}) {
+    const DistanceSummary summary = distance_summary(g);
+    EXPECT_TRUE(summary.connected);
+    EXPECT_EQ(summary.diameter, diameter(g));
+    EXPECT_DOUBLE_EQ(summary.avg_hops, average_hops(g));
+  }
+}
+
+TEST(ShortestPaths, DistanceSummaryDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const DistanceSummary summary = distance_summary(g);
+  EXPECT_FALSE(summary.connected);
+  // Reachable ordered pairs: (0,1), (1,0), (2,3), (3,2) — all one hop.
+  EXPECT_EQ(summary.diameter, 1);
+  EXPECT_DOUBLE_EQ(summary.avg_hops, 1.0);
+}
+
+TEST(ShortestPaths, DistanceSummaryTrivialGraphs) {
+  EXPECT_TRUE(distance_summary(Graph(1)).connected);
+  EXPECT_EQ(distance_summary(Graph(1)).diameter, 0);
+  EXPECT_EQ(distance_summary(Graph(0)).diameter, 0);
+}
+
 TEST(ShortestPaths, DijkstraPrefersLightPath) {
   // Triangle where the direct edge is heavier than the two-hop detour.
   Graph g(3);

@@ -1,0 +1,200 @@
+// Route-table correctness: the precomputed table must agree with the live
+// routing function on every reachable (node, in_port, in_vc, dest) state of
+// every topology family, and the simulator must produce bit-identical
+// results with the table on or off.
+#include <gtest/gtest.h>
+
+#include "shg/sim/route_table.hpp"
+#include "shg/sim/simulator.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::sim {
+namespace {
+
+constexpr int kVcs = 4;
+
+/// Exhaustive element-wise comparison of table lookups against live route()
+/// calls, mirroring the lookup index logic independently of verify_against.
+void expect_table_matches_live(const topo::Topology& topo,
+                               const RoutingFunction& routing, int num_vcs) {
+  const RouteTable table(topo, routing, num_vcs);
+  EXPECT_EQ(table.num_vcs(), num_vcs);
+  EXPECT_EQ(table.routing_name(), routing.name());
+  long long states_checked = 0;
+  for (int node = 0; node < topo.num_tiles(); ++node) {
+    const int degree = topo.graph().degree(node);
+    for (int slot = 0; slot < 1 + degree * num_vcs; ++slot) {
+      const int in_port = slot == 0 ? -1 : (slot - 1) / num_vcs;
+      const int in_vc = slot == 0 ? -1 : (slot - 1) % num_vcs;
+      for (int dest = 0; dest < topo.num_tiles(); ++dest) {
+        if (dest == node) continue;
+        std::vector<RouteCandidate> expected;
+        try {
+          expected = routing.route(node, in_port, in_vc, dest);
+        } catch (const Error&) {
+          // State unreachable under the routing function's invariants: the
+          // table must have stored an empty row.
+          EXPECT_TRUE(table.lookup(node, in_port, in_vc, dest).empty())
+              << topo.name() << " node " << node << " in_port " << in_port
+              << " in_vc " << in_vc << " dest " << dest;
+          continue;
+        }
+        const auto actual = table.lookup(node, in_port, in_vc, dest);
+        ASSERT_EQ(actual.size(), expected.size())
+            << topo.name() << " node " << node << " in_port " << in_port
+            << " in_vc " << in_vc << " dest " << dest;
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(actual[i].out_port, expected[i].out_port);
+          EXPECT_EQ(actual[i].vc_begin, expected[i].vc_begin);
+          EXPECT_EQ(actual[i].vc_end, expected[i].vc_end);
+        }
+        ++states_checked;
+      }
+    }
+  }
+  EXPECT_GT(states_checked, 0);
+  // The built-in equivalence checker must agree with the manual sweep.
+  EXPECT_NO_THROW(table.verify_against(routing));
+}
+
+TEST(RouteTable, MatchesLiveRoutingOnMesh) {
+  const auto topo = topo::make_mesh(4, 5);
+  const auto routing = make_xy_hamming_routing(topo, kVcs);
+  expect_table_matches_live(topo, *routing, kVcs);
+}
+
+TEST(RouteTable, MatchesLiveRoutingOnTorus) {
+  const auto topo = topo::make_torus(4, 4);
+  const auto routing = make_xy_hamming_routing(topo, kVcs);
+  expect_table_matches_live(topo, *routing, kVcs);
+}
+
+TEST(RouteTable, MatchesLiveRoutingOnShg) {
+  const auto topo = topo::make_sparse_hamming(5, 5, {2, 3}, {2, 4});
+  const auto routing = make_xy_hamming_routing(topo, kVcs);
+  expect_table_matches_live(topo, *routing, kVcs);
+}
+
+TEST(RouteTable, MatchesLiveRoutingOnSlimNoc) {
+  const auto topo = topo::make_slim_noc(5, 10);
+  const auto routing = make_table_escape_routing(topo, kVcs);
+  expect_table_matches_live(topo, *routing, kVcs);
+}
+
+TEST(RouteTable, MatchesLiveRoutingOnRing) {
+  const auto topo = topo::make_ring(4, 4);
+  const auto routing = make_ring_routing(topo, 2);
+  expect_table_matches_live(topo, *routing, 2);
+}
+
+TEST(RouteTable, VerifyAgainstRejectsDifferentRouting) {
+  // A table built for a 4x4 mesh's XY routing must fail verification
+  // against the escape-table routing of the same topology (different
+  // candidate sets for most states).
+  const auto topo = topo::make_mesh(4, 4);
+  const auto xy = make_xy_hamming_routing(topo, kVcs);
+  const auto escape = make_table_escape_routing(topo, kVcs);
+  const RouteTable table(topo, *xy, kVcs);
+  EXPECT_THROW(table.verify_against(*escape), Error);
+}
+
+TEST(RouteTable, RejectsVcMismatchInRouter) {
+  const auto topo = topo::make_mesh(3, 3);
+  const auto routing = make_xy_hamming_routing(topo, 2);
+  const RouteTable table(topo, *routing, 2);
+  SimConfig config;
+  config.num_vcs = 4;  // != table's 2
+  EXPECT_THROW(Router(0, 2, 1, config, routing.get(), &table), Error);
+}
+
+TEST(RouteTable, SimulatorRejectsSharedTableForDifferentTopology) {
+  const auto built_for = topo::make_mesh(3, 3);
+  const auto other = topo::make_mesh(4, 4);
+  const auto routing = make_default_routing(built_for, kVcs);
+  const auto table =
+      std::make_shared<const RouteTable>(built_for, *routing, kVcs);
+  EXPECT_TRUE(table->matches(built_for));
+  EXPECT_FALSE(table->matches(other));
+  SimConfig config;
+  config.num_vcs = kVcs;
+  const auto pattern = make_uniform(other.num_tiles());
+  const std::vector<int> latencies(
+      static_cast<std::size_t>(other.graph().num_edges()), 1);
+  EXPECT_THROW(
+      Simulator(other, latencies, config, *pattern, 1, nullptr, table),
+      Error);
+}
+
+std::vector<int> unit_latencies(const topo::Topology& topo) {
+  return std::vector<int>(static_cast<std::size_t>(topo.graph().num_edges()),
+                          1);
+}
+
+/// The acceptance bar of the perf overhaul: latency distribution,
+/// throughput and every other statistic must be identical with the route
+/// table on or off.
+void expect_bit_identical_sim(const topo::Topology& topo) {
+  SimConfig config;
+  config.num_vcs = kVcs;
+  config.injection_rate = 0.08;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 900;
+  const auto pattern = make_uniform(topo.num_tiles());
+
+  config.use_route_table = false;
+  const SimResult live =
+      Simulator(topo, unit_latencies(topo), config, *pattern, 1).run();
+  config.use_route_table = true;
+  config.verify_route_table = true;
+  const SimResult tabled =
+      Simulator(topo, unit_latencies(topo), config, *pattern, 1).run();
+
+  EXPECT_EQ(live.offered_rate, tabled.offered_rate);
+  EXPECT_EQ(live.accepted_rate, tabled.accepted_rate);
+  EXPECT_EQ(live.avg_packet_latency, tabled.avg_packet_latency);
+  EXPECT_EQ(live.max_packet_latency, tabled.max_packet_latency);
+  EXPECT_EQ(live.p50_packet_latency, tabled.p50_packet_latency);
+  EXPECT_EQ(live.p95_packet_latency, tabled.p95_packet_latency);
+  EXPECT_EQ(live.p99_packet_latency, tabled.p99_packet_latency);
+  EXPECT_EQ(live.avg_hops, tabled.avg_hops);
+  EXPECT_EQ(live.fairness, tabled.fairness);
+  EXPECT_EQ(live.measured_packets, tabled.measured_packets);
+  EXPECT_EQ(live.drained, tabled.drained);
+  EXPECT_EQ(live.cycles_run, tabled.cycles_run);
+}
+
+TEST(RouteTable, SimResultsBitIdenticalOnShg) {
+  expect_bit_identical_sim(topo::make_sparse_hamming(6, 6, {3}, {2}));
+}
+
+TEST(RouteTable, SimResultsBitIdenticalOnTorus) {
+  expect_bit_identical_sim(topo::make_torus(4, 4));
+}
+
+TEST(RouteTable, SimResultsBitIdenticalOnSlimNoc) {
+  expect_bit_identical_sim(topo::make_slim_noc(5, 10));
+}
+
+TEST(RouteTable, SharedTableMatchesPrivateTable) {
+  const auto topo = topo::make_mesh(4, 4);
+  const auto routing = make_default_routing(topo, kVcs);
+  const auto shared =
+      std::make_shared<const RouteTable>(topo, *routing, kVcs);
+  SimConfig config;
+  config.num_vcs = kVcs;
+  config.injection_rate = 0.05;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 600;
+  const auto pattern = make_uniform(topo.num_tiles());
+  const SimResult with_private =
+      Simulator(topo, unit_latencies(topo), config, *pattern, 1).run();
+  const SimResult with_shared = Simulator(topo, unit_latencies(topo), config,
+                                          *pattern, 1, nullptr, shared)
+                                    .run();
+  EXPECT_EQ(with_private.avg_packet_latency, with_shared.avg_packet_latency);
+  EXPECT_EQ(with_private.accepted_rate, with_shared.accepted_rate);
+  EXPECT_EQ(with_private.measured_packets, with_shared.measured_packets);
+}
+
+}  // namespace
+}  // namespace shg::sim
