@@ -1,0 +1,185 @@
+// Workload-engine benchmark: batched vs serial experiment throughput.
+//
+// Runs one Figure-6-class experiment — 4 topologies x 3 traffic specs x
+// 5 rates x 3 seeds = 180 simulations on an 8x8 KNC-class fabric — three
+// ways:
+//
+//  1. legacy_serial — the pre-engine control flow: a hand-rolled loop
+//     over every point, each constructing its own Simulator (and
+//     therefore its own route table), exactly how callers plumbed sweeps
+//     by hand before the experiment engine existed;
+//  2. engine_serial — the experiment engine pinned to one worker
+//     (set_max_threads(1)): isolates the route-table sharing win;
+//  3. engine_batched — the engine at the default worker count: adds the
+//     parallel_for fan-out win.
+//
+// The engine_serial and engine_batched reports must be identical — the
+// engine's determinism contract — and the process exits non-zero if they
+// are not, so CI can gate on the smoke run. The acceptance target for
+// the workload-engine PR is >= 2x engine_serial / engine_batched
+// wall-clock on a 4-core runner.
+//
+// Output: a table on stdout + machine-readable JSON (default
+// BENCH_workloads.json; see --out). `--smoke` shrinks the simulated
+// cycle counts for CI; ratios stay meaningful.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shg/common/parallel.hpp"
+#include "shg/eval/experiment.hpp"
+#include "shg/topo/generators.hpp"
+#include "shg/topo/registry.hpp"
+
+namespace {
+
+using namespace shg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+eval::ExperimentSpec make_spec(bool smoke) {
+  eval::ExperimentSpec spec;
+  spec.name = "bench-workloads-8x8";
+  const int rows = 8;
+  const int cols = 8;
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_mesh(rows, cols), {}, ""});
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_torus(rows, cols), {}, ""});
+  spec.topologies.push_back(eval::TopologyCase{
+      topo::make_flattened_butterfly(rows, cols), {}, ""});
+  spec.topologies.push_back(eval::TopologyCase{
+      topo::make_sparse_hamming(rows, cols, {4}, {2, 5}), {}, ""});
+  for (const char* workload :
+       {"uniform", "transpose", "hotspot:0,7:0.2/onoff:0.05,0.15"}) {
+    spec.traffic.push_back(eval::TrafficCase{workload, nullptr, ""});
+  }
+  spec.rates = {0.02, 0.05, 0.10, 0.15, 0.20};
+  spec.seeds = {1, 2, 3};
+  spec.config.sim.warmup_cycles = smoke ? 150 : 500;
+  spec.config.sim.measure_cycles = smoke ? 400 : 1500;
+  spec.config.sim.drain_cycles = smoke ? 6000 : 15000;
+  return spec;
+}
+
+/// The pre-engine control flow: every point owns its whole simulate-loop,
+/// including a private route-table build per Simulator (no sharing).
+double run_legacy_serial(const eval::ExperimentSpec& spec) {
+  const auto t0 = Clock::now();
+  double sink = 0.0;
+  for (const eval::TopologyCase& tc : spec.topologies) {
+    const std::vector<int> latencies(
+        static_cast<std::size_t>(tc.topology.graph().num_edges()), 1);
+    for (const eval::TrafficCase& wc : spec.traffic) {
+      const sim::TrafficSpec parsed = sim::TrafficSpec::parse(wc.spec);
+      const auto pattern =
+          parsed.make_pattern(tc.topology.rows(), tc.topology.cols());
+      for (double rate : spec.rates) {
+        for (std::uint64_t seed : spec.seeds) {
+          sim::SimConfig config = spec.config.sim;
+          config.injection_rate = rate;
+          config.seed = seed;
+          auto process = parsed.make_process(
+              rate / static_cast<double>(config.packet_size_flits),
+              tc.topology.num_tiles() * spec.endpoints_per_tile);
+          sim::Simulator simulator(tc.topology, latencies, config, *pattern,
+                                   spec.endpoints_per_tile, nullptr, nullptr,
+                                   std::move(process));
+          sink += simulator.run().avg_packet_latency;
+        }
+      }
+    }
+  }
+  if (sink < 0.0) std::printf("impossible\n");  // defeat dead-code elim
+  return seconds_since(t0);
+}
+
+bool reports_identical(const eval::ExperimentReport& a,
+                       const eval::ExperimentReport& b) {
+  return eval::experiment_to_json(a) == eval::experiment_to_json(b) &&
+         eval::experiment_to_csv(a) == eval::experiment_to_csv(b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_workloads.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("usage: bench_workloads [--smoke] [--out file.json]\n");
+      return 2;
+    }
+  }
+
+  const eval::ExperimentSpec spec = make_spec(smoke);
+  const std::size_t sims = spec.topologies.size() * spec.traffic.size() *
+                           spec.rates.size() * spec.seeds.size();
+  const int threads = max_threads();
+  std::printf("=== bench_workloads (%s mode, %zu sims, %d threads) ===\n",
+              smoke ? "smoke" : "full", sims, threads);
+
+  const double legacy_seconds = run_legacy_serial(spec);
+  std::printf("legacy_serial   %8.3f s  (per-point tables, hand loop)\n",
+              legacy_seconds);
+
+  set_max_threads(1);
+  auto t0 = Clock::now();
+  const eval::ExperimentReport serial_report = eval::run_experiment(spec);
+  const double serial_seconds = seconds_since(t0);
+  std::printf("engine_serial   %8.3f s  (shared tables, 1 worker)\n",
+              serial_seconds);
+
+  set_max_threads(0);
+  t0 = Clock::now();
+  const eval::ExperimentReport batched_report = eval::run_experiment(spec);
+  const double batched_seconds = seconds_since(t0);
+  std::printf("engine_batched  %8.3f s  (shared tables, %d workers)\n",
+              batched_seconds, threads);
+
+  const bool identical = reports_identical(serial_report, batched_report);
+  const double batching_speedup =
+      batched_seconds > 0.0 ? serial_seconds / batched_seconds : 0.0;
+  const double total_speedup =
+      batched_seconds > 0.0 ? legacy_seconds / batched_seconds : 0.0;
+  std::printf("serial == batched reports: %s\n", identical ? "yes"
+                                                           : "NO — BUG");
+  std::printf("batching speedup (engine serial/batched): %.2fx\n",
+              batching_speedup);
+  std::printf("total speedup (legacy/batched):           %.2fx\n",
+              total_speedup);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"shg.bench_workloads.v1\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"sims\": " << sims << ",\n"
+      << "  \"legacy_serial_seconds\": " << legacy_seconds << ",\n"
+      << "  \"engine_serial_seconds\": " << serial_seconds << ",\n"
+      << "  \"engine_batched_seconds\": " << batched_seconds << ",\n"
+      << "  \"batching_speedup\": " << batching_speedup << ",\n"
+      << "  \"total_speedup\": " << total_speedup << ",\n"
+      << "  \"reports_identical\": " << (identical ? "true" : "false")
+      << "\n}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Exit non-zero when the determinism invariant is violated so CI can
+  // gate on the smoke run.
+  if (!identical) return 1;
+  return 0;
+}

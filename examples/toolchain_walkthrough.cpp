@@ -1,12 +1,18 @@
 // Walkthrough of the five-step NoC model (Section IV-B, Fig. 4/5): prints
 // every intermediate artifact — tile sizing, global-routing channel loads,
 // spacing estimates, unit-cell discretization and detailed-routing results —
-// for one topology on one architecture.
+// for one topology on one architecture, then feeds the cost model's link
+// latencies into a batched multi-workload, multi-seed experiment (the
+// right half of the Fig. 3 toolchain, run through the experiment engine).
 //
 //   $ ./toolchain_walkthrough
 #include <algorithm>
 #include <cstdio>
 
+#include "shg/common/strings.hpp"
+#include "shg/common/table.hpp"
+#include "shg/eval/experiment.hpp"
+#include "shg/eval/toolchain.hpp"
 #include "shg/model/cost_model.hpp"
 #include "shg/phys/global_route.hpp"
 #include "shg/tech/presets.hpp"
@@ -91,5 +97,42 @@ int main() {
       });
   std::printf("  longest link: %.2f mm -> %d pipeline stages\n",
               longest->length_mm, longest->latency_cycles);
+
+  // Step 6: performance under declarative workloads. The cost model's
+  // per-link latencies drive the cycle-accurate simulator through the
+  // experiment engine: workloads x rates x seeds in one batched run, the
+  // route table built once, seed replicas aggregated to mean +- stddev.
+  eval::ExperimentSpec spec;
+  spec.name = "toolchain-walkthrough";
+  spec.config = eval::default_perf_config(arch);
+  spec.config.sim.warmup_cycles = 300;
+  spec.config.sim.measure_cycles = 1000;
+  spec.config.sim.drain_cycles = 15000;
+  spec.endpoints_per_tile = arch.endpoints_per_tile;
+  spec.topologies.push_back(
+      eval::TopologyCase{topology, report.link_latencies(), ""});
+  for (const char* workload :
+       {"uniform", "transpose", "hotspot:0,7:0.2", "uniform/onoff:0.05,0.2"}) {
+    spec.traffic.push_back(eval::TrafficCase{workload, nullptr, ""});
+  }
+  spec.rates = {0.05, 0.15, 0.30};
+  spec.seeds = {1, 2, 3};
+  const eval::ExperimentReport experiment = eval::run_experiment(spec);
+
+  std::printf("\nstep 6 — workload experiment (%zu sims: %zu workloads x "
+              "%zu rates x %zu seeds, batched):\n",
+              spec.traffic.size() * spec.rates.size() * spec.seeds.size(),
+              spec.traffic.size(), spec.rates.size(), spec.seeds.size());
+  Table table({"workload", "rate", "accepted", "avg lat +- sd", "p99",
+               "drained"});
+  for (const auto& point : experiment.points) {
+    table.add_row({point.traffic, fmt_double(point.offered_rate, 2),
+                   fmt_double(point.accepted_rate.mean, 3),
+                   fmt_double(point.avg_latency.mean, 1) + " +- " +
+                       fmt_double(point.avg_latency.stddev, 1),
+                   fmt_double(point.p99_latency.mean, 1),
+                   point.all_drained ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -23,6 +23,19 @@ std::string fmt_int_set(const std::set<int>& values) {
   return os.str();
 }
 
+std::string csv_field(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  for (char c : value) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep) {
   std::ostringstream os;

@@ -18,4 +18,10 @@ std::string fmt_int_set(const std::set<int>& values);
 std::string join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+/// RFC-4180 CSV field quoting: returns the value unchanged unless it
+/// contains a comma, double quote, or newline, in which case it is wrapped
+/// in quotes with embedded quotes doubled (so labels like
+/// "hotspot:0,7:0.2" survive a long-format CSV).
+std::string csv_field(const std::string& value);
+
 }  // namespace shg

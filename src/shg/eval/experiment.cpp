@@ -1,0 +1,303 @@
+#include "shg/eval/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "shg/common/parallel.hpp"
+#include "shg/common/strings.hpp"
+#include "shg/eval/toolchain.hpp"
+
+namespace shg::eval {
+
+namespace {
+
+Aggregate aggregate(const std::vector<sim::SimResult>& runs,
+                    double (*metric)(const sim::SimResult&)) {
+  Aggregate agg;
+  agg.min = metric(runs.front());
+  agg.max = agg.min;
+  double total = 0.0;
+  for (const sim::SimResult& run : runs) {
+    const double value = metric(run);
+    total += value;
+    agg.min = std::min(agg.min, value);
+    agg.max = std::max(agg.max, value);
+  }
+  agg.mean = total / static_cast<double>(runs.size());
+  double sq = 0.0;
+  for (const sim::SimResult& run : runs) {
+    const double d = metric(run) - agg.mean;
+    sq += d * d;
+  }
+  agg.stddev = std::sqrt(sq / static_cast<double>(runs.size()));
+  return agg;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_aggregate_json(std::ostringstream& os, const char* key,
+                           const Aggregate& agg, bool first) {
+  if (!first) os << ", ";
+  os << '"' << key << "\": {\"mean\": " << agg.mean
+     << ", \"stddev\": " << agg.stddev << ", \"min\": " << agg.min
+     << ", \"max\": " << agg.max << '}';
+}
+
+struct MetricColumn {
+  const char* name;
+  double (*metric)(const sim::SimResult&);
+  Aggregate ExperimentPoint::* slot;
+};
+
+const MetricColumn kMetrics[] = {
+    {"accepted_rate", [](const sim::SimResult& r) { return r.accepted_rate; },
+     &ExperimentPoint::accepted_rate},
+    {"avg_latency",
+     [](const sim::SimResult& r) { return r.avg_packet_latency; },
+     &ExperimentPoint::avg_latency},
+    {"p50_latency",
+     [](const sim::SimResult& r) { return r.p50_packet_latency; },
+     &ExperimentPoint::p50_latency},
+    {"p95_latency",
+     [](const sim::SimResult& r) { return r.p95_packet_latency; },
+     &ExperimentPoint::p95_latency},
+    {"p99_latency",
+     [](const sim::SimResult& r) { return r.p99_packet_latency; },
+     &ExperimentPoint::p99_latency},
+    {"max_latency",
+     [](const sim::SimResult& r) { return r.max_packet_latency; },
+     &ExperimentPoint::max_latency},
+    {"avg_hops", [](const sim::SimResult& r) { return r.avg_hops; },
+     &ExperimentPoint::avg_hops},
+    {"fairness", [](const sim::SimResult& r) { return r.fairness; },
+     &ExperimentPoint::fairness},
+};
+
+}  // namespace
+
+void ExperimentSpec::validate() const {
+  SHG_REQUIRE(!topologies.empty(), "experiment needs at least one topology");
+  SHG_REQUIRE(!traffic.empty(), "experiment needs at least one workload");
+  SHG_REQUIRE(!rates.empty(), "experiment needs at least one rate");
+  for (double rate : rates) {
+    SHG_REQUIRE(rate > 0.0 && rate <= 1.0, "rates must be in (0, 1]");
+  }
+  SHG_REQUIRE(endpoints_per_tile >= 1, "need at least one endpoint port");
+  for (const TopologyCase& tc : topologies) {
+    SHG_REQUIRE(tc.link_latencies.empty() ||
+                    tc.link_latencies.size() ==
+                        static_cast<std::size_t>(
+                            tc.topology.graph().num_edges()),
+                "link latencies must be empty or one per edge");
+  }
+  for (const TrafficCase& wc : traffic) {
+    if (wc.pattern == nullptr) {
+      sim::TrafficSpec::parse(wc.spec);  // throws on malformed specs
+    }
+  }
+}
+
+ExperimentReport run_experiment(const ExperimentSpec& spec) {
+  spec.validate();
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.config.sim.seed}
+                         : spec.seeds;
+  const std::size_t num_topos = spec.topologies.size();
+  const std::size_t num_traffic = spec.traffic.size();
+  const std::size_t num_rates = spec.rates.size();
+  const std::size_t num_seeds = seeds.size();
+
+  // Per-topology setup: unit link latencies where unspecified, and one
+  // shared route table per topology — built in parallel, each used
+  // read-only by every run on that topology afterwards.
+  std::vector<std::vector<int>> latencies(num_topos);
+  std::vector<std::shared_ptr<const sim::RouteTable>> tables(num_topos);
+  for (std::size_t t = 0; t < num_topos; ++t) {
+    const TopologyCase& tc = spec.topologies[t];
+    latencies[t] = tc.link_latencies.empty()
+                       ? std::vector<int>(
+                             static_cast<std::size_t>(
+                                 tc.topology.graph().num_edges()),
+                             1)
+                       : tc.link_latencies;
+  }
+  parallel_for(num_topos, [&](std::size_t t) {
+    tables[t] =
+        make_shared_route_table(spec.topologies[t].topology, spec.config);
+  });
+
+  // Per (topology, traffic) patterns. Spec-built patterns are owned here;
+  // borrowed patterns are used as-is. Patterns are stateless (all state
+  // lives in the per-run PRNG), so sharing one across runs is safe.
+  std::vector<sim::TrafficSpec> parsed(num_traffic);
+  for (std::size_t w = 0; w < num_traffic; ++w) {
+    if (spec.traffic[w].pattern == nullptr) {
+      parsed[w] = sim::TrafficSpec::parse(spec.traffic[w].spec);
+    }
+  }
+  std::vector<std::unique_ptr<sim::TrafficPattern>> owned_patterns(
+      num_topos * num_traffic);
+  std::vector<const sim::TrafficPattern*> patterns(num_topos * num_traffic);
+  for (std::size_t t = 0; t < num_topos; ++t) {
+    for (std::size_t w = 0; w < num_traffic; ++w) {
+      const std::size_t i = t * num_traffic + w;
+      if (spec.traffic[w].pattern != nullptr) {
+        patterns[i] = spec.traffic[w].pattern;
+      } else {
+        owned_patterns[i] = parsed[w].make_pattern(
+            spec.topologies[t].topology.rows(),
+            spec.topologies[t].topology.cols());
+        patterns[i] = owned_patterns[i].get();
+      }
+    }
+  }
+
+  // The flat fan-out: every (topology, traffic, rate, seed) cell is an
+  // independent simulation writing into its own slot.
+  const std::size_t total = num_topos * num_traffic * num_rates * num_seeds;
+  std::vector<sim::SimResult> runs(total);
+  parallel_for(total, [&](std::size_t i) {
+    const std::size_t s = i % num_seeds;
+    const std::size_t r = (i / num_seeds) % num_rates;
+    const std::size_t w = (i / (num_seeds * num_rates)) % num_traffic;
+    const std::size_t t = i / (num_seeds * num_rates * num_traffic);
+    sim::SimConfig config = spec.config.sim;
+    config.injection_rate = spec.rates[r];
+    config.seed = seeds[s];
+    std::unique_ptr<sim::InjectionProcess> process;
+    if (spec.traffic[w].pattern == nullptr) {
+      process = parsed[w].make_process(
+          config.injection_rate /
+              static_cast<double>(config.packet_size_flits),
+          spec.topologies[t].topology.num_tiles() * spec.endpoints_per_tile);
+    }
+    sim::Simulator simulator(spec.topologies[t].topology, latencies[t],
+                             config, *patterns[t * num_traffic + w],
+                             spec.endpoints_per_tile, nullptr, tables[t],
+                             std::move(process));
+    runs[i] = simulator.run();
+  });
+
+  // Serial aggregation in index order keeps the report deterministic.
+  ExperimentReport report;
+  report.name = spec.name;
+  report.points.reserve(num_topos * num_traffic * num_rates);
+  for (std::size_t t = 0; t < num_topos; ++t) {
+    const TopologyCase& tc = spec.topologies[t];
+    const std::string topo_label =
+        tc.label.empty() ? tc.topology.name() : tc.label;
+    for (std::size_t w = 0; w < num_traffic; ++w) {
+      const TrafficCase& wc = spec.traffic[w];
+      std::string traffic_label = wc.label;
+      if (traffic_label.empty()) {
+        traffic_label = wc.pattern != nullptr ? wc.pattern->name()
+                                              : parsed[w].canonical();
+      }
+      for (std::size_t r = 0; r < num_rates; ++r) {
+        ExperimentPoint point;
+        point.topology = topo_label;
+        point.traffic = traffic_label;
+        point.offered_rate = spec.rates[r];
+        point.replicas = static_cast<int>(num_seeds);
+        point.runs.reserve(num_seeds);
+        for (std::size_t s = 0; s < num_seeds; ++s) {
+          const std::size_t i =
+              ((t * num_traffic + w) * num_rates + r) * num_seeds + s;
+          point.runs.push_back(runs[i]);
+          point.all_drained = point.all_drained && runs[i].drained;
+        }
+        for (const MetricColumn& column : kMetrics) {
+          point.*(column.slot) = aggregate(point.runs, column.metric);
+        }
+        report.points.push_back(std::move(point));
+      }
+    }
+  }
+  return report;
+}
+
+std::string experiment_to_csv(const ExperimentReport& report) {
+  std::ostringstream os;
+  os << "topology,traffic,offered,replicas,all_drained";
+  for (const MetricColumn& column : kMetrics) {
+    os << ',' << column.name << "_mean," << column.name << "_stddev,"
+       << column.name << "_min," << column.name << "_max";
+  }
+  os << '\n';
+  for (const ExperimentPoint& point : report.points) {
+    os << csv_field(point.topology) << ',' << csv_field(point.traffic) << ','
+       << fmt_double(point.offered_rate, 4) << ',' << point.replicas << ','
+       << (point.all_drained ? 1 : 0);
+    for (const MetricColumn& column : kMetrics) {
+      const Aggregate& agg = point.*(column.slot);
+      os << ',' << fmt_double(agg.mean, 4) << ',' << fmt_double(agg.stddev, 4)
+         << ',' << fmt_double(agg.min, 4) << ',' << fmt_double(agg.max, 4);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string experiment_to_json(const ExperimentReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"shg.experiment.v1\",\n  \"name\": \""
+     << json_escape(report.name) << "\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const ExperimentPoint& point = report.points[i];
+    os << "    {\"topology\": \"" << json_escape(point.topology)
+       << "\", \"traffic\": \"" << json_escape(point.traffic)
+       << "\", \"offered\": " << point.offered_rate
+       << ", \"replicas\": " << point.replicas << ", \"all_drained\": "
+       << (point.all_drained ? "true" : "false") << ", \"metrics\": {";
+    bool first = true;
+    for (const MetricColumn& column : kMetrics) {
+      append_aggregate_json(os, column.name, point.*(column.slot), first);
+      first = false;
+    }
+    os << "}}" << (i + 1 < report.points.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+ExperimentSpec figure6_experiment(const Scenario& scenario,
+                                  std::vector<double> rates,
+                                  std::vector<std::string> traffic,
+                                  std::vector<std::uint64_t> seeds) {
+  ExperimentSpec spec;
+  spec.name = "figure6-" + scenario.label;
+  spec.config = default_perf_config(scenario.arch);
+  spec.endpoints_per_tile = scenario.arch.endpoints_per_tile;
+  spec.rates = std::move(rates);
+  spec.seeds = std::move(seeds);
+  for (topo::Topology& topology : scenario_topologies(scenario)) {
+    std::vector<int> link_latencies =
+        predict_cost(scenario.arch, topology).link_latencies();
+    spec.topologies.push_back(
+        TopologyCase{std::move(topology), std::move(link_latencies), ""});
+  }
+  for (std::string& workload : traffic) {
+    spec.traffic.push_back(TrafficCase{std::move(workload), nullptr, ""});
+  }
+  return spec;
+}
+
+}  // namespace shg::eval

@@ -1,0 +1,115 @@
+// Batched experiment engine: the one place that owns simulation fan-out.
+//
+// An ExperimentSpec declares a cartesian product — topologies x traffic
+// specs x injection rates x seeds — and run_experiment() executes it:
+// each topology's route table is built once and shared by every run on
+// it, all points fan out through parallel_for, multi-seed replicas are
+// aggregated (mean/stddev/min/max per metric), and the report renders as
+// JSON or CSV. Callers that used to own their own simulate-loops
+// (sweep_load_latency, the Figure 6 drivers, the examples) are thin
+// wrappers over this engine.
+//
+// Determinism: every run is an independent Simulator with a private PRNG
+// seeded from its (rate, seed) cell, results land in index-addressed
+// slots, and aggregation is a serial reduction in seed order — so the
+// report is identical under set_max_threads(1) and the default worker
+// count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shg/eval/perf.hpp"
+#include "shg/eval/scenario.hpp"
+#include "shg/sim/traffic_spec.hpp"
+
+namespace shg::eval {
+
+/// One topology under test: the graph plus its physical link latencies.
+struct TopologyCase {
+  topo::Topology topology;
+  /// Cycles per link (cost-model output); empty = 1 cycle everywhere.
+  std::vector<int> link_latencies;
+  /// Report label; empty = topology.name().
+  std::string label;
+};
+
+/// One workload under test. Either a TrafficSpec string (the declarative
+/// path) or a borrowed pre-built pattern (for wrappers that already hold
+/// one; it is then driven by the default Bernoulli process).
+struct TrafficCase {
+  std::string spec;                              ///< parsed when pattern null
+  const sim::TrafficPattern* pattern = nullptr;  ///< not owned
+  /// Report label; empty = canonical spec (or pattern->name()).
+  std::string label;
+};
+
+/// The declarative experiment: topologies x traffic x rates x seeds.
+struct ExperimentSpec {
+  std::string name = "experiment";
+  std::vector<TopologyCase> topologies;
+  std::vector<TrafficCase> traffic;
+  std::vector<double> rates;               ///< flits/cycle/port, in (0, 1]
+  std::vector<std::uint64_t> seeds;        ///< empty = {config.sim.seed}
+  int endpoints_per_tile = 1;
+  PerfConfig config;                       ///< sim knobs; rate/seed overridden
+
+  void validate() const;
+};
+
+/// mean/stddev/min/max of one metric over the seed replicas of a point.
+struct Aggregate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// One (topology, traffic, rate) cell with its seed replicas aggregated.
+struct ExperimentPoint {
+  std::string topology;
+  std::string traffic;
+  double offered_rate = 0.0;
+  int replicas = 0;
+  bool all_drained = true;
+  Aggregate accepted_rate;
+  Aggregate avg_latency;
+  Aggregate p50_latency;
+  Aggregate p95_latency;
+  Aggregate p99_latency;
+  Aggregate max_latency;
+  Aggregate avg_hops;
+  Aggregate fairness;
+  /// Raw per-seed results in seed order, for callers that need more than
+  /// the aggregates (tests, plots of replica spread).
+  std::vector<sim::SimResult> runs;
+};
+
+/// The rendered experiment: points in topology-major, then traffic, then
+/// rate order (seeds folded into each point).
+struct ExperimentReport {
+  std::string name;
+  std::vector<ExperimentPoint> points;
+};
+
+/// Executes the spec: shared route table per topology, one parallel_for
+/// over every (topology, traffic, rate, seed) cell, serial aggregation.
+ExperimentReport run_experiment(const ExperimentSpec& spec);
+
+/// Long-format CSV, one row per point; labels are csv_field-escaped.
+std::string experiment_to_csv(const ExperimentReport& report);
+
+/// Machine-readable JSON (schema "shg.experiment.v1").
+std::string experiment_to_json(const ExperimentReport& report);
+
+/// The Figure 6 evaluation of one Section V-b scenario as an
+/// ExperimentSpec: every applicable topology (with its cost-model link
+/// latencies) under uniform Bernoulli traffic at the given rates. Extra
+/// traffic specs / seeds extend the paper's single-workload setup.
+ExperimentSpec figure6_experiment(
+    const Scenario& scenario, std::vector<double> rates,
+    std::vector<std::string> traffic = {"uniform"},
+    std::vector<std::uint64_t> seeds = {});
+
+}  // namespace shg::eval

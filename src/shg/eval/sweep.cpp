@@ -2,8 +2,8 @@
 
 #include <sstream>
 
-#include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
+#include "shg/eval/experiment.hpp"
 
 namespace shg::eval {
 
@@ -14,26 +14,28 @@ LoadLatencyCurve sweep_load_latency(const topo::Topology& topo,
                                     const PerfConfig& config,
                                     const std::vector<double>& rates,
                                     std::string label) {
-  SHG_REQUIRE(!rates.empty(), "need at least one rate");
-  for (double rate : rates) {
-    SHG_REQUIRE(rate > 0.0 && rate <= 1.0, "rates must be in (0, 1]");
-  }
+  // Thin wrapper over the experiment engine: one topology, one borrowed
+  // pattern (driven by the default Bernoulli process), one seed. With a
+  // single replica every aggregate mean IS the replica's value, so the
+  // curve is bit-identical to the engine-free implementation this
+  // replaced (same shared route table, same per-point SimConfig).
+  ExperimentSpec spec;
+  spec.name = label;
+  spec.topologies.push_back(TopologyCase{topo, link_latencies, label});
+  spec.traffic.push_back(TrafficCase{"", &pattern, pattern.name()});
+  spec.rates = rates;
+  spec.endpoints_per_tile = endpoints_per_tile;
+  spec.config = config;
+  const ExperimentReport report = run_experiment(spec);
+
   LoadLatencyCurve curve;
   curve.label = std::move(label);
-  // Each sweep point is an independent simulation: its Simulator owns a
-  // private PRNG seeded from config.sim.seed, so the per-rate results (and
-  // therefore the curve) are identical whether points run serially or
-  // concurrently. Results land in rate-indexed slots to keep the order.
-  curve.points.resize(rates.size());
-  const auto table = make_shared_route_table(topo, config);
-  parallel_for(rates.size(), [&](std::size_t i) {
-    const sim::SimResult result =
-        simulate_at_rate(topo, link_latencies, endpoints_per_tile, pattern,
-                         config, rates[i], table);
-    curve.points[i] = SweepPoint{result.offered_rate, result.accepted_rate,
-                                 result.avg_packet_latency,
-                                 result.p99_packet_latency, result.drained};
-  });
+  curve.points.reserve(report.points.size());
+  for (const ExperimentPoint& point : report.points) {
+    curve.points.push_back(SweepPoint{
+        point.runs.front().offered_rate, point.accepted_rate.mean,
+        point.avg_latency.mean, point.p99_latency.mean, point.all_drained});
+  }
   return curve;
 }
 
@@ -42,8 +44,8 @@ std::string curves_to_csv(const std::vector<LoadLatencyCurve>& curves) {
   os << "label,offered,accepted,avg_latency,p99_latency,drained\n";
   for (const auto& curve : curves) {
     for (const auto& point : curve.points) {
-      os << curve.label << ',' << fmt_double(point.offered_rate, 4) << ','
-         << fmt_double(point.accepted_rate, 4) << ','
+      os << csv_field(curve.label) << ',' << fmt_double(point.offered_rate, 4)
+         << ',' << fmt_double(point.accepted_rate, 4) << ','
          << fmt_double(point.avg_latency, 2) << ','
          << fmt_double(point.p99_latency, 2) << ','
          << (point.drained ? 1 : 0) << '\n';

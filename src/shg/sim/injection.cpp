@@ -1,0 +1,76 @@
+#include "shg/sim/injection.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace shg::sim {
+
+namespace {
+
+class Bernoulli final : public InjectionProcess {
+ public:
+  explicit Bernoulli(double packet_prob) : prob_(packet_prob) {
+    SHG_REQUIRE(packet_prob >= 0.0 && packet_prob <= 1.0,
+                "injection probability must be in [0, 1]");
+  }
+  bool inject(int, Prng& rng) override { return rng.chance(prob_); }
+  std::string name() const override { return "bernoulli"; }
+
+ private:
+  double prob_;
+};
+
+class OnOff final : public InjectionProcess {
+ public:
+  OnOff(double packet_prob, double alpha, double beta, int num_sources)
+      : alpha_(alpha),
+        beta_(beta),
+        burst_prob_(packet_prob * (alpha + beta) / alpha),
+        on_(static_cast<std::size_t>(num_sources), 0) {
+    SHG_REQUIRE(alpha > 0.0 && alpha <= 1.0,
+                "on-off alpha (off->on) must be in (0, 1]");
+    SHG_REQUIRE(beta >= 0.0 && beta < 1.0,
+                "on-off beta (on->off) must be in [0, 1)");
+    SHG_REQUIRE(num_sources >= 1, "need at least one source");
+    SHG_REQUIRE(packet_prob >= 0.0, "injection probability must be >= 0");
+    // Steady-state duty cycle is alpha / (alpha + beta); the burst
+    // probability compensates so the mean rate matches packet_prob.
+    SHG_REQUIRE(burst_prob_ <= 1.0,
+                "offered rate unreachable with this on-off duty cycle "
+                "(packet_prob * (alpha + beta) / alpha must be <= 1)");
+  }
+
+  bool inject(int source, Prng& rng) override {
+    auto& on = on_[static_cast<std::size_t>(source)];
+    if (on) {
+      if (rng.chance(beta_)) on = 0;
+    } else {
+      if (rng.chance(alpha_)) on = 1;
+    }
+    return on != 0 && rng.chance(burst_prob_);
+  }
+
+  std::string name() const override { return "onoff"; }
+
+  void reset() override { std::fill(on_.begin(), on_.end(), 0); }
+
+ private:
+  double alpha_;
+  double beta_;
+  double burst_prob_;
+  std::vector<std::uint8_t> on_;
+};
+
+}  // namespace
+
+std::unique_ptr<InjectionProcess> make_bernoulli(double packet_prob) {
+  return std::make_unique<Bernoulli>(packet_prob);
+}
+
+std::unique_ptr<InjectionProcess> make_on_off(double packet_prob,
+                                              double alpha, double beta,
+                                              int num_sources) {
+  return std::make_unique<OnOff>(packet_prob, alpha, beta, num_sources);
+}
+
+}  // namespace shg::sim

@@ -1,0 +1,47 @@
+// Injection processes (BookSim-style): decide *when* a source endpoint
+// injects a packet, independently of the TrafficPattern that decides
+// *where* it goes. Splitting the temporal behavior out of the simulator
+// loop lets one workload pair any pattern with any process (e.g. a
+// hotspot pattern driven by bursty on-off sources).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "shg/common/prng.hpp"
+
+namespace shg::sim {
+
+/// Decides, per source endpoint and cycle, whether a packet is injected.
+///
+/// Contract (relied on for reproducibility): the simulator calls
+/// inject() exactly once per (source, cycle), sources in ascending order
+/// within a cycle, so the PRNG draw sequence — and therefore the whole
+/// simulation — is a pure function of the seed. Implementations may keep
+/// per-source state (reset() re-initializes it before every run).
+class InjectionProcess {
+ public:
+  virtual ~InjectionProcess() = default;
+  /// One trial for `source` this cycle; may draw from `rng`.
+  virtual bool inject(int source, Prng& rng) = 0;
+  virtual std::string name() const = 0;
+  /// Restores the initial per-source state (start of Simulator::run).
+  virtual void reset() {}
+};
+
+/// Memoryless process: inject with probability `packet_prob` each cycle.
+/// Draw-for-draw identical to the pre-split simulator injection loop, so
+/// results are bit-identical with the same seed.
+std::unique_ptr<InjectionProcess> make_bernoulli(double packet_prob);
+
+/// Two-state Markov (on-off) process: each source flips off->on with
+/// probability `alpha` and on->off with probability `beta` per cycle, and
+/// injects only while on, at a burst probability scaled so the long-run
+/// mean injection rate still equals `packet_prob`
+/// (burst = packet_prob * (alpha + beta) / alpha, which must be <= 1).
+/// Sources start off; warmup absorbs the transient.
+std::unique_ptr<InjectionProcess> make_on_off(double packet_prob,
+                                              double alpha, double beta,
+                                              int num_sources);
+
+}  // namespace shg::sim

@@ -10,15 +10,21 @@ Simulator::Simulator(const topo::Topology& topo,
                      std::vector<int> link_latencies, SimConfig config,
                      const TrafficPattern& pattern, int endpoints_per_tile,
                      std::unique_ptr<RoutingFunction> routing,
-                     std::shared_ptr<const RouteTable> shared_table)
+                     std::shared_ptr<const RouteTable> shared_table,
+                     std::unique_ptr<InjectionProcess> process)
     : topo_(&topo),
       link_latencies_(std::move(link_latencies)),
       config_(config),
       pattern_(&pattern),
       endpoints_per_tile_(endpoints_per_tile),
       routing_(std::move(routing)),
-      route_table_(std::move(shared_table)) {
+      route_table_(std::move(shared_table)),
+      process_(std::move(process)) {
   config_.validate();
+  if (process_ == nullptr) {
+    process_ = make_bernoulli(config_.injection_rate /
+                              static_cast<double>(config_.packet_size_flits));
+  }
   if (route_table_ != nullptr) {
     SHG_REQUIRE(route_table_->num_vcs() == config_.num_vcs,
                 "shared route table was built for a different VC count");
@@ -48,15 +54,17 @@ SimResult Simulator::run() {
   Network network(*topo_, link_latencies_, config_, routing_.get(),
                   endpoints_per_tile_, route_table_.get());
   Prng rng(config_.seed);
+  process_->reset();
 
   const Cycle generation_end = config_.warmup_cycles + config_.measure_cycles;
   const Cycle hard_end = generation_end + config_.drain_cycles;
   const double packet_prob =
       config_.injection_rate / static_cast<double>(config_.packet_size_flits);
 
-  // Reserve the packet log from the expected injection volume (Bernoulli
-  // mean + 10% headroom) instead of a fixed guess, so high-rate runs do not
-  // pay repeated geometric reallocations of a multi-megabyte vector.
+  // Reserve the packet log from the expected injection volume (every
+  // injection process targets this mean rate; + 10% headroom) instead of a
+  // fixed guess, so high-rate runs do not pay repeated geometric
+  // reallocations of a multi-megabyte vector.
   std::vector<PacketRecord> packets;
   const double expected_packets =
       packet_prob * static_cast<double>(generation_end) *
@@ -91,11 +99,12 @@ SimResult Simulator::run() {
 
   Cycle now = 0;
   for (; now < hard_end; ++now) {
-    // --- Packet generation (Bernoulli per endpoint port) -----------------
+    // --- Packet generation (injection process per endpoint port) ---------
     if (now < generation_end) {
       for (int tile = 0; tile < network.num_tiles(); ++tile) {
         for (int port = 0; port < endpoints_per_tile_; ++port) {
-          if (!rng.chance(packet_prob)) continue;
+          const int source = tile * endpoints_per_tile_ + port;
+          if (!process_->inject(source, rng)) continue;
           const int dest = pattern_->dest(tile, rng);
           if (dest == tile) continue;  // fixed point of a permutation
           const int id = static_cast<int>(packets.size());

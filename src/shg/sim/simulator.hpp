@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "shg/sim/config.hpp"
+#include "shg/sim/injection.hpp"
 #include "shg/sim/network.hpp"
 #include "shg/sim/route_table.hpp"
 #include "shg/sim/routing.hpp"
@@ -42,11 +43,15 @@ class Simulator {
   /// on one topology (sweeps, bisection) reuse one precomputed route table
   /// instead of rebuilding it per run; it must match the routing function
   /// and VC count, which verify_route_table can check.
+  /// If `process` is null, a Bernoulli injection process at
+  /// config.injection_rate / config.packet_size_flits packets per cycle
+  /// per source is used — the classic (and pre-refactor) behavior.
   Simulator(const topo::Topology& topo, std::vector<int> link_latencies,
             SimConfig config, const TrafficPattern& pattern,
             int endpoints_per_tile,
             std::unique_ptr<RoutingFunction> routing = nullptr,
-            std::shared_ptr<const RouteTable> shared_table = nullptr);
+            std::shared_ptr<const RouteTable> shared_table = nullptr,
+            std::unique_ptr<InjectionProcess> process = nullptr);
 
   /// Runs warmup + measurement + drain and returns the statistics.
   SimResult run();
@@ -63,6 +68,9 @@ class Simulator {
   /// The precomputed route table (null when config.use_route_table is off).
   const RouteTable* route_table() const { return route_table_.get(); }
 
+  /// The injection process driving packet generation (never null).
+  const InjectionProcess& process() const { return *process_; }
+
  private:
   struct PacketRecord {
     Cycle create = 0;
@@ -78,6 +86,7 @@ class Simulator {
   int endpoints_per_tile_;
   std::unique_ptr<RoutingFunction> routing_;
   std::shared_ptr<const RouteTable> route_table_;
+  std::unique_ptr<InjectionProcess> process_;
 };
 
 }  // namespace shg::sim

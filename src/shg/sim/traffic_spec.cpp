@@ -1,0 +1,165 @@
+#include "shg/sim/traffic_spec.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace shg::sim {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+double parse_double(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  SHG_REQUIRE(!token.empty() && end == token.c_str() + token.size(),
+              std::string("traffic spec: malformed ") + what + " '" + token +
+                  "'");
+  return value;
+}
+
+int parse_int(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  SHG_REQUIRE(!token.empty() && end == token.c_str() + token.size(),
+              std::string("traffic spec: malformed ") + what + " '" + token +
+                  "'");
+  return static_cast<int>(value);
+}
+
+/// %g-style formatting without trailing zeros, for canonical().
+std::string fmt_number(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+void parse_pattern_part(const std::string& part, TrafficSpec& spec) {
+  const std::vector<std::string> tokens = split(part, ':');
+  const std::string& name = tokens.front();
+  const auto& known = known_pattern_names();
+  SHG_REQUIRE(std::find(known.begin(), known.end(), name) != known.end(),
+              "traffic spec: unknown pattern '" + name + "'");
+  if (name == "hotspot") {
+    SHG_REQUIRE(tokens.size() == 3,
+                "traffic spec: hotspot needs 'hotspot:<tiles>:<fraction>'");
+    for (const std::string& tile : split(tokens[1], ',')) {
+      spec.hotspot_tiles.push_back(parse_int(tile, "hotspot tile"));
+    }
+    spec.hotspot_fraction = parse_double(tokens[2], "hotspot fraction");
+    SHG_REQUIRE(spec.hotspot_fraction > 0.0 && spec.hotspot_fraction <= 1.0,
+                "traffic spec: hotspot fraction must be in (0, 1]");
+  } else {
+    SHG_REQUIRE(tokens.size() == 1,
+                "traffic spec: pattern '" + name + "' takes no arguments");
+  }
+  spec.pattern = name;
+}
+
+void parse_process_part(const std::string& part, TrafficSpec& spec) {
+  const std::vector<std::string> tokens = split(part, ':');
+  const std::string& name = tokens.front();
+  if (name == "bernoulli") {
+    SHG_REQUIRE(tokens.size() == 1,
+                "traffic spec: bernoulli takes no arguments");
+  } else if (name == "onoff") {
+    SHG_REQUIRE(tokens.size() == 2,
+                "traffic spec: on-off needs 'onoff:<alpha>,<beta>'");
+    const std::vector<std::string> args = split(tokens[1], ',');
+    SHG_REQUIRE(args.size() == 2,
+                "traffic spec: on-off needs 'onoff:<alpha>,<beta>'");
+    spec.on_off_alpha = parse_double(args[0], "on-off alpha");
+    spec.on_off_beta = parse_double(args[1], "on-off beta");
+    SHG_REQUIRE(spec.on_off_alpha > 0.0 && spec.on_off_alpha <= 1.0,
+                "traffic spec: on-off alpha must be in (0, 1]");
+    SHG_REQUIRE(spec.on_off_beta >= 0.0 && spec.on_off_beta < 1.0,
+                "traffic spec: on-off beta must be in [0, 1)");
+  } else {
+    SHG_REQUIRE(false,
+                "traffic spec: unknown injection process '" + name + "'");
+  }
+  spec.process = name;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_pattern_names() {
+  static const std::vector<std::string> names = {
+      "uniform",  "transpose", "bit-complement", "bit-reverse",
+      "shuffle",  "tornado",   "neighbor",       "hotspot"};
+  return names;
+}
+
+TrafficSpec TrafficSpec::parse(const std::string& text) {
+  SHG_REQUIRE(!text.empty(), "traffic spec: empty spec");
+  const std::vector<std::string> halves = split(text, '/');
+  SHG_REQUIRE(halves.size() <= 2,
+              "traffic spec: expected '<pattern>[/<process>]', got '" + text +
+                  "'");
+  TrafficSpec spec;
+  parse_pattern_part(halves[0], spec);
+  if (halves.size() == 2) parse_process_part(halves[1], spec);
+  return spec;
+}
+
+std::string TrafficSpec::canonical() const {
+  std::ostringstream os;
+  os << pattern;
+  if (pattern == "hotspot") {
+    os << ':';
+    for (std::size_t i = 0; i < hotspot_tiles.size(); ++i) {
+      if (i > 0) os << ',';
+      os << hotspot_tiles[i];
+    }
+    os << ':' << fmt_number(hotspot_fraction);
+  }
+  if (process != "bernoulli") {
+    os << '/' << process << ':' << fmt_number(on_off_alpha) << ','
+       << fmt_number(on_off_beta);
+  }
+  return os.str();
+}
+
+std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(int rows,
+                                                          int cols) const {
+  SHG_REQUIRE(rows >= 1 && cols >= 1, "traffic spec: empty grid");
+  const int n = rows * cols;
+  if (pattern == "uniform") return make_uniform(n);
+  if (pattern == "transpose") return make_transpose(rows, cols);
+  if (pattern == "bit-complement") return make_bit_complement(n);
+  if (pattern == "bit-reverse") return make_bit_reverse(n);
+  if (pattern == "shuffle") return make_shuffle(n);
+  if (pattern == "tornado") return make_tornado(rows, cols);
+  if (pattern == "neighbor") return make_neighbor(rows, cols);
+  if (pattern == "hotspot") {
+    return make_hotspot(n, hotspot_tiles, hotspot_fraction);
+  }
+  SHG_REQUIRE(false, "traffic spec: unknown pattern '" + pattern + "'");
+  return nullptr;  // unreachable
+}
+
+std::unique_ptr<InjectionProcess> TrafficSpec::make_process(
+    double packet_prob, int num_sources) const {
+  if (process == "bernoulli") return make_bernoulli(packet_prob);
+  if (process == "onoff") {
+    return make_on_off(packet_prob, on_off_alpha, on_off_beta, num_sources);
+  }
+  SHG_REQUIRE(false, "traffic spec: unknown injection process '" + process +
+                         "'");
+  return nullptr;  // unreachable
+}
+
+}  // namespace shg::sim

@@ -1,0 +1,63 @@
+// Declarative workload addressing: a TrafficSpec names a traffic pattern
+// (where packets go) and an injection process (when they are injected) in
+// one string, so workloads can be written in configs, CLI arguments and
+// report labels instead of being constructed by hand.
+//
+// Grammar (see README.md for the full table):
+//
+//   spec          := pattern [ "/" process ]
+//   pattern       := "uniform" | "transpose" | "bit-complement"
+//                  | "bit-reverse" | "shuffle" | "tornado" | "neighbor"
+//                  | "hotspot:" tiles ":" fraction
+//   tiles         := tile { "," tile }          (flattened tile ids)
+//   process       := "bernoulli"                (the default)
+//                  | "onoff:" alpha "," beta    (bursty Markov on-off)
+//
+// Examples: "uniform", "hotspot:0,7:0.2", "transpose/onoff:0.05,0.2".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shg/sim/injection.hpp"
+#include "shg/sim/traffic.hpp"
+
+namespace shg::sim {
+
+/// A parsed workload specification. Factories are split from parsing so
+/// one spec can be instantiated on many grids (patterns are grid-sized)
+/// and at many rates (processes are rate-sized).
+struct TrafficSpec {
+  // Pattern half.
+  std::string pattern = "uniform";
+  std::vector<int> hotspot_tiles;       ///< "hotspot" only
+  double hotspot_fraction = 0.0;        ///< "hotspot" only
+
+  // Process half.
+  std::string process = "bernoulli";
+  double on_off_alpha = 0.0;            ///< "onoff" only
+  double on_off_beta = 0.0;             ///< "onoff" only
+
+  /// Parses a spec string; throws shg::Error (with the offending token)
+  /// on unknown pattern/process names or malformed arguments.
+  static TrafficSpec parse(const std::string& text);
+
+  /// The canonical spec string; parse(canonical()) round-trips.
+  std::string canonical() const;
+
+  /// Instantiates the pattern for an R x C grid. Throws when the pattern
+  /// is not applicable (non-square transpose, non-power-of-two shuffle,
+  /// hotspot tile out of range, ...).
+  std::unique_ptr<TrafficPattern> make_pattern(int rows, int cols) const;
+
+  /// Instantiates the injection process for `num_sources` endpoint ports
+  /// at a mean packet probability of `packet_prob` per source per cycle.
+  std::unique_ptr<InjectionProcess> make_process(double packet_prob,
+                                                 int num_sources) const;
+};
+
+/// The pattern names make_pattern understands (for error messages/docs).
+const std::vector<std::string>& known_pattern_names();
+
+}  // namespace shg::sim

@@ -1,0 +1,233 @@
+// Tests for the batched experiment engine: spec validation, determinism
+// across worker counts, multi-seed aggregation, the sweep_load_latency
+// wrapper's bit-identity with the engine-free implementation it replaced,
+// and CSV/JSON rendering (including comma-label escaping).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "shg/common/parallel.hpp"
+#include "shg/eval/experiment.hpp"
+#include "shg/eval/sweep.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::eval {
+namespace {
+
+PerfConfig fast_config() {
+  PerfConfig config;
+  config.sim.num_vcs = 2;
+  config.sim.buffer_depth_flits = 4;
+  config.sim.warmup_cycles = 200;
+  config.sim.measure_cycles = 600;
+  config.sim.drain_cycles = 8000;
+  return config;
+}
+
+ExperimentSpec small_spec() {
+  ExperimentSpec spec;
+  spec.name = "unit";
+  spec.topologies.push_back(TopologyCase{topo::make_mesh(4, 4), {}, ""});
+  spec.topologies.push_back(TopologyCase{topo::make_torus(4, 4), {}, ""});
+  spec.traffic.push_back(TrafficCase{"uniform", nullptr, ""});
+  spec.traffic.push_back(TrafficCase{"hotspot:0,7:0.2", nullptr, ""});
+  spec.rates = {0.05, 0.15};
+  spec.seeds = {1, 2, 3};
+  spec.config = fast_config();
+  return spec;
+}
+
+TEST(Experiment, Validation) {
+  ExperimentSpec spec = small_spec();
+  spec.rates = {};
+  EXPECT_THROW(run_experiment(spec), Error);
+  spec = small_spec();
+  spec.rates = {1.5};
+  EXPECT_THROW(run_experiment(spec), Error);
+  spec = small_spec();
+  spec.traffic[0].spec = "warp";  // unknown spec rejected up front
+  EXPECT_THROW(run_experiment(spec), Error);
+  spec = small_spec();
+  spec.topologies[0].link_latencies = {1, 2};  // wrong edge count
+  EXPECT_THROW(run_experiment(spec), Error);
+}
+
+TEST(Experiment, PointGridAndLabels) {
+  const ExperimentReport report = run_experiment(small_spec());
+  ASSERT_EQ(report.points.size(), 2u * 2u * 2u);  // topo x traffic x rate
+  // Topology-major, then traffic, then rate.
+  EXPECT_EQ(report.points[0].topology, "mesh");
+  EXPECT_EQ(report.points[0].traffic, "uniform");
+  EXPECT_EQ(report.points[0].offered_rate, 0.05);
+  EXPECT_EQ(report.points[1].offered_rate, 0.15);
+  EXPECT_EQ(report.points[2].traffic, "hotspot:0,7:0.2");
+  EXPECT_EQ(report.points[4].topology, "torus");
+  for (const ExperimentPoint& point : report.points) {
+    EXPECT_EQ(point.replicas, 3);
+    ASSERT_EQ(point.runs.size(), 3u);
+  }
+}
+
+TEST(Experiment, DeterministicAcrossWorkerCounts) {
+  // The acceptance property: aggregates identical with one worker and
+  // with the default worker count.
+  const ExperimentSpec spec = small_spec();
+  set_max_threads(1);
+  const ExperimentReport serial = run_experiment(spec);
+  set_max_threads(0);
+  const ExperimentReport parallel = run_experiment(spec);
+  EXPECT_EQ(experiment_to_json(serial), experiment_to_json(parallel));
+  EXPECT_EQ(experiment_to_csv(serial), experiment_to_csv(parallel));
+}
+
+TEST(Experiment, AggregatesMatchHandComputation) {
+  ExperimentSpec spec = small_spec();
+  spec.topologies.erase(spec.topologies.begin() + 1, spec.topologies.end());
+  spec.traffic.resize(1);
+  spec.rates = {0.10};
+  const ExperimentReport report = run_experiment(spec);
+  ASSERT_EQ(report.points.size(), 1u);
+  const ExperimentPoint& point = report.points.front();
+  ASSERT_EQ(point.runs.size(), 3u);
+  double total = 0.0;
+  double lo = point.runs[0].avg_packet_latency;
+  double hi = lo;
+  for (const sim::SimResult& run : point.runs) {
+    total += run.avg_packet_latency;
+    lo = std::min(lo, run.avg_packet_latency);
+    hi = std::max(hi, run.avg_packet_latency);
+  }
+  const double mean = total / 3.0;
+  EXPECT_DOUBLE_EQ(point.avg_latency.mean, mean);
+  EXPECT_DOUBLE_EQ(point.avg_latency.min, lo);
+  EXPECT_DOUBLE_EQ(point.avg_latency.max, hi);
+  double sq = 0.0;
+  for (const sim::SimResult& run : point.runs) {
+    sq += (run.avg_packet_latency - mean) * (run.avg_packet_latency - mean);
+  }
+  EXPECT_DOUBLE_EQ(point.avg_latency.stddev, std::sqrt(sq / 3.0));
+  // Distinct seeds really are distinct runs.
+  EXPECT_NE(point.runs[0].avg_packet_latency,
+            point.runs[1].avg_packet_latency);
+}
+
+TEST(Experiment, MultiSeedSameSeedCollapses) {
+  ExperimentSpec spec = small_spec();
+  spec.topologies.erase(spec.topologies.begin() + 1, spec.topologies.end());
+  spec.traffic.resize(1);
+  spec.rates = {0.10};
+  spec.seeds = {7, 7};
+  const ExperimentReport report = run_experiment(spec);
+  const ExperimentPoint& point = report.points.front();
+  EXPECT_EQ(point.runs[0].avg_packet_latency,
+            point.runs[1].avg_packet_latency);
+  EXPECT_DOUBLE_EQ(point.avg_latency.stddev, 0.0);
+}
+
+TEST(Experiment, SweepWrapperBitIdenticalToDirectLoop) {
+  // sweep_load_latency is now a wrapper over the engine; its curve must be
+  // bit-identical to the engine-free implementation it replaced (one
+  // shared route table, one simulate_at_rate per rate).
+  const auto topo = topo::make_mesh(4, 4);
+  const std::vector<int> latencies(
+      static_cast<std::size_t>(topo.graph().num_edges()), 1);
+  const auto pattern = sim::make_uniform(16);
+  const PerfConfig config = fast_config();
+  const std::vector<double> rates = {0.05, 0.10, 0.20};
+
+  const LoadLatencyCurve curve = sweep_load_latency(
+      topo, latencies, 1, *pattern, config, rates, "mesh");
+
+  const auto table = make_shared_route_table(topo, config);
+  ASSERT_EQ(curve.points.size(), rates.size());
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const sim::SimResult reference = simulate_at_rate(
+        topo, latencies, 1, *pattern, config, rates[i], table);
+    EXPECT_EQ(curve.points[i].offered_rate, reference.offered_rate);
+    EXPECT_EQ(curve.points[i].accepted_rate, reference.accepted_rate);
+    EXPECT_EQ(curve.points[i].avg_latency, reference.avg_packet_latency);
+    EXPECT_EQ(curve.points[i].p99_latency, reference.p99_packet_latency);
+    EXPECT_EQ(curve.points[i].drained, reference.drained);
+  }
+}
+
+TEST(Experiment, CsvEscapesCommaLabels) {
+  ExperimentSpec spec = small_spec();
+  spec.topologies.erase(spec.topologies.begin() + 1, spec.topologies.end());
+  spec.traffic = {TrafficCase{"hotspot:0,7:0.2", nullptr, ""}};
+  spec.rates = {0.05};
+  spec.seeds = {1};
+  const std::string csv = experiment_to_csv(run_experiment(spec));
+  EXPECT_NE(csv.find("\"hotspot:0,7:0.2\""), std::string::npos);
+  // Every data row still has the same column count as the header.
+  const auto count_cols = [](const std::string& line) {
+    std::size_t cols = 1;
+    bool quoted = false;
+    for (char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++cols;
+    }
+    return cols;
+  };
+  const auto header_end = csv.find('\n');
+  const auto row_end = csv.find('\n', header_end + 1);
+  EXPECT_EQ(count_cols(csv.substr(0, header_end)),
+            count_cols(csv.substr(header_end + 1,
+                                  row_end - header_end - 1)));
+}
+
+TEST(Experiment, CurvesCsvEscapesLabels) {
+  LoadLatencyCurve curve;
+  curve.label = "hotspot:0,7:0.2 \"bursty\"";
+  curve.points.push_back(SweepPoint{0.1, 0.1, 5.0, 9.0, true});
+  const std::string csv = curves_to_csv({curve});
+  EXPECT_NE(csv.find("\"hotspot:0,7:0.2 \"\"bursty\"\"\","),
+            std::string::npos);
+}
+
+TEST(Experiment, JsonReportShape) {
+  ExperimentSpec spec = small_spec();
+  spec.topologies.erase(spec.topologies.begin() + 1, spec.topologies.end());
+  spec.traffic.resize(1);
+  spec.rates = {0.05};
+  spec.seeds = {1};
+  const std::string json = experiment_to_json(run_experiment(spec));
+  EXPECT_NE(json.find("\"schema\": \"shg.experiment.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"topology\": \"mesh\""), std::string::npos);
+  EXPECT_NE(json.find("\"accepted_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+}
+
+TEST(Experiment, Figure6SpecRunsThroughEngine) {
+  // The Figure 6 scenarios expressed as ExperimentSpecs: cost-model link
+  // latencies per topology, uniform Bernoulli traffic. Shrunk here (two
+  // topologies, short cycles) to keep the suite fast.
+  ExperimentSpec spec =
+      figure6_experiment(figure6_scenario(tech::KncScenario::kA),
+                         {0.05, 0.10});
+  ASSERT_GE(spec.topologies.size(), 5u);
+  for (const TopologyCase& tc : spec.topologies) {
+    EXPECT_EQ(tc.link_latencies.size(),
+              static_cast<std::size_t>(tc.topology.graph().num_edges()));
+  }
+  // The customized SHG is the last entry (scenario_topologies contract).
+  EXPECT_EQ(spec.topologies.back().topology.kind(),
+            topo::Kind::kSparseHamming);
+  spec.topologies.erase(spec.topologies.begin() + 1,
+                        spec.topologies.end() - 1);
+  spec.config.sim.warmup_cycles = 200;
+  spec.config.sim.measure_cycles = 600;
+  spec.config.sim.drain_cycles = 8000;
+  const ExperimentReport report = run_experiment(spec);
+  ASSERT_EQ(report.points.size(), 2u * 2u);
+  for (const ExperimentPoint& point : report.points) {
+    EXPECT_EQ(point.traffic, "uniform");
+    EXPECT_TRUE(point.all_drained);
+    EXPECT_GT(point.avg_latency.mean, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace shg::eval

@@ -62,7 +62,13 @@ TEST(Fairness, StarvedSourceShowsUp) {
 TEST(Fairness, Validation) {
   EXPECT_THROW(fairness_ratio({}), Error);
   EXPECT_THROW(fairness_ratio({-1.0}), Error);
-  EXPECT_THROW(fairness_ratio({0.0, 0.0}), Error);
+}
+
+TEST(Fairness, AllZeroMeansArePerfectlyFair) {
+  // Degenerate empty-measurement corner: every source saw identical (zero)
+  // service, so aggregation must get 1.0 instead of a trap.
+  EXPECT_DOUBLE_EQ(fairness_ratio({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(fairness_ratio({0.0}), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,253 @@
+// Tests for the declarative workload subsystem: TrafficSpec parsing and
+// round-trips, pattern destination histograms, injection processes, and
+// the Bernoulli process's bit-identity with the pre-refactor simulator
+// (golden SimResults captured from the build before InjectionProcess was
+// split out of the injection loop).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "shg/sim/simulator.hpp"
+#include "shg/sim/traffic_spec.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::sim {
+namespace {
+
+// --- Spec parsing / round-trips -------------------------------------------
+
+TEST(TrafficSpec, CanonicalRoundTrips) {
+  for (const char* text :
+       {"uniform", "transpose", "bit-complement", "bit-reverse", "shuffle",
+        "tornado", "neighbor", "hotspot:0,7:0.2", "hotspot:5:0.5",
+        "uniform/onoff:0.05,0.2", "hotspot:0,7:0.2/onoff:0.01,0.1"}) {
+    EXPECT_EQ(TrafficSpec::parse(text).canonical(), text) << text;
+  }
+}
+
+TEST(TrafficSpec, PatternNameMatchesSpecKey) {
+  for (const char* key :
+       {"uniform", "transpose", "bit-complement", "bit-reverse", "shuffle",
+        "tornado", "neighbor"}) {
+    const auto pattern = TrafficSpec::parse(key).make_pattern(4, 4);
+    EXPECT_EQ(pattern->name(), key);
+  }
+  const auto hotspot =
+      TrafficSpec::parse("hotspot:0,7:0.2").make_pattern(4, 4);
+  EXPECT_EQ(hotspot->name(), "hotspot");
+}
+
+TEST(TrafficSpec, ProcessSelection) {
+  EXPECT_EQ(TrafficSpec::parse("uniform").make_process(0.1, 16)->name(),
+            "bernoulli");
+  const TrafficSpec bursty = TrafficSpec::parse("uniform/onoff:0.05,0.2");
+  EXPECT_EQ(bursty.on_off_alpha, 0.05);
+  EXPECT_EQ(bursty.on_off_beta, 0.2);
+  EXPECT_EQ(bursty.make_process(0.1, 16)->name(), "onoff");
+}
+
+TEST(TrafficSpec, UnknownOrMalformedSpecsThrow) {
+  EXPECT_THROW(TrafficSpec::parse(""), Error);
+  EXPECT_THROW(TrafficSpec::parse("warp"), Error);            // unknown pattern
+  EXPECT_THROW(TrafficSpec::parse("uniform:3"), Error);       // stray args
+  EXPECT_THROW(TrafficSpec::parse("hotspot"), Error);         // missing args
+  EXPECT_THROW(TrafficSpec::parse("hotspot:x:0.2"), Error);   // bad tile
+  EXPECT_THROW(TrafficSpec::parse("hotspot:0:1.5"), Error);   // bad fraction
+  EXPECT_THROW(TrafficSpec::parse("uniform/poisson"), Error); // bad process
+  EXPECT_THROW(TrafficSpec::parse("uniform/onoff:0.5"), Error);
+  EXPECT_THROW(TrafficSpec::parse("uniform/onoff:0,0.5"), Error);
+  EXPECT_THROW(TrafficSpec::parse("a/b/c"), Error);
+}
+
+TEST(TrafficSpec, PatternApplicabilityChecked) {
+  // Applicability errors surface at make_pattern, where the grid is known.
+  EXPECT_THROW(TrafficSpec::parse("transpose").make_pattern(2, 3), Error);
+  EXPECT_THROW(TrafficSpec::parse("shuffle").make_pattern(3, 3), Error);
+  EXPECT_THROW(TrafficSpec::parse("hotspot:99:0.2").make_pattern(4, 4),
+               Error);
+}
+
+// --- Destination histograms -----------------------------------------------
+
+TEST(TrafficSpec, HotspotHistogramMatchesFraction) {
+  const auto pattern =
+      TrafficSpec::parse("hotspot:0,7:0.5").make_pattern(4, 4);
+  Prng rng(123);
+  std::map<int, int> histogram;
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++histogram[pattern->dest(3, rng)];
+  // Hotspot tiles receive fraction/2 each plus the uniform share
+  // 0.5 * 1/15; everything else only the uniform share.
+  const double hot = static_cast<double>(histogram[0] + histogram[7]) / draws;
+  EXPECT_NEAR(hot, 0.5 + 2.0 * 0.5 / 15.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(histogram[12]) / draws, 0.5 / 15.0, 0.01);
+  EXPECT_EQ(histogram.count(3), 0u);  // uniform never returns src
+}
+
+TEST(TrafficSpec, TornadoIsTheHalfwayPermutation) {
+  const auto pattern = TrafficSpec::parse("tornado").make_pattern(4, 4);
+  Prng rng(1);
+  for (int src = 0; src < 16; ++src) {
+    const int r = src / 4;
+    const int c = src % 4;
+    EXPECT_EQ(pattern->dest(src, rng), ((r + 1) % 4) * 4 + (c + 1) % 4);
+  }
+}
+
+TEST(TrafficSpec, ShuffleRotatesIndexBits) {
+  const auto pattern = TrafficSpec::parse("shuffle").make_pattern(4, 4);
+  Prng rng(1);
+  for (int src = 0; src < 16; ++src) {
+    EXPECT_EQ(pattern->dest(src, rng), ((src << 1) | (src >> 3)) & 15);
+  }
+}
+
+// --- Injection processes ---------------------------------------------------
+
+TEST(InjectionProcess, BernoulliMatchesRawChanceDraws) {
+  // The Bernoulli process must consume exactly one chance(prob) draw per
+  // call — the pre-refactor injection loop's stream.
+  const auto process = make_bernoulli(0.3);
+  Prng a(99);
+  Prng b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(process->inject(i % 16, a), b.chance(0.3));
+  }
+}
+
+TEST(InjectionProcess, OnOffPreservesMeanRate) {
+  const double packet_prob = 0.02;
+  const auto process = make_on_off(packet_prob, 0.05, 0.15, 1);
+  Prng rng(7);
+  long long injected = 0;
+  const int cycles = 400000;
+  for (int i = 0; i < cycles; ++i) {
+    if (process->inject(0, rng)) ++injected;
+  }
+  EXPECT_NEAR(static_cast<double>(injected) / cycles, packet_prob,
+              0.1 * packet_prob);
+}
+
+TEST(InjectionProcess, OnOffIsBurstier) {
+  // Same mean rate, but the on-off process clusters injections: the
+  // variance of per-window injection counts must exceed Bernoulli's.
+  const double packet_prob = 0.02;
+  const auto bernoulli = make_bernoulli(packet_prob);
+  const auto onoff = make_on_off(packet_prob, 0.02, 0.08, 1);
+  const int windows = 2000;
+  const int window = 100;
+  auto window_variance = [&](InjectionProcess& process) {
+    Prng rng(11);
+    process.reset();
+    std::vector<double> counts;
+    for (int w = 0; w < windows; ++w) {
+      int n = 0;
+      for (int i = 0; i < window; ++i) {
+        if (process.inject(0, rng)) ++n;
+      }
+      counts.push_back(static_cast<double>(n));
+    }
+    double mean = 0.0;
+    for (double c : counts) mean += c;
+    mean /= windows;
+    double var = 0.0;
+    for (double c : counts) var += (c - mean) * (c - mean);
+    return var / windows;
+  };
+  EXPECT_GT(window_variance(*onoff), 2.0 * window_variance(*bernoulli));
+}
+
+TEST(InjectionProcess, OnOffRejectsUnreachableRates) {
+  // duty cycle alpha/(alpha+beta) = 1/4 -> burst prob would be 4 * 0.5 > 1.
+  EXPECT_THROW(make_on_off(0.5, 0.1, 0.3, 4), Error);
+  EXPECT_THROW(make_on_off(0.1, 0.0, 0.3, 4), Error);
+}
+
+// --- Bit-identity with the pre-refactor simulator --------------------------
+//
+// Golden values captured from the seed build (before InjectionProcess
+// existed): same configs, same seeds. The default Bernoulli path must
+// reproduce them exactly, and supplying the process explicitly must
+// change nothing.
+
+std::vector<int> unit_latencies(const topo::Topology& topo) {
+  return std::vector<int>(static_cast<std::size_t>(topo.graph().num_edges()),
+                          1);
+}
+
+void expect_result(const SimResult& r, double accepted, double avg,
+                   double max, double p50, double p95, double p99,
+                   double hops, double fairness, long long packets,
+                   long long cycles) {
+  EXPECT_EQ(r.accepted_rate, accepted);
+  EXPECT_EQ(r.avg_packet_latency, avg);
+  EXPECT_EQ(r.max_packet_latency, max);
+  EXPECT_EQ(r.p50_packet_latency, p50);
+  EXPECT_EQ(r.p95_packet_latency, p95);
+  EXPECT_EQ(r.p99_packet_latency, p99);
+  EXPECT_EQ(r.avg_hops, hops);
+  EXPECT_EQ(r.fairness, fairness);
+  EXPECT_EQ(r.measured_packets, packets);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.cycles_run, cycles);
+}
+
+TEST(BernoulliBitIdentity, MeshUniform) {
+  const auto mesh = topo::make_mesh(4, 4);
+  const auto pattern = make_uniform(16);
+  SimConfig config;
+  config.num_vcs = 2;
+  config.buffer_depth_flits = 4;
+  config.warmup_cycles = 500;
+  config.measure_cycles = 1500;
+  config.injection_rate = 0.10;
+  const SimResult implicit =
+      Simulator(mesh, unit_latencies(mesh), config, *pattern, 1).run();
+  expect_result(implicit, 0.093666666666666662, 10.968028419182948, 26.0,
+                11.0, 17.0, 21.0, 3.6554174067495557, 1.1499646176130172,
+                563, 2008);
+  // Explicitly supplying the equivalent Bernoulli process is a no-op.
+  const SimResult explicit_process =
+      Simulator(mesh, unit_latencies(mesh), config, *pattern, 1, nullptr,
+                nullptr, make_bernoulli(0.10 / 4.0))
+          .run();
+  expect_result(explicit_process, 0.093666666666666662, 10.968028419182948,
+                26.0, 11.0, 17.0, 21.0, 3.6554174067495557,
+                1.1499646176130172, 563, 2008);
+}
+
+TEST(BernoulliBitIdentity, ShgTranspose) {
+  const auto shg = topo::make_sparse_hamming(6, 6, {3}, {2});
+  const auto pattern = make_transpose(6, 6);
+  SimConfig config;
+  config.num_vcs = 4;
+  config.buffer_depth_flits = 8;
+  config.warmup_cycles = 400;
+  config.measure_cycles = 1200;
+  config.injection_rate = 0.25;
+  config.seed = 0xabcdef;
+  const SimResult result =
+      Simulator(shg, unit_latencies(shg), config, *pattern, 1).run();
+  expect_result(result, 0.21824074074074074, 14.731520815632965, 59.0, 13.0,
+                26.0, 35.0, 4.0458793542905696, 1.7594658928937081, 2354,
+                1612);
+}
+
+TEST(BernoulliBitIdentity, TorusHotspotTwoEndpoints) {
+  const auto torus = topo::make_torus(4, 4);
+  const auto pattern = make_hotspot(16, {0, 7}, 0.2);
+  SimConfig config;
+  config.num_vcs = 2;
+  config.buffer_depth_flits = 4;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 900;
+  config.injection_rate = 0.15;
+  config.seed = 42;
+  const SimResult result =
+      Simulator(torus, unit_latencies(torus), config, *pattern, 2).run();
+  expect_result(result, 0.1476736111111111, 11.470149253731343, 38.0, 11.0,
+                20.0, 29.0, 3.125, 1.1082813966092768, 1072, 1224);
+}
+
+}  // namespace
+}  // namespace shg::sim
