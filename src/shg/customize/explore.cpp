@@ -6,6 +6,7 @@
 
 #include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
+#include "shg/customize/incremental.hpp"
 
 namespace shg::customize {
 
@@ -34,21 +35,27 @@ std::string label_for(const topo::ShgParams& params, const char* family) {
   return os.str();
 }
 
-/// Screens every enumerated parameterization in parallel, then filters and
-/// labels in enumeration order — the returned points are identical (values
-/// and order) to the old screen-inside-the-enumeration serial loop.
+/// Screens every enumerated parameterization (shared-prefix incremental
+/// reuse by default, per-candidate parallel sweeps otherwise), then filters
+/// and labels in enumeration order — the returned points are identical
+/// (values and order) to the old screen-inside-the-enumeration serial loop.
 std::vector<ExploredPoint> screen_all(const tech::ArchParams& arch,
                                       std::vector<topo::ShgParams> batch,
-                                      double max_area_overhead,
+                                      const ExploreOptions& options,
                                       const char* family) {
-  std::vector<CandidateMetrics> metrics(batch.size());
-  parallel_for(batch.size(), [&](std::size_t i) {
-    metrics[i] = screen_candidate(arch, batch[i]);
-  });
+  std::vector<CandidateMetrics> metrics;
+  if (options.incremental) {
+    metrics = screen_batch_incremental(arch, batch);
+  } else {
+    metrics.resize(batch.size());
+    parallel_for(batch.size(), [&](std::size_t i) {
+      metrics[i] = screen_candidate(arch, batch[i]);
+    });
+  }
   std::vector<ExploredPoint> points;
   points.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (metrics[i].area_overhead > max_area_overhead) continue;
+    if (metrics[i].area_overhead > options.max_area_overhead) continue;
     std::string label = label_for(batch[i], family);
     points.push_back(
         ExploredPoint{std::move(batch[i]), metrics[i], std::move(label)});
@@ -68,7 +75,7 @@ std::vector<ExploredPoint> explore_shg(const tech::ArchParams& arch,
       batch.push_back(topo::ShgParams{row_skips, col_skips});
     });
   });
-  return screen_all(arch, std::move(batch), options.max_area_overhead, "shg");
+  return screen_all(arch, std::move(batch), options, "shg");
 }
 
 std::vector<ExploredPoint> explore_ruche(const tech::ArchParams& arch,
@@ -85,8 +92,7 @@ std::vector<ExploredPoint> explore_ruche(const tech::ArchParams& arch,
       batch.push_back(std::move(params));
     }
   }
-  return screen_all(arch, std::move(batch), options.max_area_overhead,
-                    "ruche");
+  return screen_all(arch, std::move(batch), options, "ruche");
 }
 
 std::vector<ExploredPoint> trade_off_front(std::vector<ExploredPoint> points) {

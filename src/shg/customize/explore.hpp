@@ -26,6 +26,9 @@ struct ExploreOptions {
   int max_row_skips = 2;  ///< enumerate SR subsets up to this size
   int max_col_skips = 2;
   double max_area_overhead = 1.0;  ///< screen-out threshold
+  /// Shared-prefix screening reuse (customize/incremental.hpp); results are
+  /// bit-identical on or off — off exists for the equivalence tests.
+  bool incremental = true;
 };
 
 /// Enumerates sparse Hamming graph configurations (all SR/SC subsets up to

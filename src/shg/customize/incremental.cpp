@@ -1,0 +1,383 @@
+#include "shg/customize/incremental.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "shg/common/parallel.hpp"
+#include "shg/common/strings.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::customize {
+
+namespace {
+
+/// Running all-pairs statistics, one update per source row. Sum, diameter
+/// and reachable count are exact integers, so accumulating them from
+/// per-row aggregates yields the same values as graph::distance_summary's
+/// per-pair fold — and therefore a bit-identical avg-hops division.
+struct SummaryAccum {
+  int diameter = 0;
+  long long total = 0;
+  long long reachable_pairs = 0;
+
+  void add_row(const graph::DistRowStats& row) {
+    total += row.sum;
+    reachable_pairs += row.reachable;
+    if (row.max > diameter) diameter = row.max;
+  }
+};
+
+/// Scans one freshly swept row into its histogram + aggregate form (the
+/// one-time cost at context construction; repairs keep both exact after
+/// that without re-scanning).
+void build_row_stats(const int* dist, int n, int* hist,
+                     graph::DistRowStats& row) {
+  std::fill(hist, hist + n, 0);
+  row = graph::DistRowStats{};
+  for (int v = 0; v < n; ++v) {
+    const int d = dist[v];
+    if (d == graph::kUnreachable) continue;
+    row.sum += d;
+    ++row.reachable;
+    if (d > row.max) row.max = d;
+    ++hist[d];
+  }
+}
+
+/// Assembles CandidateMetrics with the same expressions screen_candidate
+/// evaluates (same operands, same order — bit-identical doubles).
+CandidateMetrics make_metrics(const model::ScreeningCost& cost,
+                              const SummaryAccum& acc,
+                              const topo::Topology& topo) {
+  const long long n = topo.graph().num_nodes();
+  SHG_REQUIRE(acc.reachable_pairs == n * n,
+              "screening requires a connected topology");
+  CandidateMetrics metrics;
+  metrics.area_overhead = cost.area_overhead;
+  const long long pairs = acc.reachable_pairs - n;  // exclude (u, u)
+  if (pairs > 0) {
+    metrics.avg_hops =
+        static_cast<double>(acc.total) / static_cast<double>(pairs);
+  }
+  metrics.diameter = static_cast<double>(acc.diameter);
+  const double directed_links = 2.0 * topo.graph().num_edges();
+  metrics.throughput_bound =
+      directed_links /
+      (static_cast<double>(topo.num_tiles()) * metrics.avg_hops);
+  return metrics;
+}
+
+/// Skip distances present in `child` but not `parent`; throws unless the
+/// child is a superset (edge deletions are not repairable by relaxation).
+std::vector<int> skip_delta(const std::set<int>& parent,
+                            const std::set<int>& child, const char* dim) {
+  std::vector<int> delta;
+  for (int x : child) {
+    if (parent.count(x) == 0) delta.push_back(x);
+  }
+  SHG_REQUIRE(delta.size() == child.size() - parent.size(),
+              std::string("incremental screening requires the child's ") +
+                  dim + " skips to be a superset of the parent's");
+  return delta;
+}
+
+}  // namespace
+
+struct ScreeningContext::ChildScreen {
+  topo::Topology topo;
+  CandidateMetrics metrics;
+  /// Captured per-source state; empty unless requested.
+  std::vector<int> dist;
+  std::vector<int> hist;
+  std::vector<graph::DistRowStats> row_stats;
+};
+
+ScreeningContext::ScreeningContext(const tech::ArchParams& arch,
+                                   const topo::ShgParams& params)
+    : arch_(&arch),
+      params_(params),
+      topo_(topo::make_sparse_hamming(arch.rows, arch.cols, params.row_skips,
+                                      params.col_skips)) {
+  const graph::Graph& g = topo_.graph();
+  const int n = g.num_nodes();
+  const std::size_t cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  dist_.resize(cells);
+  hist_.resize(cells);
+  row_stats_.resize(static_cast<std::size_t>(n));
+  SummaryAccum acc;
+  graph::BfsWorkspace ws;
+  for (graph::NodeId s = 0; s < n; ++s) {
+    graph::bfs_distances(g, s, ws);
+    std::copy(ws.dist.begin(), ws.dist.begin() + n,
+              dist_.begin() + static_cast<std::size_t>(s) * n);
+    build_row_stats(ws.dist.data(), n,
+                    hist_.data() + static_cast<std::size_t>(s) * n,
+                    row_stats_[static_cast<std::size_t>(s)]);
+    acc.add_row(row_stats_[static_cast<std::size_t>(s)]);
+  }
+  const model::ScreeningCost cost = model::evaluate_screening_cost(arch, topo_);
+  metrics_ = make_metrics(cost, acc, topo_);
+}
+
+ScreeningContext::ChildScreen ScreeningContext::screen_impl(
+    const topo::ShgParams& child, model::TileGeometryCache* tile_cache,
+    bool capture_rows, const CandidateMetrics* known_metrics,
+    bool need_metrics) const {
+  const std::vector<int> new_row_skips =
+      skip_delta(params_.row_skips, child.row_skips, "row");
+  const std::vector<int> new_col_skips =
+      skip_delta(params_.col_skips, child.col_skips, "column");
+
+  ChildScreen out{topo::make_sparse_hamming(arch_->rows, arch_->cols,
+                                            child.row_skips, child.col_skips),
+                  CandidateMetrics{},
+                  {},
+                  {},
+                  {}};
+  if (new_row_skips.empty() && new_col_skips.empty()) {
+    out.metrics = metrics_;
+    if (capture_rows) {
+      out.dist = dist_;
+      out.hist = hist_;
+      out.row_stats = row_stats_;
+    }
+    return out;
+  }
+
+  // The links the new skip distances contribute, from the generator's own
+  // enumeration — the repair's new-edge list and the child graph's edge
+  // set come from one definition and cannot diverge.
+  std::vector<graph::Edge> new_edges;
+  topo::for_each_skip_link(
+      arch_->rows, arch_->cols, new_row_skips, new_col_skips,
+      [&](topo::TileCoord a, topo::TileCoord b) {
+        new_edges.push_back(graph::Edge{out.topo.node(a.row, a.col),
+                                        out.topo.node(b.row, b.col)});
+      });
+
+  const graph::Graph& g = out.topo.graph();
+  const int n = g.num_nodes();
+  const std::size_t cells =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  SummaryAccum acc;
+  graph::BfsWorkspace ws;
+  ws.resize(n);
+  std::vector<int> hist_row(static_cast<std::size_t>(n));
+  if (capture_rows) {
+    out.dist.resize(cells);
+    out.hist.resize(cells);
+    out.row_stats.resize(static_cast<std::size_t>(n));
+  }
+  for (graph::NodeId s = 0; s < n; ++s) {
+    const std::size_t base = static_cast<std::size_t>(s) * n;
+    std::copy(dist_.begin() + base, dist_.begin() + base + n,
+              ws.dist.begin());
+    std::copy(hist_.begin() + base, hist_.begin() + base + n,
+              hist_row.begin());
+    graph::DistRowStats row = row_stats_[static_cast<std::size_t>(s)];
+    graph::update_distances_add_edges(g, new_edges, ws, hist_row.data(), row);
+    acc.add_row(row);
+    if (capture_rows) {
+      std::copy(ws.dist.begin(), ws.dist.begin() + n, out.dist.begin() + base);
+      std::copy(hist_row.begin(), hist_row.end(), out.hist.begin() + base);
+      out.row_stats[static_cast<std::size_t>(s)] = row;
+    }
+  }
+  if (known_metrics != nullptr) {
+    // The caller screened this exact child already (screen_child during
+    // candidate ranking); re-running the cost model — the dominant
+    // screening cost — would only reproduce the same bits.
+    out.metrics = *known_metrics;
+  } else if (need_metrics) {
+    const model::ScreeningCost cost =
+        model::evaluate_screening_cost(*arch_, out.topo, tile_cache);
+    out.metrics = make_metrics(cost, acc, out.topo);
+  }
+  return out;
+}
+
+CandidateMetrics ScreeningContext::screen_child(
+    const topo::ShgParams& child, model::TileGeometryCache* tile_cache) const {
+  return screen_impl(child, tile_cache, /*capture_rows=*/false).metrics;
+}
+
+void ScreeningContext::rebase(const topo::ShgParams& child,
+                              const CandidateMetrics* known_metrics) {
+  ChildScreen screened =
+      screen_impl(child, nullptr, /*capture_rows=*/true, known_metrics);
+  params_ = child;
+  topo_ = std::move(screened.topo);
+  dist_ = std::move(screened.dist);
+  hist_ = std::move(screened.hist);
+  row_stats_ = std::move(screened.row_stats);
+  metrics_ = screened.metrics;
+}
+
+ScreeningContext ScreeningContext::derive(const topo::ShgParams& child,
+                                          model::TileGeometryCache* tile_cache,
+                                          bool need_metrics) const {
+  ChildScreen screened = screen_impl(child, tile_cache, /*capture_rows=*/true,
+                                     nullptr, need_metrics);
+  return ScreeningContext(arch_, child, std::move(screened.topo),
+                          std::move(screened.dist), std::move(screened.hist),
+                          std::move(screened.row_stats), screened.metrics);
+}
+
+namespace {
+
+/// Prefix forest over a candidate batch: every node's parameterization is
+/// its parent's plus exactly one skip distance (canonical element order:
+/// row skips ascending, then column skips ascending), so a child context
+/// is always derivable from its parent by edge-addition repair.
+struct TrieNode {
+  topo::ShgParams params;
+  std::vector<std::size_t> batch_indices;  ///< batch entries equal to params
+  std::vector<std::size_t> children;       ///< node ids, insertion order
+};
+
+constexpr int kColElementBase = 1 << 20;  ///< col skip x encodes as base + x
+
+struct Trie {
+  std::vector<TrieNode> nodes;
+  std::vector<std::map<int, std::size_t>> child_by_code;
+
+  Trie() : nodes(1), child_by_code(1) {}
+
+  std::size_t descend(std::size_t from, int code) {
+    auto [it, inserted] = child_by_code[from].emplace(code, nodes.size());
+    if (inserted) {
+      TrieNode node;
+      node.params = nodes[from].params;
+      if (code >= kColElementBase) {
+        node.params.col_skips.insert(code - kColElementBase);
+      } else {
+        node.params.row_skips.insert(code);
+      }
+      nodes[from].children.push_back(it->second);
+      nodes.push_back(std::move(node));
+      child_by_code.emplace_back();
+    }
+    return it->second;
+  }
+};
+
+}  // namespace
+
+std::vector<CandidateMetrics> screen_batch_incremental(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch) {
+  std::vector<CandidateMetrics> out(batch.size());
+  if (batch.empty()) return out;
+
+  Trie trie;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    std::size_t cur = 0;
+    for (int x : batch[b].row_skips) cur = trie.descend(cur, x);
+    for (int x : batch[b].col_skips) {
+      cur = trie.descend(cur, kColElementBase + x);
+    }
+    trie.nodes[cur].batch_indices.push_back(b);
+  }
+  const std::vector<TrieNode>& nodes = trie.nodes;
+
+  auto record = [&](const TrieNode& node, const CandidateMetrics& metrics) {
+    for (std::size_t b : node.batch_indices) out[b] = metrics;
+  };
+
+  // Recursive subtree walk: derive a context per interior node, screen
+  // leaves from the parent context without capturing rows.
+  auto dfs = [&](auto&& self, const ScreeningContext& parent_ctx,
+                 std::size_t node_id,
+                 model::TileGeometryCache& tile_cache) -> void {
+    const TrieNode& node = nodes[node_id];
+    if (node.children.empty()) {
+      record(node, parent_ctx.screen_child(node.params, &tile_cache));
+      return;
+    }
+    // Stepping-stone prefixes absent from the batch only exist to repair
+    // rows for their descendants — skip their cost model entirely.
+    const bool in_batch = !node.batch_indices.empty();
+    const ScreeningContext ctx =
+        parent_ctx.derive(node.params, &tile_cache, in_batch);
+    if (in_batch) record(node, ctx.metrics());
+    for (std::size_t child : node.children) {
+      self(self, ctx, child, tile_cache);
+    }
+  };
+
+  // One full sweep at the root; everything below is repair-only. The
+  // interior depth-1 contexts fan out via one parallel_for (each derive
+  // touches disjoint state and disjoint batch indices — a serial loop
+  // here would be an Amdahl bottleneck, one cost-model run per interior
+  // node before any subtree starts), then the depth-1 leaves and depth-2
+  // subtrees fan out via a second one. Output slots are disjoint
+  // throughout, so the result is deterministic per the parallel_for
+  // contract.
+  const ScreeningContext root_ctx(arch, nodes[0].params);
+  record(nodes[0], root_ctx.metrics());
+
+  struct Task {
+    const ScreeningContext* ctx;
+    std::size_t node_id;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::size_t> interior1;
+  for (std::size_t c1 : nodes[0].children) {
+    if (nodes[c1].children.empty()) {
+      // Depth-1 leaves fan out with everything else (screen_child is
+      // const-safe on a shared context) — batches made entirely of
+      // single-skip candidates would otherwise run serially.
+      tasks.push_back(Task{&root_ctx, c1});
+    } else {
+      interior1.push_back(c1);
+    }
+  }
+  std::vector<std::unique_ptr<ScreeningContext>> level1(interior1.size());
+  parallel_for(interior1.size(), [&](std::size_t i) {
+    model::TileGeometryCache tile_cache;
+    const std::size_t c1 = interior1[i];
+    const bool in_batch = !nodes[c1].batch_indices.empty();
+    level1[i] = std::make_unique<ScreeningContext>(
+        root_ctx.derive(nodes[c1].params, &tile_cache, in_batch));
+    if (in_batch) record(nodes[c1], level1[i]->metrics());
+  });
+  for (std::size_t i = 0; i < interior1.size(); ++i) {
+    for (std::size_t c2 : nodes[interior1[i]].children) {
+      tasks.push_back(Task{level1[i].get(), c2});
+    }
+  }
+  parallel_for(tasks.size(), [&](std::size_t t) {
+    model::TileGeometryCache tile_cache;
+    dfs(dfs, *tasks[t].ctx, tasks[t].node_id, tile_cache);
+  });
+  return out;
+}
+
+std::vector<CandidateMetrics> verify_incremental_equivalence(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch) {
+  const std::vector<CandidateMetrics> incremental =
+      screen_batch_incremental(arch, batch);
+  std::vector<CandidateMetrics> full(batch.size());
+  parallel_for(batch.size(), [&](std::size_t i) {
+    full[i] = screen_candidate(arch, batch[i]);
+  });
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const CandidateMetrics& a = incremental[i];
+    const CandidateMetrics& b = full[i];
+    if (a == b) continue;
+    std::ostringstream os;
+    os << "incremental screening mismatch at batch index " << i << " ("
+       << fmt_skip_sets(batch[i]) << "): incremental {"
+       << a.area_overhead << ", " << a.avg_hops << ", " << a.diameter << ", "
+       << a.throughput_bound << "} vs full {" << b.area_overhead << ", "
+       << b.avg_hops << ", " << b.diameter << ", " << b.throughput_bound
+       << "}";
+    throw Error(os.str());
+  }
+  return incremental;
+}
+
+}  // namespace shg::customize

@@ -1,0 +1,146 @@
+// Incremental DSE screening with delta-BFS reuse.
+//
+// The customization flow (Section IV / V-a) screens neighborhoods of SHG
+// parameterizations that differ from a parent by exactly one skip distance,
+// yet `screen_candidate` re-runs a full all-pairs BFS sweep and cost-model
+// steps 1-4 for every neighbor. This module exploits the structure of that
+// neighborhood:
+//
+//  * Distance reuse. A `ScreeningContext` caches the parent candidate's
+//    per-source BFS distance rows. Adding a skip distance only ever ADDS
+//    edges, and added edges can only SHRINK hop distances, so each cached
+//    row is repaired by a bounded multi-source relaxation seeded at the new
+//    links' endpoints (`graph::update_distances_add_edges`) instead of a
+//    fresh sweep. Hop distances are unique, so the repaired rows — and the
+//    avg-hops / diameter / throughput-bound metrics folded over them in the
+//    same accumulation order — are bit-identical to `distance_summary`.
+//
+//  * Tile-geometry reuse. The cost model assumes identical tiles sized for
+//    the worst-case radix, so step 1 is a pure function of the radix;
+//    `model::TileGeometryCache` recomputes it only when a candidate's radix
+//    actually changed. Steps 2-4 are re-run: the greedy channel router
+//    assigns channels longest-link-first with congestion-dependent
+//    tie-breaks, so a new skip link can legally re-route previously placed
+//    links — patching cached channel loads would not be bit-identical.
+//
+//  * Shared-prefix reuse. `screen_batch_incremental` organizes an arbitrary
+//    candidate batch (greedy neighborhoods, exhaustive mask enumerations,
+//    explore_* subset sweeps) into a prefix forest ordered by canonical
+//    skip-element order, derives one context per interior node, and screens
+//    each candidate from its longest cached ancestor — 2^k candidates cost
+//    one full sweep plus 2^k bounded repairs.
+//
+// Cache invalidation is by construction: a context is keyed to one parent
+// parameterization and one ArchParams; `screen_child` only accepts children
+// whose skip sets are supersets of the parent's (checked), and `rebase`
+// re-keys the context by repairing its rows in place. Removing a skip
+// distance (edge deletion) can only INCREASE distances and is not
+// repairable by relaxation — such children are rejected rather than
+// screened wrongly.
+//
+// Equivalence oracle: `verify_incremental_equivalence` screens a batch both
+// ways and throws on the first metric that is not bit-identical; the bench
+// and CI gate on it.
+#pragma once
+
+#include <vector>
+
+#include "shg/customize/search.hpp"
+#include "shg/graph/shortest_paths.hpp"
+
+namespace shg::customize {
+
+/// Cached screening state of one parent parameterization.
+class ScreeningContext {
+ public:
+  /// Full screen of `params`: one all-pairs sweep plus cost steps 1-4. The
+  /// context keeps a pointer to `arch`, which must outlive it.
+  ScreeningContext(const tech::ArchParams& arch,
+                   const topo::ShgParams& params);
+
+  const topo::ShgParams& params() const { return params_; }
+
+  /// Screening metrics of the parent itself; bit-identical to
+  /// `screen_candidate(arch, params())`.
+  const CandidateMetrics& metrics() const { return metrics_; }
+
+  /// Screens `child`, whose skip sets must be supersets of `params()`, by
+  /// repairing a copy of the cached distance rows. Bit-identical to
+  /// `screen_candidate(arch, child)`. Safe to call concurrently on one
+  /// context; `tile_cache` (optional) must then be per-caller.
+  CandidateMetrics screen_child(const topo::ShgParams& child,
+                                model::TileGeometryCache* tile_cache =
+                                    nullptr) const;
+
+  /// Re-keys the context onto `child` (a superset of `params()`) by
+  /// repairing the cached rows in place — the greedy search uses this when
+  /// it accepts a step. `known_metrics`, when given, must be the result of
+  /// screening `child` (e.g. the screen_child return the caller just
+  /// ranked); the re-keyed context then adopts it instead of re-running
+  /// the cost model for a candidate whose metrics are already known.
+  void rebase(const topo::ShgParams& child,
+              const CandidateMetrics* known_metrics = nullptr);
+
+  /// Derives an independent context for `child` without re-sweeping; the
+  /// shared-prefix forest walk uses this for interior nodes. With
+  /// `need_metrics` false the cost model is skipped and the derived
+  /// context's metrics() are unspecified — for stepping-stone prefixes
+  /// that only exist to repair rows for their descendants, the cost model
+  /// (the dominant screening cost) would be wasted work.
+  ScreeningContext derive(const topo::ShgParams& child,
+                          model::TileGeometryCache* tile_cache = nullptr,
+                          bool need_metrics = true) const;
+
+ private:
+  struct ChildScreen;
+  ChildScreen screen_impl(const topo::ShgParams& child,
+                          model::TileGeometryCache* tile_cache,
+                          bool capture_rows,
+                          const CandidateMetrics* known_metrics = nullptr,
+                          bool need_metrics = true) const;
+
+  ScreeningContext(const tech::ArchParams* arch, topo::ShgParams params,
+                   topo::Topology topo, std::vector<int> dist,
+                   std::vector<int> hist,
+                   std::vector<graph::DistRowStats> row_stats,
+                   const CandidateMetrics& metrics)
+      : arch_(arch),
+        params_(std::move(params)),
+        topo_(std::move(topo)),
+        dist_(std::move(dist)),
+        hist_(std::move(hist)),
+        row_stats_(std::move(row_stats)),
+        metrics_(metrics) {}
+
+  const tech::ArchParams* arch_;
+  topo::ShgParams params_;
+  topo::Topology topo_;
+  /// Per-source cached state, all row-major n x n (plus one stats entry per
+  /// source): the distance rows the repair starts from, the per-row
+  /// distance histograms, and the per-row aggregates. The histograms let
+  /// the statistics-fused repair keep sum/max/reachable exact at label
+  /// changes instead of re-folding O(n) per repaired row — that re-fold
+  /// costs as much as the repair itself.
+  std::vector<int> dist_;  ///< dist_[src * n + node]
+  std::vector<int> hist_;  ///< hist_[src * n + d] = nodes at distance d
+  std::vector<graph::DistRowStats> row_stats_;
+  CandidateMetrics metrics_;
+};
+
+/// Screens every parameterization of `batch` (any order, duplicates
+/// allowed) with shared-prefix reuse; the returned metrics are indexed like
+/// the input and bit-identical to screening each entry with
+/// `screen_candidate`. Interior prefixes missing from the batch are
+/// screened as stepping stones. Parallelises over prefix subtrees via
+/// `parallel_for`; the output is deterministic regardless of worker count.
+std::vector<CandidateMetrics> screen_batch_incremental(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch);
+
+/// Equivalence oracle: screens `batch` incrementally and with the full
+/// per-candidate path, and throws shg::Error naming the first candidate
+/// whose metrics are not bit-identical. Returns the (verified) incremental
+/// metrics.
+std::vector<CandidateMetrics> verify_incremental_equivalence(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch);
+
+}  // namespace shg::customize

@@ -1,10 +1,12 @@
 #include "shg/customize/search.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
+#include "shg/customize/incremental.hpp"
 #include "shg/graph/shortest_paths.hpp"
 #include "shg/topo/generators.hpp"
 
@@ -35,6 +37,11 @@ std::vector<CandidateMetrics> screen_batch(
 
 }  // namespace
 
+std::string fmt_skip_sets(const topo::ShgParams& params) {
+  return "SR=" + fmt_int_set(params.row_skips) +
+         " SC=" + fmt_int_set(params.col_skips);
+}
+
 CandidateMetrics screen_candidate(const tech::ArchParams& arch,
                                   const topo::ShgParams& params) {
   const topo::Topology topo = topo::make_sparse_hamming(
@@ -58,16 +65,66 @@ CandidateMetrics screen_candidate(const tech::ArchParams& arch,
   return metrics;
 }
 
-SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal) {
+std::size_t select_greedy_candidate(
+    const CandidateMetrics& parent,
+    const std::vector<CandidateMetrics>& candidates, const Goal& goal) {
+  std::size_t best = kNoCandidate;
+  bool best_free = false;
+  double best_gain = 0.0;
+  double best_score = 0.0;     // gain per extra area; paid tier only
+  double best_overhead = 0.0;  // free-tier tie-break
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateMetrics& metrics = candidates[i];
+    if (metrics.area_overhead > goal.max_area_overhead) continue;
+    const double gain = metrics.throughput_bound - parent.throughput_bound;
+    if (gain <= 0.0) continue;
+    const double extra_area = metrics.area_overhead - parent.area_overhead;
+    const bool free = extra_area <= 0.0;
+    const double score = free ? 0.0 : gain / extra_area;
+    bool take = false;
+    if (best == kNoCandidate) {
+      take = true;
+    } else if (free != best_free) {
+      // A free improvement consumes no budget, so it never loses to a paid
+      // one — and never wins by an arbitrary 1e-9 clamp either.
+      take = free;
+    } else if (free) {
+      take = gain > best_gain ||
+             (gain == best_gain && metrics.area_overhead < best_overhead);
+    } else {
+      take = score > best_score || (score == best_score && gain > best_gain);
+    }
+    if (take) {
+      best = i;
+      best_free = free;
+      best_gain = gain;
+      best_score = score;
+      best_overhead = metrics.area_overhead;
+    }
+  }
+  return best;
+}
+
+SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
+                              const SearchOptions& options) {
   SHG_REQUIRE(goal.max_area_overhead > 0.0 && goal.max_area_overhead < 1.0,
               "area budget must be a fraction in (0, 1)");
   SearchResult result;
   result.params = topo::ShgParams{};
-  result.metrics = screen_candidate(arch, result.params);
+  // The context's construction sweep doubles as the mesh screening, so the
+  // incremental path pays no extra full sweep up front.
+  std::optional<ScreeningContext> ctx;
+  if (options.incremental) {
+    ctx.emplace(arch, result.params);
+    result.metrics = ctx->metrics();
+  } else {
+    result.metrics = screen_candidate(arch, result.params);
+  }
   SHG_REQUIRE(result.metrics.area_overhead <= goal.max_area_overhead,
               "even the mesh exceeds the area budget");
-  result.history.push_back(
-      SearchStep{result.params, result.metrics, "start: mesh (SR={}, SC={})"});
+  result.history.push_back(SearchStep{
+      result.params, result.metrics,
+      "start: mesh (" + fmt_skip_sets(result.params) + ")"});
 
   while (true) {
     // Enumerate this iteration's neighborhood (one extra skip distance per
@@ -87,39 +144,32 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal) {
       candidate.col_skips.insert(x);
       batch.push_back(std::move(candidate));
     }
-    const std::vector<CandidateMetrics> screened = screen_batch(arch, batch);
-
-    topo::ShgParams best_params;
-    CandidateMetrics best_metrics;
-    double best_score = 0.0;
-    bool found = false;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const CandidateMetrics& metrics = screened[i];
-      if (metrics.area_overhead > goal.max_area_overhead) continue;
-      const double gain =
-          metrics.throughput_bound - result.metrics.throughput_bound;
-      const double extra_area =
-          std::max(1e-9, metrics.area_overhead - result.metrics.area_overhead);
-      const double score = gain / extra_area;
-      if (gain <= 0.0) continue;
-      if (!found || score > best_score) {
-        found = true;
-        best_score = score;
-        best_params = batch[i];
-        best_metrics = metrics;
-      }
+    std::vector<CandidateMetrics> screened;
+    if (ctx) {
+      // Every neighbor is the parent plus one skip distance — the exact
+      // shape the delta-BFS repair is built for.
+      screened.resize(batch.size());
+      parallel_for(batch.size(), [&](std::size_t i) {
+        screened[i] = ctx->screen_child(batch[i]);
+      });
+    } else {
+      screened = screen_batch(arch, batch);
     }
-    if (!found) break;
 
-    result.params = best_params;
-    result.metrics = best_metrics;
+    const std::size_t pick =
+        select_greedy_candidate(result.metrics, screened, goal);
+    if (pick == kNoCandidate) break;
+
+    result.params = batch[pick];
+    result.metrics = screened[pick];
+    if (ctx) ctx->rebase(result.params, &result.metrics);
     std::ostringstream note;
-    note << "accepted SR=" << fmt_int_set(best_params.row_skips)
-         << " SC=" << fmt_int_set(best_params.col_skips) << " (overhead "
-         << fmt_double(100.0 * best_metrics.area_overhead, 1)
+    note << "accepted " << fmt_skip_sets(result.params) << " (overhead "
+         << fmt_double(100.0 * result.metrics.area_overhead, 1)
          << "%, throughput bound "
-         << fmt_double(best_metrics.throughput_bound, 3) << ")";
-    result.history.push_back(SearchStep{best_params, best_metrics, note.str()});
+         << fmt_double(result.metrics.throughput_bound, 3) << ")";
+    result.history.push_back(
+        SearchStep{result.params, result.metrics, note.str()});
   }
 
   const topo::Topology final_topo = topo::make_sparse_hamming(
@@ -131,7 +181,8 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal) {
 SearchResult customize_exhaustive(const tech::ArchParams& arch,
                                   const Goal& goal,
                                   const std::vector<int>& row_candidates,
-                                  const std::vector<int>& col_candidates) {
+                                  const std::vector<int>& col_candidates,
+                                  const SearchOptions& options) {
   SHG_REQUIRE(row_candidates.size() + col_candidates.size() <= 20,
               "exhaustive search is exponential; use fewer candidates");
   SearchResult best;
@@ -153,7 +204,13 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
       batch.push_back(std::move(params));
     }
   }
-  const std::vector<CandidateMetrics> screened = screen_batch(arch, batch);
+  // The subset lattice is a prefix forest: every mask is some other mask
+  // plus one element, so the incremental path reuses the shared-prefix
+  // distance rows across the whole enumeration. Either way the serial
+  // reduction below sees bit-identical metrics in the same order.
+  const std::vector<CandidateMetrics> screened =
+      options.incremental ? screen_batch_incremental(arch, batch)
+                          : screen_batch(arch, batch);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const CandidateMetrics& metrics = screened[i];
     if (metrics.area_overhead > goal.max_area_overhead) continue;

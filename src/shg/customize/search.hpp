@@ -15,6 +15,7 @@
 // configuration is then validated with the full toolchain.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct CandidateMetrics {
   double avg_hops = 0.0;
   double diameter = 0.0;
   double throughput_bound = 0.0;  ///< flits/node/cycle, uniform traffic
+
+  /// Bitwise field equality — what the incremental-screening equivalence
+  /// oracle and benches mean by "bit-identical".
+  friend bool operator==(const CandidateMetrics&,
+                         const CandidateMetrics&) = default;
 };
 
 /// One step of the greedy search (for audit / the examples' logs).
@@ -54,14 +60,51 @@ struct SearchResult {
   std::vector<SearchStep> history;
 };
 
+/// Knobs of the search engines. `incremental` turns on the delta-BFS
+/// screening reuse (customize/incremental.hpp); results are bit-identical
+/// with it on or off (oracle-tested), the flag exists for the equivalence
+/// tests and the benchmark's old-vs-new comparison.
+struct SearchOptions {
+  bool incremental = true;
+};
+
+/// Renders a parameterization's skip sets as `SR={...} SC={...}` — the
+/// one formatting every history note goes through (exposed so tests can
+/// pin it with non-empty sets; the mesh start note alone cannot, since
+/// empty sets render as the literal "{}").
+std::string fmt_skip_sets(const topo::ShgParams& params);
+
 /// Computes the screening metrics of one parameterization.
 CandidateMetrics screen_candidate(const tech::ArchParams& arch,
                                   const topo::ShgParams& params);
 
+/// Picks the winner of one greedy iteration among `candidates` (screened
+/// neighbors of a parent with metrics `parent`), or returns npos when no
+/// candidate is acceptable. Exposed for the scoring regression tests.
+///
+/// Selection rules:
+///  * candidates over the area budget or without a strict throughput-bound
+///    gain are rejected;
+///  * candidates whose area overhead does not exceed the parent's are
+///    "free improvements": they consume no budget, so any of them is taken
+///    before any paid candidate. Within the tier the largest gain wins,
+///    ties prefer the lower area overhead, then the earliest enumeration
+///    index. (The previous implementation clamped the area delta to 1e-9
+///    and scored gain / delta, which both inflated free candidates by ~1e9
+///    and, for tiny gains, let a paid candidate outrank a free one — the
+///    ordering depended on an arbitrary constant.)
+///  * paid candidates are ranked by gain per extra area; ties prefer the
+///    larger gain, then the earliest enumeration index.
+inline constexpr std::size_t kNoCandidate = static_cast<std::size_t>(-1);
+std::size_t select_greedy_candidate(const CandidateMetrics& parent,
+                                    const std::vector<CandidateMetrics>& candidates,
+                                    const Goal& goal);
+
 /// Greedy customization: grows SR / SC one skip distance at a time, always
 /// taking the best throughput-bound gain per added area, until no candidate
 /// fits the budget.
-SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal);
+SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
+                              const SearchOptions& options = {});
 
 /// Exhaustive customization over all subsets of the given candidate skip
 /// distances (exponential; intended for small grids and for validating the
@@ -69,6 +112,7 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal);
 SearchResult customize_exhaustive(const tech::ArchParams& arch,
                                   const Goal& goal,
                                   const std::vector<int>& row_candidates,
-                                  const std::vector<int>& col_candidates);
+                                  const std::vector<int>& col_candidates,
+                                  const SearchOptions& options = {});
 
 }  // namespace shg::customize

@@ -204,6 +204,13 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
     const TopologyCase& tc = spec.topologies[t];
     const std::string topo_label =
         tc.label.empty() ? tc.topology.name() : tc.label;
+    if (tables[t] != nullptr) {
+      report.route_tables.push_back(
+          TableFootprint{topo_label, tables[t]->num_rows(),
+                         tables[t]->num_unique_rows(),
+                         tables[t]->memory_bytes(),
+                         tables[t]->undeduped_memory_bytes()});
+    }
     for (std::size_t w = 0; w < num_traffic; ++w) {
       const TrafficCase& wc = spec.traffic[w];
       std::string traffic_label = wc.label;
@@ -273,6 +280,16 @@ std::string experiment_to_json(const ExperimentReport& report) {
       first = false;
     }
     os << "}}" << (i + 1 < report.points.size() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"route_tables\": [\n";
+  for (std::size_t i = 0; i < report.route_tables.size(); ++i) {
+    const TableFootprint& table = report.route_tables[i];
+    os << "    {\"topology\": \"" << json_escape(table.topology)
+       << "\", \"rows\": " << table.rows
+       << ", \"unique_rows\": " << table.unique_rows
+       << ", \"bytes\": " << table.bytes
+       << ", \"bytes_undeduped\": " << table.bytes_undeduped << "}"
+       << (i + 1 < report.route_tables.size() ? "," : "") << '\n';
   }
   os << "  ]\n}\n";
   return os.str();

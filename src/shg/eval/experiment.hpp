@@ -86,11 +86,25 @@ struct ExperimentPoint {
   std::vector<sim::SimResult> runs;
 };
 
+/// Footprint of one topology's shared route table — every cell of that
+/// topology reuses the same deduplicated CSR, so the dedupe win scales
+/// with the number of cells sharing it.
+struct TableFootprint {
+  std::string topology;
+  std::size_t rows = 0;
+  std::size_t unique_rows = 0;       ///< after in_vc-class row dedup
+  std::size_t bytes = 0;             ///< deduplicated CSR footprint
+  std::size_t bytes_undeduped = 0;   ///< one-range-per-row layout it replaced
+};
+
 /// The rendered experiment: points in topology-major, then traffic, then
 /// rate order (seeds folded into each point).
 struct ExperimentReport {
   std::string name;
   std::vector<ExperimentPoint> points;
+  /// One entry per topology with a shared route table (empty when
+  /// SimConfig::use_route_table is off), in spec order.
+  std::vector<TableFootprint> route_tables;
 };
 
 /// Executes the spec: shared route table per topology, one parallel_for

@@ -5,6 +5,7 @@
 // (principle #4 of the paper) where edge weights are physical link lengths.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -23,12 +24,17 @@ inline constexpr int kUnreachable = std::numeric_limits<int>::max();
 struct BfsWorkspace {
   std::vector<int> dist;      ///< per-node hop distance (kUnreachable = not seen)
   std::vector<NodeId> queue;  ///< flat FIFO; reused ring storage
+  /// Per-label frontiers for the delta-BFS repair (all empty between calls;
+  /// the inner vectors keep their capacity, so repeated repairs on one
+  /// workspace stop allocating after the first).
+  std::vector<std::vector<NodeId>> levels;
 
   /// Grows the buffers to `num_nodes` (no-op when already large enough).
   void resize(int num_nodes) {
     const auto n = static_cast<std::size_t>(num_nodes);
     if (dist.size() < n) dist.resize(n);
     if (queue.size() < n) queue.resize(n);
+    if (levels.size() < n) levels.resize(n);
   }
 };
 
@@ -38,6 +44,43 @@ std::vector<int> bfs_distances(const Graph& g, NodeId src);
 /// Allocation-free BFS: fills `ws.dist[0..num_nodes)` in place, reusing the
 /// workspace buffers. Equivalent to the allocating overload.
 void bfs_distances(const Graph& g, NodeId src, BfsWorkspace& ws);
+
+/// Delta-BFS repair after edge additions. `ws.dist[0..num_nodes)` must hold
+/// BFS hop distances from some source over a subgraph of `g`, and
+/// `new_edges` must list exactly the edges of `g` missing from that
+/// subgraph. On return `ws.dist` equals `bfs_distances(g, src, ws)` run
+/// from scratch — hop distances are unique, so the repaired row is
+/// bit-identical to a fresh sweep.
+///
+/// Soundness: adding edges can only shrink distances, so the repair is a
+/// bounded multi-source relaxation seeded at the new edges' endpoints; only
+/// nodes whose distance actually decreases (plus their adjacency) are
+/// touched, which is what makes incremental DSE screening cheaper than a
+/// full sweep. A node may re-enter the queue when its label drops again,
+/// but labels are integers bounded below, so the relaxation terminates.
+void update_distances_add_edges(const Graph& g,
+                                const std::vector<Edge>& new_edges,
+                                BfsWorkspace& ws);
+
+/// Aggregate statistics of one distance row, maintainable under repair.
+struct DistRowStats {
+  long long sum = 0;  ///< sum of finite distances (self-distance 0 included)
+  int reachable = 0;  ///< nodes with finite distance (self included)
+  int max = 0;        ///< largest finite distance
+};
+
+/// Statistics-fused repair: like the overload above, and additionally keeps
+/// `hist` (hist[d] = number of nodes at distance d; at least num_nodes
+/// entries) and `stats` consistent with the repaired row by touching them
+/// only at label changes. Callers that fold a summary over many repaired
+/// rows use this to skip the O(n) per-row re-scan — for screening sweeps
+/// that re-scan is as expensive as the repair itself. `hist` and `stats`
+/// must be consistent with `ws.dist` on entry (build them with a full scan
+/// once, then carry them alongside the row).
+void update_distances_add_edges(const Graph& g,
+                                const std::vector<Edge>& new_edges,
+                                BfsWorkspace& ws, int* hist,
+                                DistRowStats& stats);
 
 /// Fused single-pass all-pairs summary: average hops, diameter and
 /// connectivity computed in ONE sweep of n BFS runs. Replaces the

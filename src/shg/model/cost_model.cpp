@@ -23,24 +23,47 @@ namespace {
 phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
                                        const topo::Topology& topo,
                                        CostReport& report,
-                                       phys::GlobalRoutingResult* global_out) {
+                                       phys::GlobalRoutingResult* global_out,
+                                       TileGeometryCache* tile_cache = nullptr) {
   SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
               "topology grid does not match the architecture parameters");
   const tech::TechnologyModel& tech = arch.tech;
 
   // ---- Step 1: tile area estimate and placement -------------------------
   // Router ports: one manager + one subordinate port per topology link plus
-  // the local endpoint ports. Identical tiles => worst-case radix.
+  // the local endpoint ports. Identical tiles => worst-case radix, so the
+  // whole step is a pure function of the radix and can be memoized across
+  // screening candidates whose radix did not change.
   const int ports = topo.radix() + arch.endpoints_per_tile;
-  report.router_area_ge = arch.router_area.area_ge(
-      ports, ports, arch.link_bandwidth_bits, arch.router_arch);
-  report.tile_area_ge = arch.endpoint_area_ge + report.router_area_ge;
-  const double tile_area_mm2 = tech.ge_to_mm2(report.tile_area_ge);
-  report.tile_h_mm = std::sqrt(arch.tile_aspect_ratio * tile_area_mm2);
-  report.tile_w_mm = std::sqrt(tile_area_mm2 / arch.tile_aspect_ratio);
+  if (const TileGeometryCache::Entry* hit =
+          tile_cache != nullptr ? tile_cache->find(ports) : nullptr) {
+    report.router_area_ge = hit->router_area_ge;
+    report.tile_area_ge = hit->tile_area_ge;
+    report.tile_w_mm = hit->tile_w_mm;
+    report.tile_h_mm = hit->tile_h_mm;
+  } else {
+    report.router_area_ge = arch.router_area.area_ge(
+        ports, ports, arch.link_bandwidth_bits, arch.router_arch);
+    report.tile_area_ge = arch.endpoint_area_ge + report.router_area_ge;
+    const double tile_area_mm2 = tech.ge_to_mm2(report.tile_area_ge);
+    report.tile_h_mm = std::sqrt(arch.tile_aspect_ratio * tile_area_mm2);
+    report.tile_w_mm = std::sqrt(tile_area_mm2 / arch.tile_aspect_ratio);
+    if (tile_cache != nullptr) {
+      tile_cache->insert(ports,
+                         TileGeometryCache::Entry{report.router_area_ge,
+                                                  report.tile_area_ge,
+                                                  report.tile_w_mm,
+                                                  report.tile_h_mm});
+    }
+  }
 
   // ---- Step 2: global routing in the grid of tiles -----------------------
-  phys::GlobalRoutingResult global = phys::global_route(topo);
+  // Screening callers never read the per-link routes (step 5 is skipped),
+  // so take the loads-only fast path — bit-identical channel loads without
+  // materializing a GlobalRoute per link.
+  phys::GlobalRoutingResult global = global_out != nullptr
+                                         ? phys::global_route(topo)
+                                         : phys::global_route_loads(topo);
 
   // ---- Step 3: spacing between rows and columns of tiles -----------------
   const double wires = arch.wires_per_link();
@@ -84,9 +107,10 @@ phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
 }  // namespace
 
 ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
-                                      const topo::Topology& topo) {
+                                      const topo::Topology& topo,
+                                      TileGeometryCache* tile_cache) {
   CostReport report;
-  floorplan_steps_1_to_4(arch, topo, report, nullptr);
+  floorplan_steps_1_to_4(arch, topo, report, nullptr, tile_cache);
   ScreeningCost cost;
   cost.total_area_mm2 = report.total_area_mm2;
   cost.base_area_mm2 = report.base_area_mm2;

@@ -89,7 +89,43 @@ struct ScreeningCost {
   double area_overhead = 0.0;
 };
 
+/// Step-1 memo for screening sweeps. Under a fixed `ArchParams`, the tile
+/// geometry (router area, tile area, tile width/height) is a pure function
+/// of the router port count, i.e. of the topology radix — the model assumes
+/// identical tiles sized for the worst-case radix. Incremental screening
+/// therefore recomputes the tile-area step only for candidates whose radix
+/// actually changed; the stored values are exactly the ones the formula
+/// yields, so cached and uncached runs are bit-identical.
+///
+/// The memo is only valid for one `ArchParams`; not thread-safe — use one
+/// per worker.
+class TileGeometryCache {
+ public:
+  struct Entry {
+    double router_area_ge = 0.0;
+    double tile_area_ge = 0.0;
+    double tile_w_mm = 0.0;
+    double tile_h_mm = 0.0;
+  };
+
+  /// Returns the memoized geometry for `ports`, or nullptr.
+  const Entry* find(int ports) const {
+    for (const auto& [p, entry] : entries_) {
+      if (p == ports) return &entry;
+    }
+    return nullptr;
+  }
+
+  void insert(int ports, const Entry& entry) {
+    entries_.emplace_back(ports, entry);
+  }
+
+ private:
+  std::vector<std::pair<int, Entry>> entries_;  ///< tiny; linear scan
+};
+
 ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
-                                      const topo::Topology& topo);
+                                      const topo::Topology& topo,
+                                      TileGeometryCache* tile_cache = nullptr);
 
 }  // namespace shg::model

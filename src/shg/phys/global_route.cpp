@@ -8,9 +8,14 @@ namespace shg::phys {
 
 namespace {
 
-/// Candidate route under evaluation by the greedy router.
+/// Candidate route under evaluation by the greedy router: at most two
+/// channel spans (aligned links use one, L-shapes two), held inline so
+/// candidate evaluation performs no heap allocation.
 struct Candidate {
-  GlobalRoute route;
+  ChannelSpan spans[2];
+  int num_spans = 0;
+  Face face_u = Face::kEast;
+  Face face_v = Face::kWest;
   double cost = 0.0;
 };
 
@@ -41,26 +46,52 @@ int GlobalRoutingResult::max_v_load(int channel) const {
   return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
 }
 
-GlobalRoutingResult global_route(const topo::Topology& topo) {
+namespace {
+
+/// Shared greedy-routing core. The template flag only controls whether the
+/// winning candidates are materialized into GlobalRoute objects — every
+/// decision (greedy order, candidate generation order, cost arithmetic,
+/// first-minimum tie-break) is the same code either way, so the committed
+/// channel loads are bit-identical with routes kept or dropped.
+template <bool kKeepRoutes>
+void route_all_links(const topo::Topology& topo, GlobalRoutingResult& result) {
   const int rows = topo.rows();
   const int cols = topo.cols();
-  GlobalRoutingResult result;
-  result.routes.resize(static_cast<std::size_t>(topo.graph().num_edges()));
+  if (kKeepRoutes) {
+    result.routes.resize(static_cast<std::size_t>(topo.graph().num_edges()));
+  }
   result.h_loads.assign(static_cast<std::size_t>(rows) + 1,
                         std::vector<int>(static_cast<std::size_t>(cols), 0));
   result.v_loads.assign(static_cast<std::size_t>(cols) + 1,
                         std::vector<int>(static_cast<std::size_t>(rows), 0));
 
   // Greedy order: longest links first — they constrain channel capacity the
-  // most, short links fill the remaining space.
-  std::vector<graph::EdgeId> order(
-      static_cast<std::size_t>(topo.graph().num_edges()));
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](graph::EdgeId a, graph::EdgeId b) {
-                     return topo.link_grid_length(a) >
-                            topo.link_grid_length(b);
-                   });
+  // most, short links fill the remaining space. Counting sort by length
+  // bucket (descending, original order within a bucket) produces exactly
+  // the stable_sort order the routine always used, without the comparison
+  // sort showing up in screening profiles.
+  const int num_edges = topo.graph().num_edges();
+  int max_len = 0;
+  std::vector<int> lengths(static_cast<std::size_t>(num_edges));
+  for (graph::EdgeId e = 0; e < num_edges; ++e) {
+    lengths[static_cast<std::size_t>(e)] = topo.link_grid_length(e);
+    max_len = std::max(max_len, lengths[static_cast<std::size_t>(e)]);
+  }
+  std::vector<int> bucket_start(static_cast<std::size_t>(max_len) + 2, 0);
+  for (int len : lengths) ++bucket_start[static_cast<std::size_t>(len)];
+  // Descending lengths: bucket max_len first.
+  int offset = 0;
+  for (int len = max_len; len >= 0; --len) {
+    const int count = bucket_start[static_cast<std::size_t>(len)];
+    bucket_start[static_cast<std::size_t>(len)] = offset;
+    offset += count;
+  }
+  std::vector<graph::EdgeId> order(static_cast<std::size_t>(num_edges));
+  for (graph::EdgeId e = 0; e < num_edges; ++e) {
+    order[static_cast<std::size_t>(
+        bucket_start[static_cast<std::size_t>(
+            lengths[static_cast<std::size_t>(e)])]++)] = e;
+  }
 
   // Secondary cost weight on wirelength: congestion dominates, length
   // breaks ties between equally congested channels.
@@ -72,50 +103,63 @@ GlobalRoutingResult global_route(const topo::Topology& topo) {
     const topo::TileCoord cu = topo.coord(u);
     const topo::TileCoord cv = topo.coord(v);
 
-    GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
-    if (topo.link_grid_length(e) == 1) {
-      // Adjacent tiles: cross the shared channel directly.
-      route.straight = true;
-      if (cu.row == cv.row) {
-        route.face_u = cu.col < cv.col ? Face::kEast : Face::kWest;
-        route.face_v = cu.col < cv.col ? Face::kWest : Face::kEast;
-      } else {
-        route.face_u = cu.row < cv.row ? Face::kSouth : Face::kNorth;
-        route.face_v = cu.row < cv.row ? Face::kNorth : Face::kSouth;
+    if (lengths[static_cast<std::size_t>(e)] == 1) {
+      // Adjacent tiles: cross the shared channel directly (no channel
+      // load; nothing to record unless routes are kept).
+      if (kKeepRoutes) {
+        GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
+        route.straight = true;
+        if (cu.row == cv.row) {
+          route.face_u = cu.col < cv.col ? Face::kEast : Face::kWest;
+          route.face_v = cu.col < cv.col ? Face::kWest : Face::kEast;
+        } else {
+          route.face_u = cu.row < cv.row ? Face::kSouth : Face::kNorth;
+          route.face_v = cu.row < cv.row ? Face::kNorth : Face::kSouth;
+        }
       }
       continue;
     }
 
-    std::vector<Candidate> candidates;
+    // Evaluate candidates in generation order, keeping the first strict
+    // minimum — the same winner std::min_element picked over the old
+    // candidate vector.
+    Candidate best;
+    bool have_best = false;
+    auto consider = [&](const Candidate& cand) {
+      if (!have_best || cand.cost < best.cost) {
+        best = cand;
+        have_best = true;
+      }
+    };
     if (cu.row == cv.row) {
       // Same-row link: horizontal channel above (index row) or below
       // (index row+1); ports on north/south faces.
       const auto [lo, hi] = std::minmax(cu.col, cv.col);
       for (const int channel : {cu.row, cu.row + 1}) {
         Candidate cand;
-        cand.route.spans = {
-            ChannelSpan{true, channel, lo, hi}};
-        cand.route.face_u = channel == cu.row ? Face::kNorth : Face::kSouth;
-        cand.route.face_v = cand.route.face_u;
+        cand.spans[0] = ChannelSpan{true, channel, lo, hi};
+        cand.num_spans = 1;
+        cand.face_u = channel == cu.row ? Face::kNorth : Face::kSouth;
+        cand.face_v = cand.face_u;
         cand.cost = peak_after_insert(
                         result.h_loads[static_cast<std::size_t>(channel)], lo,
                         hi) +
                     kLengthWeight * (hi - lo + 1);
-        candidates.push_back(std::move(cand));
+        consider(cand);
       }
     } else if (cu.col == cv.col) {
       const auto [lo, hi] = std::minmax(cu.row, cv.row);
       for (const int channel : {cu.col, cu.col + 1}) {
         Candidate cand;
-        cand.route.spans = {
-            ChannelSpan{false, channel, lo, hi}};
-        cand.route.face_u = channel == cu.col ? Face::kWest : Face::kEast;
-        cand.route.face_v = cand.route.face_u;
+        cand.spans[0] = ChannelSpan{false, channel, lo, hi};
+        cand.num_spans = 1;
+        cand.face_u = channel == cu.col ? Face::kWest : Face::kEast;
+        cand.face_v = cand.face_u;
         cand.cost = peak_after_insert(
                         result.v_loads[static_cast<std::size_t>(channel)], lo,
                         hi) +
                     kLengthWeight * (hi - lo + 1);
-        candidates.push_back(std::move(cand));
+        consider(cand);
       }
     } else {
       // Diagonal link: L-shaped route, horizontal segment at the u end
@@ -126,34 +170,50 @@ GlobalRoutingResult global_route(const topo::Topology& topo) {
       for (const int hch : {cu.row, cu.row + 1}) {
         for (const int vch : {cv.col, cv.col + 1}) {
           Candidate cand;
-          cand.route.spans = {
-              ChannelSpan{true, hch, clo, chi},
-              ChannelSpan{false, vch, rlo, rhi}};
-          cand.route.face_u = hch == cu.row ? Face::kNorth : Face::kSouth;
-          cand.route.face_v = vch == cv.col ? Face::kWest : Face::kEast;
+          cand.spans[0] = ChannelSpan{true, hch, clo, chi};
+          cand.spans[1] = ChannelSpan{false, vch, rlo, rhi};
+          cand.num_spans = 2;
+          cand.face_u = hch == cu.row ? Face::kNorth : Face::kSouth;
+          cand.face_v = vch == cv.col ? Face::kWest : Face::kEast;
           cand.cost =
               peak_after_insert(
                   result.h_loads[static_cast<std::size_t>(hch)], clo, chi) +
               peak_after_insert(
                   result.v_loads[static_cast<std::size_t>(vch)], rlo, rhi) +
               kLengthWeight * (chi - clo + rhi - rlo + 2);
-          candidates.push_back(std::move(cand));
+          consider(cand);
         }
       }
     }
 
-    SHG_ASSERT(!candidates.empty(), "no route candidates generated");
-    const auto best = std::min_element(
-        candidates.begin(), candidates.end(),
-        [](const Candidate& a, const Candidate& b) { return a.cost < b.cost; });
-    route = best->route;
-    for (const ChannelSpan& span : route.spans) {
+    SHG_ASSERT(have_best, "no route candidates generated");
+    for (int s = 0; s < best.num_spans; ++s) {
+      const ChannelSpan& span = best.spans[s];
       auto& loads = span.horizontal
                         ? result.h_loads[static_cast<std::size_t>(span.index)]
                         : result.v_loads[static_cast<std::size_t>(span.index)];
       commit(loads, span.lo, span.hi);
     }
+    if (kKeepRoutes) {
+      GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
+      route.spans.assign(best.spans, best.spans + best.num_spans);
+      route.face_u = best.face_u;
+      route.face_v = best.face_v;
+    }
   }
+}
+
+}  // namespace
+
+GlobalRoutingResult global_route(const topo::Topology& topo) {
+  GlobalRoutingResult result;
+  route_all_links<true>(topo, result);
+  return result;
+}
+
+GlobalRoutingResult global_route_loads(const topo::Topology& topo) {
+  GlobalRoutingResult result;
+  route_all_links<false>(topo, result);
   return result;
 }
 

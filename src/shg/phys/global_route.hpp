@@ -59,4 +59,13 @@ struct GlobalRoutingResult {
 /// Runs greedy global routing for all links of a topology.
 GlobalRoutingResult global_route(const topo::Topology& topo);
 
+/// Loads-only variant for screening: takes exactly the same routing
+/// decisions (same greedy order, same candidate evaluation and tie-breaks,
+/// so h_loads / v_loads are bit-identical to global_route's) but does not
+/// materialize the per-link GlobalRoute objects, whose span vectors
+/// dominate the routine's cost. `routes` is left empty. Step 3 of the cost
+/// model only reads the load profiles, which makes this the hot-path entry
+/// for DSE screening.
+GlobalRoutingResult global_route_loads(const topo::Topology& topo);
+
 }  // namespace shg::phys

@@ -1,10 +1,37 @@
 #include "shg/sim/route_table.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 
 namespace shg::sim {
+
+namespace {
+
+/// Content key of one candidate list. RouteCandidate is three ints with no
+/// padding, so the raw bytes identify the list exactly. Returned as a view
+/// so the overwhelmingly common map-hit probe allocates nothing; the map
+/// owns a std::string copy only for the few hundred unique lists.
+std::string_view row_key(const std::vector<RouteCandidate>& candidates) {
+  static_assert(sizeof(RouteCandidate) == 3 * sizeof(int),
+                "row_key assumes a packed RouteCandidate");
+  if (candidates.empty()) return std::string_view();
+  return std::string_view(reinterpret_cast<const char*>(candidates.data()),
+                          candidates.size() * sizeof(RouteCandidate));
+}
+
+/// Transparent hash so the map probes with string_view keys directly.
+struct RowKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view key) const {
+    return std::hash<std::string_view>{}(key);
+  }
+};
+
+}  // namespace
 
 RouteTable::RouteTable(const topo::Topology& topo,
                        const RoutingFunction& routing, int num_vcs)
@@ -27,11 +54,17 @@ RouteTable::RouteTable(const topo::Topology& topo,
   slot_base_[n] = slots;
 
   const std::size_t rows = slots * n;
-  offsets_.assign(rows + 1, 0);
+  row_ids_.assign(rows, 0);
+  offsets_.clear();
+  offsets_.push_back(0);
 
-  // Two passes over the state space would double the routing-function work,
-  // so fill the arena in one pass and patch offsets as we go. Rows are
-  // visited in exactly arena order (node-major, slot, dest).
+  // One pass over the state space (a second pass would double the
+  // routing-function work), hash-consing candidate lists as we go: a row
+  // whose list matches an earlier one points at the existing arena range,
+  // only novel lists extend the arena. Rows are visited in node-major,
+  // slot, dest order, so unique rows keep first-appearance order.
+  std::unordered_map<std::string, std::uint32_t, RowKeyHash, std::equal_to<>>
+      unique_rows;
   for (graph::NodeId node = 0; node < num_nodes_; ++node) {
     const int degree = degree_[static_cast<std::size_t>(node)];
     for (int slot = 0; slot < 1 + degree * num_vcs; ++slot) {
@@ -43,28 +76,40 @@ RouteTable::RouteTable(const topo::Topology& topo,
              static_cast<std::size_t>(slot)) *
                 n +
             static_cast<std::size_t>(dest);
-        offsets_[row] = static_cast<std::uint32_t>(arena_.size());
-        if (dest == node) continue;  // ejection: router bypasses routing
-        // Routing functions may reject states their own invariants make
+        // Ejection states (dest == node) bypass routing entirely; routing
+        // functions may also reject states their own invariants make
         // unreachable (e.g. the up*/down* escape has no continuation for an
-        // arrival direction the escape path never produces). Store those
-        // rows empty: the simulator never looks them up, and if it ever did
+        // arrival direction the escape path never produces). Both store an
+        // empty row: the simulator never looks them up, and if it ever did
         // the router's non-empty assertion reproduces live-mode failure.
         std::vector<RouteCandidate> candidates;
-        try {
-          candidates = routing.route(node, in_port, in_vc, dest);
-        } catch (const Error&) {
-          continue;
+        if (dest != node) {
+          try {
+            candidates = routing.route(node, in_port, in_vc, dest);
+          } catch (const Error&) {
+            candidates.clear();
+          }
         }
-        arena_.insert(arena_.end(), candidates.begin(), candidates.end());
-        SHG_ASSERT(arena_.size() <=
-                       std::numeric_limits<std::uint32_t>::max(),
-                   "route table arena exceeds 32-bit offsets");
+        num_candidates_undeduped_ += candidates.size();
+        const std::string_view key = row_key(candidates);
+        auto it = unique_rows.find(key);
+        if (it == unique_rows.end()) {
+          it = unique_rows
+                   .emplace(std::string(key),
+                            static_cast<std::uint32_t>(offsets_.size() - 1))
+                   .first;
+          arena_.insert(arena_.end(), candidates.begin(), candidates.end());
+          SHG_ASSERT(arena_.size() <=
+                         std::numeric_limits<std::uint32_t>::max(),
+                     "route table arena exceeds 32-bit offsets");
+          offsets_.push_back(static_cast<std::uint32_t>(arena_.size()));
+        }
+        row_ids_[row] = it->second;
       }
     }
   }
-  offsets_[rows] = static_cast<std::uint32_t>(arena_.size());
   arena_.shrink_to_fit();
+  offsets_.shrink_to_fit();
 }
 
 void RouteTable::verify_against(const RoutingFunction& routing) const {

@@ -19,14 +19,22 @@
 // also stored empty; the simulator never queries them, and the router's
 // non-empty assertion reproduces live-mode failure if it ever does.
 //
-// Arena layout (CSR):
+// Arena layout (deduplicated CSR):
 //   global slot  g = slot_base_[node] + slot,
 //                slot = 0 for injection, 1 + in_port * V + in_vc otherwise;
 //   row          r = g * N + dest;
-//   candidates   arena_[offsets_[r] .. offsets_[r + 1]).
-// Candidate order is preserved from the routing function (the VC allocator
-// tries candidates front to back), so simulation results are bit-identical
-// with the table on or off.
+//   unique row   u = row_ids_[r];
+//   candidates   arena_[offsets_[u] .. offsets_[u + 1]).
+// Rows with identical candidate lists — overwhelmingly rows that differ
+// only in the `in_vc` class, since most routing functions pick the same
+// continuation regardless of the arrival VC — share one arena range behind
+// the row-index indirection, so the arena and offsets shrink by roughly the
+// VC count while every lookup stays an O(1) pair of array reads. All empty
+// rows (ejection states, states the routing function rejects) collapse
+// into a single empty unique row. Candidate order within a list is
+// preserved from the routing function (the VC allocator tries candidates
+// front to back), so simulation results are bit-identical with the table
+// on or off, deduplicated or not.
 //
 // Equivalence checking: verify_against() re-derives every row from a live
 // routing function and throws on the first mismatch; SimConfig's
@@ -54,8 +62,9 @@ class RouteTable {
   std::span<const RouteCandidate> lookup(int node, int in_port, int in_vc,
                                          int dest) const {
     const std::size_t row = row_index(node, in_port, in_vc, dest);
-    const std::uint32_t begin = offsets_[row];
-    const std::uint32_t end = offsets_[row + 1];
+    const std::uint32_t unique = row_ids_[row];
+    const std::uint32_t begin = offsets_[unique];
+    const std::uint32_t end = offsets_[unique + 1];
     return {arena_.data() + begin, arena_.data() + end};
   }
 
@@ -79,10 +88,34 @@ class RouteTable {
   }
 
   /// Number of (node, in_port, in_vc, dest) rows, including empty ones.
-  std::size_t num_rows() const { return offsets_.size() - 1; }
+  std::size_t num_rows() const { return row_ids_.size(); }
 
-  /// Total candidates stored in the arena.
+  /// Number of distinct candidate lists after deduplication.
+  std::size_t num_unique_rows() const { return offsets_.size() - 1; }
+
+  /// Candidates stored in the (deduplicated) arena.
   std::size_t num_candidates() const { return arena_.size(); }
+
+  /// Candidates the routing function produced across all rows — what the
+  /// arena would hold without deduplication.
+  std::size_t num_candidates_undeduped() const {
+    return num_candidates_undeduped_;
+  }
+
+  /// Bytes of the deduplicated table (arena + offsets + row indirection +
+  /// per-node slot/degree indices).
+  std::size_t memory_bytes() const {
+    return arena_.size() * sizeof(RouteCandidate) +
+           offsets_.size() * sizeof(std::uint32_t) +
+           row_ids_.size() * sizeof(std::uint32_t) + index_bytes();
+  }
+
+  /// Bytes the pre-dedupe layout (one arena range and one offset per row,
+  /// no indirection) would occupy for the same routing function.
+  std::size_t undeduped_memory_bytes() const {
+    return num_candidates_undeduped_ * sizeof(RouteCandidate) +
+           (row_ids_.size() + 1) * sizeof(std::uint32_t) + index_bytes();
+  }
 
   /// Re-derives every row from `routing` and throws shg::Error with the
   /// offending state on the first mismatch (candidate count, order, out
@@ -91,6 +124,11 @@ class RouteTable {
   void verify_against(const RoutingFunction& routing) const;
 
  private:
+  std::size_t index_bytes() const {
+    return slot_base_.size() * sizeof(std::size_t) +
+           degree_.size() * sizeof(int);
+  }
+
   std::size_t row_index(int node, int in_port, int in_vc, int dest) const {
     const std::size_t slot =
         in_port < 0 ? 0
@@ -106,8 +144,10 @@ class RouteTable {
   int num_vcs_ = 0;
   std::vector<std::size_t> slot_base_;  ///< per node: first global slot
   std::vector<int> degree_;             ///< per node: network port count
-  std::vector<std::uint32_t> offsets_;  ///< CSR row offsets (rows + 1)
-  std::vector<RouteCandidate> arena_;   ///< all candidate lists, flattened
+  std::vector<std::uint32_t> row_ids_;  ///< per row: unique-row index
+  std::vector<std::uint32_t> offsets_;  ///< CSR offsets (unique rows + 1)
+  std::vector<RouteCandidate> arena_;   ///< deduplicated candidate lists
+  std::size_t num_candidates_undeduped_ = 0;
   std::string routing_name_;
 };
 

@@ -206,22 +206,10 @@ Topology make_sparse_hamming(int rows, int cols,
       if (r + 1 < rows) topo.add_link({r, c}, {r + 1, c});
     }
   }
-  // Additional links: for each row r, each x in SR, each start i with
-  // i + x < C, a link T(r,i) <-> T(r,i+x); columns analogously.
-  for (int r = 0; r < rows; ++r) {
-    for (int x : row_skips) {
-      for (int i = 0; i + x < cols; ++i) {
-        topo.add_link({r, i}, {r, i + x});
-      }
-    }
-  }
-  for (int c = 0; c < cols; ++c) {
-    for (int x : col_skips) {
-      for (int i = 0; i + x < rows; ++i) {
-        topo.add_link({i, c}, {i + x, c});
-      }
-    }
-  }
+  // Additional links: the skip connectivity, via the shared enumeration
+  // the incremental screening repair also builds its edge lists from.
+  for_each_skip_link(rows, cols, row_skips, col_skips,
+                     [&](TileCoord a, TileCoord b) { topo.add_link(a, b); });
   return topo;
 }
 

@@ -12,6 +12,33 @@
 
 namespace shg::topo {
 
+/// Enumerates the links a set of SHG skip distances contributes on an
+/// R x C grid (Section III-b): for each row r, each x in SR, each start i
+/// with i + x < C, a link T(r,i) <-> T(r,i+x); columns analogously, rows
+/// first. This is THE definition of skip connectivity — make_sparse_hamming
+/// adds links in exactly this order, and the incremental screening repair
+/// derives its new-edge lists from the same enumeration, so the two can
+/// never diverge. Skip containers need only be iterable in ascending order
+/// (std::set, sorted vector).
+template <typename RowSkips, typename ColSkips, typename Fn>
+void for_each_skip_link(int rows, int cols, const RowSkips& row_skips,
+                        const ColSkips& col_skips, Fn&& fn) {
+  for (int r = 0; r < rows; ++r) {
+    for (int x : row_skips) {
+      for (int i = 0; i + x < cols; ++i) {
+        fn(TileCoord{r, i}, TileCoord{r, i + x});
+      }
+    }
+  }
+  for (int c = 0; c < cols; ++c) {
+    for (int x : col_skips) {
+      for (int i = 0; i + x < rows; ++i) {
+        fn(TileCoord{i, c}, TileCoord{i + x, c});
+      }
+    }
+  }
+}
+
 /// Ring (Fig. 1a): links form a single cycle through all tiles. When R*C is
 /// even the cycle is a Hamiltonian cycle of the grid graph (all links of
 /// length 1); for odd R*C no such cycle exists and the boustrophedon path is

@@ -66,6 +66,99 @@ TEST(Greedy, TighterBudgetGivesSparserTopology) {
             loose.metrics.throughput_bound + 1e-12);
 }
 
+TEST(Greedy, StartNoteRendersActualSkipSets) {
+  // The seed left literal "{}" placeholders in the start note. For the
+  // (always-empty) mesh start the fixed rendering is indistinguishable
+  // from the broken literal, so pin the shared formatting with non-empty
+  // sets first — this is the assertion that fails if the fix regresses to
+  // a hardcoded string.
+  EXPECT_EQ(fmt_skip_sets(topo::ShgParams{{2, 5}, {3}}), "SR={2, 5} SC={3}");
+  EXPECT_EQ(fmt_skip_sets(topo::ShgParams{}), "SR={} SC={}");
+
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const SearchResult result = customize_greedy(arch, Goal{0.40});
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_EQ(result.history.front().note, "start: mesh (SR={} SC={})");
+  EXPECT_TRUE(result.history.front().params.row_skips.empty());
+  EXPECT_TRUE(result.history.front().params.col_skips.empty());
+  // Accept notes flow through the same helper.
+  if (result.history.size() > 1) {
+    EXPECT_EQ(result.history[1].note.rfind(
+                  "accepted " + fmt_skip_sets(result.history[1].params), 0),
+              0u);
+  }
+}
+
+CandidateMetrics make_candidate(double area_overhead, double throughput) {
+  CandidateMetrics m;
+  m.area_overhead = area_overhead;
+  m.avg_hops = 5.0;
+  m.diameter = 10.0;
+  m.throughput_bound = throughput;
+  return m;
+}
+
+TEST(GreedyScore, FreeImprovementNeverLosesToPaidCandidate) {
+  // Regression for the 1e-9 clamp: a free candidate with a tiny gain used
+  // to score gain / 1e-9, yet for gains below ~extra_area * score_paid /
+  // 1e9 the clamp flipped and ranked the paid candidate above the free one
+  // — the ordering depended on an arbitrary constant. Candidate A is a
+  // free improvement (no extra area, gain 5e-10), candidate B pays 1% area
+  // for a gain of 0.8. Under the clamp A scored 0.5 and B scored 80, so B
+  // won; the tiered rule takes the budget-free improvement first.
+  const CandidateMetrics parent = make_candidate(0.20, 1.0);
+  const std::vector<CandidateMetrics> candidates = {
+      make_candidate(0.20, 1.0 + 5e-10),  // A: free, tiny gain
+      make_candidate(0.21, 1.8),          // B: paid, large gain
+  };
+  const double clamp_score_a =
+      (candidates[0].throughput_bound - parent.throughput_bound) / 1e-9;
+  const double clamp_score_b =
+      (candidates[1].throughput_bound - parent.throughput_bound) /
+      (candidates[1].area_overhead - parent.area_overhead);
+  ASSERT_LT(clamp_score_a, clamp_score_b);  // the clamp mis-ranked A below B
+  EXPECT_EQ(select_greedy_candidate(parent, candidates, Goal{0.40}), 0u);
+}
+
+TEST(GreedyScore, FreeTierRanksByGainWithDeterministicTies) {
+  const CandidateMetrics parent = make_candidate(0.20, 1.0);
+  // Two free candidates: the larger gain wins regardless of order.
+  EXPECT_EQ(select_greedy_candidate(
+                parent,
+                {make_candidate(0.20, 1.001), make_candidate(0.19, 1.002)},
+                Goal{0.40}),
+            1u);
+  // Equal gains: the lower area overhead wins.
+  EXPECT_EQ(select_greedy_candidate(
+                parent,
+                {make_candidate(0.20, 1.001), make_candidate(0.19, 1.001)},
+                Goal{0.40}),
+            1u);
+  // Fully tied: the earliest enumeration index wins.
+  EXPECT_EQ(select_greedy_candidate(
+                parent,
+                {make_candidate(0.20, 1.001), make_candidate(0.20, 1.001)},
+                Goal{0.40}),
+            0u);
+}
+
+TEST(GreedyScore, PaidTierStillRanksByGainPerArea) {
+  const CandidateMetrics parent = make_candidate(0.20, 1.0);
+  // B has the larger absolute gain but a worse gain-per-area ratio.
+  EXPECT_EQ(select_greedy_candidate(
+                parent,
+                {make_candidate(0.22, 1.4), make_candidate(0.30, 1.8)},
+                Goal{0.40}),
+            0u);
+  // Over-budget and non-improving candidates are rejected outright.
+  EXPECT_EQ(select_greedy_candidate(
+                parent,
+                {make_candidate(0.45, 2.0), make_candidate(0.25, 0.9),
+                 make_candidate(0.20, 1.0)},
+                Goal{0.40}),
+            kNoCandidate);
+}
+
 TEST(Greedy, HistoryIsMonotone) {
   const ArchParams arch = knc_scenario(KncScenario::kA);
   const SearchResult result = customize_greedy(arch, Goal{0.40});

@@ -198,6 +198,18 @@ TEST(Experiment, JsonReportShape) {
   EXPECT_NE(json.find("\"topology\": \"mesh\""), std::string::npos);
   EXPECT_NE(json.find("\"accepted_rate\""), std::string::npos);
   EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+  EXPECT_NE(json.find("\"route_tables\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_undeduped\""), std::string::npos);
+}
+
+TEST(Experiment, ReportsDedupedRouteTableFootprint) {
+  ExperimentSpec spec = small_spec();
+  const ExperimentReport report = run_experiment(spec);
+  ASSERT_EQ(report.route_tables.size(), spec.topologies.size());
+  for (const TableFootprint& table : report.route_tables) {
+    EXPECT_GT(table.rows, table.unique_rows);
+    EXPECT_LT(table.bytes, table.bytes_undeduped);
+  }
 }
 
 TEST(Experiment, Figure6SpecRunsThroughEngine) {

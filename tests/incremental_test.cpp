@@ -1,0 +1,224 @@
+// Incremental-vs-full screening equivalence (customize/incremental.hpp):
+// delta-BFS repair must match fresh sweeps bit-for-bit, and every search
+// surface (greedy, exhaustive, explore) must return identical results with
+// the incremental context on and off.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "shg/common/prng.hpp"
+#include "shg/customize/explore.hpp"
+#include "shg/customize/incremental.hpp"
+#include "shg/customize/search.hpp"
+#include "shg/graph/shortest_paths.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::customize {
+namespace {
+
+using tech::ArchParams;
+using tech::KncScenario;
+using tech::knc_scenario;
+
+void expect_same_metrics(const CandidateMetrics& a, const CandidateMetrics& b) {
+  // Bit-identical, not approximately equal: the repair reproduces the same
+  // integer distance matrix, and the area side runs the same arithmetic.
+  EXPECT_EQ(a.area_overhead, b.area_overhead);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.diameter, b.diameter);
+  EXPECT_EQ(a.throughput_bound, b.throughput_bound);
+}
+
+void expect_same_search_result(const SearchResult& a, const SearchResult& b) {
+  EXPECT_EQ(a.params, b.params);
+  expect_same_metrics(a.metrics, b.metrics);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].params, b.history[i].params);
+    expect_same_metrics(a.history[i].metrics, b.history[i].metrics);
+    EXPECT_EQ(a.history[i].note, b.history[i].note);
+  }
+  EXPECT_EQ(a.cost.area_overhead, b.cost.area_overhead);
+  EXPECT_EQ(a.cost.total_area_mm2, b.cost.total_area_mm2);
+}
+
+/// Draws a random SHG trajectory (one extra skip distance per step) and
+/// checks the delta-BFS repair against fresh sweeps at every step.
+TEST(DeltaBfs, RandomTrajectoriesMatchFreshSweeps) {
+  Prng prng(20260729);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int rows = prng.range(4, 8);
+    const int cols = prng.range(4, 8);
+    topo::ShgParams params;  // start from the mesh
+    for (int step = 0; step < 4; ++step) {
+      // Collect the skip distances not yet used, pick one at random.
+      std::vector<std::pair<bool, int>> choices;  // (is_col, x)
+      for (int x = 2; x < cols; ++x) {
+        if (params.row_skips.count(x) == 0) choices.emplace_back(false, x);
+      }
+      for (int x = 2; x < rows; ++x) {
+        if (params.col_skips.count(x) == 0) choices.emplace_back(true, x);
+      }
+      if (choices.empty()) break;
+      const auto [is_col, x] =
+          choices[prng.below(choices.size())];
+      topo::ShgParams child = params;
+      std::vector<graph::Edge> new_edges;
+      const topo::Topology parent_topo = topo::make_sparse_hamming(
+          rows, cols, params.row_skips, params.col_skips);
+      if (is_col) {
+        child.col_skips.insert(x);
+        for (int c = 0; c < cols; ++c) {
+          for (int i = 0; i + x < rows; ++i) {
+            new_edges.push_back(
+                graph::Edge{i * cols + c, (i + x) * cols + c});
+          }
+        }
+      } else {
+        child.row_skips.insert(x);
+        for (int r = 0; r < rows; ++r) {
+          for (int i = 0; i + x < cols; ++i) {
+            new_edges.push_back(graph::Edge{r * cols + i, r * cols + i + x});
+          }
+        }
+      }
+      const topo::Topology child_topo = topo::make_sparse_hamming(
+          rows, cols, child.row_skips, child.col_skips);
+
+      graph::BfsWorkspace parent_ws;
+      graph::BfsWorkspace repair_ws;
+      graph::BfsWorkspace fresh_ws;
+      for (graph::NodeId s = 0; s < child_topo.graph().num_nodes(); ++s) {
+        graph::bfs_distances(parent_topo.graph(), s, parent_ws);
+        repair_ws.resize(child_topo.graph().num_nodes());
+        std::copy(parent_ws.dist.begin(),
+                  parent_ws.dist.begin() + child_topo.graph().num_nodes(),
+                  repair_ws.dist.begin());
+        graph::update_distances_add_edges(child_topo.graph(), new_edges,
+                                          repair_ws);
+        graph::bfs_distances(child_topo.graph(), s, fresh_ws);
+        for (graph::NodeId v = 0; v < child_topo.graph().num_nodes(); ++v) {
+          ASSERT_EQ(repair_ws.dist[static_cast<std::size_t>(v)],
+                    fresh_ws.dist[static_cast<std::size_t>(v)])
+              << rows << "x" << cols << " src " << s << " node " << v;
+        }
+      }
+      // The repair must also match the fused summary when driven through
+      // the screening context (histogram-fused statistics path).
+      params = child;
+    }
+  }
+}
+
+TEST(ScreeningContext, ChildMatchesScreenCandidate) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const ScreeningContext mesh_ctx(arch, topo::ShgParams{});
+  expect_same_metrics(mesh_ctx.metrics(),
+                      screen_candidate(arch, topo::ShgParams{}));
+  for (const topo::ShgParams& child :
+       {topo::ShgParams{{2}, {}}, topo::ShgParams{{5}, {}},
+        topo::ShgParams{{}, {3}}, topo::ShgParams{{3, 4}, {2, 6}}}) {
+    expect_same_metrics(mesh_ctx.screen_child(child),
+                        screen_candidate(arch, child));
+  }
+  // Non-mesh parent, including derive() and rebase() chains.
+  const topo::ShgParams parent{{3}, {2}};
+  ScreeningContext ctx(arch, parent);
+  const topo::ShgParams step1{{3}, {2, 5}};
+  const topo::ShgParams step2{{3, 6}, {2, 5}};
+  const ScreeningContext derived = ctx.derive(step1);
+  expect_same_metrics(derived.metrics(), screen_candidate(arch, step1));
+  expect_same_metrics(derived.screen_child(step2),
+                      screen_candidate(arch, step2));
+  ctx.rebase(step1);
+  expect_same_metrics(ctx.metrics(), screen_candidate(arch, step1));
+  expect_same_metrics(ctx.screen_child(step2),
+                      screen_candidate(arch, step2));
+}
+
+TEST(ScreeningContext, RejectsNonSupersetChildren) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const ScreeningContext ctx(arch, topo::ShgParams{{3}, {}});
+  // Removing a skip distance deletes edges; distances can then grow, which
+  // the add-edge repair cannot express — the context must refuse.
+  EXPECT_THROW(ctx.screen_child(topo::ShgParams{}), Error);
+  EXPECT_THROW(ctx.screen_child(topo::ShgParams{{4}, {}}), Error);
+}
+
+TEST(ScreeningBatch, RandomBatchesMatchFullScreening) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  Prng prng(42);
+  std::vector<topo::ShgParams> batch;
+  batch.push_back(topo::ShgParams{});  // the mesh
+  for (int i = 0; i < 24; ++i) {
+    topo::ShgParams params;
+    for (int x = 2; x < arch.cols; ++x) {
+      if (prng.chance(0.3)) params.row_skips.insert(x);
+    }
+    for (int x = 2; x < arch.rows; ++x) {
+      if (prng.chance(0.3)) params.col_skips.insert(x);
+    }
+    batch.push_back(std::move(params));
+  }
+  batch.push_back(batch[3]);  // duplicates must screen consistently
+
+  const std::vector<CandidateMetrics> incremental =
+      screen_batch_incremental(arch, batch);
+  ASSERT_EQ(incremental.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_same_metrics(incremental[i], screen_candidate(arch, batch[i]));
+  }
+  // The oracle wraps exactly this comparison and must agree.
+  EXPECT_NO_THROW(verify_incremental_equivalence(arch, batch));
+}
+
+TEST(Greedy, IncrementalIdenticalToFull) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  SearchOptions full;
+  full.incremental = false;
+  SearchOptions incremental;
+  incremental.incremental = true;
+  for (double budget : {0.15, 0.40}) {
+    expect_same_search_result(
+        customize_greedy(arch, Goal{budget}, full),
+        customize_greedy(arch, Goal{budget}, incremental));
+  }
+}
+
+TEST(Exhaustive, IncrementalIdenticalToFull) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  SearchOptions full;
+  full.incremental = false;
+  SearchOptions incremental;
+  incremental.incremental = true;
+  expect_same_search_result(
+      customize_exhaustive(arch, Goal{0.30}, {2, 3, 4}, {2, 3}, full),
+      customize_exhaustive(arch, Goal{0.30}, {2, 3, 4}, {2, 3}, incremental));
+  // Unsorted candidate lists exercise the canonical element ordering.
+  expect_same_search_result(
+      customize_exhaustive(arch, Goal{0.35}, {5, 2}, {4, 3}, full),
+      customize_exhaustive(arch, Goal{0.35}, {5, 2}, {4, 3}, incremental));
+}
+
+TEST(Explore, IncrementalIdenticalToFull) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  ExploreOptions full;
+  full.incremental = false;
+  ExploreOptions incremental;
+  incremental.incremental = true;
+  for (auto explore : {explore_shg, explore_ruche}) {
+    const auto a = explore(arch, full);
+    const auto b = explore(arch, incremental);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].params, b[i].params);
+      EXPECT_EQ(a[i].label, b[i].label);
+      expect_same_metrics(a[i].metrics, b[i].metrics);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shg::customize

@@ -175,6 +175,33 @@ TEST(RouteTable, SimResultsBitIdenticalOnSlimNoc) {
   expect_bit_identical_sim(topo::make_slim_noc(5, 10));
 }
 
+TEST(RouteTable, DedupCollapsesVcInsensitiveRows) {
+  // XY-Hamming routing on an SHG picks the same continuation regardless of
+  // the arrival VC, so rows differing only in in_vc must collapse behind
+  // the row-index indirection: far fewer unique rows than logical rows,
+  // and a smaller byte footprint than the one-range-per-row layout.
+  const auto topo = topo::make_sparse_hamming(5, 5, {2, 3}, {2, 4});
+  const auto routing = make_xy_hamming_routing(topo, kVcs);
+  const RouteTable table(topo, *routing, kVcs);
+  EXPECT_GT(table.num_rows(), table.num_unique_rows());
+  // At kVcs = 4 the vc-insensitive rows alone bound unique rows well below
+  // half of the logical count.
+  EXPECT_LT(table.num_unique_rows(), table.num_rows() / 2);
+  EXPECT_LT(table.num_candidates(), table.num_candidates_undeduped());
+  EXPECT_LT(table.memory_bytes(), table.undeduped_memory_bytes());
+}
+
+TEST(RouteTable, DedupPreservesEveryLookup) {
+  // Dedup is content-addressed, so it must be invisible through lookup():
+  // already covered family by family above, re-asserted here on the escape
+  // routing whose rows are the least regular.
+  const auto topo = topo::make_slim_noc(5, 10);
+  const auto routing = make_table_escape_routing(topo, kVcs);
+  const RouteTable table(topo, *routing, kVcs);
+  EXPECT_NO_THROW(table.verify_against(*routing));
+  EXPECT_GE(table.num_candidates_undeduped(), table.num_candidates());
+}
+
 TEST(RouteTable, SharedTableMatchesPrivateTable) {
   const auto topo = topo::make_mesh(4, 4);
   const auto routing = make_default_routing(topo, kVcs);
