@@ -45,7 +45,8 @@ std::vector<ExploredPoint> screen_all(const tech::ArchParams& arch,
                                       const char* family) {
   std::vector<CandidateMetrics> metrics;
   if (options.incremental) {
-    metrics = screen_batch_incremental(arch, batch);
+    metrics = screen_batch_incremental(
+        arch, batch, ScreeningOptions{options.incremental_routing});
   } else {
     metrics.resize(batch.size());
     parallel_for(batch.size(), [&](std::size_t i) {

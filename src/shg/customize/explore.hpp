@@ -29,6 +29,10 @@ struct ExploreOptions {
   /// Shared-prefix screening reuse (customize/incremental.hpp); results are
   /// bit-identical on or off — off exists for the equivalence tests.
   bool incremental = true;
+  /// Channel-router reuse + topology-free child pricing
+  /// (phys/incremental_route.hpp); bit-identical on or off, no effect with
+  /// `incremental` off.
+  bool incremental_routing = true;
 };
 
 /// Enumerates sparse Hamming graph configurations (all SR/SC subsets up to

@@ -96,11 +96,14 @@ struct ScreeningContext::ChildScreen {
 };
 
 ScreeningContext::ScreeningContext(const tech::ArchParams& arch,
-                                   const topo::ShgParams& params)
+                                   const topo::ShgParams& params,
+                                   const ScreeningOptions& options)
     : arch_(&arch),
+      options_(options),
       params_(params),
       topo_(topo::make_sparse_hamming(arch.rows, arch.cols, params.row_skips,
                                       params.col_skips)) {
+  refresh_reuse_state();
   const graph::Graph& g = topo_.graph();
   const int n = g.num_nodes();
   const std::size_t cells =
@@ -119,8 +122,28 @@ ScreeningContext::ScreeningContext(const tech::ArchParams& arch,
                     row_stats_[static_cast<std::size_t>(s)]);
     acc.add_row(row_stats_[static_cast<std::size_t>(s)]);
   }
-  const model::ScreeningCost cost = model::evaluate_screening_cost(arch, topo_);
+  // With the routing context built, its parent loads feed the cost model
+  // directly (same arithmetic, bit-identical areas) instead of a second
+  // from-scratch route of the same topology.
+  const model::ScreeningCost cost =
+      routing_.has_value()
+          ? model::evaluate_screening_cost(arch, topo_.radix(),
+                                           routing_->loads())
+          : model::evaluate_screening_cost(arch, topo_);
   metrics_ = make_metrics(cost, acc, topo_);
+}
+
+void ScreeningContext::refresh_reuse_state() {
+  const graph::Graph& g = topo_.graph();
+  degrees_.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    degrees_[static_cast<std::size_t>(u)] = g.degree(u);
+  }
+  if (options_.incremental_routing) {
+    routing_.emplace(topo_);
+  } else {
+    routing_.reset();
+  }
 }
 
 ScreeningContext::ChildScreen ScreeningContext::screen_impl(
@@ -193,16 +216,98 @@ ScreeningContext::ChildScreen ScreeningContext::screen_impl(
     // screening cost — would only reproduce the same bits.
     out.metrics = *known_metrics;
   } else if (need_metrics) {
-    const model::ScreeningCost cost =
-        model::evaluate_screening_cost(*arch_, out.topo, tile_cache);
+    // With a routing context available, price the child from a suffix
+    // repair of the parent's loads (bit-identical to the from-scratch
+    // route the topology overload would run) — rebase/derive pricing then
+    // shares the hot path's step-2 reuse.
+    model::ScreeningCost cost;
+    if (routing_.has_value()) {
+      const phys::GlobalRoutingResult loads =
+          routing_->route_child_loads(out.topo);
+      cost = model::evaluate_screening_cost(*arch_, out.topo.radix(), loads,
+                                            tile_cache);
+    } else {
+      cost = model::evaluate_screening_cost(*arch_, out.topo, tile_cache);
+    }
     out.metrics = make_metrics(cost, acc, out.topo);
   }
   return out;
 }
 
 CandidateMetrics ScreeningContext::screen_child(
-    const topo::ShgParams& child, model::TileGeometryCache* tile_cache) const {
+    const topo::ShgParams& child, model::TileGeometryCache* tile_cache,
+    Workspace* ws) const {
+  if (routing_.has_value()) {
+    return screen_child_fast(child, tile_cache, ws);
+  }
   return screen_impl(child, tile_cache, /*capture_rows=*/false).metrics;
+}
+
+CandidateMetrics ScreeningContext::screen_child_fast(
+    const topo::ShgParams& child, model::TileGeometryCache* tile_cache,
+    Workspace* ws) const {
+  const std::vector<int> new_row_skips =
+      skip_delta(params_.row_skips, child.row_skips, "row");
+  const std::vector<int> new_col_skips =
+      skip_delta(params_.col_skips, child.col_skips, "column");
+  if (new_row_skips.empty() && new_col_skips.empty()) return metrics_;
+
+  Workspace local;
+  if (ws == nullptr) ws = &local;
+  const graph::Graph& g = topo_.graph();
+  const int n = g.num_nodes();
+
+  // The links the new skip distances contribute, from the generator's own
+  // enumeration, with node ids on the parent grid (the child grid is the
+  // same — no child Topology exists on this path).
+  ws->new_edges.clear();
+  topo::for_each_skip_link(
+      arch_->rows, arch_->cols, new_row_skips, new_col_skips,
+      [&](topo::TileCoord a, topo::TileCoord b) {
+        ws->new_edges.push_back(graph::Edge{topo_.node(a), topo_.node(b)});
+      });
+
+  // Distance metrics: bit-parallel all-pairs sweep over parent + overlay.
+  // Exact integer totals, so the assembled metrics match make_metrics /
+  // screen_candidate bit for bit.
+  ws->overlay.assign(n, ws->new_edges);
+  const graph::AllPairsTotals totals =
+      graph::all_pairs_totals(g, &ws->overlay, ws->bitsweep);
+  SHG_REQUIRE(totals.reachable_pairs ==
+                  static_cast<long long>(n) * static_cast<long long>(n),
+              "screening requires a connected topology");
+
+  // Child radix: the parent degrees bumped at the new links' endpoints.
+  ws->degrees.assign(degrees_.begin(), degrees_.end());
+  for (const graph::Edge& e : ws->new_edges) {
+    ++ws->degrees[static_cast<std::size_t>(e.u)];
+    ++ws->degrees[static_cast<std::size_t>(e.v)];
+  }
+  int radix = 0;
+  for (const int d : ws->degrees) radix = std::max(radix, d);
+
+  // Channel loads: suffix replay against the parent's routing context —
+  // bit-identical to global_route_loads on the materialized child.
+  routing_->route_child_loads(new_row_skips, new_col_skips, &ws->loads);
+  const model::ScreeningCost cost =
+      model::evaluate_screening_cost(*arch_, radix, ws->loads, tile_cache);
+
+  // Same expressions as make_metrics over the same integers.
+  CandidateMetrics metrics;
+  metrics.area_overhead = cost.area_overhead;
+  const long long pairs = totals.reachable_pairs - n;  // exclude (u, u)
+  if (pairs > 0) {
+    metrics.avg_hops =
+        static_cast<double>(totals.sum) / static_cast<double>(pairs);
+  }
+  metrics.diameter = static_cast<double>(totals.diameter);
+  const long long child_edges =
+      g.num_edges() + static_cast<long long>(ws->new_edges.size());
+  const double directed_links = 2.0 * static_cast<double>(child_edges);
+  metrics.throughput_bound =
+      directed_links /
+      (static_cast<double>(topo_.num_tiles()) * metrics.avg_hops);
+  return metrics;
 }
 
 void ScreeningContext::rebase(const topo::ShgParams& child,
@@ -215,6 +320,7 @@ void ScreeningContext::rebase(const topo::ShgParams& child,
   hist_ = std::move(screened.hist);
   row_stats_ = std::move(screened.row_stats);
   metrics_ = screened.metrics;
+  refresh_reuse_state();
 }
 
 ScreeningContext ScreeningContext::derive(const topo::ShgParams& child,
@@ -222,7 +328,7 @@ ScreeningContext ScreeningContext::derive(const topo::ShgParams& child,
                                           bool need_metrics) const {
   ChildScreen screened = screen_impl(child, tile_cache, /*capture_rows=*/true,
                                      nullptr, need_metrics);
-  return ScreeningContext(arch_, child, std::move(screened.topo),
+  return ScreeningContext(arch_, options_, child, std::move(screened.topo),
                           std::move(screened.dist), std::move(screened.hist),
                           std::move(screened.row_stats), screened.metrics);
 }
@@ -268,7 +374,8 @@ struct Trie {
 }  // namespace
 
 std::vector<CandidateMetrics> screen_batch_incremental(
-    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch) {
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    const ScreeningOptions& options) {
   std::vector<CandidateMetrics> out(batch.size());
   if (batch.empty()) return out;
 
@@ -287,24 +394,30 @@ std::vector<CandidateMetrics> screen_batch_incremental(
     for (std::size_t b : node.batch_indices) out[b] = metrics;
   };
 
+  // Per-worker scratch: geometry memo plus the fast path's workspace.
+  struct Scratch {
+    model::TileGeometryCache tile_cache;
+    ScreeningContext::Workspace ws;
+  };
+
   // Recursive subtree walk: derive a context per interior node, screen
   // leaves from the parent context without capturing rows.
   auto dfs = [&](auto&& self, const ScreeningContext& parent_ctx,
-                 std::size_t node_id,
-                 model::TileGeometryCache& tile_cache) -> void {
+                 std::size_t node_id, Scratch& scratch) -> void {
     const TrieNode& node = nodes[node_id];
     if (node.children.empty()) {
-      record(node, parent_ctx.screen_child(node.params, &tile_cache));
+      record(node, parent_ctx.screen_child(node.params, &scratch.tile_cache,
+                                           &scratch.ws));
       return;
     }
     // Stepping-stone prefixes absent from the batch only exist to repair
     // rows for their descendants — skip their cost model entirely.
     const bool in_batch = !node.batch_indices.empty();
     const ScreeningContext ctx =
-        parent_ctx.derive(node.params, &tile_cache, in_batch);
+        parent_ctx.derive(node.params, &scratch.tile_cache, in_batch);
     if (in_batch) record(node, ctx.metrics());
     for (std::size_t child : node.children) {
-      self(self, ctx, child, tile_cache);
+      self(self, ctx, child, scratch);
     }
   };
 
@@ -316,7 +429,7 @@ std::vector<CandidateMetrics> screen_batch_incremental(
   // subtrees fan out via a second one. Output slots are disjoint
   // throughout, so the result is deterministic per the parallel_for
   // contract.
-  const ScreeningContext root_ctx(arch, nodes[0].params);
+  const ScreeningContext root_ctx(arch, nodes[0].params, options);
   record(nodes[0], root_ctx.metrics());
 
   struct Task {
@@ -336,30 +449,34 @@ std::vector<CandidateMetrics> screen_batch_incremental(
     }
   }
   std::vector<std::unique_ptr<ScreeningContext>> level1(interior1.size());
-  parallel_for(interior1.size(), [&](std::size_t i) {
-    model::TileGeometryCache tile_cache;
-    const std::size_t c1 = interior1[i];
-    const bool in_batch = !nodes[c1].batch_indices.empty();
-    level1[i] = std::make_unique<ScreeningContext>(
-        root_ctx.derive(nodes[c1].params, &tile_cache, in_batch));
-    if (in_batch) record(nodes[c1], level1[i]->metrics());
-  });
+  {
+    std::vector<Scratch> scratch(parallel_worker_count(interior1.size()));
+    parallel_for_with_worker(
+        interior1.size(), [&](std::size_t i, std::size_t w) {
+          const std::size_t c1 = interior1[i];
+          const bool in_batch = !nodes[c1].batch_indices.empty();
+          level1[i] = std::make_unique<ScreeningContext>(root_ctx.derive(
+              nodes[c1].params, &scratch[w].tile_cache, in_batch));
+          if (in_batch) record(nodes[c1], level1[i]->metrics());
+        });
+  }
   for (std::size_t i = 0; i < interior1.size(); ++i) {
     for (std::size_t c2 : nodes[interior1[i]].children) {
       tasks.push_back(Task{level1[i].get(), c2});
     }
   }
-  parallel_for(tasks.size(), [&](std::size_t t) {
-    model::TileGeometryCache tile_cache;
-    dfs(dfs, *tasks[t].ctx, tasks[t].node_id, tile_cache);
+  std::vector<Scratch> scratch(parallel_worker_count(tasks.size()));
+  parallel_for_with_worker(tasks.size(), [&](std::size_t t, std::size_t w) {
+    dfs(dfs, *tasks[t].ctx, tasks[t].node_id, scratch[w]);
   });
   return out;
 }
 
 std::vector<CandidateMetrics> verify_incremental_equivalence(
-    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch) {
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    const ScreeningOptions& options) {
   const std::vector<CandidateMetrics> incremental =
-      screen_batch_incremental(arch, batch);
+      screen_batch_incremental(arch, batch, options);
   std::vector<CandidateMetrics> full(batch.size());
   parallel_for(batch.size(), [&](std::size_t i) {
     full[i] = screen_candidate(arch, batch[i]);

@@ -18,10 +18,20 @@
 //  * Tile-geometry reuse. The cost model assumes identical tiles sized for
 //    the worst-case radix, so step 1 is a pure function of the radix;
 //    `model::TileGeometryCache` recomputes it only when a candidate's radix
-//    actually changed. Steps 2-4 are re-run: the greedy channel router
-//    assigns channels longest-link-first with congestion-dependent
-//    tie-breaks, so a new skip link can legally re-route previously placed
-//    links — patching cached channel loads would not be bit-identical.
+//    actually changed.
+//
+//  * Routing reuse (ScreeningOptions::incremental_routing, default on). A
+//    naive patch of cached channel loads would not be bit-identical — the
+//    greedy router assigns channels longest-link-first with
+//    congestion-dependent tie-breaks, so a new skip link can legally
+//    re-route previously placed links. `phys::RoutingContext` instead
+//    replays the divergent length-class suffix of the greedy order from a
+//    recorded boundary snapshot, which IS bit-identical (see
+//    phys/incremental_route.hpp), and unlocks a topology-free child
+//    evaluation: hop metrics come from a bit-parallel all-pairs sweep over
+//    the parent graph plus an edge overlay, the radix from bumped parent
+//    degrees, and the area from the repaired loads — no child Topology is
+//    ever materialized on the screening hot path.
 //
 //  * Shared-prefix reuse. `screen_batch_incremental` organizes an arbitrary
 //    candidate batch (greedy neighborhoods, exhaustive mask enumerations,
@@ -43,12 +53,26 @@
 // and CI gate on it.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "shg/customize/search.hpp"
 #include "shg/graph/shortest_paths.hpp"
+#include "shg/phys/incremental_route.hpp"
 
 namespace shg::customize {
+
+/// Knobs of the incremental screening engine.
+struct ScreeningOptions {
+  /// Channel-router reuse (phys::RoutingContext) plus the topology-free
+  /// child evaluation it unlocks: children are priced from the parent graph
+  /// with an edge overlay (bit-parallel all-pairs sweep) and repaired
+  /// channel loads, never materializing a child Topology. Metrics are
+  /// bit-identical either way (oracle-tested); off preserves the previous
+  /// per-child path — fresh `global_route_loads` and a per-row delta-BFS
+  /// repair — for equivalence tests and as the benchmark baseline.
+  bool incremental_routing = true;
+};
 
 /// Cached screening state of one parent parameterization.
 class ScreeningContext {
@@ -56,21 +80,38 @@ class ScreeningContext {
   /// Full screen of `params`: one all-pairs sweep plus cost steps 1-4. The
   /// context keeps a pointer to `arch`, which must outlive it.
   ScreeningContext(const tech::ArchParams& arch,
-                   const topo::ShgParams& params);
+                   const topo::ShgParams& params,
+                   const ScreeningOptions& options = {});
 
   const topo::ShgParams& params() const { return params_; }
+  const ScreeningOptions& screening_options() const { return options_; }
+
+  /// Per-caller scratch for screen_child's fast path; reusing one across
+  /// children keeps its heap allocations warm. One per thread when
+  /// screening concurrently (see parallel_for_with_worker).
+  struct Workspace {
+    std::vector<graph::Edge> new_edges;
+    graph::EdgeOverlay overlay;
+    graph::BitSweepWorkspace bitsweep;
+    std::vector<int> degrees;
+    phys::GlobalRoutingResult loads;
+  };
 
   /// Screening metrics of the parent itself; bit-identical to
   /// `screen_candidate(arch, params())`.
   const CandidateMetrics& metrics() const { return metrics_; }
 
-  /// Screens `child`, whose skip sets must be supersets of `params()`, by
-  /// repairing a copy of the cached distance rows. Bit-identical to
-  /// `screen_candidate(arch, child)`. Safe to call concurrently on one
-  /// context; `tile_cache` (optional) must then be per-caller.
+  /// Screens `child`, whose skip sets must be supersets of `params()`.
+  /// With incremental routing on this runs the topology-free fast path
+  /// (edge-overlay bit sweep + channel-load repair); otherwise it repairs a
+  /// copy of the cached distance rows and routes from scratch. Either way
+  /// the result is bit-identical to `screen_candidate(arch, child)`. Safe
+  /// to call concurrently on one context; `tile_cache` and `ws` (both
+  /// optional) must then be per-caller.
   CandidateMetrics screen_child(const topo::ShgParams& child,
                                 model::TileGeometryCache* tile_cache =
-                                    nullptr) const;
+                                    nullptr,
+                                Workspace* ws = nullptr) const;
 
   /// Re-keys the context onto `child` (a superset of `params()`) by
   /// repairing the cached rows in place — the greedy search uses this when
@@ -98,23 +139,39 @@ class ScreeningContext {
                           bool capture_rows,
                           const CandidateMetrics* known_metrics = nullptr,
                           bool need_metrics = true) const;
+  CandidateMetrics screen_child_fast(const topo::ShgParams& child,
+                                     model::TileGeometryCache* tile_cache,
+                                     Workspace* ws) const;
+  /// Rebuilds the reuse state derived from topo_ (the routing context and
+  /// the per-node degrees the fast path bumps for child radices); called
+  /// after every re-keying of the context.
+  void refresh_reuse_state();
 
-  ScreeningContext(const tech::ArchParams* arch, topo::ShgParams params,
+  ScreeningContext(const tech::ArchParams* arch,
+                   const ScreeningOptions& options, topo::ShgParams params,
                    topo::Topology topo, std::vector<int> dist,
                    std::vector<int> hist,
                    std::vector<graph::DistRowStats> row_stats,
                    const CandidateMetrics& metrics)
       : arch_(arch),
+        options_(options),
         params_(std::move(params)),
         topo_(std::move(topo)),
         dist_(std::move(dist)),
         hist_(std::move(hist)),
         row_stats_(std::move(row_stats)),
-        metrics_(metrics) {}
+        metrics_(metrics) {
+    refresh_reuse_state();
+  }
 
   const tech::ArchParams* arch_;
+  ScreeningOptions options_;
   topo::ShgParams params_;
   topo::Topology topo_;
+  /// Fast-path reuse state, rebuilt with topo_: the parent's incremental
+  /// router (absent when incremental routing is off) and per-node degrees.
+  std::optional<phys::RoutingContext> routing_;
+  std::vector<int> degrees_;
   /// Per-source cached state, all row-major n x n (plus one stats entry per
   /// source): the distance rows the repair starts from, the per-row
   /// distance histograms, and the per-row aggregates. The histograms let
@@ -134,13 +191,15 @@ class ScreeningContext {
 /// screened as stepping stones. Parallelises over prefix subtrees via
 /// `parallel_for`; the output is deterministic regardless of worker count.
 std::vector<CandidateMetrics> screen_batch_incremental(
-    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch);
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    const ScreeningOptions& options = {});
 
-/// Equivalence oracle: screens `batch` incrementally and with the full
-/// per-candidate path, and throws shg::Error naming the first candidate
-/// whose metrics are not bit-identical. Returns the (verified) incremental
-/// metrics.
+/// Equivalence oracle: screens `batch` incrementally (under `options`) and
+/// with the full per-candidate path, and throws shg::Error naming the first
+/// candidate whose metrics are not bit-identical. Returns the (verified)
+/// incremental metrics.
 std::vector<CandidateMetrics> verify_incremental_equivalence(
-    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch);
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    const ScreeningOptions& options = {});
 
 }  // namespace shg::customize

@@ -115,11 +115,20 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
   // incremental path pays no extra full sweep up front.
   std::optional<ScreeningContext> ctx;
   if (options.incremental) {
-    ctx.emplace(arch, result.params);
+    ctx.emplace(arch, result.params,
+                ScreeningOptions{options.incremental_routing});
     result.metrics = ctx->metrics();
   } else {
     result.metrics = screen_candidate(arch, result.params);
   }
+  // Per-worker scratch for the fast screening path, reused across
+  // iterations (the first neighborhood is the largest, so the worker count
+  // never grows after this).
+  struct Scratch {
+    model::TileGeometryCache tile_cache;
+    ScreeningContext::Workspace ws;
+  };
+  std::vector<Scratch> scratch;
   SHG_REQUIRE(result.metrics.area_overhead <= goal.max_area_overhead,
               "even the mesh exceeds the area budget");
   result.history.push_back(SearchStep{
@@ -145,9 +154,24 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
       batch.push_back(std::move(candidate));
     }
     std::vector<CandidateMetrics> screened;
-    if (ctx) {
+    if (ctx && options.incremental_routing) {
       // Every neighbor is the parent plus one skip distance — the exact
-      // shape the delta-BFS repair is built for.
+      // shape both the routing suffix replay and the overlay sweep are
+      // built for. Worker-pinned scratch keeps the fast path's buffers and
+      // the tile-geometry memo warm across candidates and iterations.
+      screened.resize(batch.size());
+      const std::size_t workers = parallel_worker_count(batch.size());
+      if (scratch.size() < workers) scratch.resize(workers);
+      parallel_for_with_worker(batch.size(), [&](std::size_t i,
+                                                 std::size_t w) {
+        screened[i] =
+            ctx->screen_child(batch[i], &scratch[w].tile_cache,
+                              &scratch[w].ws);
+      });
+    } else if (ctx) {
+      // Delta-BFS reuse without the routing context — the screening path
+      // of the PR before incremental routing, preserved as the benchmark
+      // baseline and for the on/off equivalence tests.
       screened.resize(batch.size());
       parallel_for(batch.size(), [&](std::size_t i) {
         screened[i] = ctx->screen_child(batch[i]);
@@ -209,8 +233,10 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
   // distance rows across the whole enumeration. Either way the serial
   // reduction below sees bit-identical metrics in the same order.
   const std::vector<CandidateMetrics> screened =
-      options.incremental ? screen_batch_incremental(arch, batch)
-                          : screen_batch(arch, batch);
+      options.incremental
+          ? screen_batch_incremental(
+                arch, batch, ScreeningOptions{options.incremental_routing})
+          : screen_batch(arch, batch);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const CandidateMetrics& metrics = screened[i];
     if (metrics.area_overhead > goal.max_area_overhead) continue;

@@ -61,11 +61,15 @@ struct SearchResult {
 };
 
 /// Knobs of the search engines. `incremental` turns on the delta-BFS
-/// screening reuse (customize/incremental.hpp); results are bit-identical
-/// with it on or off (oracle-tested), the flag exists for the equivalence
-/// tests and the benchmark's old-vs-new comparison.
+/// screening reuse (customize/incremental.hpp); `incremental_routing`
+/// additionally reuses the parent's channel routing and prices children
+/// without materializing their topologies (phys/incremental_route.hpp) —
+/// it has no effect with `incremental` off. Results are bit-identical with
+/// any combination (oracle-tested); the flags exist for the equivalence
+/// tests and the benchmark's old-vs-new comparisons.
 struct SearchOptions {
   bool incremental = true;
+  bool incremental_routing = true;
 };
 
 /// Renders a parameterization's skip sets as `SR={...} SC={...}` — the

@@ -1,6 +1,7 @@
 #include "shg/graph/shortest_paths.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <queue>
 
 namespace shg::graph {
@@ -211,6 +212,87 @@ DistanceSummary distance_summary(const Graph& g, BfsWorkspace& ws) {
 DistanceSummary distance_summary(const Graph& g) {
   BfsWorkspace ws;
   return distance_summary(g, ws);
+}
+
+void EdgeOverlay::assign(int num_nodes, const std::vector<Edge>& edges) {
+  SHG_REQUIRE(num_nodes >= 0, "node count must be non-negative");
+  offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : edges) {
+    SHG_REQUIRE(e.u >= 0 && e.u < num_nodes && e.v >= 0 && e.v < num_nodes,
+                "overlay edge endpoint out of range");
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (int u = 0; u < num_nodes; ++u) {
+    offsets_[static_cast<std::size_t>(u) + 1] +=
+        offsets_[static_cast<std::size_t>(u)];
+  }
+  targets_.resize(static_cast<std::size_t>(offsets_.back()));
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    targets_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.u)]++)] = e.v;
+    targets_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(e.v)]++)] = e.u;
+  }
+}
+
+AllPairsTotals all_pairs_totals(const Graph& g, const EdgeOverlay* overlay,
+                                BitSweepWorkspace& ws) {
+  const int n = g.num_nodes();
+  SHG_REQUIRE(overlay == nullptr || overlay->num_nodes() == n,
+              "overlay node count does not match the graph");
+  AllPairsTotals totals;
+  if (n <= 0) return totals;
+  const std::size_t un = static_cast<std::size_t>(n);
+  ws.reached.resize(un);
+  ws.frontier.resize(un);
+  ws.next.resize(un);
+
+  // Sources in batches of 64: mask bit s of word v says "source base+s has
+  // reached node v". One synchronous round per distance value d: a node's
+  // next-mask is the OR of its neighbors' frontier masks minus everything
+  // already reached, and popcounts of the fresh bits are exactly the number
+  // of (source, node) pairs at distance d.
+  for (int base = 0; base < n; base += 64) {
+    const int count = std::min(64, n - base);
+    totals.reachable_pairs += count;  // self pairs, distance 0
+    std::fill(ws.reached.begin(), ws.reached.end(), 0);
+    for (int s = 0; s < count; ++s) {
+      ws.reached[static_cast<std::size_t>(base + s)] =
+          std::uint64_t{1} << s;
+    }
+    std::copy(ws.reached.begin(), ws.reached.end(), ws.frontier.begin());
+
+    for (int d = 1;; ++d) {
+      bool any = false;
+      for (NodeId v = 0; v < n; ++v) {
+        std::uint64_t acc = 0;
+        for (const Neighbor& nb : g.neighbors(v)) {
+          acc |= ws.frontier[static_cast<std::size_t>(nb.node)];
+        }
+        if (overlay != nullptr) {
+          for (const NodeId* u = overlay->begin(v); u != overlay->end(v);
+               ++u) {
+            acc |= ws.frontier[static_cast<std::size_t>(*u)];
+          }
+        }
+        acc &= ~ws.reached[static_cast<std::size_t>(v)];
+        ws.next[static_cast<std::size_t>(v)] = acc;
+        if (acc != 0) {
+          const int cnt = std::popcount(acc);
+          totals.sum += static_cast<long long>(d) * cnt;
+          totals.reachable_pairs += cnt;
+          ws.reached[static_cast<std::size_t>(v)] |= acc;
+          any = true;
+        }
+      }
+      if (!any) break;
+      if (d > totals.diameter) totals.diameter = d;
+      std::swap(ws.frontier, ws.next);
+    }
+  }
+  return totals;
 }
 
 int diameter(const Graph& g) {

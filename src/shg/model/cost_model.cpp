@@ -16,17 +16,15 @@ std::vector<int> CostReport::link_latencies() const {
 
 namespace {
 
-/// Steps 1-4 of the model, shared by the full evaluation and the area-only
-/// screening path. Fills the step 1-4 fields of `report` and returns the
-/// floorplan (plus the global routing via `global_out` when the caller needs
-/// step 5).
-phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
-                                       const topo::Topology& topo,
-                                       CostReport& report,
-                                       phys::GlobalRoutingResult* global_out,
-                                       TileGeometryCache* tile_cache = nullptr) {
-  SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
-              "topology grid does not match the architecture parameters");
+/// Steps 1, 3 and 4 of the model given a step-2 result, shared by every
+/// entry point (full evaluation, topology screening, and the screening
+/// fast path that supplies loads from the incremental router). One body
+/// means one set of arithmetic expressions — which is what makes the area
+/// figures bit-identical across entry points when the loads are.
+phys::Floorplan steps_1_3_4(const tech::ArchParams& arch, int radix,
+                            const phys::GlobalRoutingResult& global,
+                            CostReport& report,
+                            TileGeometryCache* tile_cache) {
   const tech::TechnologyModel& tech = arch.tech;
 
   // ---- Step 1: tile area estimate and placement -------------------------
@@ -34,7 +32,7 @@ phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
   // the local endpoint ports. Identical tiles => worst-case radix, so the
   // whole step is a pure function of the radix and can be memoized across
   // screening candidates whose radix did not change.
-  const int ports = topo.radix() + arch.endpoints_per_tile;
+  const int ports = radix + arch.endpoints_per_tile;
   if (const TileGeometryCache::Entry* hit =
           tile_cache != nullptr ? tile_cache->find(ports) : nullptr) {
     report.router_area_ge = hit->router_area_ge;
@@ -56,14 +54,6 @@ phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
                                                   report.tile_h_mm});
     }
   }
-
-  // ---- Step 2: global routing in the grid of tiles -----------------------
-  // Screening callers never read the per-link routes (step 5 is skipped),
-  // so take the loads-only fast path — bit-identical channel loads without
-  // materializing a GlobalRoute per link.
-  phys::GlobalRoutingResult global = global_out != nullptr
-                                         ? phys::global_route(topo)
-                                         : phys::global_route_loads(topo);
 
   // ---- Step 3: spacing between rows and columns of tiles -----------------
   const double wires = arch.wires_per_link();
@@ -99,9 +89,41 @@ phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
                      arch.endpoint_area_ge);
   report.noc_area_mm2 = report.total_area_mm2 - report.base_area_mm2;
   report.area_overhead = report.noc_area_mm2 / report.total_area_mm2;
+  return plan;
+}
 
+/// Steps 1-4 of the model, shared by the full evaluation and the area-only
+/// screening path. Fills the step 1-4 fields of `report` and returns the
+/// floorplan (plus the global routing via `global_out` when the caller needs
+/// step 5).
+phys::Floorplan floorplan_steps_1_to_4(const tech::ArchParams& arch,
+                                       const topo::Topology& topo,
+                                       CostReport& report,
+                                       phys::GlobalRoutingResult* global_out,
+                                       TileGeometryCache* tile_cache = nullptr) {
+  SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
+              "topology grid does not match the architecture parameters");
+
+  // ---- Step 2: global routing in the grid of tiles -----------------------
+  // Screening callers never read the per-link routes (step 5 is skipped),
+  // so take the loads-only fast path — bit-identical channel loads without
+  // materializing a GlobalRoute per link.
+  phys::GlobalRoutingResult global = global_out != nullptr
+                                         ? phys::global_route(topo)
+                                         : phys::global_route_loads(topo);
+  phys::Floorplan plan =
+      steps_1_3_4(arch, topo.radix(), global, report, tile_cache);
   if (global_out != nullptr) *global_out = std::move(global);
   return plan;
+}
+
+ScreeningCost screening_cost_from_report(const CostReport& report) {
+  ScreeningCost cost;
+  cost.total_area_mm2 = report.total_area_mm2;
+  cost.base_area_mm2 = report.base_area_mm2;
+  cost.noc_area_mm2 = report.noc_area_mm2;
+  cost.area_overhead = report.area_overhead;
+  return cost;
 }
 
 }  // namespace
@@ -111,12 +133,20 @@ ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
                                       TileGeometryCache* tile_cache) {
   CostReport report;
   floorplan_steps_1_to_4(arch, topo, report, nullptr, tile_cache);
-  ScreeningCost cost;
-  cost.total_area_mm2 = report.total_area_mm2;
-  cost.base_area_mm2 = report.base_area_mm2;
-  cost.noc_area_mm2 = report.noc_area_mm2;
-  cost.area_overhead = report.area_overhead;
-  return cost;
+  return screening_cost_from_report(report);
+}
+
+ScreeningCost evaluate_screening_cost(
+    const tech::ArchParams& arch, int radix,
+    const phys::GlobalRoutingResult& global_loads,
+    TileGeometryCache* tile_cache) {
+  SHG_REQUIRE(static_cast<int>(global_loads.h_loads.size()) == arch.rows + 1 &&
+                  static_cast<int>(global_loads.v_loads.size()) ==
+                      arch.cols + 1,
+              "channel-load profiles do not match the architecture grid");
+  CostReport report;
+  steps_1_3_4(arch, radix, global_loads, report, tile_cache);
+  return screening_cost_from_report(report);
 }
 
 CostReport evaluate_cost(const tech::ArchParams& arch,

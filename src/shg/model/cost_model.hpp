@@ -128,4 +128,17 @@ ScreeningCost evaluate_screening_cost(const tech::ArchParams& arch,
                                       const topo::Topology& topo,
                                       TileGeometryCache* tile_cache = nullptr);
 
+/// Screening cost from a precomputed step-2 result: `radix` is the
+/// topology's router radix (Table I) and `global_loads` its channel-load
+/// profiles (e.g. from `phys::RoutingContext`, whose repaired loads are
+/// bit-identical to `phys::global_route_loads`). Runs the same step 1/3/4
+/// arithmetic as the overload above — same operands in the same order —
+/// so the returned areas are bit-identical when the loads are. This is the
+/// cost-model entry of the screening fast path, which never materializes a
+/// child Topology.
+ScreeningCost evaluate_screening_cost(
+    const tech::ArchParams& arch, int radix,
+    const phys::GlobalRoutingResult& global_loads,
+    TileGeometryCache* tile_cache = nullptr);
+
 }  // namespace shg::model

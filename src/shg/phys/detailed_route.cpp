@@ -12,45 +12,53 @@ namespace shg::phys {
 
 namespace {
 
-/// Identifies one endpoint's port: which tile, which face.
-struct PortKey {
-  int tile = 0;
-  Face face = Face::kNorth;
+/// Port positions as fractions along the owning face (0 = left/top corner),
+/// one entry per edge endpoint (`u` = the lower-node-id end).
+struct PortFractions {
+  std::vector<double> u;
+  std::vector<double> v;
 
-  friend bool operator<(const PortKey& a, const PortKey& b) {
-    if (a.tile != b.tile) return a.tile < b.tile;
-    return static_cast<int>(a.face) < static_cast<int>(b.face);
+  double at(graph::EdgeId e, bool is_u) const {
+    return is_u ? u[static_cast<std::size_t>(e)]
+                : v[static_cast<std::size_t>(e)];
   }
 };
-
-/// Port position as a fraction along the face (0 = left/top corner).
-using PortFractions =
-    std::map<std::pair<graph::EdgeId, bool /*is_u*/>, double>;
 
 /// Assigns port offsets: unit links take the face center (each face hosts at
 /// most one unit link), longer links are spread evenly over the face.
 PortFractions assign_ports(const topo::Topology& topo,
                            const GlobalRoutingResult& global) {
-  // Collect the non-straight link endpoints per (tile, face).
-  std::map<PortKey, std::vector<std::pair<graph::EdgeId, bool>>> by_face;
+  const std::size_t num_edges =
+      static_cast<std::size_t>(topo.graph().num_edges());
   PortFractions fractions;
+  fractions.u.assign(num_edges, 0.5);
+  fractions.v.assign(num_edges, 0.5);
+  // Collect the non-straight link endpoints per (tile, face); flat-indexed
+  // buckets filled in ascending edge order, then sorted with the same
+  // (edge, is_u) comparison the old map-of-vectors used — identical
+  // per-face orders, identical fractions.
+  std::vector<std::vector<std::pair<graph::EdgeId, bool>>> by_face(
+      static_cast<std::size_t>(topo.num_tiles()) * 4);
+  auto face_slot = [](int tile, Face face) {
+    return static_cast<std::size_t>(tile) * 4 +
+           static_cast<std::size_t>(face);
+  };
   for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
     const auto& route = global.routes[static_cast<std::size_t>(e)];
+    if (route.straight) continue;
     const auto& edge = topo.graph().edge(e);
     const auto [u, v] = std::minmax(edge.u, edge.v);
-    if (route.straight) {
-      fractions[{e, true}] = 0.5;
-      fractions[{e, false}] = 0.5;
-      continue;
-    }
-    by_face[PortKey{u, route.face_u}].emplace_back(e, true);
-    by_face[PortKey{v, route.face_v}].emplace_back(e, false);
+    by_face[face_slot(u, route.face_u)].emplace_back(e, true);
+    by_face[face_slot(v, route.face_v)].emplace_back(e, false);
   }
-  for (auto& [key, endpoints] : by_face) {
+  for (auto& endpoints : by_face) {
+    if (endpoints.empty()) continue;
     std::sort(endpoints.begin(), endpoints.end());
     const double n = static_cast<double>(endpoints.size());
     for (std::size_t k = 0; k < endpoints.size(); ++k) {
-      fractions[endpoints[k]] = (static_cast<double>(k) + 1.0) / (n + 1.0);
+      const double fraction = (static_cast<double>(k) + 1.0) / (n + 1.0);
+      auto& side = endpoints[k].second ? fractions.u : fractions.v;
+      side[static_cast<std::size_t>(endpoints[k].first)] = fraction;
     }
   }
   return fractions;
@@ -76,10 +84,19 @@ PointMM port_position(const Floorplan& plan, const topo::TileCoord& tile,
 
 /// Left-edge track assignment: spans sorted by start position, each takes
 /// the lowest-numbered track that is free at its start. Uses exactly
-/// max-overlap tracks, which is what the step-3 spacing provides.
+/// max-overlap tracks, which is what the step-3 spacing provides. A link
+/// occupies at most one span per orientation (aligned: one; L-shape: one of
+/// each), so the assignment is stored per (edge, orientation).
 struct TrackAssignment {
-  // Keyed by (channel horizontal?, channel index, edge id) -> track.
-  std::map<std::tuple<bool, int, graph::EdgeId>, int> track;
+  std::vector<int> h;  ///< per edge; -1 = no horizontal span
+  std::vector<int> v;
+
+  int at(bool horizontal, graph::EdgeId e) const {
+    const auto& side = horizontal ? h : v;
+    const int track = side[static_cast<std::size_t>(e)];
+    SHG_ASSERT(track >= 0, "link has no span in this orientation");
+    return track;
+  }
 };
 
 TrackAssignment assign_tracks(const topo::Topology& topo,
@@ -88,15 +105,26 @@ TrackAssignment assign_tracks(const topo::Topology& topo,
     int lo, hi;
     graph::EdgeId edge;
   };
-  std::map<std::pair<bool, int>, std::vector<Item>> by_channel;
+  // Channels flat-indexed: horizontal channels first ([0, rows]), then
+  // vertical ([0, cols]); buckets fill in ascending edge order, as the old
+  // map-of-vectors did.
+  const std::size_t num_h = global.h_loads.size();
+  std::vector<std::vector<Item>> by_channel(num_h + global.v_loads.size());
   for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
     for (const auto& span : global.routes[static_cast<std::size_t>(e)].spans) {
-      by_channel[{span.horizontal, span.index}].push_back(
-          Item{span.lo, span.hi, e});
+      const std::size_t slot =
+          span.horizontal ? static_cast<std::size_t>(span.index)
+                          : num_h + static_cast<std::size_t>(span.index);
+      by_channel[slot].push_back(Item{span.lo, span.hi, e});
     }
   }
   TrackAssignment result;
-  for (auto& [channel, items] : by_channel) {
+  result.h.assign(static_cast<std::size_t>(topo.graph().num_edges()), -1);
+  result.v.assign(static_cast<std::size_t>(topo.graph().num_edges()), -1);
+  for (std::size_t slot = 0; slot < by_channel.size(); ++slot) {
+    std::vector<Item>& items = by_channel[slot];
+    if (items.empty()) continue;
+    const bool horizontal = slot < num_h;
     std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
       if (a.lo != b.lo) return a.lo < b.lo;
       if (a.hi != b.hi) return a.hi > b.hi;  // longer first at equal start
@@ -121,22 +149,54 @@ TrackAssignment assign_tracks(const topo::Topology& topo,
         track = next_track++;
       }
       busy.emplace(item.hi, track);
-      result.track[{channel.first, channel.second, item.edge}] = track;
+      (horizontal ? result.h : result.v)[static_cast<std::size_t>(item.edge)] =
+          track;
     }
   }
   return result;
 }
 
-/// Accumulates unit-cell occupancy. Cells are deduplicated per link first so
-/// a link visiting a cell twice (jog corner) is counted once.
+/// Accumulates unit-cell occupancy. Cells are deduplicated per link (a link
+/// visiting a cell twice — a jog corner — is counted once), and the three
+/// outputs are exact cardinalities: distinct occupied cells per direction
+/// and distinct cells holding >= 2 links.
+///
+/// Two interchangeable backends compute those cardinalities:
+///
+///  * a flat per-cell grid sized from the chip dimensions, with a per-link
+///    stamp array for the dedup — O(1) unhashed work per visited cell.
+///    Counting is folded into the visit (0->1 occupies a cell, 1->2 makes
+///    it a collision), so no final scan is needed either;
+///  * the original unordered hash containers, kept for chips whose cell
+///    grid would not reasonably fit in memory.
+///
+/// Both count the same cells, so the reported numbers are identical; only
+/// the constant factor differs (the hash path dominated the whole cost
+/// model's runtime — see PERF.md).
 class CellCounter {
  public:
-  CellCounter(double cell_w, double cell_h)
-      : cell_w_(cell_w), cell_h_(cell_h) {}
+  CellCounter(double cell_w, double cell_h, double chip_w, double chip_h)
+      : cell_w_(cell_w), cell_h_(cell_h) {
+    const std::int64_t nx = cell_index(chip_w, cell_w) + 2;
+    const std::int64_t ny = cell_index(chip_h, cell_h) + 2;
+    if (nx > 0 && ny > 0 && nx * ny <= kMaxGridCells) {
+      nx_ = nx;
+      ny_ = ny;
+      const std::size_t cells = static_cast<std::size_t>(nx * ny);
+      h_grid_.assign(cells, 0);
+      v_grid_.assign(cells, 0);
+      h_stamp_.assign(cells, 0);
+      v_stamp_.assign(cells, 0);
+    }
+  }
 
   void begin_link() {
-    link_h_.clear();
-    link_v_.clear();
+    if (grid()) {
+      ++link_id_;
+    } else {
+      link_h_.clear();
+      link_v_.clear();
+    }
   }
 
   void add_segment(const Segment& seg) {
@@ -146,27 +206,41 @@ class CellCounter {
       const std::int64_t x0 = cell_index(std::min(seg.a.x, seg.b.x), cell_w_);
       const std::int64_t x1 = cell_index(std::max(seg.a.x, seg.b.x), cell_w_);
       for (std::int64_t ix = x0; ix <= x1; ++ix) {
-        link_h_.insert(key(ix, iy));
+        if (grid()) {
+          visit(ix, iy, h_grid_, h_stamp_, h_cells_);
+        } else {
+          link_h_.insert(key(ix, iy));
+        }
       }
     } else {
       const std::int64_t ix = cell_index(seg.a.x, cell_w_);
       const std::int64_t y0 = cell_index(std::min(seg.a.y, seg.b.y), cell_h_);
       const std::int64_t y1 = cell_index(std::max(seg.a.y, seg.b.y), cell_h_);
       for (std::int64_t iy = y0; iy <= y1; ++iy) {
-        link_v_.insert(key(ix, iy));
+        if (grid()) {
+          visit(ix, iy, v_grid_, v_stamp_, v_cells_);
+        } else {
+          link_v_.insert(key(ix, iy));
+        }
       }
     }
   }
 
   void end_link() {
+    if (grid()) return;  // the grid path counts at visit time
     for (std::int64_t k : link_h_) ++h_counts_[k];
     for (std::int64_t k : link_v_) ++v_counts_[k];
   }
 
-  long long h_cells() const { return static_cast<long long>(h_counts_.size()); }
-  long long v_cells() const { return static_cast<long long>(v_counts_.size()); }
+  long long h_cells() const {
+    return grid() ? h_cells_ : static_cast<long long>(h_counts_.size());
+  }
+  long long v_cells() const {
+    return grid() ? v_cells_ : static_cast<long long>(v_counts_.size());
+  }
 
   long long collision_cells() const {
+    if (grid()) return collision_cells_;
     long long collisions = 0;
     for (const auto& [k, count] : h_counts_) {
       if (count >= 2) ++collisions;
@@ -178,6 +252,29 @@ class CellCounter {
   }
 
  private:
+  /// Grid backend cap: ~16M cells (~256 MB of grids would be the next power
+  /// of two; at the cap the four arrays hold ~160 MB less — still far below
+  /// what the hash containers would consume for that many occupied cells,
+  /// but large fabrics with micron cells fall back to hashing).
+  static constexpr std::int64_t kMaxGridCells = std::int64_t{1} << 24;
+
+  bool grid() const { return nx_ > 0; }
+
+  void visit(std::int64_t ix, std::int64_t iy, std::vector<std::int32_t>& g,
+             std::vector<std::int32_t>& stamp, long long& cells) {
+    SHG_ASSERT(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_,
+               "detailed-route segment leaves the chip cell grid");
+    const std::size_t idx = static_cast<std::size_t>(iy * nx_ + ix);
+    if (stamp[idx] == link_id_) return;  // this link already counted it
+    stamp[idx] = link_id_;
+    const std::int32_t count = ++g[idx];
+    if (count == 1) {
+      ++cells;
+    } else if (count == 2) {
+      ++collision_cells_;
+    }
+  }
+
   static std::int64_t cell_index(double coord, double cell) {
     return static_cast<std::int64_t>(std::floor(coord / cell));
   }
@@ -187,6 +284,20 @@ class CellCounter {
 
   double cell_w_;
   double cell_h_;
+
+  // Grid backend (active when nx_ > 0).
+  std::int64_t nx_ = 0;
+  std::int64_t ny_ = 0;
+  std::int32_t link_id_ = 0;  ///< 0 = "never visited" stamp
+  std::vector<std::int32_t> h_grid_;
+  std::vector<std::int32_t> v_grid_;
+  std::vector<std::int32_t> h_stamp_;
+  std::vector<std::int32_t> v_stamp_;
+  long long h_cells_ = 0;
+  long long v_cells_ = 0;
+  long long collision_cells_ = 0;
+
+  // Hash backend.
   std::unordered_set<std::int64_t> link_h_;
   std::unordered_set<std::int64_t> link_v_;
   std::unordered_map<std::int64_t, int> h_counts_;
@@ -212,7 +323,8 @@ DetailedRoutingResult detailed_route(const topo::Topology& topo,
 
   DetailedRoutingResult result;
   result.routes.resize(static_cast<std::size_t>(topo.graph().num_edges()));
-  CellCounter cells(plan.cell_w(), plan.cell_h());
+  CellCounter cells(plan.cell_w(), plan.cell_h(), plan.chip_width(),
+                    plan.chip_height());
 
   for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
     const auto& groute = global.routes[static_cast<std::size_t>(e)];
@@ -221,9 +333,9 @@ DetailedRoutingResult detailed_route(const topo::Topology& topo,
     const topo::TileCoord cu = topo.coord(u);
     const topo::TileCoord cv = topo.coord(v);
     const PointMM pu =
-        port_position(plan, cu, groute.face_u, ports.at({e, true}));
+        port_position(plan, cu, groute.face_u, ports.at(e, true));
     const PointMM pv =
-        port_position(plan, cv, groute.face_v, ports.at({e, false}));
+        port_position(plan, cv, groute.face_v, ports.at(e, false));
 
     DetailedRoute& route = result.routes[static_cast<std::size_t>(e)];
     auto add = [&route](PointMM a, PointMM b, bool horizontal) {
@@ -242,7 +354,7 @@ DetailedRoutingResult detailed_route(const topo::Topology& topo,
     } else if (groute.spans.size() == 1 && groute.spans[0].horizontal) {
       // Same-row link through a horizontal channel.
       const auto& span = groute.spans[0];
-      const int track = tracks.track.at({true, span.index, e});
+      const int track = tracks.at(true, e);
       const double yt = plan.chan_h_top(span.index) +
                         (static_cast<double>(track) + 0.5) * plan.cell_h();
       add(pu, {pu.x, yt}, false);
@@ -251,7 +363,7 @@ DetailedRoutingResult detailed_route(const topo::Topology& topo,
     } else if (groute.spans.size() == 1) {
       // Same-column link through a vertical channel.
       const auto& span = groute.spans[0];
-      const int track = tracks.track.at({false, span.index, e});
+      const int track = tracks.at(false, e);
       const double xt = plan.chan_v_left(span.index) +
                         (static_cast<double>(track) + 0.5) * plan.cell_w();
       add(pu, {xt, pu.y}, true);
@@ -263,8 +375,8 @@ DetailedRoutingResult detailed_route(const topo::Topology& topo,
       SHG_ASSERT(groute.spans.size() == 2, "L route must have two spans");
       const auto& hspan = groute.spans[0];
       const auto& vspan = groute.spans[1];
-      const int htrack = tracks.track.at({true, hspan.index, e});
-      const int vtrack = tracks.track.at({false, vspan.index, e});
+      const int htrack = tracks.at(true, e);
+      const int vtrack = tracks.at(false, e);
       const double yt = plan.chan_h_top(hspan.index) +
                         (static_cast<double>(htrack) + 0.5) * plan.cell_h();
       const double xt = plan.chan_v_left(vspan.index) +

@@ -1,58 +1,37 @@
 #include "shg/phys/global_route.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <numeric>
+
+#include "shg/phys/route_core.hpp"
 
 namespace shg::phys {
 
-namespace {
-
-/// Candidate route under evaluation by the greedy router: at most two
-/// channel spans (aligned links use one, L-shapes two), held inline so
-/// candidate evaluation performs no heap allocation.
-struct Candidate {
-  ChannelSpan spans[2];
-  int num_spans = 0;
-  Face face_u = Face::kEast;
-  Face face_v = Face::kWest;
-  double cost = 0.0;
-};
-
-/// Peak load over [lo, hi] of `loads` if one more link were added there.
-int peak_after_insert(const std::vector<int>& loads, int lo, int hi) {
-  int peak = 0;
-  for (int p = lo; p <= hi; ++p) {
-    peak = std::max(peak, loads[static_cast<std::size_t>(p)] + 1);
-  }
-  return peak;
-}
-
-void commit(std::vector<int>& loads, int lo, int hi) {
-  for (int p = lo; p <= hi; ++p) {
-    ++loads[static_cast<std::size_t>(p)];
-  }
-}
-
-}  // namespace
-
 int GlobalRoutingResult::max_h_load(int channel) const {
+  SHG_REQUIRE(channel >= 0 &&
+                  channel < static_cast<int>(h_loads.size()),
+              "horizontal channel index out of range (valid: [0, rows])");
   const auto& loads = h_loads[static_cast<std::size_t>(channel)];
   return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
 }
 
 int GlobalRoutingResult::max_v_load(int channel) const {
+  SHG_REQUIRE(channel >= 0 &&
+                  channel < static_cast<int>(v_loads.size()),
+              "vertical channel index out of range (valid: [0, cols])");
   const auto& loads = v_loads[static_cast<std::size_t>(channel)];
   return loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
 }
 
 namespace {
 
-/// Shared greedy-routing core. The template flag only controls whether the
-/// winning candidates are materialized into GlobalRoute objects — every
-/// decision (greedy order, candidate generation order, cost arithmetic,
-/// first-minimum tie-break) is the same code either way, so the committed
-/// channel loads are bit-identical with routes kept or dropped.
+/// Shared greedy-routing driver. The decision code itself (candidate
+/// generation, cost arithmetic, tie-breaks, commits) lives in
+/// route_core.hpp, where incremental_route.cpp replays it over divergent
+/// length-class suffixes — any change there is automatically shared, which
+/// is what keeps repaired loads bit-identical to from-scratch runs. The
+/// template flag only controls whether the winning candidates are
+/// materialized into GlobalRoute objects; the committed channel loads are
+/// bit-identical with routes kept or dropped.
 template <bool kKeepRoutes>
 void route_all_links(const topo::Topology& topo, GlobalRoutingResult& result) {
   const int rows = topo.rows();
@@ -93,10 +72,6 @@ void route_all_links(const topo::Topology& topo, GlobalRoutingResult& result) {
             lengths[static_cast<std::size_t>(e)])]++)] = e;
   }
 
-  // Secondary cost weight on wirelength: congestion dominates, length
-  // breaks ties between equally congested channels.
-  constexpr double kLengthWeight = 0.01;
-
   for (graph::EdgeId e : order) {
     const auto& edge = topo.graph().edge(e);
     const auto [u, v] = std::minmax(edge.u, edge.v);
@@ -120,80 +95,8 @@ void route_all_links(const topo::Topology& topo, GlobalRoutingResult& result) {
       continue;
     }
 
-    // Evaluate candidates in generation order, keeping the first strict
-    // minimum — the same winner std::min_element picked over the old
-    // candidate vector.
-    Candidate best;
-    bool have_best = false;
-    auto consider = [&](const Candidate& cand) {
-      if (!have_best || cand.cost < best.cost) {
-        best = cand;
-        have_best = true;
-      }
-    };
-    if (cu.row == cv.row) {
-      // Same-row link: horizontal channel above (index row) or below
-      // (index row+1); ports on north/south faces.
-      const auto [lo, hi] = std::minmax(cu.col, cv.col);
-      for (const int channel : {cu.row, cu.row + 1}) {
-        Candidate cand;
-        cand.spans[0] = ChannelSpan{true, channel, lo, hi};
-        cand.num_spans = 1;
-        cand.face_u = channel == cu.row ? Face::kNorth : Face::kSouth;
-        cand.face_v = cand.face_u;
-        cand.cost = peak_after_insert(
-                        result.h_loads[static_cast<std::size_t>(channel)], lo,
-                        hi) +
-                    kLengthWeight * (hi - lo + 1);
-        consider(cand);
-      }
-    } else if (cu.col == cv.col) {
-      const auto [lo, hi] = std::minmax(cu.row, cv.row);
-      for (const int channel : {cu.col, cu.col + 1}) {
-        Candidate cand;
-        cand.spans[0] = ChannelSpan{false, channel, lo, hi};
-        cand.num_spans = 1;
-        cand.face_u = channel == cu.col ? Face::kWest : Face::kEast;
-        cand.face_v = cand.face_u;
-        cand.cost = peak_after_insert(
-                        result.v_loads[static_cast<std::size_t>(channel)], lo,
-                        hi) +
-                    kLengthWeight * (hi - lo + 1);
-        consider(cand);
-      }
-    } else {
-      // Diagonal link: L-shaped route, horizontal segment at the u end
-      // (u is the lower node id; the wire leaves u's row channel, turns
-      // into a vertical channel at v's column and descends to v).
-      const auto [clo, chi] = std::minmax(cu.col, cv.col);
-      const auto [rlo, rhi] = std::minmax(cu.row, cv.row);
-      for (const int hch : {cu.row, cu.row + 1}) {
-        for (const int vch : {cv.col, cv.col + 1}) {
-          Candidate cand;
-          cand.spans[0] = ChannelSpan{true, hch, clo, chi};
-          cand.spans[1] = ChannelSpan{false, vch, rlo, rhi};
-          cand.num_spans = 2;
-          cand.face_u = hch == cu.row ? Face::kNorth : Face::kSouth;
-          cand.face_v = vch == cv.col ? Face::kWest : Face::kEast;
-          cand.cost =
-              peak_after_insert(
-                  result.h_loads[static_cast<std::size_t>(hch)], clo, chi) +
-              peak_after_insert(
-                  result.v_loads[static_cast<std::size_t>(vch)], rlo, rhi) +
-              kLengthWeight * (chi - clo + rhi - rlo + 2);
-          consider(cand);
-        }
-      }
-    }
-
-    SHG_ASSERT(have_best, "no route candidates generated");
-    for (int s = 0; s < best.num_spans; ++s) {
-      const ChannelSpan& span = best.spans[s];
-      auto& loads = span.horizontal
-                        ? result.h_loads[static_cast<std::size_t>(span.index)]
-                        : result.v_loads[static_cast<std::size_t>(span.index)];
-      commit(loads, span.lo, span.hi);
-    }
+    const detail::Candidate best =
+        detail::route_and_commit(cu, cv, result.h_loads, result.v_loads);
     if (kKeepRoutes) {
       GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
       route.spans.assign(best.spans, best.spans + best.num_spans);

@@ -50,9 +50,12 @@ struct GlobalRoutingResult {
   std::vector<std::vector<int>> v_loads;  ///< [cols+1][rows] cut loads
 
   /// Peak number of parallel links in horizontal channel i (the NL of the
-  /// spacing formula in step 3).
+  /// spacing formula in step 3). Throws shg::Error when `channel` is outside
+  /// [0, rows] — a silent out-of-range read here would feed garbage spacing
+  /// into the cost model.
   int max_h_load(int channel) const;
-  /// Peak number of parallel links in vertical channel j.
+  /// Peak number of parallel links in vertical channel j. Throws shg::Error
+  /// when `channel` is outside [0, cols].
   int max_v_load(int channel) const;
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "shg/model/cost_model.hpp"
+#include "shg/phys/incremental_route.hpp"
 #include "shg/tech/presets.hpp"
 #include "shg/topo/generators.hpp"
 
@@ -141,6 +142,53 @@ TEST(CostModel, LinkLatenciesVectorMatches) {
   for (std::size_t i = 0; i < latencies.size(); ++i) {
     EXPECT_EQ(latencies[i], report.links[i].latency_cycles);
   }
+}
+
+TEST(ScreeningCost, LoadsOverloadMatchesTopologyOverload) {
+  // The radix + precomputed-loads entry must reproduce the topology entry
+  // bit for bit — it runs the same step 1/3/4 arithmetic, fed by loads the
+  // incremental router guarantees are bit-identical to global_route_loads.
+  // kA is the 8x8 grid; kC (8x16 = 128 tiles = 2 * 8^2) admits a SlimNoC,
+  // whose diagonal links exercise both load profiles at once.
+  struct Case {
+    tech::ArchParams arch;
+    topo::Topology topo;
+  };
+  const Case cases[] = {
+      {tech::knc_scenario(tech::KncScenario::kA),
+       topo::make_sparse_hamming(8, 8, {3, 6}, {4})},
+      {tech::knc_scenario(tech::KncScenario::kA),
+       topo::make_sparse_hamming(8, 8, {}, {})},
+      {tech::knc_scenario(tech::KncScenario::kC),
+       topo::make_slim_noc(8, 16)},
+  };
+  for (const auto& [arch, topo] : cases) {
+    const ScreeningCost from_topo = evaluate_screening_cost(arch, topo);
+    const phys::GlobalRoutingResult loads = phys::global_route_loads(topo);
+    const ScreeningCost from_loads =
+        evaluate_screening_cost(arch, topo.radix(), loads);
+    EXPECT_EQ(from_topo.total_area_mm2, from_loads.total_area_mm2);
+    EXPECT_EQ(from_topo.base_area_mm2, from_loads.base_area_mm2);
+    EXPECT_EQ(from_topo.noc_area_mm2, from_loads.noc_area_mm2);
+    EXPECT_EQ(from_topo.area_overhead, from_loads.area_overhead);
+
+    // A tile-geometry cache warmed by one entry must not change the bits
+    // of the other.
+    TileGeometryCache cache;
+    const ScreeningCost cached1 =
+        evaluate_screening_cost(arch, topo.radix(), loads, &cache);
+    const ScreeningCost cached2 =
+        evaluate_screening_cost(arch, topo.radix(), loads, &cache);
+    EXPECT_EQ(cached1.area_overhead, from_topo.area_overhead);
+    EXPECT_EQ(cached2.area_overhead, from_topo.area_overhead);
+  }
+}
+
+TEST(ScreeningCost, LoadsOverloadRejectsMismatchedProfiles) {
+  tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  const auto topo = topo::make_mesh(arch.rows - 1, arch.cols);
+  const phys::GlobalRoutingResult loads = phys::global_route_loads(topo);
+  EXPECT_THROW(evaluate_screening_cost(arch, topo.radix(), loads), Error);
 }
 
 }  // namespace

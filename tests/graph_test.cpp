@@ -281,6 +281,100 @@ TEST(ShortestPaths, MaxDiffersFromMinWhenTwoMinHopPaths) {
   EXPECT_DOUBLE_EQ(max_w[0], 10.0);
 }
 
+TEST(ShortestPaths, AllPairsTotalsMatchDistanceSummary) {
+  // The bit-parallel sweep and the per-source BFS fold must agree on the
+  // exact integer totals (sum over ordered pairs, reachable count with self
+  // pairs, diameter) — the screening fast path depends on that equality
+  // being bit-perfect.
+  auto check = [](const Graph& g) {
+    BitSweepWorkspace ws;
+    const AllPairsTotals totals = all_pairs_totals(g, nullptr, ws);
+    long long sum = 0;
+    long long reachable = 0;
+    int diameter = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (int d : bfs_distances(g, u)) {
+        if (d == kUnreachable) continue;
+        sum += d;
+        ++reachable;
+        diameter = std::max(diameter, d);
+      }
+    }
+    EXPECT_EQ(totals.sum, sum);
+    EXPECT_EQ(totals.reachable_pairs, reachable);
+    EXPECT_EQ(totals.diameter, diameter);
+  };
+  {
+    // Path of 5 nodes.
+    Graph g(5);
+    for (NodeId u = 0; u + 1 < 5; ++u) g.add_edge(u, u + 1);
+    check(g);
+  }
+  {
+    // 70-node cycle plus chords: crosses the 64-source batch boundary.
+    Graph g(70);
+    for (NodeId u = 0; u < 70; ++u) g.add_edge(u, (u + 1) % 70);
+    for (NodeId u = 0; u < 70; u += 7) g.add_edge(u, (u + 20) % 70);
+    check(g);
+  }
+  {
+    // Disconnected: two components plus an isolated node.
+    Graph g(9);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(3, 4);
+    g.add_edge(4, 5);
+    g.add_edge(5, 6);
+    g.add_edge(6, 3);
+    check(g);
+  }
+  {
+    // Trivial graphs.
+    check(Graph(0));
+    check(Graph(1));
+    check(Graph(3));
+  }
+}
+
+TEST(ShortestPaths, AllPairsTotalsWithOverlayMatchMaterializedChild) {
+  // Base graph plus overlay edges must total exactly like the graph with
+  // those edges added for real.
+  Graph base(12);
+  for (NodeId u = 0; u + 1 < 12; ++u) base.add_edge(u, u + 1);
+  const std::vector<Edge> extra = {{0, 7}, {2, 11}, {5, 9}};
+  Graph child = base;
+  for (const Edge& e : extra) child.add_edge(e.u, e.v);
+
+  EdgeOverlay overlay;
+  overlay.assign(12, extra);
+  BitSweepWorkspace ws;
+  const AllPairsTotals with_overlay = all_pairs_totals(base, &overlay, ws);
+  const AllPairsTotals materialized = all_pairs_totals(child, nullptr, ws);
+  EXPECT_EQ(with_overlay.sum, materialized.sum);
+  EXPECT_EQ(with_overlay.reachable_pairs, materialized.reachable_pairs);
+  EXPECT_EQ(with_overlay.diameter, materialized.diameter);
+
+  // Overlay reuse: reassigning for a different edge set must not leak the
+  // previous one.
+  overlay.assign(12, {{0, 11}});
+  Graph child2 = base;
+  child2.add_edge(0, 11);
+  const AllPairsTotals reused = all_pairs_totals(base, &overlay, ws);
+  const AllPairsTotals fresh2 = all_pairs_totals(child2, nullptr, ws);
+  EXPECT_EQ(reused.sum, fresh2.sum);
+  EXPECT_EQ(reused.diameter, fresh2.diameter);
+}
+
+TEST(ShortestPaths, EdgeOverlayRejectsOutOfRangeEndpoints) {
+  EdgeOverlay overlay;
+  EXPECT_THROW(overlay.assign(4, {{0, 4}}), Error);
+  EXPECT_THROW(overlay.assign(4, {{-1, 2}}), Error);
+  BitSweepWorkspace ws;
+  Graph g(5);
+  overlay.assign(4, {{0, 3}});
+  EXPECT_THROW(all_pairs_totals(g, &overlay, ws), Error);
+}
+
 TEST(SpanningTree, ParentsAndLevels) {
   const Graph g = cycle_graph(6);
   const auto tree = bfs_spanning_tree(g, 0);

@@ -174,6 +174,108 @@ TEST(ScreeningBatch, RandomBatchesMatchFullScreening) {
   EXPECT_NO_THROW(verify_incremental_equivalence(arch, batch));
 }
 
+TEST(ScreeningContext, RoutingReuseBitIdenticalToRowRepairPath) {
+  // The topology-free fast path (routing context + overlay bit sweep) and
+  // the row-repair path must produce the same bits candidate by candidate,
+  // and both must match screen_candidate.
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  const topo::ShgParams parent{{3}, {2}};
+  const ScreeningContext with_routing(arch, parent, ScreeningOptions{true});
+  const ScreeningContext without_routing(arch, parent,
+                                         ScreeningOptions{false});
+  expect_same_metrics(with_routing.metrics(), without_routing.metrics());
+  ScreeningContext::Workspace ws;
+  model::TileGeometryCache tile_cache;
+  for (const topo::ShgParams& child :
+       {topo::ShgParams{{3, 4}, {2}}, topo::ShgParams{{3}, {2, 6}},
+        topo::ShgParams{{3, 5, 7}, {2, 4}}, parent}) {
+    const CandidateMetrics fast =
+        with_routing.screen_child(child, &tile_cache, &ws);
+    expect_same_metrics(fast, without_routing.screen_child(child));
+    expect_same_metrics(fast, screen_candidate(arch, child));
+  }
+  // Non-superset children are rejected on both paths.
+  EXPECT_THROW(with_routing.screen_child(topo::ShgParams{}), Error);
+  // Rebase keeps the routing context keyed to the new parent.
+  ScreeningContext rebased(arch, parent, ScreeningOptions{true});
+  rebased.rebase(topo::ShgParams{{3, 4}, {2}});
+  expect_same_metrics(
+      rebased.screen_child(topo::ShgParams{{3, 4}, {2, 6}}),
+      screen_candidate(arch, topo::ShgParams{{3, 4}, {2, 6}}));
+}
+
+TEST(ScreeningBatch, RoutingReuseTogglesBitIdentical) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  Prng prng(7);
+  std::vector<topo::ShgParams> batch;
+  batch.push_back(topo::ShgParams{});
+  for (int i = 0; i < 16; ++i) {
+    topo::ShgParams params;
+    for (int x = 2; x < arch.cols; ++x) {
+      if (prng.chance(0.3)) params.row_skips.insert(x);
+    }
+    for (int x = 2; x < arch.rows; ++x) {
+      if (prng.chance(0.3)) params.col_skips.insert(x);
+    }
+    batch.push_back(std::move(params));
+  }
+  const auto with_routing =
+      screen_batch_incremental(arch, batch, ScreeningOptions{true});
+  const auto without_routing =
+      screen_batch_incremental(arch, batch, ScreeningOptions{false});
+  ASSERT_EQ(with_routing.size(), without_routing.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    expect_same_metrics(with_routing[i], without_routing[i]);
+    expect_same_metrics(with_routing[i], screen_candidate(arch, batch[i]));
+  }
+  EXPECT_NO_THROW(
+      verify_incremental_equivalence(arch, batch, ScreeningOptions{true}));
+  EXPECT_NO_THROW(
+      verify_incremental_equivalence(arch, batch, ScreeningOptions{false}));
+}
+
+TEST(Greedy, RoutingReuseIdenticalOnAndOff) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  SearchOptions routing_off;
+  routing_off.incremental = true;
+  routing_off.incremental_routing = false;
+  SearchOptions routing_on;
+  routing_on.incremental = true;
+  routing_on.incremental_routing = true;
+  for (double budget : {0.15, 0.40}) {
+    expect_same_search_result(
+        customize_greedy(arch, Goal{budget}, routing_off),
+        customize_greedy(arch, Goal{budget}, routing_on));
+  }
+}
+
+TEST(Exhaustive, RoutingReuseIdenticalOnAndOff) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  SearchOptions routing_off;
+  routing_off.incremental_routing = false;
+  SearchOptions routing_on;
+  expect_same_search_result(
+      customize_exhaustive(arch, Goal{0.30}, {2, 3, 4}, {2, 3}, routing_off),
+      customize_exhaustive(arch, Goal{0.30}, {2, 3, 4}, {2, 3}, routing_on));
+}
+
+TEST(Explore, RoutingReuseIdenticalOnAndOff) {
+  const ArchParams arch = knc_scenario(KncScenario::kA);
+  ExploreOptions routing_off;
+  routing_off.incremental_routing = false;
+  ExploreOptions routing_on;
+  for (auto explore : {explore_shg, explore_ruche}) {
+    const auto a = explore(arch, routing_off);
+    const auto b = explore(arch, routing_on);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].params, b[i].params);
+      EXPECT_EQ(a[i].label, b[i].label);
+      expect_same_metrics(a[i].metrics, b[i].metrics);
+    }
+  }
+}
+
 TEST(Greedy, IncrementalIdenticalToFull) {
   const ArchParams arch = knc_scenario(KncScenario::kA);
   SearchOptions full;

@@ -2,6 +2,11 @@
 // routing and detailed routing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "shg/common/prng.hpp"
 #include "shg/phys/detailed_route.hpp"
 #include "shg/phys/floorplan.hpp"
 #include "shg/phys/global_route.hpp"
@@ -170,6 +175,166 @@ TEST(GlobalRoute, EveryNonUnitLinkHasSpans) {
       EXPECT_FALSE(route.spans.empty());
     }
   }
+}
+
+TEST(GlobalRoute, LoadAccessorsRejectOutOfRangeChannels) {
+  // Regression: max_h_load / max_v_load silently read out-of-range channel
+  // indices (vector UB), feeding garbage spacing into the cost model; they
+  // must throw instead.
+  const auto topo = topo::make_sparse_hamming(4, 6, {3}, {2});
+  const GlobalRoutingResult result = global_route(topo);
+  EXPECT_THROW(result.max_h_load(-1), Error);
+  EXPECT_THROW(result.max_h_load(topo.rows() + 1), Error);
+  EXPECT_THROW(result.max_v_load(-1), Error);
+  EXPECT_THROW(result.max_v_load(topo.cols() + 1), Error);
+  // In-range channels stay fine, including both boundary channels.
+  EXPECT_GE(result.max_h_load(0), 0);
+  EXPECT_GE(result.max_h_load(topo.rows()), 0);
+  EXPECT_GE(result.max_v_load(topo.cols()), 0);
+}
+
+/// Golden channel-load profiles for canonical fabrics. These pin the greedy
+/// router's exact output: a refactor that silently shifts one decision
+/// changes a peak load, and with it the spacing and area the cost model
+/// reports — this test makes that a loud failure instead.
+TEST(GlobalRoute, GoldenLoadProfiles) {
+  struct Golden {
+    topo::Topology topo;
+    std::vector<int> h;  ///< max_h_load per channel [0, rows]
+    std::vector<int> v;  ///< max_v_load per channel [0, cols]
+  };
+  const Golden cases[] = {
+      // 8x8 mesh: unit links cross channels directly, no channel capacity.
+      {topo::make_mesh(8, 8),
+       {0, 0, 0, 0, 0, 0, 0, 0, 0},
+       {0, 0, 0, 0, 0, 0, 0, 0, 0}},
+      // The 10x10 SR={3,6} SC={3,6} SHG the benches customize toward.
+      {topo::make_sparse_hamming(10, 10, {3, 6}, {3, 6}),
+       {5, 6, 7, 8, 8, 8, 8, 8, 8, 7, 7},
+       {5, 6, 7, 8, 8, 8, 8, 8, 8, 7, 7}},
+      // SlimNoC 5x10 (p = 5): L-shaped diagonals load both orientations.
+      {topo::make_slim_noc(5, 10),
+       {19, 21, 20, 20, 5, 5},
+       {8, 10, 10, 10, 11, 12, 12, 12, 11, 10, 9}},
+      // Single skip distance on 8x8 (the balanced-loads example above).
+      {topo::make_sparse_hamming(8, 8, {4}, {}),
+       {2, 3, 4, 4, 4, 4, 4, 4, 3},
+       {0, 0, 0, 0, 0, 0, 0, 0, 0}},
+  };
+  for (const Golden& c : cases) {
+    const GlobalRoutingResult result = global_route_loads(c.topo);
+    ASSERT_EQ(c.h.size(), static_cast<std::size_t>(c.topo.rows()) + 1);
+    ASSERT_EQ(c.v.size(), static_cast<std::size_t>(c.topo.cols()) + 1);
+    for (int i = 0; i <= c.topo.rows(); ++i) {
+      EXPECT_EQ(result.max_h_load(i), c.h[static_cast<std::size_t>(i)])
+          << c.topo.name() << " h channel " << i;
+    }
+    for (int j = 0; j <= c.topo.cols(); ++j) {
+      EXPECT_EQ(result.max_v_load(j), c.v[static_cast<std::size_t>(j)])
+          << c.topo.name() << " v channel " << j;
+    }
+  }
+}
+
+/// Checks the route-shape invariants documented in global_route.hpp for
+/// every link of a routed topology.
+void expect_route_shapes(const topo::Topology& topo) {
+  const GlobalRoutingResult result = global_route(topo);
+  ASSERT_EQ(result.routes.size(),
+            static_cast<std::size_t>(topo.graph().num_edges()));
+  for (graph::EdgeId e = 0; e < topo.graph().num_edges(); ++e) {
+    const GlobalRoute& route = result.routes[static_cast<std::size_t>(e)];
+    const auto& edge = topo.graph().edge(e);
+    const auto [u, v] = std::minmax(edge.u, edge.v);
+    const topo::TileCoord cu = topo.coord(u);
+    const topo::TileCoord cv = topo.coord(v);
+    const int len = topo.link_grid_length(e);
+    if (len == 1) {
+      // Unit links cross the shared channel directly.
+      EXPECT_TRUE(route.straight) << topo.name() << " edge " << e;
+      EXPECT_TRUE(route.spans.empty()) << topo.name() << " edge " << e;
+      continue;
+    }
+    EXPECT_FALSE(route.straight) << topo.name() << " edge " << e;
+    if (topo.link_axis_aligned(e)) {
+      // Aligned links occupy exactly one span along their own row/column.
+      ASSERT_EQ(route.spans.size(), 1u) << topo.name() << " edge " << e;
+      const ChannelSpan& span = route.spans[0];
+      EXPECT_EQ(span.horizontal, cu.row == cv.row);
+      EXPECT_EQ(span.hi - span.lo, len) << "span covers the link extent";
+      // Both ports sit on the same face, matching the chosen channel.
+      EXPECT_EQ(route.face_u, route.face_v);
+      if (span.horizontal) {
+        EXPECT_TRUE(span.index == cu.row || span.index == cu.row + 1);
+        EXPECT_EQ(route.face_u,
+                  span.index == cu.row ? Face::kNorth : Face::kSouth);
+        EXPECT_EQ(span.lo, std::min(cu.col, cv.col));
+      } else {
+        EXPECT_TRUE(span.index == cu.col || span.index == cu.col + 1);
+        EXPECT_EQ(route.face_u,
+                  span.index == cu.col ? Face::kWest : Face::kEast);
+        EXPECT_EQ(span.lo, std::min(cu.row, cv.row));
+      }
+    } else {
+      // Diagonal links take exactly one L: a horizontal span in u's row
+      // channel pair, then a vertical span in v's column channel pair,
+      // with the faces consistent with the chosen channels.
+      ASSERT_EQ(route.spans.size(), 2u) << topo.name() << " edge " << e;
+      const ChannelSpan& hspan = route.spans[0];
+      const ChannelSpan& vspan = route.spans[1];
+      EXPECT_TRUE(hspan.horizontal);
+      EXPECT_FALSE(vspan.horizontal);
+      EXPECT_TRUE(hspan.index == cu.row || hspan.index == cu.row + 1);
+      EXPECT_TRUE(vspan.index == cv.col || vspan.index == cv.col + 1);
+      EXPECT_EQ(route.face_u,
+                hspan.index == cu.row ? Face::kNorth : Face::kSouth);
+      EXPECT_EQ(route.face_v,
+                vspan.index == cv.col ? Face::kWest : Face::kEast);
+      EXPECT_EQ(hspan.lo, std::min(cu.col, cv.col));
+      EXPECT_EQ(hspan.hi, std::max(cu.col, cv.col));
+      EXPECT_EQ(vspan.lo, std::min(cu.row, cv.row));
+      EXPECT_EQ(vspan.hi, std::max(cu.row, cv.row));
+    }
+  }
+}
+
+/// Property test over topo::for_each_skip_link: every skip-generated link
+/// of randomized SHG parameterizations satisfies the shape invariants,
+/// including degenerate one-row and one-column fabrics.
+TEST(GlobalRoute, SkipLinkRouteShapeInvariants) {
+  Prng prng(0x5ba9e5u);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int rows = prng.range(1, 9);
+    const int cols = rows == 1 ? prng.range(2, 9) : prng.range(1, 9);
+    std::set<int> row_skips, col_skips;
+    for (int x = 2; x < cols; ++x) {
+      if (prng.chance(0.4)) row_skips.insert(x);
+    }
+    for (int x = 2; x < rows; ++x) {
+      if (prng.chance(0.4)) col_skips.insert(x);
+    }
+    // The generated topology and the enumeration agree by construction;
+    // assert it anyway so the route-shape claims below are anchored.
+    const topo::Topology topo =
+        topo::make_sparse_hamming(rows, cols, row_skips, col_skips);
+    int skip_links = 0;
+    topo::for_each_skip_link(rows, cols, row_skips, col_skips,
+                             [&](topo::TileCoord a, topo::TileCoord b) {
+                               EXPECT_TRUE(topo.graph().has_edge(
+                                   topo.node(a), topo.node(b)));
+                               ++skip_links;
+                             });
+    const int mesh_links =
+        rows * (cols - 1) + cols * (rows - 1);
+    EXPECT_EQ(topo.graph().num_edges(), mesh_links + skip_links);
+    expect_route_shapes(topo);
+  }
+  // Degenerate fabrics with explicit skip sets.
+  expect_route_shapes(topo::make_sparse_hamming(1, 8, {2, 3, 7}, {}));
+  expect_route_shapes(topo::make_sparse_hamming(8, 1, {}, {2, 5, 7}));
+  // Diagonal (SlimNoC) links exercise the L-shape invariants.
+  expect_route_shapes(topo::make_slim_noc(5, 10));
+  expect_route_shapes(topo::make_torus(5, 7));
 }
 
 class DetailedRouteFixture : public ::testing::Test {
