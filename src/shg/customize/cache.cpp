@@ -1,0 +1,378 @@
+#include "shg/customize/cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace shg::customize {
+
+namespace {
+
+// On-disk layout of `shg.cache.v1` (all integers little-endian):
+//   [0, 8)    magic "SHGCACHE"
+//   [8, 12)   format version (1)
+//   [12, 16)  reserved (0)
+//   [16, 24)  entry count
+//   [24, 32)  FNV-1a 64 checksum of the payload bytes
+//   [32, ...) payload: count entries of (hi, lo, 4 metric doubles) = 48 B
+constexpr char kMagic[8] = {'S', 'H', 'G', 'C', 'A', 'C', 'H', 'E'};
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kEntryBytes = 48;
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_f64(const unsigned char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ data[i]) * 0x00000100000001b3ULL;
+  }
+  return h;
+}
+
+void warn_discard(const std::string& path, const char* reason) {
+  std::fprintf(stderr,
+               "shg: warning: candidate cache '%s' %s; discarding it and "
+               "falling back to cold screening\n",
+               path.c_str(), reason);
+}
+
+}  // namespace
+
+FingerprintBuilder& FingerprintBuilder::bytes(const void* data,
+                                              std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Two lanes over the same byte stream: FNV-1a and a rotate-multiply
+    // lane with independent constants.
+    lo_ = (lo_ ^ p[i]) * 0x00000100000001b3ULL;
+    hi_ ^= (static_cast<std::uint64_t>(p[i]) + 0x9e3779b97f4a7c15ULL);
+    hi_ = ((hi_ << 23) | (hi_ >> 41)) * 0xd6e8feb86659fd93ULL;
+  }
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::u64(std::uint64_t value) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return bytes(buf, sizeof(buf));
+}
+
+FingerprintBuilder& FingerprintBuilder::f64(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return u64(bits);
+}
+
+FingerprintBuilder& FingerprintBuilder::str(const std::string& value) {
+  u64(value.size());
+  return bytes(value.data(), value.size());
+}
+
+FingerprintBuilder& FingerprintBuilder::tag(const char* name) {
+  const std::size_t len = std::strlen(name);
+  u64(len);
+  return bytes(name, len);
+}
+
+Fingerprint FingerprintBuilder::done() const {
+  // splitmix64-style finalization of each lane, cross-mixed so that the
+  // (hi, lo) pair depends on both accumulators.
+  auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  Fingerprint out;
+  out.hi = mix(hi_ + 0x9e3779b97f4a7c15ULL * lo_);
+  out.lo = mix(lo_ ^ ((hi_ << 32) | (hi_ >> 32)));
+  return out;
+}
+
+Fingerprint fingerprint_arch(const tech::ArchParams& arch) {
+  FingerprintBuilder b;
+  b.tag("shg.arch.v1");
+  b.i64(arch.rows).i64(arch.cols);
+  b.f64(arch.endpoint_area_ge).f64(arch.tile_aspect_ratio);
+  b.i64(arch.endpoints_per_tile);
+  b.f64(arch.frequency_hz).f64(arch.link_bandwidth_bits);
+  const tech::TechnologyModel& t = arch.tech;
+  b.f64(t.ge_area_um2);
+  b.u64(t.wires.horizontal_pitch_nm.size());
+  for (double p : t.wires.horizontal_pitch_nm) b.f64(p);
+  b.u64(t.wires.vertical_pitch_nm.size());
+  for (double p : t.wires.vertical_pitch_nm) b.f64(p);
+  b.f64(t.wire_delay_ps_per_mm);
+  b.f64(t.logic_power_w_per_mm2).f64(t.wire_power_w_per_mm2);
+  b.f64(arch.transport.wires_per_bit).f64(arch.transport.overhead_wires);
+  b.f64(arch.router_area.ge_per_buffer_bit);
+  b.f64(arch.router_area.ge_per_crosspoint_bit);
+  b.f64(arch.router_area.ge_per_port_control);
+  b.i64(arch.router_arch.num_vcs).i64(arch.router_arch.buffer_depth_flits);
+  return b.done();
+}
+
+Fingerprint fingerprint_shg_candidate(const Fingerprint& arch_fp,
+                                      const topo::ShgParams& params) {
+  // "exact" screening-mode domain separation lives in the tag: every
+  // current screening path is bit-identical to screen_candidate, so they
+  // all share this key; a future non-exact mode needs a new tag.
+  FingerprintBuilder b;
+  b.tag("shg.candidate.shg.exact.v1");
+  b.fp(arch_fp);
+  b.u64(params.row_skips.size());
+  for (int x : params.row_skips) b.i64(x);
+  b.u64(params.col_skips.size());
+  for (int x : params.col_skips) b.i64(x);
+  return b.done();
+}
+
+Fingerprint fingerprint_topology(const topo::Topology& topo) {
+  FingerprintBuilder b;
+  b.tag("shg.topology.v1");
+  b.i64(topo.rows()).i64(topo.cols());
+  const graph::Graph& g = topo.graph();
+  b.u64(static_cast<std::uint64_t>(g.num_edges()));
+  for (const graph::Edge& e : g.edges()) {
+    b.i64(e.u).i64(e.v);
+  }
+  return b.done();
+}
+
+Fingerprint fingerprint_child(const Fingerprint& arch_fp,
+                              const Fingerprint& parent_fp,
+                              const std::vector<graph::Edge>& new_edges) {
+  FingerprintBuilder b;
+  b.tag("shg.candidate.child.exact.v1");
+  b.fp(arch_fp).fp(parent_fp);
+  b.u64(new_edges.size());
+  for (const graph::Edge& e : new_edges) {
+    b.i64(e.u).i64(e.v);
+  }
+  return b.done();
+}
+
+CandidateCache::CandidateCache(std::size_t capacity) : capacity_(capacity) {
+  SHG_REQUIRE(capacity_ > 0, "candidate cache capacity must be positive");
+}
+
+void CandidateCache::unlink(std::size_t idx) {
+  Entry& e = entries_[idx];
+  if (e.newer != npos) {
+    entries_[e.newer].older = e.older;
+  } else {
+    head_ = e.older;
+  }
+  if (e.older != npos) {
+    entries_[e.older].newer = e.newer;
+  } else {
+    tail_ = e.newer;
+  }
+  e.newer = e.older = npos;
+}
+
+void CandidateCache::push_front(std::size_t idx) {
+  Entry& e = entries_[idx];
+  e.newer = npos;
+  e.older = head_;
+  if (head_ != npos) entries_[head_].newer = idx;
+  head_ = idx;
+  if (tail_ == npos) tail_ = idx;
+}
+
+void CandidateCache::evict_to_capacity() {
+  while (index_.size() > capacity_) {
+    const std::size_t victim = tail_;
+    SHG_ASSERT(victim != npos, "LRU list empty while over capacity");
+    unlink(victim);
+    index_.erase(entries_[victim].key);
+    free_.push_back(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::optional<CandidateMetrics> CandidateCache::lookup(const Fingerprint& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  unlink(it->second);
+  push_front(it->second);
+  return entries_[it->second].metrics;
+}
+
+void CandidateCache::insert(const Fingerprint& key,
+                            const CandidateMetrics& metrics) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].metrics = metrics;
+    unlink(it->second);
+    push_front(it->second);
+    return;
+  }
+  std::size_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    entries_[idx].key = key;
+    entries_[idx].metrics = metrics;
+  } else {
+    idx = entries_.size();
+    entries_.push_back(Entry{key, metrics, npos, npos});
+  }
+  index_.emplace(key, idx);
+  push_front(idx);
+  ++stats_.insertions;
+  evict_to_capacity();
+}
+
+void CandidateCache::clear() {
+  entries_.clear();
+  free_.clear();
+  index_.clear();
+  head_ = tail_ = npos;
+}
+
+std::size_t CandidateCache::size() const { return index_.size(); }
+
+std::size_t CandidateCache::save_file(const std::string& path) const {
+  std::vector<unsigned char> payload;
+  payload.reserve(index_.size() * kEntryBytes);
+  // Least-recent first: load_file re-inserts in file order, so a saved and
+  // reloaded cache has the same recency (and thus eviction) order.
+  std::size_t count = 0;
+  for (std::size_t idx = tail_; idx != npos; idx = entries_[idx].newer) {
+    const Entry& e = entries_[idx];
+    put_u64(payload, e.key.hi);
+    put_u64(payload, e.key.lo);
+    put_f64(payload, e.metrics.area_overhead);
+    put_f64(payload, e.metrics.avg_hops);
+    put_f64(payload, e.metrics.diameter);
+    put_f64(payload, e.metrics.throughput_bound);
+    ++count;
+  }
+
+  std::vector<unsigned char> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kFormatVersion);
+  put_u32(header, 0);  // reserved
+  put_u64(header, count);
+  put_u64(header, fnv1a(payload.data(), payload.size()));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "shg: warning: cannot write candidate cache '%s'\n",
+                 path.c_str());
+    return 0;
+  }
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::fprintf(stderr, "shg: warning: short write to candidate cache '%s'\n",
+                 path.c_str());
+    return 0;
+  }
+  return count;
+}
+
+std::size_t CandidateCache::load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;  // absent is a normal cold start, not an error
+
+  std::vector<unsigned char> data;
+  unsigned char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+
+  const char* reason = nullptr;
+  std::uint64_t count = 0;
+  if (!read_ok) {
+    reason = "could not be read";
+  } else if (data.size() < kHeaderBytes) {
+    reason = "is truncated (shorter than the header)";
+  } else if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    reason = "has a wrong magic (not an shg.cache file)";
+  } else if (get_u32(data.data() + 8) != kFormatVersion) {
+    reason = "has an unsupported format version";
+  } else {
+    count = get_u64(data.data() + 16);
+    // Guard the size arithmetic against absurd counts before multiplying.
+    if (count > (data.size() / kEntryBytes) + 1) {
+      reason = "is truncated (entry count exceeds the file size)";
+    } else if (data.size() != kHeaderBytes + count * kEntryBytes) {
+      reason = "is truncated (size does not match the entry count)";
+    } else if (get_u64(data.data() + 24) !=
+               fnv1a(data.data() + kHeaderBytes, count * kEntryBytes)) {
+      reason = "fails its payload checksum";
+    }
+  }
+  if (reason != nullptr) {
+    warn_discard(path, reason);
+    ++stats_.disk_discarded;
+    return 0;
+  }
+
+  const unsigned char* p = data.data() + kHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i, p += kEntryBytes) {
+    Fingerprint key;
+    key.hi = get_u64(p);
+    key.lo = get_u64(p + 8);
+    CandidateMetrics metrics;
+    metrics.area_overhead = get_f64(p + 16);
+    metrics.avg_hops = get_f64(p + 24);
+    metrics.diameter = get_f64(p + 32);
+    metrics.throughput_bound = get_f64(p + 40);
+    insert(key, metrics);
+  }
+  stats_.disk_loaded += count;
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace shg::customize

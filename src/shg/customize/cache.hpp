@@ -1,0 +1,193 @@
+// Content-addressed candidate cache: the storage layer of persistent DSE
+// sessions (customize/session.hpp).
+//
+// The customization methodology (Section V) iterates: the designer re-runs
+// DSE with tweaked cost weights, budgets or candidate bounds over largely
+// the same candidate space, and every re-invocation used to re-screen every
+// candidate from scratch. This module stores screening results keyed by a
+// canonical *fingerprint* of everything the result depends on, so repeated
+// invocations skip the screen entirely on a hit:
+//
+//  * `Fingerprint` / `FingerprintBuilder` — a 128-bit content hash over a
+//    platform-independent byte stream (values are fed as explicit
+//    little-endian bytes, doubles by bit pattern). Not cryptographic;
+//    collision probability at DSE scales (<= millions of candidates) is
+//    negligible, and a collision can only return a *screened* metric for a
+//    different candidate — it cannot corrupt memory or crash.
+//  * `fingerprint_arch` — every numeric field of `tech::ArchParams` that any
+//    cost-model step reads (grid, areas, frequency, bandwidth, technology
+//    wire stack, transport, router-area coefficients, router architecture).
+//    Pure labels (`ArchParams::name`, technology/transport names) are
+//    excluded: they affect no computed metric, and including them would only
+//    shrink hit rates.
+//  * `fingerprint_shg_candidate` — an SHG parameterization under an arch
+//    fingerprint. The parent/delta decomposition the incremental screeners
+//    use is deliberately NOT part of the key: screening is bit-identical
+//    for any decomposition (oracle-tested), so the canonical key is the
+//    *union* (the child's final skip sets) and hits transfer across
+//    different search trajectories.
+//  * `fingerprint_topology` / `fingerprint_child` — arbitrary-family
+//    parents (edge list in edge-id order) and their added-edge children.
+//    The delta is fingerprinted in *append order*: channel routing depends
+//    on the order links enter their length class, so two deltas with equal
+//    edge sets but different orders are distinct candidates.
+//  * Screening-mode domain separation: every key mixes a version/mode tag.
+//    All current screening paths are exact (bit-identical to a fresh
+//    `screen_candidate` / `screen_topology` run) and share one tag; a
+//    future non-exact mode (e.g. relaxed routing) must use a new tag so its
+//    values can never be served to an exact caller.
+//
+// `CandidateCache` is the store itself: an LRU-bounded hash map from
+// fingerprint to `CandidateMetrics`, with an optional on-disk tier in the
+// versioned binary format `shg.cache.v1` (magic + version + entry count +
+// payload checksum). Loading validates magic, version, size and checksum
+// and DISCARDS the file on any mismatch — a corrupt, truncated or
+// future-version cache file degrades to cold screening with a warning on
+// stderr, never to a crash or a stale result.
+//
+// Exactness & concurrency: cached values are the bits a cold screen
+// produced, so hits are bit-identical to re-screening by construction.
+// The cache is NOT thread-safe (lookup mutates recency); callers do cache
+// traffic on one thread and fan out only the misses (see session.cpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "shg/customize/search.hpp"
+
+namespace shg::customize {
+
+/// 128-bit content fingerprint (see file comment for what goes in one).
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+};
+
+/// Hash adaptor for unordered containers keyed by Fingerprint.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& f) const {
+    return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Incremental fingerprint accumulator. Values are serialized to explicit
+/// little-endian bytes before hashing, so fingerprints are identical across
+/// platforms; strings and lists are length-prefixed so adjacent fields can
+/// never alias ("ab","c" vs "a","bc").
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& bytes(const void* data, std::size_t size);
+  FingerprintBuilder& u64(std::uint64_t value);
+  FingerprintBuilder& i64(long long value) {
+    return u64(static_cast<std::uint64_t>(value));
+  }
+  FingerprintBuilder& f64(double value);  ///< by bit pattern
+  FingerprintBuilder& str(const std::string& value);  ///< length-prefixed
+  /// Domain-separation tag; start every keyed object with one.
+  FingerprintBuilder& tag(const char* name);
+  /// Mixes a finished fingerprint in (for composing keys from keys).
+  FingerprintBuilder& fp(const Fingerprint& value) {
+    return u64(value.hi).u64(value.lo);
+  }
+  /// Finalizes (the builder may keep accumulating afterwards; `done` is a
+  /// pure function of the bytes fed so far).
+  Fingerprint done() const;
+
+ private:
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t hi_ = 0x6c62272e07bb0142ULL;  // independent second lane
+};
+
+/// Fingerprint of every ArchParams field the cost model reads (labels
+/// excluded; see file comment).
+Fingerprint fingerprint_arch(const tech::ArchParams& arch);
+
+/// Canonical key of one SHG candidate under `arch_fp`: the final skip-set
+/// union, independent of any parent/delta decomposition.
+Fingerprint fingerprint_shg_candidate(const Fingerprint& arch_fp,
+                                      const topo::ShgParams& params);
+
+/// Fingerprint of an arbitrary-family topology: grid shape plus the edge
+/// list in edge-id order (family labels excluded — equal edge sets screen
+/// identically). Edge-id order matters: it is the channel router's greedy
+/// order within each length class.
+Fingerprint fingerprint_topology(const topo::Topology& topo);
+
+/// Key of a generic added-edge child: (arch, parent topology, delta in
+/// append order).
+Fingerprint fingerprint_child(const Fingerprint& arch_fp,
+                              const Fingerprint& parent_fp,
+                              const std::vector<graph::Edge>& new_edges);
+
+/// Counters of one cache's traffic (monotonic over its lifetime).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t disk_loaded = 0;     ///< entries adopted from load_file
+  std::uint64_t disk_discarded = 0;  ///< files rejected by validation
+};
+
+/// LRU-bounded fingerprint -> CandidateMetrics store with an optional
+/// on-disk tier (format `shg.cache.v1`; see file comment).
+class CandidateCache {
+ public:
+  explicit CandidateCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  const CacheStats& stats() const { return stats_; }
+
+  /// Returns the cached metrics and refreshes the entry's recency, or
+  /// nullopt on a miss.
+  std::optional<CandidateMetrics> lookup(const Fingerprint& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries beyond capacity.
+  void insert(const Fingerprint& key, const CandidateMetrics& metrics);
+
+  void clear();
+
+  /// Writes every entry to `path` (least-recent first, so a later
+  /// load_file reconstructs the same recency order). Returns the number of
+  /// entries written; on I/O failure warns on stderr and returns 0.
+  std::size_t save_file(const std::string& path) const;
+
+  /// Merges the entries of a `shg.cache.v1` file into the cache (insert
+  /// semantics: capacity and recency apply). Validation failures — missing
+  /// file, bad magic, version mismatch, truncation, checksum mismatch —
+  /// discard the file with a warning on stderr and return 0, leaving the
+  /// cache untouched. Returns the number of entries adopted.
+  std::size_t load_file(const std::string& path);
+
+ private:
+  struct Entry {
+    Fingerprint key;
+    CandidateMetrics metrics;
+    /// Neighbors in the recency list (indices into entries_; npos = end).
+    std::size_t newer = npos;
+    std::size_t older = npos;
+  };
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void unlink(std::size_t idx);
+  void push_front(std::size_t idx);
+  void evict_to_capacity();
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;  ///< slab; freed slots recycled via free_
+  std::vector<std::size_t> free_;
+  std::size_t head_ = npos;  ///< most recent
+  std::size_t tail_ = npos;  ///< least recent
+  std::unordered_map<Fingerprint, std::size_t, FingerprintHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace shg::customize

@@ -7,6 +7,7 @@
 #include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
 #include "shg/customize/incremental.hpp"
+#include "shg/customize/session.hpp"
 
 namespace shg::customize {
 
@@ -44,7 +45,11 @@ std::vector<ExploredPoint> screen_all(const tech::ArchParams& arch,
                                       const ExploreOptions& options,
                                       const char* family) {
   std::vector<CandidateMetrics> metrics;
-  if (options.incremental) {
+  if (options.session != nullptr) {
+    metrics = screen_batch_cached(arch, batch, *options.session,
+                                  options.incremental,
+                                  ScreeningOptions{options.incremental_routing});
+  } else if (options.incremental) {
     metrics = screen_batch_incremental(
         arch, batch, ScreeningOptions{options.incremental_routing});
   } else {

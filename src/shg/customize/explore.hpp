@@ -33,6 +33,13 @@ struct ExploreOptions {
   /// (phys/incremental_route.hpp); bit-identical on or off, no effect with
   /// `incremental` off.
   bool incremental_routing = true;
+  /// Persistent DSE session (customize/session.hpp, default off): screened
+  /// candidates are served from the session's cache across explore / search
+  /// invocations — a refined re-enumeration (e.g. max_*_skips bumped by
+  /// one) re-screens only the configurations the previous pass never saw.
+  /// Results are bit-identical with or without a session (not owned; must
+  /// outlive the call).
+  Session* session = nullptr;
 };
 
 /// Enumerates sparse Hamming graph configurations (all SR/SC subsets up to

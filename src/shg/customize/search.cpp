@@ -1,12 +1,14 @@
 #include "shg/customize/search.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <sstream>
 
 #include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
 #include "shg/customize/incremental.hpp"
+#include "shg/customize/session.hpp"
 #include "shg/graph/shortest_paths.hpp"
 #include "shg/topo/generators.hpp"
 
@@ -35,6 +37,33 @@ std::vector<CandidateMetrics> screen_batch(
   return metrics;
 }
 
+/// Final cost report of a search winner, through the session's artifact
+/// tier when one is attached: the full five-step model is deterministic,
+/// so the report cached under (arch, winner) is bit-identical to
+/// re-evaluating it — a warm re-invocation skips even the final
+/// evaluate_cost.
+model::CostReport final_cost_report(const tech::ArchParams& arch,
+                                    const topo::ShgParams& params,
+                                    Session* session) {
+  if (session == nullptr) {
+    return model::evaluate_cost(
+        arch, topo::make_sparse_hamming(arch.rows, arch.cols,
+                                        params.row_skips, params.col_skips));
+  }
+  FingerprintBuilder b;
+  b.tag("shg.artifact.cost_report.v1");
+  b.fp(fingerprint_shg_candidate(fingerprint_arch(arch), params));
+  const Fingerprint key = b.done();
+  if (const auto artifact = session->find_artifact(key)) {
+    return *std::static_pointer_cast<const model::CostReport>(artifact);
+  }
+  auto report = std::make_shared<const model::CostReport>(model::evaluate_cost(
+      arch, topo::make_sparse_hamming(arch.rows, arch.cols, params.row_skips,
+                                      params.col_skips)));
+  session->store_artifact(key, report);
+  return *report;
+}
+
 }  // namespace
 
 std::string fmt_skip_sets(const topo::ShgParams& params) {
@@ -44,8 +73,16 @@ std::string fmt_skip_sets(const topo::ShgParams& params) {
 
 CandidateMetrics screen_candidate(const tech::ArchParams& arch,
                                   const topo::ShgParams& params) {
-  const topo::Topology topo = topo::make_sparse_hamming(
-      arch.rows, arch.cols, params.row_skips, params.col_skips);
+  return screen_topology(arch,
+                         topo::make_sparse_hamming(arch.rows, arch.cols,
+                                                   params.row_skips,
+                                                   params.col_skips));
+}
+
+CandidateMetrics screen_topology(const tech::ArchParams& arch,
+                                 const topo::Topology& topo) {
+  SHG_REQUIRE(topo.rows() == arch.rows && topo.cols() == arch.cols,
+              "topology grid does not match the architecture");
   // Screening needs only the area overhead, so the cost model's area-only
   // fast path (steps 1-4) replaces the full evaluation — detailed routing
   // only feeds power/latency numbers no screening decision reads.
@@ -111,15 +148,47 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
               "area budget must be a fraction in (0, 1)");
   SearchResult result;
   result.params = topo::ShgParams{};
-  // The context's construction sweep doubles as the mesh screening, so the
-  // incremental path pays no extra full sweep up front.
+  Session* const session = options.session;
+  std::optional<Fingerprint> arch_fp;
+  if (session != nullptr) arch_fp = fingerprint_arch(arch);
+
+  // The screening context is built LAZILY: with a session attached, a
+  // candidate that hits the cache never needs the context, and a fully
+  // warm re-invocation therefore runs no BFS sweep and no channel routing
+  // at all. The context, once built, is always keyed to the current
+  // result.params (ensure_ctx constructs it there; the accept step rebases
+  // it).
   std::optional<ScreeningContext> ctx;
-  if (options.incremental) {
-    ctx.emplace(arch, result.params,
-                ScreeningOptions{options.incremental_routing});
-    result.metrics = ctx->metrics();
-  } else {
-    result.metrics = screen_candidate(arch, result.params);
+  auto ensure_ctx = [&]() -> ScreeningContext* {
+    if (!options.incremental) return nullptr;
+    if (!ctx) {
+      ctx.emplace(arch, result.params,
+                  ScreeningOptions{options.incremental_routing});
+    }
+    return &*ctx;
+  };
+
+  bool have_metrics = false;
+  if (session != nullptr) {
+    if (const auto hit =
+            session->lookup(fingerprint_shg_candidate(*arch_fp,
+                                                      result.params))) {
+      result.metrics = *hit;
+      have_metrics = true;
+    }
+  }
+  if (!have_metrics) {
+    // The context's construction sweep doubles as the mesh screening, so
+    // the incremental path pays no extra full sweep up front.
+    if (ScreeningContext* c = ensure_ctx()) {
+      result.metrics = c->metrics();
+    } else {
+      result.metrics = screen_candidate(arch, result.params);
+    }
+    if (session != nullptr) {
+      session->store(fingerprint_shg_candidate(*arch_fp, result.params),
+                     result.metrics);
+    }
   }
   // Per-worker scratch for the fast screening path, reused across
   // iterations (the first neighborhood is the largest, so the worker count
@@ -153,31 +222,59 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
       candidate.col_skips.insert(x);
       batch.push_back(std::move(candidate));
     }
-    std::vector<CandidateMetrics> screened;
-    if (ctx && options.incremental_routing) {
-      // Every neighbor is the parent plus one skip distance — the exact
-      // shape both the routing suffix replay and the overlay sweep are
-      // built for. Worker-pinned scratch keeps the fast path's buffers and
-      // the tile-geometry memo warm across candidates and iterations.
-      screened.resize(batch.size());
-      const std::size_t workers = parallel_worker_count(batch.size());
-      if (scratch.size() < workers) scratch.resize(workers);
-      parallel_for_with_worker(batch.size(), [&](std::size_t i,
-                                                 std::size_t w) {
-        screened[i] =
-            ctx->screen_child(batch[i], &scratch[w].tile_cache,
-                              &scratch[w].ws);
-      });
-    } else if (ctx) {
-      // Delta-BFS reuse without the routing context — the screening path
-      // of the PR before incremental routing, preserved as the benchmark
-      // baseline and for the on/off equivalence tests.
-      screened.resize(batch.size());
-      parallel_for(batch.size(), [&](std::size_t i) {
-        screened[i] = ctx->screen_child(batch[i]);
-      });
+
+    // Session lookups run serially on this thread (the cache is not
+    // thread-safe; serial traffic keeps LRU order deterministic); only
+    // cache misses reach the screening engines below.
+    std::vector<CandidateMetrics> screened(batch.size());
+    std::vector<Fingerprint> keys;
+    std::vector<std::size_t> miss;
+    if (session != nullptr) {
+      keys.resize(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        keys[i] = fingerprint_shg_candidate(*arch_fp, batch[i]);
+        if (const auto hit = session->lookup(keys[i])) {
+          screened[i] = *hit;
+        } else {
+          miss.push_back(i);
+        }
+      }
     } else {
-      screened = screen_batch(arch, batch);
+      miss.resize(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) miss[i] = i;
+    }
+
+    if (!miss.empty()) {
+      ScreeningContext* const c = ensure_ctx();
+      if (c != nullptr && options.incremental_routing) {
+        // Every neighbor is the parent plus one skip distance — the exact
+        // shape both the routing suffix replay and the overlay sweep are
+        // built for. Worker-pinned scratch keeps the fast path's buffers
+        // and the tile-geometry memo warm across candidates and
+        // iterations.
+        const std::size_t workers = parallel_worker_count(miss.size());
+        if (scratch.size() < workers) scratch.resize(workers);
+        parallel_for_with_worker(miss.size(), [&](std::size_t k,
+                                                  std::size_t w) {
+          screened[miss[k]] =
+              c->screen_child(batch[miss[k]], &scratch[w].tile_cache,
+                              &scratch[w].ws);
+        });
+      } else if (c != nullptr) {
+        // Delta-BFS reuse without the routing context — the screening path
+        // of the PR before incremental routing, preserved as the benchmark
+        // baseline and for the on/off equivalence tests.
+        parallel_for(miss.size(), [&](std::size_t k) {
+          screened[miss[k]] = c->screen_child(batch[miss[k]]);
+        });
+      } else {
+        parallel_for(miss.size(), [&](std::size_t k) {
+          screened[miss[k]] = screen_candidate(arch, batch[miss[k]]);
+        });
+      }
+      if (session != nullptr) {
+        for (std::size_t k : miss) session->store(keys[k], screened[k]);
+      }
     }
 
     const std::size_t pick =
@@ -196,9 +293,7 @@ SearchResult customize_greedy(const tech::ArchParams& arch, const Goal& goal,
         SearchStep{result.params, result.metrics, note.str()});
   }
 
-  const topo::Topology final_topo = topo::make_sparse_hamming(
-      arch.rows, arch.cols, result.params.row_skips, result.params.col_skips);
-  result.cost = model::evaluate_cost(arch, final_topo);
+  result.cost = final_cost_report(arch, result.params, session);
   return result;
 }
 
@@ -230,13 +325,20 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
   }
   // The subset lattice is a prefix forest: every mask is some other mask
   // plus one element, so the incremental path reuses the shared-prefix
-  // distance rows across the whole enumeration. Either way the serial
-  // reduction below sees bit-identical metrics in the same order.
+  // distance rows across the whole enumeration; an attached session
+  // additionally serves repeated invocations from its cache and screens
+  // only the misses. Either way the serial reduction below sees
+  // bit-identical metrics in the same order.
   const std::vector<CandidateMetrics> screened =
-      options.incremental
-          ? screen_batch_incremental(
-                arch, batch, ScreeningOptions{options.incremental_routing})
-          : screen_batch(arch, batch);
+      options.session != nullptr
+          ? screen_batch_cached(arch, batch, *options.session,
+                                options.incremental,
+                                ScreeningOptions{options.incremental_routing})
+          : (options.incremental
+                 ? screen_batch_incremental(
+                       arch, batch,
+                       ScreeningOptions{options.incremental_routing})
+                 : screen_batch(arch, batch));
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const CandidateMetrics& metrics = screened[i];
     if (metrics.area_overhead > goal.max_area_overhead) continue;
@@ -247,9 +349,7 @@ SearchResult customize_exhaustive(const tech::ArchParams& arch,
     }
   }
   SHG_REQUIRE(have_best, "no parameterization fits the area budget");
-  const topo::Topology final_topo = topo::make_sparse_hamming(
-      arch.rows, arch.cols, best.params.row_skips, best.params.col_skips);
-  best.cost = model::evaluate_cost(arch, final_topo);
+  best.cost = final_cost_report(arch, best.params, options.session);
   best.history.push_back(SearchStep{best.params, best.metrics, "exhaustive"});
   return best;
 }

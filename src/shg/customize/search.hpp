@@ -25,6 +25,8 @@
 
 namespace shg::customize {
 
+class Session;  // customize/session.hpp: cross-invocation candidate cache
+
 /// Design goals (Section V-b: maximize throughput, then minimize latency,
 /// without exceeding 40% NoC area overhead).
 struct Goal {
@@ -67,9 +69,19 @@ struct SearchResult {
 /// it has no effect with `incremental` off. Results are bit-identical with
 /// any combination (oracle-tested); the flags exist for the equivalence
 /// tests and the benchmark's old-vs-new comparisons.
+///
+/// `session` (default off) attaches a persistent DSE session
+/// (customize/session.hpp): candidates whose fingerprints hit the
+/// session's cache skip re-screening entirely, and the screening context
+/// is only (re)built when a miss actually needs it — a warm re-invocation
+/// over an already-screened space runs no BFS sweep and no channel
+/// routing at all, yet produces a bit-identical SearchResult (history
+/// notes included; oracle-tested). The session is read and written on the
+/// calling thread only.
 struct SearchOptions {
   bool incremental = true;
   bool incremental_routing = true;
+  Session* session = nullptr;  ///< not owned; must outlive the call
 };
 
 /// Renders a parameterization's skip sets as `SR={...} SC={...}` — the
@@ -81,6 +93,15 @@ std::string fmt_skip_sets(const topo::ShgParams& params);
 /// Computes the screening metrics of one parameterization.
 CandidateMetrics screen_candidate(const tech::ArchParams& arch,
                                   const topo::ShgParams& params);
+
+/// Family-generic screening entry: the metrics of an arbitrary topology
+/// over the arch grid (SlimNoC, torus, custom overlays, ...). Runs exactly
+/// the arithmetic of `screen_candidate` — which is now a thin wrapper that
+/// materializes the SHG and calls this — so SHG results are unchanged bit
+/// for bit. Incremental variants live in
+/// `customize::TopologyScreeningContext` (customize/incremental.hpp).
+CandidateMetrics screen_topology(const tech::ArchParams& arch,
+                                 const topo::Topology& topo);
 
 /// Picks the winner of one greedy iteration among `candidates` (screened
 /// neighbors of a parent with metrics `parent`), or returns npos when no

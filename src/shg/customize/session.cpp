@@ -1,0 +1,126 @@
+#include "shg/customize/session.hpp"
+
+#include <algorithm>
+
+#include "shg/common/parallel.hpp"
+
+namespace shg::customize {
+
+Session::Session(SessionOptions options)
+    : options_(std::move(options)),
+      cache_(options_.capacity == 0 ? 1 : options_.capacity) {
+  SHG_REQUIRE(options_.capacity > 0, "session capacity must be positive");
+  SHG_REQUIRE(options_.artifact_capacity > 0,
+              "artifact capacity must be positive");
+  if (options_.autoload && !options_.cache_path.empty()) {
+    load();
+  }
+}
+
+Session::~Session() {
+  if (options_.autosave && !options_.cache_path.empty()) {
+    // Best effort: destructors must not throw, and save_file reports its
+    // own failures on stderr.
+    save();
+  }
+}
+
+std::size_t Session::load() {
+  if (options_.cache_path.empty()) return 0;
+  return cache_.load_file(options_.cache_path);
+}
+
+std::size_t Session::save() {
+  if (options_.cache_path.empty()) return 0;
+  return cache_.save_file(options_.cache_path);
+}
+
+std::shared_ptr<const void> Session::find_artifact(const Fingerprint& key) {
+  for (Artifact& a : artifacts_) {
+    if (a.key == key) {
+      a.last_used = ++artifact_tick_;
+      ++artifact_hits_;
+      return a.value;
+    }
+  }
+  ++artifact_misses_;
+  return nullptr;
+}
+
+void Session::store_artifact(const Fingerprint& key,
+                             std::shared_ptr<const void> artifact) {
+  SHG_REQUIRE(artifact != nullptr, "cannot store a null artifact");
+  for (Artifact& a : artifacts_) {
+    if (a.key == key) {
+      a.value = std::move(artifact);
+      a.last_used = ++artifact_tick_;
+      return;
+    }
+  }
+  if (artifacts_.size() >= options_.artifact_capacity) {
+    auto victim = std::min_element(
+        artifacts_.begin(), artifacts_.end(),
+        [](const Artifact& a, const Artifact& b) {
+          return a.last_used < b.last_used;
+        });
+    *victim = Artifact{key, std::move(artifact), ++artifact_tick_};
+    return;
+  }
+  artifacts_.push_back(Artifact{key, std::move(artifact), ++artifact_tick_});
+}
+
+std::vector<CandidateMetrics> screen_batch_cached(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    Session& session, bool incremental, const ScreeningOptions& screening) {
+  std::vector<CandidateMetrics> out(batch.size());
+  if (batch.empty()) return out;
+
+  // All session traffic on this thread (the cache is not thread-safe and
+  // serial access keeps LRU order deterministic); only the miss screening
+  // fans out, inside screen_batch_incremental / parallel_for.
+  const Fingerprint arch_fp = fingerprint_arch(arch);
+  std::vector<Fingerprint> keys(batch.size());
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    keys[i] = fingerprint_shg_candidate(arch_fp, batch[i]);
+    if (const auto hit = session.lookup(keys[i])) {
+      out[i] = *hit;
+    } else {
+      miss.push_back(i);
+    }
+  }
+  if (miss.empty()) return out;
+
+  std::vector<topo::ShgParams> miss_batch;
+  miss_batch.reserve(miss.size());
+  for (std::size_t i : miss) miss_batch.push_back(batch[i]);
+  std::vector<CandidateMetrics> screened;
+  if (incremental) {
+    // Duplicate misses are fine: the prefix forest collapses equal
+    // parameterizations onto one node.
+    screened = screen_batch_incremental(arch, miss_batch, screening);
+  } else {
+    screened.resize(miss_batch.size());
+    parallel_for(miss_batch.size(), [&](std::size_t k) {
+      screened[k] = screen_candidate(arch, miss_batch[k]);
+    });
+  }
+  for (std::size_t k = 0; k < miss.size(); ++k) {
+    out[miss[k]] = screened[k];
+    session.store(keys[miss[k]], screened[k]);
+  }
+  return out;
+}
+
+CandidateMetrics screen_child_cached(
+    Session& session, const TopologyScreeningContext& ctx,
+    const Fingerprint& arch_fp, const Fingerprint& parent_fp,
+    const std::vector<graph::Edge>& new_edges) {
+  const Fingerprint key = fingerprint_child(arch_fp, parent_fp, new_edges);
+  if (const auto hit = session.lookup(key)) return *hit;
+  const CandidateMetrics metrics = ctx.screen_child(new_edges);
+  session.store(key, metrics);
+  return metrics;
+}
+
+}  // namespace shg::customize

@@ -1,0 +1,144 @@
+// Persistent DSE sessions: cross-invocation reuse of screening work.
+//
+// The paper's customization methodology (Section V) is iterative — the
+// designer re-runs DSE with tweaked budgets, enumeration bounds or traffic
+// assumptions over largely the same candidate space. A `Session` carries
+// everything reusable across those invocations:
+//
+//  * a content-addressed candidate tier (customize/cache.hpp): screening
+//    metrics keyed by canonical fingerprints, in-memory LRU plus an
+//    optional on-disk tier (`shg.cache.v1`, checksummed; corrupt or
+//    version-mismatched files are discarded with a warning — the session
+//    degrades to cold screening, it never trusts a bad file);
+//  * an artifact tier: shared immutable in-memory objects too large or too
+//    structured for the serialized tier — final `model::CostReport`s of
+//    accepted search winners, `sim::RouteTable`s the experiment engine
+//    shares across runs (eval/experiment.hpp). Artifacts are type-erased
+//    `shared_ptr<const void>`; type safety comes from the keying
+//    convention (every artifact kind mixes its own domain tag into the
+//    fingerprint, so keys of different kinds can never collide). This tier
+//    is memory-only: it dies with the process.
+//
+// Wiring: pass a Session through `SearchOptions::session` /
+// `ExploreOptions::session` (default off) or `eval::ExperimentSpec::
+// session`. With a session attached, re-invocations with overlapping
+// candidate spaces skip re-screening on cache hits.
+//
+// Exactness & concurrency: hits return the exact bits a cold screen
+// produced (inserted from the same oracle-tested screening paths), so a
+// warm search's history is bit-identical to a cold run's — the randomized
+// oracle in tests/session_test.cpp and the `dse_session_warm` bench gate
+// assert this end to end. A Session is NOT thread-safe: the DSE engines do
+// all session traffic on the calling thread and fan out only the
+// cache-miss screening work (whose outputs land in index-addressed slots
+// per the parallel_for contract), which also keeps LRU eviction order —
+// and therefore warm-run behavior — deterministic. Use one Session per
+// thread of control.
+#pragma once
+
+#include <memory>
+
+#include "shg/customize/cache.hpp"
+#include "shg/customize/incremental.hpp"
+
+namespace shg::customize {
+
+/// Knobs of one session.
+struct SessionOptions {
+  /// Candidate-tier LRU capacity, in entries (48 B each plus index
+  /// overhead; the default comfortably holds every candidate of a
+  /// 2-skips-per-dimension exploration sweep hundreds of times over).
+  std::size_t capacity = std::size_t{1} << 16;
+  /// Artifact-tier LRU capacity, in artifacts (route tables, cost
+  /// reports; each may be MBs — keep this small).
+  std::size_t artifact_capacity = 64;
+  /// On-disk tier for the candidate cache; empty = memory-only.
+  std::string cache_path;
+  /// Load `cache_path` on construction (no-op when the file is absent;
+  /// corrupt files are discarded with a warning).
+  bool autoload = true;
+  /// Save `cache_path` on destruction (best effort; never throws).
+  bool autosave = true;
+};
+
+/// Cross-invocation reuse state. See the file comment.
+class Session {
+ public:
+  explicit Session(SessionOptions options = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const SessionOptions& options() const { return options_; }
+
+  // -- Candidate tier -------------------------------------------------------
+
+  /// Cached screening metrics for `key`, or nullopt. Hits refresh recency.
+  std::optional<CandidateMetrics> lookup(const Fingerprint& key) {
+    return cache_.lookup(key);
+  }
+  /// Stores a screened result (evicting LRU entries beyond capacity).
+  void store(const Fingerprint& key, const CandidateMetrics& metrics) {
+    cache_.insert(key, metrics);
+  }
+
+  const CacheStats& stats() const { return cache_.stats(); }
+  CandidateCache& cache() { return cache_; }
+
+  /// Loads the on-disk tier now (also called by the constructor when
+  /// `autoload`); returns entries adopted, 0 on absent/discarded files.
+  std::size_t load();
+  /// Saves the candidate tier to `options().cache_path`; returns entries
+  /// written (0 when no path is configured or the write failed).
+  std::size_t save();
+
+  // -- Artifact tier --------------------------------------------------------
+
+  /// Shared immutable artifact for `key`, or null. Hits refresh recency.
+  /// Callers static_pointer_cast to the type their keying convention
+  /// guarantees (see file comment).
+  std::shared_ptr<const void> find_artifact(const Fingerprint& key);
+  void store_artifact(const Fingerprint& key,
+                      std::shared_ptr<const void> artifact);
+  std::uint64_t artifact_hits() const { return artifact_hits_; }
+  std::uint64_t artifact_misses() const { return artifact_misses_; }
+
+ private:
+  struct Artifact {
+    Fingerprint key;
+    std::shared_ptr<const void> value;
+    std::uint64_t last_used = 0;
+  };
+
+  SessionOptions options_;
+  CandidateCache cache_;
+  std::vector<Artifact> artifacts_;  ///< tiny; linear scan, tick-stamped LRU
+  std::uint64_t artifact_tick_ = 0;
+  std::uint64_t artifact_hits_ = 0;
+  std::uint64_t artifact_misses_ = 0;
+};
+
+/// Screens `batch` through the session cache: hits come from the cache,
+/// misses are screened with the incremental stack (`screen_batch_incremental`
+/// under `screening`, or per-candidate `screen_candidate` sweeps when
+/// `incremental` is false) and stored. The result is indexed like the input
+/// and bit-identical to a session-free screen of the same batch.
+std::vector<CandidateMetrics> screen_batch_cached(
+    const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
+    Session& session, bool incremental = true,
+    const ScreeningOptions& screening = {});
+
+/// Cached generic-family screen: looks up (arch, parent, delta) in the
+/// session, pricing a miss through `ctx` (the incremental stack — overlay
+/// bit sweep + routing suffix replay) and storing it. `arch_fp` /
+/// `parent_fp` are the precomputed fingerprints of ctx's arch and parent
+/// (compute them once per trajectory, not per child). Bit-identical to
+/// `ctx.screen_child(new_edges)` and so to `screen_topology` on the
+/// materialized child.
+CandidateMetrics screen_child_cached(Session& session,
+                                     const TopologyScreeningContext& ctx,
+                                     const Fingerprint& arch_fp,
+                                     const Fingerprint& parent_fp,
+                                     const std::vector<graph::Edge>& new_edges);
+
+}  // namespace shg::customize

@@ -7,11 +7,29 @@
 
 #include "shg/common/parallel.hpp"
 #include "shg/common/strings.hpp"
+#include "shg/customize/session.hpp"
 #include "shg/eval/toolchain.hpp"
 
 namespace shg::eval {
 
 namespace {
+
+/// Artifact-tier key of one topology's shared route table. The default
+/// routing function is a pure function of (family kind, edge set,
+/// num_vcs) — `make_default_routing` switches on `topo.kind()`, so the
+/// kind MUST be part of this key even though the screening fingerprints
+/// deliberately exclude it (screening metrics depend on edges alone; the
+/// routing function does not). The domain tag keeps route-table keys
+/// disjoint from every other artifact kind by construction.
+customize::Fingerprint route_table_key(const topo::Topology& topo,
+                                       int num_vcs) {
+  customize::FingerprintBuilder b;
+  b.tag("shg.artifact.route_table.v1");
+  b.fp(customize::fingerprint_topology(topo));
+  b.i64(static_cast<long long>(topo.kind()));
+  b.i64(num_vcs);
+  return b.done();
+}
 
 Aggregate aggregate(const std::vector<sim::SimResult>& runs,
                     double (*metric)(const sim::SimResult&)) {
@@ -139,10 +157,37 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
                              1)
                        : tc.link_latencies;
   }
-  parallel_for(num_topos, [&](std::size_t t) {
+  // With a session attached, tables hit its artifact tier across
+  // run_experiment calls; only the misses are built (in parallel, as
+  // before) and stored back. Session traffic stays on this thread.
+  std::vector<std::size_t> to_build;
+  std::vector<customize::Fingerprint> table_keys(num_topos);
+  const bool use_session_tables =
+      spec.session != nullptr && spec.config.sim.use_route_table;
+  for (std::size_t t = 0; t < num_topos; ++t) {
+    if (use_session_tables) {
+      table_keys[t] = route_table_key(spec.topologies[t].topology,
+                                      spec.config.sim.num_vcs);
+      if (const auto artifact = spec.session->find_artifact(table_keys[t])) {
+        tables[t] =
+            std::static_pointer_cast<const sim::RouteTable>(artifact);
+        continue;
+      }
+    }
+    to_build.push_back(t);
+  }
+  parallel_for(to_build.size(), [&](std::size_t i) {
+    const std::size_t t = to_build[i];
     tables[t] =
         make_shared_route_table(spec.topologies[t].topology, spec.config);
   });
+  if (use_session_tables) {
+    for (std::size_t t : to_build) {
+      if (tables[t] != nullptr) {
+        spec.session->store_artifact(table_keys[t], tables[t]);
+      }
+    }
+  }
 
   // Per (topology, traffic) patterns. Spec-built patterns are owned here;
   // borrowed patterns are used as-is. Patterns are stateless (all state

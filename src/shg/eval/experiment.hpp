@@ -24,6 +24,10 @@
 #include "shg/eval/scenario.hpp"
 #include "shg/sim/traffic_spec.hpp"
 
+namespace shg::customize {
+class Session;  // customize/session.hpp: cross-invocation reuse state
+}  // namespace shg::customize
+
 namespace shg::eval {
 
 /// One topology under test: the graph plus its physical link latencies.
@@ -54,6 +58,15 @@ struct ExperimentSpec {
   std::vector<std::uint64_t> seeds;        ///< empty = {config.sim.seed}
   int endpoints_per_tile = 1;
   PerfConfig config;                       ///< sim knobs; rate/seed overridden
+  /// Persistent DSE session (default off): route tables are looked up in /
+  /// stored into the session's artifact tier, keyed by (topology edge
+  /// list, VC count), so repeated experiments over overlapping topology
+  /// sets build each table once per session instead of once per
+  /// run_experiment call. Reports are identical with or without a session
+  /// (the cached table is the same deduplicated CSR, and simulation is
+  /// bit-identical by the route-table contract). Not owned; must outlive
+  /// the call; accessed on the calling thread only.
+  customize::Session* session = nullptr;
 
   void validate() const;
 };

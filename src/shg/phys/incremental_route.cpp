@@ -1,6 +1,7 @@
 #include "shg/phys/incremental_route.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <tuple>
@@ -189,6 +190,135 @@ void RoutingContext::route_child_loads(const std::vector<int>& new_row_skips,
                      out->h_loads, final_.h_loads);
   repair_orientation(max_col_skip, new_col_skips, /*horizontal=*/false,
                      out->v_loads, final_.v_loads);
+}
+
+void RoutingContext::route_child_loads(const std::vector<GridLink>& new_links,
+                                       GlobalRoutingResult* out) const {
+  SHG_REQUIRE(out != nullptr, "output result required");
+  // Normalize endpoint order (lower node id first — the L-shape of a
+  // diagonal depends on it) and bucket by grid length, preserving the
+  // given order within each class: that is the order the links enter the
+  // child's greedy classes after the parent's same-length links.
+  int divergence = 0;
+  int div_h = 0;
+  int div_v = 0;
+  int new_min_diag = std::numeric_limits<int>::max();
+  std::vector<std::vector<LinkRec>> new_buckets;
+  for (const GridLink& link : new_links) {
+    SHG_REQUIRE(link.a.row >= 0 && link.a.row < rows_ && link.a.col >= 0 &&
+                    link.a.col < cols_ && link.b.row >= 0 &&
+                    link.b.row < rows_ && link.b.col >= 0 &&
+                    link.b.col < cols_,
+                "added link endpoint outside the grid");
+    const int id_a = link.a.row * cols_ + link.a.col;
+    const int id_b = link.b.row * cols_ + link.b.col;
+    SHG_REQUIRE(id_a != id_b, "added link endpoints must differ");
+    const LinkRec rec =
+        id_a < id_b ? LinkRec{link.a, link.b} : LinkRec{link.b, link.a};
+    const int len = std::abs(rec.a.row - rec.b.row) +
+                    std::abs(rec.a.col - rec.b.col);
+    if (len <= 1) continue;  // unit links occupy no channel capacity
+    if (static_cast<int>(new_buckets.size()) <= len) {
+      new_buckets.resize(static_cast<std::size_t>(len) + 1);
+    }
+    new_buckets[static_cast<std::size_t>(len)].push_back(rec);
+    divergence = std::max(divergence, len);
+    if (is_diag(rec)) {
+      new_min_diag = std::min(new_min_diag, len);
+    } else if (is_h(rec)) {
+      div_h = std::max(div_h, len);
+    } else {
+      div_v = std::max(div_v, len);
+    }
+  }
+  auto new_class = [&](int len) -> const std::vector<LinkRec>* {
+    if (len < static_cast<int>(new_buckets.size())) {
+      return &new_buckets[static_cast<std::size_t>(len)];
+    }
+    return nullptr;
+  };
+
+  out->routes.clear();
+  if (divergence == 0) {
+    out->h_loads = final_.h_loads;
+    out->v_loads = final_.v_loads;
+    return;
+  }
+
+  if (options_.relaxed) {
+    // Frozen parent placements: only the new links are routed, on the
+    // parent's final loads, in descending class order (bounded error).
+    out->h_loads = final_.h_loads;
+    out->v_loads = final_.v_loads;
+    for (int len = divergence; len >= 2; --len) {
+      if (const std::vector<LinkRec>* links = new_class(len)) {
+        for (const LinkRec& rec : *links) {
+          detail::route_and_commit(rec.a, rec.b, out->h_loads, out->v_loads);
+        }
+      }
+    }
+    return;
+  }
+
+  // A diagonal (parent's or new) at or below the divergence class couples
+  // the orientations: restore the joint boundary and replay every class of
+  // the suffix — parent links of the class first (their edge ids precede
+  // any appended link's), then the new links in append order.
+  if (std::min(min_diag_len_, new_min_diag) <= divergence) {
+    state_before(divergence, &out->h_loads, &out->v_loads);
+    for (int len = divergence; len >= 2; --len) {
+      for (const ClassEntry& entry : classes_) {
+        if (entry.len != len) continue;
+        for (const LinkRec& rec : entry.links) {
+          detail::route_and_commit(rec.a, rec.b, out->h_loads, out->v_loads);
+        }
+      }
+      if (const std::vector<LinkRec>* links = new_class(len)) {
+        for (const LinkRec& rec : *links) {
+          detail::route_and_commit(rec.a, rec.b, out->h_loads, out->v_loads);
+        }
+      }
+    }
+    return;
+  }
+
+  // Orientation split: no new link is diagonal (a new diagonal would make
+  // the branch above joint, since its class is at most the divergence) and
+  // every parent diagonal sits strictly above the divergence, i.e. in the
+  // shared prefix of both streams — so each orientation is an independent
+  // decision stream repaired from its own divergence class, exactly as in
+  // the skip fast path.
+  auto repair = [&](int div, bool horizontal,
+                    std::vector<std::vector<int>>& loads,
+                    const std::vector<std::vector<int>>& parent_final) {
+    if (div == 0) {
+      loads = parent_final;
+      return;
+    }
+    state_before(div, horizontal ? &loads : nullptr,
+                 horizontal ? nullptr : &loads);
+    for (int len = div; len >= 2; --len) {
+      for (const ClassEntry& entry : classes_) {
+        if (entry.len != len) continue;
+        for (const LinkRec& rec : entry.links) {
+          if (is_h(rec) == horizontal && is_v(rec) == !horizontal) {
+            detail::route_and_commit(rec.a, rec.b, out->h_loads,
+                                     out->v_loads);
+          }
+        }
+      }
+      if (const std::vector<LinkRec>* links = new_class(len)) {
+        for (const LinkRec& rec : *links) {
+          if (is_h(rec) == horizontal) {
+            detail::route_and_commit(rec.a, rec.b, out->h_loads,
+                                     out->v_loads);
+          }
+        }
+      }
+    }
+  };
+  repair(div_h, /*horizontal=*/true, out->h_loads, final_.h_loads);
+  repair(div_v, /*horizontal=*/false, out->v_loads, final_.v_loads);
 }
 
 namespace {

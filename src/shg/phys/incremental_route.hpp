@@ -50,6 +50,25 @@
 // exists for throwaway screening sweeps where a constant-time repair
 // matters more than exactness; the DSE flow always uses the exact mode
 // (search winners must be bit-identical with the reuse on or off).
+//
+// == Exactness & concurrency ==============================================
+//
+//  * Exactness. With `RoutingOptions::relaxed == false` (the default),
+//    every `route_child_loads` overload returns load profiles BIT-IDENTICAL
+//    to `global_route_loads` on the materialized child — guaranteed by
+//    executing the shared decision core (phys/route_core.hpp) over a state
+//    the from-scratch run provably reaches, and asserted by the randomized
+//    differential oracle in tests/phys_incremental_test.cpp. With
+//    `relaxed == true` the result is bounded-error only (per-channel peak
+//    within D of exact, total load mass exact); never feed relaxed loads
+//    into a flow that promises bit-identical outcomes.
+//  * Concurrency. A constructed RoutingContext is immutable; every
+//    `route_child_loads` overload is const and touches only caller-owned
+//    output state, so ANY number of threads may repair children against
+//    one shared context concurrently (the screening engines do exactly
+//    that, with one `GlobalRoutingResult` scratch per worker).
+//    Construction itself must be exclusive — build the context before
+//    fanning out.
 #pragma once
 
 #include <vector>
@@ -57,6 +76,16 @@
 #include "shg/phys/global_route.hpp"
 
 namespace shg::phys {
+
+/// One router-to-router link in grid coordinates — the currency of the
+/// generic added-links repair below. Endpoint order is normalized
+/// internally (lower node id first), so callers may pass either order.
+struct GridLink {
+  topo::TileCoord a;
+  topo::TileCoord b;
+
+  friend bool operator==(const GridLink&, const GridLink&) = default;
+};
 
 /// Knobs of the incremental router.
 struct RoutingOptions {
@@ -111,16 +140,30 @@ class RoutingContext {
                          const std::vector<int>& new_col_skips,
                          GlobalRoutingResult* out) const;
 
+  /// Generic added-links fast path: the child is the parent plus
+  /// `new_links`, appended after the parent's edges in the given order —
+  /// exactly the child a copy of the parent plus `add_link` calls in that
+  /// order would produce (links absent from the parent; the context cannot
+  /// check this, it no longer holds the parent graph). No child Topology
+  /// is materialized. Unlike the skip-distance overload, diagonal links
+  /// are allowed anywhere: a diagonal at or below the divergence class
+  /// (largest new non-unit class) couples the channel orientations and
+  /// forces a joint replay of both; otherwise each orientation replays
+  /// from its own divergence. Exact mode is bit-identical to
+  /// `global_route_loads` on the materialized child; relaxed mode obeys
+  /// the documented bound. This is what lets non-SHG families (SlimNoC,
+  /// torus, arbitrary overlay children) flow through the same incremental
+  /// screening stack as SHG candidates.
+  ///
+  /// `out` is overwritten and may be reused across calls.
+  void route_child_loads(const std::vector<GridLink>& new_links,
+                         GlobalRoutingResult* out) const;
+
  private:
   /// One link in greedy-order position: `a` is the lower-node-id endpoint
   /// (the L-shape of a diagonal turns at b's column, so the pair is
   /// ordered).
-  struct LinkRec {
-    topo::TileCoord a;
-    topo::TileCoord b;
-
-    friend bool operator==(const LinkRec&, const LinkRec&) = default;
-  };
+  using LinkRec = GridLink;
   /// All non-unit links of one length class, in greedy (edge-id) order,
   /// preceded by the load state the greedy run reaches just before routing
   /// the class.

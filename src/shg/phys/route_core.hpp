@@ -11,6 +11,21 @@
 // winner. global_route.cpp drives it over the full greedy order;
 // incremental_route.cpp drives it over the replayed suffix. Neither may
 // re-implement any part of the decision.
+//
+// == Exactness & concurrency ==============================================
+//
+//  * Exactness. These functions ARE the definition of the greedy router's
+//    behavior: a driver that feeds them the child's links in greedy order
+//    (longest class first, edge-id order within a class) from a load state
+//    the from-scratch run reaches produces BIT-IDENTICAL loads to
+//    global_route / global_route_loads, by construction. Any caller that
+//    duplicates part of the decision (candidate order, cost arithmetic,
+//    tie-break) instead of calling these forfeits that guarantee.
+//  * Concurrency. Free functions with no hidden state: safe to call from
+//    any number of threads, provided each call chain owns its h_loads /
+//    v_loads profiles exclusively (choose_route reads them, commit_route
+//    mutates them — never share one profile pair across concurrent
+//    repairs).
 #pragma once
 
 #include <algorithm>

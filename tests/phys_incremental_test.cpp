@@ -362,6 +362,109 @@ TEST(RoutingContext, DiagonalInterleavingWithinClassIsDivergence) {
   EXPECT_NE(parent_loads.h_loads, child_loads.h_loads);
 }
 
+/// The generic added-links overload: arbitrary links (diagonals included)
+/// appended to arbitrary-family parents, bit-identical to a fresh greedy
+/// run on the materialized child — the repair the family-generic screening
+/// stack (customize::TopologyScreeningContext) drives.
+TEST(RoutingContext, AddedLinksFastPathMatchesFreshRoute) {
+  Prng prng(0xadd11u);
+  const auto parents = {topo::make_mesh(6, 8),
+                        topo::make_sparse_hamming(8, 8, {3, 5}, {2}),
+                        topo::make_torus(5, 7), topo::make_slim_noc(5, 10)};
+  for (const auto& parent : parents) {
+    const RoutingContext ctx(parent);
+    for (int trial = 0; trial < 6; ++trial) {
+      // Random extra links absent from the parent, in random append order;
+      // roughly a third end up diagonal, exercising the joint replay.
+      topo::Topology child = parent;
+      std::vector<GridLink> links;
+      for (int k = 0; k < 1 + trial; ++k) {
+        for (int attempt = 0; attempt < 50; ++attempt) {
+          const int u = static_cast<int>(
+              prng.below(static_cast<std::uint64_t>(parent.num_tiles())));
+          const int v = static_cast<int>(
+              prng.below(static_cast<std::uint64_t>(parent.num_tiles())));
+          if (u == v || child.graph().has_edge(u, v)) continue;
+          child.add_link(u, v);
+          links.push_back(GridLink{child.coord(u), child.coord(v)});
+          break;
+        }
+      }
+      if (links.empty()) continue;
+      GlobalRoutingResult repaired;
+      ctx.route_child_loads(links, &repaired);
+      const GlobalRoutingResult fresh = global_route_loads(child);
+      expect_same_loads(repaired, fresh,
+                        parent.name() + " trial " + std::to_string(trial));
+    }
+  }
+}
+
+TEST(RoutingContext, AddedLinksEmptyOrUnitDeltaReturnsParentLoads) {
+  const topo::Topology parent = topo::make_sparse_hamming(6, 6, {3}, {});
+  const RoutingContext ctx(parent);
+  GlobalRoutingResult out;
+  ctx.route_child_loads(std::vector<GridLink>{}, &out);
+  expect_same_loads(out, ctx.loads(), "empty delta");
+  // Unit links occupy no channel capacity: adding one leaves every load
+  // profile bit-identical to the parent's (6x6 mesh+skip lacks no unit
+  // link, so use a parent with a gap).
+  topo::Topology gappy(topo::Kind::kCustom, "gappy", 3, 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      if (r + 1 < 3) gappy.add_link({r, c}, {r + 1, c});
+      if (c + 1 < 3 && r != 1) gappy.add_link({r, c}, {r, c + 1});
+    }
+  }
+  const RoutingContext gap_ctx(gappy);
+  GlobalRoutingResult unit_out;
+  gap_ctx.route_child_loads(std::vector<GridLink>{GridLink{{1, 0}, {1, 1}}},
+                            &unit_out);
+  expect_same_loads(unit_out, gap_ctx.loads(), "unit-link delta");
+}
+
+TEST(RoutingContext, AddedLinksRelaxedConservesMass) {
+  // Relaxed added-links repair: same spans are committed (channel choice
+  // never changes a span's extent), so total load mass must equal the
+  // exact run's even though the per-channel placement may differ.
+  const topo::Topology parent = topo::make_torus(5, 6);
+  const RoutingContext relaxed_ctx(parent, RoutingOptions{/*relaxed=*/true});
+  topo::Topology child = parent;
+  std::vector<GridLink> links;
+  for (const auto& [a, b] : std::initializer_list<std::pair<topo::TileCoord,
+                                                            topo::TileCoord>>{
+           {{0, 1}, {3, 4}}, {{1, 0}, {1, 3}}, {{0, 2}, {3, 2}}}) {
+    child.add_link(a, b);
+    links.push_back(GridLink{a, b});
+  }
+  GlobalRoutingResult relaxed;
+  relaxed_ctx.route_child_loads(links, &relaxed);
+  const GlobalRoutingResult exact = global_route_loads(child);
+  auto mass = [](const GlobalRoutingResult& r) {
+    long long total = 0;
+    for (const auto& ch : r.h_loads) {
+      for (int v : ch) total += v;
+    }
+    for (const auto& ch : r.v_loads) {
+      for (int v : ch) total += v;
+    }
+    return total;
+  };
+  EXPECT_EQ(mass(relaxed), mass(exact));
+}
+
+TEST(RoutingContext, AddedLinksRejectsOutOfGridEndpoints) {
+  const topo::Topology parent = topo::make_mesh(4, 4);
+  const RoutingContext ctx(parent);
+  GlobalRoutingResult out;
+  EXPECT_THROW(ctx.route_child_loads(
+                   std::vector<GridLink>{GridLink{{0, 0}, {0, 4}}}, &out),
+               Error);
+  EXPECT_THROW(ctx.route_child_loads(
+                   std::vector<GridLink>{GridLink{{2, 2}, {2, 2}}}, &out),
+               Error);
+}
+
 TEST(RoutingContext, FastPathRequiresAscendingSkips) {
   // Regression: the suffix replay walks the new skips with one descending
   // cursor; an unsorted list would silently drop whole link classes, so

@@ -1,0 +1,560 @@
+// Persistent DSE sessions (customize/session.hpp + customize/cache.hpp):
+//
+//  * fingerprint semantics (stability, sensitivity to every key component);
+//  * LRU candidate cache behavior (hits refresh recency, eviction order);
+//  * the on-disk tier: round trip, and the corruption matrix — truncated
+//    file, flipped checksum/payload byte, future format version, wrong
+//    magic — each of which must fall back to cold screening with a
+//    warning, never crash, and never serve stale bits;
+//  * the end-to-end warm-session oracle: randomized greedy trajectories
+//    where cold (session-free), populating and warm re-invocation searches
+//    must be bit-identical in winners, metric bits and history notes —
+//    in-process and across an on-disk save/load boundary;
+//  * the generic-family screening stack (TopologyScreeningContext) over
+//    SHG, SlimNoC and torus parents with randomized added-link
+//    trajectories, bit-identical to screen_topology on the materialized
+//    child, cached or not;
+//  * experiment-engine route-table reuse through the session artifact
+//    tier, with byte-identical reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shg/common/prng.hpp"
+#include "shg/customize/explore.hpp"
+#include "shg/customize/search.hpp"
+#include "shg/customize/session.hpp"
+#include "shg/eval/experiment.hpp"
+#include "shg/tech/presets.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::customize {
+namespace {
+
+tech::ArchParams small_arch(int rows, int cols) {
+  tech::ArchParams arch = tech::knc_scenario(tech::KncScenario::kA);
+  arch.rows = rows;
+  arch.cols = cols;
+  return arch;
+}
+
+/// Field-exact search comparison: params, metric bits, every history step
+/// including the rendered notes.
+void expect_same_search(const SearchResult& a, const SearchResult& b,
+                        const std::string& context) {
+  EXPECT_EQ(a.params, b.params) << context;
+  EXPECT_EQ(a.metrics, b.metrics) << context;
+  ASSERT_EQ(a.history.size(), b.history.size()) << context;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].params, b.history[i].params) << context;
+    EXPECT_EQ(a.history[i].metrics, b.history[i].metrics) << context;
+    EXPECT_EQ(a.history[i].note, b.history[i].note) << context;
+  }
+  // The final report's headline fields too — warm runs serve it from the
+  // artifact tier.
+  EXPECT_EQ(a.cost.area_overhead, b.cost.area_overhead) << context;
+  EXPECT_EQ(a.cost.total_area_mm2, b.cost.total_area_mm2) << context;
+  EXPECT_EQ(a.cost.avg_link_latency_cycles, b.cost.avg_link_latency_cycles)
+      << context;
+}
+
+std::string temp_cache_path(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, StableAndSensitive) {
+  const tech::ArchParams arch = small_arch(6, 6);
+  const Fingerprint base = fingerprint_arch(arch);
+  EXPECT_EQ(base, fingerprint_arch(arch));  // deterministic
+
+  tech::ArchParams other = arch;
+  other.link_bandwidth_bits *= 2.0;
+  EXPECT_FALSE(base == fingerprint_arch(other));
+  other = arch;
+  other.router_arch.num_vcs += 1;
+  EXPECT_FALSE(base == fingerprint_arch(other));
+  other = arch;
+  other.rows += 1;
+  EXPECT_FALSE(base == fingerprint_arch(other));
+  // Pure labels are deliberately excluded from the key.
+  other = arch;
+  other.name = "renamed";
+  EXPECT_EQ(base, fingerprint_arch(other));
+}
+
+TEST(Fingerprint, CandidateKeysDistinguishSkipSets) {
+  const Fingerprint arch_fp = fingerprint_arch(small_arch(8, 8));
+  const Fingerprint mesh = fingerprint_shg_candidate(arch_fp, {});
+  EXPECT_EQ(mesh, fingerprint_shg_candidate(arch_fp, {}));
+  EXPECT_FALSE(mesh == fingerprint_shg_candidate(arch_fp, {{3}, {}}));
+  // Row skip 3 vs column skip 3 must not alias.
+  EXPECT_FALSE(fingerprint_shg_candidate(arch_fp, {{3}, {}}) ==
+               fingerprint_shg_candidate(arch_fp, {{}, {3}}));
+}
+
+TEST(Fingerprint, TopologyKeysTrackEdgesNotLabels) {
+  const topo::Topology mesh = topo::make_mesh(4, 5);
+  const topo::Topology shg = topo::make_sparse_hamming(4, 5, {}, {});
+  // An SHG with empty skip sets has the mesh's edge set: same key even
+  // though family labels differ (labels affect no metric).
+  EXPECT_EQ(fingerprint_topology(mesh), fingerprint_topology(shg));
+  EXPECT_FALSE(fingerprint_topology(mesh) ==
+               fingerprint_topology(topo::make_torus(4, 5)));
+}
+
+// ---------------------------------------------------------------------------
+// Candidate cache
+// ---------------------------------------------------------------------------
+
+CandidateMetrics metrics_of(double v) {
+  CandidateMetrics m;
+  m.area_overhead = v;
+  m.avg_hops = v + 1.0;
+  m.diameter = v + 2.0;
+  m.throughput_bound = v + 3.0;
+  return m;
+}
+
+Fingerprint key_of(std::uint64_t i) {
+  return FingerprintBuilder().tag("test.key").u64(i).done();
+}
+
+TEST(CandidateCache, LruEvictsLeastRecentlyUsed) {
+  CandidateCache cache(2);
+  cache.insert(key_of(1), metrics_of(1.0));
+  cache.insert(key_of(2), metrics_of(2.0));
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  cache.insert(key_of(3), metrics_of(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Re-inserting an existing key updates in place, no eviction.
+  cache.insert(key_of(3), metrics_of(30.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup(key_of(3))->area_overhead, 30.0);
+}
+
+TEST(CandidateCache, DiskRoundTripPreservesEntries) {
+  const std::string path = temp_cache_path("roundtrip.cache");
+  CandidateCache cache(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.insert(key_of(i), metrics_of(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.save_file(path), 5u);
+
+  CandidateCache loaded(16);
+  EXPECT_EQ(loaded.load_file(path), 5u);
+  EXPECT_EQ(loaded.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto hit = loaded.lookup(key_of(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->area_overhead, static_cast<double>(i));
+    EXPECT_EQ(hit->throughput_bound, static_cast<double>(i) + 3.0);
+  }
+  std::remove(path.c_str());
+}
+
+/// Rewrites one byte of a file in place.
+void flip_byte(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(offset);
+  f.write(&c, 1);
+}
+
+class CacheCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = temp_cache_path("corrupt.cache");
+    CandidateCache cache(16);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      cache.insert(key_of(i), metrics_of(static_cast<double>(i)));
+    }
+    ASSERT_EQ(cache.save_file(path_), 4u);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// The file must be discarded: load adopts nothing, the cache stays
+  /// empty, and a subsequent (cold) screen is unaffected.
+  void expect_discarded() {
+    CandidateCache cache(16);
+    EXPECT_EQ(cache.load_file(path_), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().disk_discarded, 1u);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      EXPECT_FALSE(cache.lookup(key_of(i)).has_value());
+    }
+  }
+
+  std::string path_;
+};
+
+TEST_F(CacheCorruptionTest, TruncatedHeaderIsDiscarded) {
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << "SHGCACH";
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, TruncatedPayloadIsDiscarded) {
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 7);  // mid-entry truncation
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, FlippedChecksumByteIsDiscarded) {
+  flip_byte(path_, 24);  // inside the stored checksum
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, FlippedPayloadByteIsDiscarded) {
+  flip_byte(path_, 32 + 20);  // inside the first entry's metrics
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, FutureVersionIsDiscarded) {
+  flip_byte(path_, 8);  // version field
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, WrongMagicIsDiscarded) {
+  flip_byte(path_, 0);
+  expect_discarded();
+}
+
+TEST_F(CacheCorruptionTest, SessionWithCorruptFileStillSearchesCorrectly) {
+  flip_byte(path_, 40);  // payload corruption
+  const tech::ArchParams arch = small_arch(6, 6);
+  const Goal goal{0.40};
+  const SearchResult reference = customize_greedy(arch, goal);
+
+  SessionOptions options;
+  options.cache_path = path_;
+  options.autosave = false;
+  Session session(options);  // load discards the corrupt file
+  EXPECT_EQ(session.cache().size(), 0u);
+  SearchOptions search;
+  search.session = &session;
+  expect_same_search(customize_greedy(arch, goal, search), reference,
+                     "cold fallback after corrupt cache");
+}
+
+TEST(CandidateCache, AbsentFileIsASilentColdStart) {
+  CandidateCache cache(4);
+  EXPECT_EQ(cache.load_file(temp_cache_path("does-not-exist.cache")), 0u);
+  EXPECT_EQ(cache.stats().disk_discarded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-session oracles
+// ---------------------------------------------------------------------------
+
+TEST(Session, GreedyWarmReinvocationBitIdenticalRandomized) {
+  Prng prng(0x5e55u);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int rows = prng.range(4, 9);
+    const int cols = prng.range(4, 9);
+    const tech::ArchParams arch = small_arch(rows, cols);
+    const Goal goal{0.30 + 0.05 * static_cast<double>(prng.range(0, 3))};
+    const std::string context = "trial " + std::to_string(trial) + " " +
+                                std::to_string(rows) + "x" +
+                                std::to_string(cols);
+
+    const SearchResult reference = customize_greedy(arch, goal);
+    Session session;
+    SearchOptions options;
+    options.session = &session;
+    const SearchResult populating = customize_greedy(arch, goal, options);
+    const std::uint64_t hits_before = session.stats().hits;
+    const SearchResult warm = customize_greedy(arch, goal, options);
+    expect_same_search(populating, reference, "populating " + context);
+    expect_same_search(warm, reference, "warm " + context);
+    EXPECT_GT(session.stats().hits, hits_before) << context;
+  }
+}
+
+TEST(Session, GreedyWarmWorksWithIncrementalOff) {
+  // The session must compose with every screening configuration — cached
+  // bits come from oracle-equivalent paths, so mixing configurations
+  // across invocations is also exact.
+  const tech::ArchParams arch = small_arch(6, 7);
+  const Goal goal{0.40};
+  const SearchResult reference = customize_greedy(arch, goal);
+  Session session;
+  SearchOptions populate;
+  populate.incremental = false;
+  populate.session = &session;
+  expect_same_search(customize_greedy(arch, goal, populate), reference,
+                     "populate with incremental off");
+  SearchOptions warm;
+  warm.session = &session;  // incremental on, warm from the off-path run
+  expect_same_search(customize_greedy(arch, goal, warm), reference,
+                     "warm across configurations");
+}
+
+TEST(Session, GreedyWarmAcrossDiskBoundary) {
+  const std::string path = temp_cache_path("disk-warm.cache");
+  std::remove(path.c_str());
+  const tech::ArchParams arch = small_arch(7, 6);
+  const Goal goal{0.40};
+  const SearchResult reference = customize_greedy(arch, goal);
+  {
+    SessionOptions options;
+    options.cache_path = path;
+    Session session(options);
+    SearchOptions search;
+    search.session = &session;
+    expect_same_search(customize_greedy(arch, goal, search), reference,
+                       "populating run");
+  }  // autosave on destruction
+  {
+    SessionOptions options;
+    options.cache_path = path;
+    options.autosave = false;
+    Session session(options);
+    EXPECT_GT(session.cache().size(), 0u);
+    SearchOptions search;
+    search.session = &session;
+    const SearchResult warm = customize_greedy(arch, goal, search);
+    expect_same_search(warm, reference, "warm run from disk");
+    // Candidate screening must be all hits; only the final cost report
+    // (artifact tier, memory-only) is recomputed.
+    EXPECT_EQ(session.stats().misses, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Session, ExhaustiveAndExploreHitAcrossInvocations) {
+  const tech::ArchParams arch = small_arch(5, 5);
+  const Goal goal{0.45};
+  const std::vector<int> rows{2, 3};
+  const std::vector<int> cols{3};
+
+  const SearchResult reference =
+      customize_exhaustive(arch, goal, rows, cols);
+  Session session;
+  SearchOptions options;
+  options.session = &session;
+  expect_same_search(customize_exhaustive(arch, goal, rows, cols, options),
+                     reference, "exhaustive populating");
+  const std::uint64_t misses_before = session.stats().misses;
+  expect_same_search(customize_exhaustive(arch, goal, rows, cols, options),
+                     reference, "exhaustive warm");
+  EXPECT_EQ(session.stats().misses, misses_before) << "warm pass re-screened";
+
+  // explore_shg shares the same candidate space keying: configurations the
+  // exhaustive pass screened are warm here too.
+  ExploreOptions explore;
+  explore.max_row_skips = 2;
+  explore.max_col_skips = 2;
+  ExploreOptions explore_with_session = explore;
+  explore_with_session.session = &session;
+  const auto cold_points = explore_shg(arch, explore);
+  const auto warm_points = explore_shg(arch, explore_with_session);
+  ASSERT_EQ(cold_points.size(), warm_points.size());
+  for (std::size_t i = 0; i < cold_points.size(); ++i) {
+    EXPECT_EQ(cold_points[i].params, warm_points[i].params) << i;
+    EXPECT_EQ(cold_points[i].metrics, warm_points[i].metrics) << i;
+    EXPECT_EQ(cold_points[i].label, warm_points[i].label) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic-family screening (SHG + SlimNoC + torus trajectories)
+// ---------------------------------------------------------------------------
+
+/// Random non-unit candidate links absent from `parent` (and from each
+/// other), including diagonal ones.
+std::vector<graph::Edge> random_new_edges(const topo::Topology& parent,
+                                          Prng& prng, int count) {
+  std::vector<graph::Edge> edges;
+  topo::Topology probe = parent;  // tracks picked edges to avoid duplicates
+  int attempts = 0;
+  while (static_cast<int>(edges.size()) < count && attempts < 200) {
+    ++attempts;
+    const graph::NodeId u = static_cast<graph::NodeId>(
+        prng.below(static_cast<std::uint64_t>(parent.num_tiles())));
+    const graph::NodeId v = static_cast<graph::NodeId>(
+        prng.below(static_cast<std::uint64_t>(parent.num_tiles())));
+    if (u == v || probe.graph().has_edge(u, v)) continue;
+    probe.add_link(u, v);
+    edges.push_back(graph::Edge{u, v});
+  }
+  return edges;
+}
+
+topo::Topology materialize_child(const topo::Topology& parent,
+                                 const std::vector<graph::Edge>& new_edges) {
+  topo::Topology child = parent;
+  for (const graph::Edge& e : new_edges) child.add_link(e.u, e.v);
+  return child;
+}
+
+TEST(TopologyScreeningContext, RandomFamilyTrajectoriesBitIdentical) {
+  struct Case {
+    topo::Topology parent;
+    tech::ArchParams arch;
+  };
+  std::vector<Case> cases;
+  cases.push_back({topo::make_sparse_hamming(8, 8, {3}, {2}),
+                   small_arch(8, 8)});
+  cases.push_back({topo::make_slim_noc(5, 10), small_arch(5, 10)});
+  cases.push_back({topo::make_torus(6, 7), small_arch(6, 7)});
+  cases.push_back({topo::make_mesh(6, 6), small_arch(6, 6)});
+
+  Prng prng(0xfa111e5u);
+  for (const Case& c : cases) {
+    const TopologyScreeningContext ctx(c.arch, c.parent);
+    EXPECT_EQ(ctx.metrics(), screen_topology(c.arch, c.parent))
+        << c.parent.name();
+    TopologyScreeningContext::Workspace ws;
+    model::TileGeometryCache tile_cache;
+    for (int trial = 0; trial < 5; ++trial) {
+      const std::vector<graph::Edge> delta =
+          random_new_edges(c.parent, prng, 1 + trial);
+      if (delta.empty()) continue;
+      const CandidateMetrics fast = ctx.screen_child(delta, &tile_cache, &ws);
+      const CandidateMetrics fresh =
+          screen_topology(c.arch, materialize_child(c.parent, delta));
+      EXPECT_EQ(fast, fresh)
+          << c.parent.name() << " trial " << trial << " (" << delta.size()
+          << " added links)";
+    }
+  }
+}
+
+TEST(TopologyScreeningContext, RejectsDuplicateDeltaEdges) {
+  const tech::ArchParams arch = small_arch(4, 4);
+  const topo::Topology parent = topo::make_mesh(4, 4);
+  const TopologyScreeningContext ctx(arch, parent);
+  // (0,0)-(0,1) is a mesh link — repairing it as "new" would double-count.
+  EXPECT_THROW(ctx.screen_child({graph::Edge{0, 1}}), Error);
+  // A repeat WITHIN the delta is just as unmaterializable (Graph rejects
+  // parallel edges) and would double-route the link: must throw, in
+  // either endpoint order.
+  EXPECT_THROW(ctx.screen_child({graph::Edge{0, 5}, graph::Edge{0, 5}}),
+               Error);
+  EXPECT_THROW(ctx.screen_child({graph::Edge{0, 5}, graph::Edge{5, 0}}),
+               Error);
+}
+
+TEST(Session, GenericChildrenWarmAcrossTrajectories) {
+  const tech::ArchParams arch = small_arch(5, 10);
+  const topo::Topology parent = topo::make_slim_noc(5, 10);
+  const TopologyScreeningContext ctx(arch, parent);
+  const Fingerprint arch_fp = fingerprint_arch(arch);
+  const Fingerprint parent_fp = fingerprint_topology(parent);
+
+  Prng prng(0x9e11e71cu);
+  Session session;
+  std::vector<std::vector<graph::Edge>> deltas;
+  std::vector<CandidateMetrics> cold;
+  for (int trial = 0; trial < 4; ++trial) {
+    deltas.push_back(random_new_edges(parent, prng, 2 + trial));
+    cold.push_back(screen_child_cached(session, ctx, arch_fp, parent_fp,
+                                       deltas.back()));
+    // Cold pass must agree with the fresh sweep on the materialized child.
+    EXPECT_EQ(cold.back(),
+              screen_topology(arch, materialize_child(parent, deltas.back())))
+        << trial;
+  }
+  const std::uint64_t misses_before = session.stats().misses;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    EXPECT_EQ(screen_child_cached(session, ctx, arch_fp, parent_fp,
+                                  deltas[i]),
+              cold[i])
+        << "warm " << i;
+  }
+  EXPECT_EQ(session.stats().misses, misses_before) << "warm pass re-screened";
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-engine route-table reuse
+// ---------------------------------------------------------------------------
+
+TEST(Session, ExperimentReusesRouteTablesAcrossRuns) {
+  eval::ExperimentSpec spec;
+  spec.name = "session-tables";
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_mesh(4, 4), {}, "mesh"});
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_torus(4, 4), {}, "torus"});
+  spec.traffic.push_back(eval::TrafficCase{"uniform", nullptr, ""});
+  spec.rates = {0.05};
+  spec.seeds = {1, 2};
+  spec.config.sim.warmup_cycles = 50;
+  spec.config.sim.measure_cycles = 150;
+
+  const std::string baseline = experiment_to_json(eval::run_experiment(spec));
+
+  Session session;
+  spec.session = &session;
+  const std::string first = experiment_to_json(eval::run_experiment(spec));
+  EXPECT_EQ(session.artifact_hits(), 0u);
+  EXPECT_EQ(session.artifact_misses(), 2u);  // one per topology
+  const std::string second = experiment_to_json(eval::run_experiment(spec));
+  EXPECT_EQ(session.artifact_hits(), 2u);  // both tables reused
+
+  EXPECT_EQ(first, baseline);
+  EXPECT_EQ(second, baseline);
+}
+
+TEST(Session, RouteTableKeysDistinguishFamilyKinds) {
+  // Regression: the default routing function switches on topo.kind()
+  // (mesh -> xy-hamming, custom -> table-escape), so two topologies with
+  // IDENTICAL edge sets but different kinds must not share a cached route
+  // table — a kind-blind key served the mesh's xy-routed table to the
+  // custom topology and changed its report.
+  const topo::Topology mesh = topo::make_mesh(4, 4);
+  topo::Topology custom(topo::Kind::kCustom, "mesh-edges-custom", 4, 4);
+  for (const graph::Edge& e : mesh.graph().edges()) {
+    custom.add_link(e.u, e.v);
+  }
+  ASSERT_EQ(fingerprint_topology(mesh), fingerprint_topology(custom));
+
+  eval::ExperimentSpec spec;
+  spec.name = "kind-keying";
+  spec.traffic.push_back(eval::TrafficCase{"uniform", nullptr, ""});
+  spec.rates = {0.05};
+  spec.config.sim.warmup_cycles = 50;
+  spec.config.sim.measure_cycles = 150;
+
+  auto run_json = [&](const topo::Topology& t, Session* session) {
+    eval::ExperimentSpec s = spec;
+    s.topologies.push_back(eval::TopologyCase{t, {}, "t"});
+    s.session = session;
+    return experiment_to_json(eval::run_experiment(s));
+  };
+  const std::string mesh_ref = run_json(mesh, nullptr);
+  const std::string custom_ref = run_json(custom, nullptr);
+
+  Session session;
+  EXPECT_EQ(run_json(mesh, &session), mesh_ref);
+  EXPECT_EQ(run_json(custom, &session), custom_ref);
+  EXPECT_EQ(session.artifact_hits(), 0u)
+      << "different kinds must not share a table";
+  // Same-kind, same-edges re-run still reuses its table.
+  EXPECT_EQ(run_json(mesh, &session), mesh_ref);
+  EXPECT_EQ(session.artifact_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace shg::customize
