@@ -1,0 +1,293 @@
+// Simulator raw-speed benchmark: tracks the SoA hot-loop overhaul (flat
+// state slabs, active-router worklist, quiescence fast-forward) against the
+// reference AoS engine across fabric sizes and workloads.
+//
+// Grid: {10x10, 32x32, 64x64} meshes x {uniform, hotspot, onoff}. The two
+// small tiers run BOTH engines and report flits/sec each; 64x64 runs the
+// SoA engine only with live routing (the all-pairs route table is the
+// scaling wall there — building it would dwarf the simulation), proving the
+// size-up the overhaul exists for. A concentrated 16x16 c=4 row (same 1024
+// terminals as the 32x32 mesh on a quarter of the routers) tracks the
+// concentration path.
+//
+// Acceptance gates (non-zero exit so CI can gate on the smoke run):
+//  * bit-identity at 10x10 — every SimResult field of the SoA engine must
+//    equal the AoS engine exactly, for all three workloads;
+//  * >= 3x SoA-over-AoS flits/sec at 32x32 uniform;
+//  * the 64x64 tiers must drain (the scale target actually completes).
+//
+// Output: a human-readable table on stdout and machine-readable JSON
+// (default BENCH_sim.json; see --out). `--smoke` shrinks the simulated
+// cycle counts for CI — the speedup ratio stays meaningful, absolute
+// flits/sec get noisier.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "shg/sim/simulator.hpp"
+#include "shg/sim/traffic_spec.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace {
+
+using namespace shg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<int> unit_latencies(const topo::Topology& topo) {
+  return std::vector<int>(static_cast<std::size_t>(topo.graph().num_edges()),
+                          1);
+}
+
+bool same_result(const sim::SimResult& a, const sim::SimResult& b) {
+  return a.offered_rate == b.offered_rate &&
+         a.accepted_rate == b.accepted_rate &&
+         a.avg_packet_latency == b.avg_packet_latency &&
+         a.max_packet_latency == b.max_packet_latency &&
+         a.p50_packet_latency == b.p50_packet_latency &&
+         a.p95_packet_latency == b.p95_packet_latency &&
+         a.p99_packet_latency == b.p99_packet_latency &&
+         a.avg_hops == b.avg_hops && a.fairness == b.fairness &&
+         a.measured_packets == b.measured_packets &&
+         a.drained == b.drained && a.cycles_run == b.cycles_run;
+}
+
+struct Row {
+  std::string fabric;
+  std::string workload;
+  double aos_seconds = 0.0;  ///< 0 when the AoS side was not run
+  double soa_seconds = 0.0;
+  long long flits = 0;  ///< measured flits (identical across engines)
+  bool drained = false;
+  bool identical = true;  ///< vacuously true when only one engine ran
+
+  double speedup() const {
+    return aos_seconds > 0.0 && soa_seconds > 0.0
+               ? aos_seconds / soa_seconds
+               : 0.0;
+  }
+  double soa_flits_per_sec() const {
+    return soa_seconds > 0.0 ? static_cast<double>(flits) / soa_seconds
+                             : 0.0;
+  }
+};
+
+void print_row(const Row& r) {
+  std::printf("%-14s %-22s  aos %8.3f s  soa %8.3f s  %6.2fx  "
+              "%10.0f flits/s  %s%s\n",
+              r.fabric.c_str(), r.workload.c_str(), r.aos_seconds,
+              r.soa_seconds, r.speedup(), r.soa_flits_per_sec(),
+              r.drained ? "drained" : "UNDRAINED",
+              r.identical ? "" : "  NOT IDENTICAL");
+}
+
+struct Tier {
+  std::string fabric;
+  topo::Topology topo;
+  bool both_engines;   ///< time AoS too (and check identity)
+  bool check_identity; ///< gate on bit-identical SimResults
+  bool use_table;      ///< route-table mode (off = live routing)
+  double rate;
+  int reps;            ///< timing reps per engine (min-of-reps)
+};
+
+Row run_tier(const Tier& tier, const std::string& workload, bool smoke) {
+  const sim::TrafficSpec spec = sim::TrafficSpec::parse(workload);
+  const auto pattern =
+      spec.make_pattern(tier.topo.rows(), tier.topo.cols(),
+                        tier.topo.concentration());
+  const std::vector<int> latencies = unit_latencies(tier.topo);
+
+  sim::SimConfig config;
+  config.num_vcs = 2;
+  config.buffer_depth_flits = 4;
+  config.injection_rate = tier.rate;
+  config.warmup_cycles = smoke ? 200 : 500;
+  config.measure_cycles = smoke ? 600 : 2000;
+  config.use_route_table = tier.use_table;
+
+  const int ports = tier.topo.concentration() > 1
+                        ? tier.topo.concentration()
+                        : 1;
+  const double packet_prob =
+      config.injection_rate / static_cast<double>(config.packet_size_flits);
+  const int num_sources = tier.topo.num_tiles() * ports;
+
+  Row row;
+  row.fabric = tier.fabric;
+  row.workload = workload;
+
+  sim::SimResult soa_result;
+  config.use_soa_engine = true;
+  row.soa_seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < tier.reps; ++r) {
+    // Construction (route-table build included) happens outside the timer:
+    // the table is a per-topology artifact sweeps amortize, the run loop is
+    // what this benchmark tracks.
+    sim::Simulator soa(tier.topo, latencies, config, *pattern, 1, nullptr,
+                       nullptr,
+                       spec.make_process(packet_prob, num_sources));
+    const auto t0 = Clock::now();
+    soa_result = soa.run();
+    row.soa_seconds = std::min(row.soa_seconds, seconds_since(t0));
+  }
+  row.flits = soa_result.measured_packets *
+              static_cast<long long>(config.packet_size_flits);
+  row.drained = soa_result.drained;
+
+  if (tier.both_engines) {
+    sim::SimResult aos_result;
+    config.use_soa_engine = false;
+    row.aos_seconds = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < tier.reps; ++r) {
+      sim::Simulator aos(tier.topo, latencies, config, *pattern, 1, nullptr,
+                         nullptr,
+                         spec.make_process(packet_prob, num_sources));
+      const auto t0 = Clock::now();
+      aos_result = aos.run();
+      row.aos_seconds = std::min(row.aos_seconds, seconds_since(t0));
+    }
+    if (tier.check_identity) {
+      row.identical = same_result(aos_result, soa_result);
+      if (!row.identical) {
+        std::fprintf(stderr,
+                     "BIT-IDENTITY VIOLATION: %s %s — SoA diverged from "
+                     "AoS\n",
+                     tier.fabric.c_str(), workload.c_str());
+      }
+    }
+  }
+  return row;
+}
+
+void append_json(std::string& json, const Row& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"fabric\": \"%s\", \"workload\": \"%s\", "
+      "\"aos_seconds\": %.6f, \"soa_seconds\": %.6f, \"speedup\": %.3f, "
+      "\"soa_flits_per_sec\": %.0f, \"flits\": %lld, \"drained\": %s, "
+      "\"identical\": %s}",
+      r.fabric.c_str(), r.workload.c_str(), r.aos_seconds, r.soa_seconds,
+      r.speedup(), r.soa_flits_per_sec(), r.flits,
+      r.drained ? "true" : "false", r.identical ? "true" : "false");
+  if (!json.empty()) json += ",\n";
+  json += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("usage: bench_sim_scale [--smoke] [--out file.json]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== bench_sim_scale (%s mode) ===\n",
+              smoke ? "smoke" : "full");
+
+  // Hotspot ids scale with the fabric (two hot tiles, one corner-ish and
+  // one central); onoff keeps the same burst shape everywhere.
+  auto workloads = [](int num_terminals) {
+    return std::vector<std::string>{
+        "uniform",
+        "hotspot:0," + std::to_string(num_terminals / 2) + ":0.3",
+        "uniform/onoff:0.05,0.2",
+    };
+  };
+
+  std::vector<Tier> tiers;
+  tiers.push_back({"mesh-10x10", topo::make_mesh(10, 10),
+                   /*both_engines=*/true, /*check_identity=*/true,
+                   /*use_table=*/true, /*rate=*/0.05, /*reps=*/smoke ? 1 : 3});
+  tiers.push_back({"mesh-32x32", topo::make_mesh(32, 32),
+                   /*both_engines=*/true, /*check_identity=*/true,
+                   /*use_table=*/true, /*rate=*/0.02,
+                   /*reps=*/smoke ? 2 : 3});
+  tiers.push_back({"cmesh-16x16x4", topo::make_concentrated_mesh(16, 16, 4),
+                   /*both_engines=*/true, /*check_identity=*/true,
+                   /*use_table=*/true, /*rate=*/0.01,
+                   /*reps=*/smoke ? 1 : 2});
+  tiers.push_back({"mesh-64x64", topo::make_mesh(64, 64),
+                   /*both_engines=*/false, /*check_identity=*/false,
+                   /*use_table=*/false, /*rate=*/0.01,
+                   /*reps=*/1});
+
+  std::vector<Row> rows;
+  bool all_identical = true;
+  bool scale_drained = true;
+  double gate_speedup = 0.0;
+  for (const Tier& tier : tiers) {
+    for (const std::string& workload :
+         workloads(tier.topo.num_tiles() * tier.topo.concentration())) {
+      rows.push_back(run_tier(tier, workload, smoke));
+      print_row(rows.back());
+      const Row& r = rows.back();
+      all_identical = all_identical && r.identical;
+      if (tier.fabric == "mesh-64x64") {
+        scale_drained = scale_drained && r.drained;
+      }
+      if (tier.fabric == "mesh-32x32" && workload == "uniform") {
+        gate_speedup = r.speedup();
+      }
+    }
+  }
+
+  std::printf("soa bit-identical to aos on all dual-engine rows: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+  std::printf("32x32 uniform soa-over-aos speedup: %.2fx (gate: 3x)\n",
+              gate_speedup);
+
+  std::string entries;
+  for (const Row& r : rows) append_json(entries, r);
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"shg.bench_sim_scale.v1\",\n"
+      << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+      << "  \"all_identical\": " << (all_identical ? "true" : "false")
+      << ",\n"
+      << "  \"speedup_32x32_uniform\": " << gate_speedup << ",\n"
+      << "  \"scale_64x64_drained\": " << (scale_drained ? "true" : "false")
+      << ",\n"
+      << "  \"rows\": [\n"
+      << entries << "\n  ]\n}\n";
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: SoA engine diverged from the AoS reference\n");
+    return 1;
+  }
+  if (gate_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: 32x32 uniform speedup %.2fx below the 3x acceptance "
+                 "bar\n",
+                 gate_speedup);
+    return 1;
+  }
+  if (!scale_drained) {
+    std::fprintf(stderr, "FAIL: a 64x64 run did not drain\n");
+    return 1;
+  }
+  return 0;
+}

@@ -125,6 +125,9 @@ void ExperimentSpec::validate() const {
                         static_cast<std::size_t>(
                             tc.topology.graph().num_edges()),
                 "link latencies must be empty or one per edge");
+    // Concentrated topologies define their endpoint count themselves.
+    SHG_REQUIRE(tc.topology.concentration() == 1 || endpoints_per_tile == 1,
+                "concentrated topologies require endpoints_per_tile = 1");
   }
   for (const TrafficCase& wc : traffic) {
     if (wc.pattern == nullptr) {
@@ -209,7 +212,8 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
       } else {
         owned_patterns[i] = parsed[w].make_pattern(
             spec.topologies[t].topology.rows(),
-            spec.topologies[t].topology.cols());
+            spec.topologies[t].topology.cols(),
+            spec.topologies[t].topology.concentration());
         patterns[i] = owned_patterns[i].get();
       }
     }
@@ -229,10 +233,15 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
     config.seed = seeds[s];
     std::unique_ptr<sim::InjectionProcess> process;
     if (spec.traffic[w].pattern == nullptr) {
+      // With concentration, the concentration factor is the per-tile
+      // endpoint count (the Simulator enforces endpoints_per_tile == 1).
+      const int conc = spec.topologies[t].topology.concentration();
+      const int ports_per_tile =
+          conc > 1 ? conc : spec.endpoints_per_tile;
       process = parsed[w].make_process(
           config.injection_rate /
               static_cast<double>(config.packet_size_flits),
-          spec.topologies[t].topology.num_tiles() * spec.endpoints_per_tile);
+          spec.topologies[t].topology.num_tiles() * ports_per_tile);
     }
     sim::Simulator simulator(spec.topologies[t].topology, latencies[t],
                              config, *patterns[t * num_traffic + w],

@@ -1,0 +1,64 @@
+// Terminal addressing for concentrated fabrics (booksim2 cmesh-style).
+//
+// With concentration c > 1 every router serves c terminals, arranged in
+// the most-square sub-grid (sub_rows x sub_cols with sub_rows * sub_cols
+// == c and sub_rows <= sub_cols): an R x C router grid presents an
+// (R * sub_rows) x (C * sub_cols) *terminal grid*, and traffic patterns
+// address row-major terminal ids on that grid. The sub-grid layout keeps
+// spatial patterns meaningful: a square router grid with a perfect-square
+// concentration has a square terminal grid, so transpose/tornado traffic
+// stays defined, and neighboring terminals map to the same or adjacent
+// routers. c == 1 degenerates to terminal == tile, port 0.
+#pragma once
+
+#include "shg/common/error.hpp"
+
+namespace shg::sim {
+
+struct Concentration {
+  int rows = 1;      ///< router grid rows
+  int cols = 1;      ///< router grid cols
+  int factor = 1;    ///< terminals per router (c)
+  int sub_rows = 1;  ///< terminal sub-grid rows per router
+  int sub_cols = 1;  ///< terminal sub-grid cols per router
+
+  static Concentration make(int rows, int cols, int factor) {
+    SHG_REQUIRE(rows >= 1 && cols >= 1, "concentration needs a real grid");
+    SHG_REQUIRE(factor >= 1, "need at least one terminal per router");
+    Concentration c;
+    c.rows = rows;
+    c.cols = cols;
+    c.factor = factor;
+    // Most-square factorization: the largest divisor <= sqrt(factor).
+    for (int d = 1; d * d <= factor; ++d) {
+      if (factor % d == 0) c.sub_rows = d;
+    }
+    c.sub_cols = factor / c.sub_rows;
+    return c;
+  }
+
+  int terminals() const { return rows * cols * factor; }
+  int terminal_rows() const { return rows * sub_rows; }
+  int terminal_cols() const { return cols * sub_cols; }
+
+  /// Row-major terminal id of endpoint `port` (0..factor) at `tile`.
+  int terminal(int tile, int port) const {
+    const int tr = (tile / cols) * sub_rows + port / sub_cols;
+    const int tc = (tile % cols) * sub_cols + port % sub_cols;
+    return tr * terminal_cols() + tc;
+  }
+
+  int tile_of(int terminal) const {
+    const int tr = terminal / terminal_cols();
+    const int tc = terminal % terminal_cols();
+    return (tr / sub_rows) * cols + tc / sub_cols;
+  }
+
+  int port_of(int terminal) const {
+    const int tr = terminal / terminal_cols();
+    const int tc = terminal % terminal_cols();
+    return (tr % sub_rows) * sub_cols + tc % sub_cols;
+  }
+};
+
+}  // namespace shg::sim

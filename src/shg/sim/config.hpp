@@ -1,6 +1,7 @@
 // Simulation configuration: router microarchitecture and measurement setup.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "shg/common/error.hpp"
@@ -21,6 +22,16 @@ struct SimConfig {
   int packet_size_flits = 4;
   double injection_rate = 0.01;  ///< flits per cycle per endpoint port
 
+  /// Concentration (booksim2 cmesh-style): terminals per router. With
+  /// concentration > 1 every router serves `concentration` endpoint ports,
+  /// traffic patterns address *terminals* laid out on the concentrated
+  /// sub-grid (see sim/concentration.hpp), and a packet ejects at its
+  /// destination terminal's port. Requires the simulator's
+  /// endpoints_per_tile argument to be 1 (the concentration defines the
+  /// endpoint count). concentration == 1 is the classic per-tile
+  /// addressing, bit-identical to the pre-concentration simulator.
+  int concentration = 1;
+
   // Measurement phases (BookSim-style warmup / measure / drain).
   long long warmup_cycles = 1000;
   long long measure_cycles = 3000;
@@ -36,6 +47,21 @@ struct SimConfig {
   // entry from the live routing function and fail loudly on any mismatch.
   bool verify_route_table = false;
 
+  // Structure-of-arrays hot loop (sim/soa_network.hpp): flat ring-buffer
+  // slabs instead of per-object deques, an active-router worklist instead
+  // of full-network sweeps, and whole-network quiescence fast-forward
+  // between injections. Results are bit-identical with the engine on or
+  // off (the bench_sim_scale gate and the sim_soa_test suite enforce it);
+  // turn it off only to run the reference AoS path.
+  bool use_soa_engine = true;
+
+  /// Latency samples stored exactly before the Distribution folds into its
+  /// integer-binned mode (see sim/stats.hpp). Below the cap percentiles are
+  /// bit-identical to the unbounded implementation; above it memory stays
+  /// bounded for million-packet runs. 0 bins from the first sample. The
+  /// default matches Distribution::kDefaultSampleCap.
+  std::size_t latency_sample_cap = std::size_t{1} << 20;
+
   std::uint64_t seed = 0x5eed;
 
   void validate() const {
@@ -43,6 +69,7 @@ struct SimConfig {
     SHG_REQUIRE(buffer_depth_flits >= 1, "need at least one buffer slot");
     SHG_REQUIRE(router_delay_cycles >= 0, "router delay must be >= 0");
     SHG_REQUIRE(packet_size_flits >= 1, "packets need at least one flit");
+    SHG_REQUIRE(concentration >= 1, "need at least one terminal per router");
     SHG_REQUIRE(injection_rate > 0.0 && injection_rate <= 1.0,
                 "injection rate must be in (0, 1] flits/cycle/port");
     SHG_REQUIRE(warmup_cycles >= 0 && measure_cycles > 0 && drain_cycles >= 0,

@@ -18,6 +18,10 @@ struct Flit {
   bool tail = false;
   int vc = 0;  ///< VC on the channel currently carrying the flit
   int hops = 0;  ///< routers traversed so far (filled in by the network)
+  /// Local (endpoint) port at the destination router, for concentrated
+  /// fabrics where the destination terminal fixes the port. -1 = classic
+  /// behavior: spread over the tile's endpoints by packet id.
+  int eject_port = -1;
   Cycle create_cycle = 0;  ///< when the packet was generated at the source
   /// Earliest cycle the current router may switch this flit (models the
   /// router pipeline: every router adds >= 1 cycle, Section II-A).

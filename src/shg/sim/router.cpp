@@ -101,9 +101,16 @@ void Router::compute_route(int port, int vc) {
   const Flit& head = ivc.buffer.front();
   SHG_ASSERT(head.head, "route computation requires a head flit");
   if (head.dest == node_) {
-    // Ejection: pick the endpoint port by packet id (spreads load over the
-    // tile's endpoints); any VC of the sink port is acceptable.
-    const int local = num_net_ports_ + (head.packet_id % num_local_ports_);
+    // Ejection: the destination terminal's port when the packet carries one
+    // (concentrated fabrics), otherwise pick the endpoint port by packet id
+    // (spreads load over the tile's endpoints); any VC of the sink port is
+    // acceptable.
+    SHG_ASSERT(head.eject_port < num_local_ports_,
+               "eject port beyond the tile's endpoints");
+    const int local =
+        num_net_ports_ + (head.eject_port >= 0
+                              ? head.eject_port
+                              : head.packet_id % num_local_ports_);
     ivc.eject = RouteCandidate{local, 0, config_.num_vcs};
     ivc.routes = {&ivc.eject, 1};
   } else {

@@ -1,10 +1,29 @@
 #include "shg/sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "shg/sim/concentration.hpp"
+#include "shg/sim/soa_network.hpp"
 #include "shg/sim/stats.hpp"
 
 namespace shg::sim {
+
+std::size_t packet_reserve_hint(double packet_prob, Cycle generation_end,
+                                int num_tiles, int endpoints_per_tile) {
+  // All factors are non-negative, but their product at 64x64+, high rate
+  // and long measurement phases can exceed what a size_t cast (UB for
+  // values > SIZE_MAX) or an upfront reserve should see. Work in double,
+  // add the 10% headroom, then clamp to a 16M-record ceiling — past that
+  // the vector's geometric growth is cheaper than a mis-sized commit.
+  constexpr double kMaxReserve = static_cast<double>(std::size_t{1} << 24);
+  double expected = packet_prob * static_cast<double>(generation_end) *
+                    static_cast<double>(num_tiles) *
+                    static_cast<double>(endpoints_per_tile);
+  if (!(expected > 0.0)) expected = 0.0;  // also catches NaN
+  const double want = std::min(expected * 1.1, kMaxReserve);
+  return static_cast<std::size_t>(want) + 256;
+}
 
 Simulator::Simulator(const topo::Topology& topo,
                      std::vector<int> link_latencies, SimConfig config,
@@ -20,6 +39,20 @@ Simulator::Simulator(const topo::Topology& topo,
       routing_(std::move(routing)),
       route_table_(std::move(shared_table)),
       process_(std::move(process)) {
+  // Concentrated topologies (make_concentrated_mesh) carry their factor;
+  // adopt it so callers need not thread it into SimConfig separately.
+  if (config_.concentration == 1 && topo.concentration() > 1) {
+    config_.concentration = topo.concentration();
+  }
+  SHG_REQUIRE(topo.concentration() == 1 ||
+                  topo.concentration() == config_.concentration,
+              "topology and SimConfig disagree on the concentration factor");
+  if (config_.concentration > 1) {
+    SHG_REQUIRE(endpoints_per_tile_ == 1,
+                "concentrated runs define the endpoint count through the "
+                "concentration factor; pass endpoints_per_tile = 1");
+    endpoints_per_tile_ = config_.concentration;
+  }
   config_.validate();
   if (process_ == nullptr) {
     process_ = make_bernoulli(config_.injection_rate /
@@ -51,6 +84,16 @@ Simulator::Simulator(const topo::Topology& topo,
 }
 
 SimResult Simulator::run() {
+  if (config_.use_soa_engine) {
+    SoaEngine engine(*topo_, link_latencies_, config_, *pattern_,
+                     endpoints_per_tile_, routing_.get(), route_table_.get(),
+                     process_.get());
+    return engine.run();
+  }
+  return run_aos();
+}
+
+SimResult Simulator::run_aos() {
   Network network(*topo_, link_latencies_, config_, routing_.get(),
                   endpoints_per_tile_, route_table_.get());
   Prng rng(config_.seed);
@@ -60,22 +103,25 @@ SimResult Simulator::run() {
   const Cycle hard_end = generation_end + config_.drain_cycles;
   const double packet_prob =
       config_.injection_rate / static_cast<double>(config_.packet_size_flits);
+  // Terminal addressing for concentrated fabrics; with concentration == 1
+  // the classic tile addressing below stays byte-for-byte the seed path.
+  const Concentration conc = Concentration::make(
+      topo_->rows(), topo_->cols(), config_.concentration);
+  const bool concentrated = config_.concentration > 1;
 
   // Reserve the packet log from the expected injection volume (every
-  // injection process targets this mean rate; + 10% headroom) instead of a
-  // fixed guess, so high-rate runs do not pay repeated geometric
-  // reallocations of a multi-megabyte vector.
+  // injection process targets this mean rate) instead of a fixed guess, so
+  // high-rate runs do not pay repeated geometric reallocations of a
+  // multi-megabyte vector.
   std::vector<PacketRecord> packets;
-  const double expected_packets =
-      packet_prob * static_cast<double>(generation_end) *
-      static_cast<double>(topo_->num_tiles()) *
-      static_cast<double>(endpoints_per_tile_);
-  packets.reserve(static_cast<std::size_t>(expected_packets * 1.1) + 256);
+  packets.reserve(packet_reserve_hint(packet_prob, generation_end,
+                                      topo_->num_tiles(),
+                                      endpoints_per_tile_));
 
   long long measured_created = 0;
   long long measured_ejected = 0;
   long long flits_ejected_in_window = 0;
-  Distribution latencies;
+  Distribution latencies(config_.latency_sample_cap);
   double hops_sum = 0.0;
   std::vector<double> source_latency_sum(
       static_cast<std::size_t>(topo_->num_tiles()), 0.0);
@@ -105,8 +151,21 @@ SimResult Simulator::run() {
         for (int port = 0; port < endpoints_per_tile_; ++port) {
           const int source = tile * endpoints_per_tile_ + port;
           if (!process_->inject(source, rng)) continue;
-          const int dest = pattern_->dest(tile, rng);
-          if (dest == tile) continue;  // fixed point of a permutation
+          int dest_tile;
+          int eject_port = -1;
+          if (concentrated) {
+            // Patterns address terminals; a destination on the same tile
+            // but a different terminal is real traffic (it still crosses
+            // the router), only the exact self-terminal is a fixed point.
+            const int src_terminal = conc.terminal(tile, port);
+            const int dest_terminal = pattern_->dest(src_terminal, rng);
+            if (dest_terminal == src_terminal) continue;
+            dest_tile = conc.tile_of(dest_terminal);
+            eject_port = conc.port_of(dest_terminal);
+          } else {
+            dest_tile = pattern_->dest(tile, rng);
+            if (dest_tile == tile) continue;  // fixed point of a permutation
+          }
           const int id = static_cast<int>(packets.size());
           const bool measured = now >= config_.warmup_cycles;
           packets.push_back(PacketRecord{now, -1, 0, measured});
@@ -115,7 +174,8 @@ SimResult Simulator::run() {
             Flit& flit = scratch_flits[static_cast<std::size_t>(f)];
             flit.packet_id = id;
             flit.src = tile;
-            flit.dest = dest;
+            flit.dest = dest_tile;
+            flit.eject_port = eject_port;
             flit.create_cycle = now;
           }
           network.interface(tile).enqueue_packet(port, scratch_flits);

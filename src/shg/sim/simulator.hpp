@@ -1,6 +1,12 @@
 // Cycle-accurate simulation driver: warmup / measurement / drain phases and
 // latency/throughput statistics (the BookSim2 substitute of the prediction
 // toolchain, Fig. 3).
+//
+// Two engines produce bit-identical results (ARCHITECTURE.md, "Simulator
+// hot loop"): the reference AoS path (Network/Router/Channel objects,
+// per-cycle full sweeps) and the SoA hot loop (sim/soa_network.hpp: flat
+// slabs, an active-router worklist and quiescence fast-forward), selected
+// by SimConfig::use_soa_engine.
 #pragma once
 
 #include <memory>
@@ -37,7 +43,10 @@ struct SimResult {
 class Simulator {
  public:
   /// `link_latencies`: cycles per link, from the cost model (Section IV-B2d).
-  /// `endpoints_per_tile`: local injection/ejection ports per tile.
+  /// `endpoints_per_tile`: local injection/ejection ports per tile; must be
+  /// 1 when the run is concentrated (SimConfig::concentration > 1 or a
+  /// topology built by make_concentrated_mesh), because the concentration
+  /// then defines the endpoint count.
   /// If `routing` is null, the topology family's default deadlock-free
   /// routing is used. `shared_table` lets callers running many simulations
   /// on one topology (sweeps, bisection) reuse one precomputed route table
@@ -79,6 +88,9 @@ class Simulator {
     bool measured = false;
   };
 
+  /// Reference engine: AoS Network/Router objects, full sweeps per cycle.
+  SimResult run_aos();
+
   const topo::Topology* topo_;
   std::vector<int> link_latencies_;
   SimConfig config_;
@@ -88,5 +100,12 @@ class Simulator {
   std::shared_ptr<const RouteTable> route_table_;
   std::unique_ptr<InjectionProcess> process_;
 };
+
+/// Initial reserve for per-packet bookkeeping: the expected injection
+/// volume plus headroom, clamped so a high rate x long measurement x large
+/// fabric product cannot overflow the size_t conversion or pre-commit
+/// gigabytes up front (vectors still grow past the clamp on demand).
+std::size_t packet_reserve_hint(double packet_prob, Cycle generation_end,
+                                int num_tiles, int endpoints_per_tile);
 
 }  // namespace shg::sim

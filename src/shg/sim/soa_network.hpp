@@ -1,0 +1,245 @@
+// Structure-of-arrays simulation engine: the simulator's raw-speed path.
+//
+// Produces results bit-identical to the reference AoS path (Simulator's
+// Network/Router/Channel objects) — same PRNG draw order, same allocator
+// decisions, same floating-point accumulation order, same cycle count —
+// while replacing its three scaling bottlenecks:
+//
+//  * Flat slabs instead of per-object deques. Input-VC buffers, channel
+//    pipelines and credit queues live in fixed-capacity ring buffers inside
+//    network-owned arenas indexed by (router, port, vc) / channel id; a
+//    flit is a 16-byte {cycle, packet, flags} entry and per-packet metadata
+//    (src, dest, eject port, hop count) lives in packet-indexed arrays
+//    filled once at generation. No push_back/pop_front churn, no pointer
+//    chasing, no per-flit copies of cold fields.
+//
+//  * An active-router worklist instead of full-network sweeps. Every router
+//    carries a work counter (buffered flits + NI-queued flits + flits
+//    approaching on its input channels + credits approaching on its output
+//    channels); only routers with work are processed. Router phases commute
+//    across routers (channels are timestamped, so nothing pushed in cycle t
+//    is visible before t+1), except that ejection statistics must
+//    accumulate in the reference tile order — ejections therefore collect
+//    into a per-cycle buffer that is stable-sorted by tile before the
+//    statistics pass.
+//
+//  * Whole-network quiescence fast-forward. The injection schedule is a
+//    pure function of the seed (no draw depends on network state, source
+//    queues are unbounded), so it is pre-generated draw-for-draw. When
+//    nothing is in flight — no flit anywhere AND no credit on a channel —
+//    every cycle until the next scheduled injection is a provable no-op and
+//    `now` jumps there directly, preserving the exact cycle count the
+//    reference loop reports.
+//
+// See ARCHITECTURE.md ("Simulator hot loop") for the invariants that make
+// the three equivalences exact.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "shg/sim/config.hpp"
+#include "shg/sim/injection.hpp"
+#include "shg/sim/route_table.hpp"
+#include "shg/sim/routing.hpp"
+#include "shg/sim/simulator.hpp"
+#include "shg/sim/traffic.hpp"
+#include "shg/topo/topology.hpp"
+
+namespace shg::sim {
+
+/// One-shot engine: construct, run(), discard. The Simulator front end
+/// owns topology/routing/table/process and constructs one engine per run.
+class SoaEngine {
+ public:
+  /// `routing` may be null only when `table` is non-null (table mode);
+  /// `process` must be non-null and is reset() by run().
+  SoaEngine(const topo::Topology& topo, const std::vector<int>& link_latencies,
+            const SimConfig& config, const TrafficPattern& pattern,
+            int endpoints_per_tile, const RoutingFunction* routing,
+            const RouteTable* table, InjectionProcess* process);
+
+  /// Runs warmup + measurement + drain and returns the statistics,
+  /// bit-identical to the AoS reference path.
+  SimResult run();
+
+ private:
+  // Flags on buffered/in-flight flit entries.
+  static constexpr std::uint8_t kHead = 1;
+  static constexpr std::uint8_t kTail = 2;
+  // Input-VC allocation states (the reference InputVc::State values).
+  static constexpr std::uint8_t kIdle = 0;
+  static constexpr std::uint8_t kVcAlloc = 1;
+  static constexpr std::uint8_t kActive = 2;
+
+  /// A flit waiting in an input-VC buffer slab.
+  struct BufFlit {
+    Cycle ready = 0;  ///< earliest switchable cycle (router pipeline delay)
+    std::int32_t pkt = 0;
+    std::uint8_t flags = 0;
+  };
+  /// A flit traversing a channel pipeline.
+  struct ChanFlit {
+    Cycle arrival = 0;
+    std::int32_t pkt = 0;
+    std::int16_t vc = 0;
+    std::uint8_t flags = 0;
+  };
+  /// A credit traversing a channel (upstream direction).
+  struct ChanCredit {
+    Cycle arrival = 0;
+    std::int32_t vc = 0;
+  };
+  /// One ejected flit, buffered per cycle and sorted by tile so statistics
+  /// accumulate in the reference harvest order.
+  struct EjectRec {
+    std::int32_t tile = 0;
+    std::int32_t pkt = 0;
+    std::uint8_t flags = 0;
+  };
+  /// Growable ring of packet ids (an NI source queue; unbounded like the
+  /// reference deque, but one entry per packet instead of per flit).
+  struct PktRing {
+    std::vector<std::int32_t> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    void push(std::int32_t id);
+    std::int32_t front() const { return buf[head]; }
+    void pop() {
+      head = head + 1 == buf.size() ? 0 : head + 1;
+      --count;
+    }
+  };
+
+  // (router, port, vc) -> flat slot id; buffers slab-index at slot * depth.
+  std::size_t slot(int r, int port, int vc) const {
+    return (port_base_[static_cast<std::size_t>(r)] +
+            static_cast<std::size_t>(port)) *
+               static_cast<std::size_t>(vcs_) +
+           static_cast<std::size_t>(vc);
+  }
+
+  void build_fabric(const topo::Topology& topo,
+                    const std::vector<int>& link_latencies);
+  /// Replays the reference generation loop draw-for-draw into the
+  /// per-packet arrays (the injection schedule).
+  void pregenerate(const topo::Topology& topo);
+
+  void activate(int r) {
+    if (!queued_[static_cast<std::size_t>(r)]) {
+      queued_[static_cast<std::size_t>(r)] = 1;
+      active_.push_back(r);
+    }
+  }
+
+  void deliver(int r, Cycle now);
+  void ni_inject(int r, Cycle now);
+  void allocate(int r, Cycle now);
+  void compute_route(int r, int port, int vc, std::size_t s);
+
+  void push_buf(std::size_t s, Cycle ready, std::int32_t pkt,
+                std::uint8_t flags);
+  void push_chan_flit(int c, Cycle now, std::int32_t pkt, int vc,
+                      std::uint8_t flags);
+  void push_chan_credit(int c, Cycle now, int vc);
+
+  // --- Configuration (copied out of SimConfig for tight loop access) -----
+  SimConfig config_;
+  const TrafficPattern* pattern_;
+  const RoutingFunction* routing_;
+  const RouteTable* table_;
+  InjectionProcess* process_;
+  int num_routers_ = 0;
+  int local_ports_ = 0;  ///< endpoint ports per tile
+  int vcs_ = 0;
+  int depth_ = 0;        ///< input buffer depth, flits
+  int pkt_flits_ = 0;    ///< flits per packet
+  int delay_ = 0;        ///< router pipeline delay, cycles
+  int max_ports_ = 0;
+
+  // --- Fabric layout ------------------------------------------------------
+  std::vector<int> net_ports_;          ///< per router
+  std::vector<std::size_t> port_base_;  ///< per router: first flat port id
+  std::vector<int> in_chan_;            ///< per flat net port: channel in
+  std::vector<int> out_chan_;           ///< per flat net port: channel out
+  std::vector<int> chan_src_;           ///< per channel: producing router
+  std::vector<int> chan_dst_;           ///< per channel: consuming router
+  std::vector<int> chan_lat_;           ///< per channel: latency, cycles
+  std::vector<int> chan_cap_;           ///< per channel: ring capacity
+  std::vector<std::size_t> chan_base_;  ///< per channel: slab offset
+
+  // --- Hot state slabs ----------------------------------------------------
+  std::vector<BufFlit> buf_;              ///< input VC buffers, slot * depth
+  std::vector<std::uint16_t> buf_head_;   ///< per slot: ring head
+  std::vector<std::uint16_t> buf_count_;  ///< per slot: occupancy
+  std::vector<ChanFlit> chan_flits_;
+  std::vector<std::uint16_t> chan_fhead_;
+  std::vector<std::uint16_t> chan_fcount_;
+  std::vector<ChanCredit> chan_credits_;
+  std::vector<std::uint16_t> chan_chead_;
+  std::vector<std::uint16_t> chan_ccount_;
+
+  // Input-VC allocation state (per slot).
+  std::vector<std::uint8_t> ivc_state_;
+  std::vector<std::int32_t> ivc_out_port_;
+  std::vector<std::int32_t> ivc_out_vc_;
+  std::vector<const RouteCandidate*> ivc_routes_;
+  std::vector<std::int32_t> ivc_routes_len_;
+  std::vector<RouteCandidate> ivc_eject_;  ///< per slot: ejection candidate
+  std::vector<std::vector<RouteCandidate>> ivc_live_;  ///< live-routing mode
+
+  // Output-VC state (per slot) and rotating allocator priorities.
+  std::vector<std::uint8_t> ovc_busy_;
+  std::vector<std::int32_t> ovc_credits_;
+  std::vector<std::int32_t> va_rr_;      ///< per slot
+  std::vector<std::int32_t> sa_in_rr_;   ///< per flat port
+  std::vector<std::int32_t> sa_out_rr_;  ///< per flat port
+
+  // Allocator phase occupancy, so allocate() skips phases with no eligible
+  // slot instead of re-scanning every (port, vc) each cycle. Pure
+  // skip-empty-work: round-robin pointers only move on grants, and a phase
+  // with zero eligible slots grants nothing, so skipping it is
+  // bit-identical to scanning it.
+  std::vector<std::int32_t> route_pending_;  ///< per router: idle slots w/ flits
+  std::vector<std::int32_t> va_pending_;     ///< per router: slots in kVcAlloc
+  std::vector<std::int32_t> active_ivcs_;    ///< per router: slots in kActive
+  std::vector<std::uint8_t> port_active_;    ///< per flat port: kActive slots
+
+  // Network interfaces (per tile * local port).
+  std::vector<PktRing> ni_queue_;
+  std::vector<std::int32_t> ni_front_flit_;
+  std::vector<std::int32_t> ni_open_vc_;
+  std::vector<std::int32_t> ni_next_vc_;
+
+  // Worklist.
+  std::vector<long long> work_;      ///< per router: flits + credits pending
+  std::vector<long long> buffered_;  ///< per router: flits in input VCs
+  std::vector<std::uint8_t> queued_;
+  std::vector<int> active_;
+  long long total_flits_ = 0;    ///< NI queues + buffers + channels
+  long long total_credits_ = 0;  ///< credits on channels
+
+  // Per-packet metadata (filled by pregenerate; index = packet id).
+  std::vector<Cycle> pk_create_;
+  std::vector<std::int32_t> pk_src_;
+  std::vector<std::int32_t> pk_dest_;
+  std::vector<std::int32_t> pk_port_;        ///< source endpoint port
+  std::vector<std::int32_t> pk_eject_port_;  ///< -1 = spread by packet id
+  std::vector<std::int32_t> pk_hops_;
+  std::vector<std::uint8_t> pk_measured_;
+  std::vector<std::uint8_t> pk_done_;
+  long long measured_created_ = 0;
+  std::size_t sched_ptr_ = 0;
+
+  // Per-cycle scratch.
+  std::vector<EjectRec> eject_buf_;
+  std::vector<std::pair<int, int>> va_requests_;
+  std::vector<int> sa_request_port_;
+  std::vector<int> sa_request_vc_;
+  std::vector<int> sa_req_in_;   ///< input ports that nominated this cycle
+  std::vector<int> sa_req_ops_;  ///< distinct requested out ports, ascending
+};
+
+}  // namespace shg::sim

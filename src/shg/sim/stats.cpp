@@ -6,19 +6,76 @@
 
 namespace shg::sim {
 
+void Distribution::add(double sample) {
+  if (!binned_) {
+    if (samples_.size() < cap_) {
+      samples_.push_back(sample);
+      ++count_;
+      return;
+    }
+    fold_into_bins();
+  }
+  SHG_REQUIRE(sample >= 0.0,
+              "binned distribution mode requires non-negative samples");
+  sum_ += sample;
+  min_ = count_ == 0 ? sample : std::min(min_, sample);
+  max_ = count_ == 0 ? sample : std::max(max_, sample);
+  ++count_;
+  bin_sample(sample);
+}
+
+void Distribution::reserve(std::size_t n) {
+  if (!binned_) samples_.reserve(std::min(n, cap_));
+}
+
+void Distribution::fold_into_bins() {
+  binned_ = true;
+  // Accumulate in insertion order so sum_ (and therefore mean()) carries
+  // the exact floating-point value the unbounded accumulate() produced.
+  sum_ = 0.0;
+  for (double s : samples_) {
+    SHG_REQUIRE(s >= 0.0,
+                "binned distribution mode requires non-negative samples");
+    sum_ += s;
+    bin_sample(s);
+  }
+  if (!samples_.empty()) {
+    min_ = *std::min_element(samples_.begin(), samples_.end());
+    max_ = *std::max_element(samples_.begin(), samples_.end());
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+  sorted_.clear();
+  sorted_.shrink_to_fit();
+}
+
+void Distribution::bin_sample(double sample) {
+  const long long key = std::llround(sample);
+  if (key >= kMaxTrackedValue) {
+    ++over_count_;
+    return;
+  }
+  const auto index = static_cast<std::size_t>(key < 0 ? 0 : key);
+  if (index >= bins_.size()) bins_.resize(index + 1, 0);
+  ++bins_[index];
+}
+
 double Distribution::mean() const {
-  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(count_ > 0, "no samples");
+  if (binned_) return sum_ / static_cast<double>(count_);
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
-         static_cast<double>(samples_.size());
+         static_cast<double>(count_);
 }
 
 double Distribution::min() const {
-  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(count_ > 0, "no samples");
+  if (binned_) return min_;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Distribution::max() const {
-  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(count_ > 0, "no samples");
+  if (binned_) return max_;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
@@ -30,21 +87,46 @@ void Distribution::ensure_sorted() const {
 }
 
 double Distribution::percentile(double q) const {
-  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(count_ > 0, "no samples");
   SHG_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
-  ensure_sorted();
   const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted_.size())));
-  const std::size_t index = rank == 0 ? 0 : rank - 1;
-  return sorted_[std::min(index, sorted_.size() - 1)];
+      std::ceil(q * static_cast<double>(count_)));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;  // 0-based k-th smallest
+  if (!binned_) {
+    ensure_sorted();
+    return sorted_[std::min(index, sorted_.size() - 1)];
+  }
+  // Histogram walk: the k-th smallest value is the first bucket whose
+  // cumulative count exceeds k. Ranks landing in the overflow bucket
+  // report the exact running max.
+  std::uint64_t cumulative = 0;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    cumulative += bins_[v];
+    if (cumulative > index) return static_cast<double>(v);
+  }
+  return max_;
 }
 
 double Distribution::stddev() const {
-  SHG_REQUIRE(!samples_.empty(), "no samples");
+  SHG_REQUIRE(count_ > 0, "no samples");
   const double m = mean();
   double sq = 0.0;
-  for (double s : samples_) sq += (s - m) * (s - m);
-  return std::sqrt(sq / static_cast<double>(samples_.size()));
+  if (!binned_) {
+    for (double s : samples_) sq += (s - m) * (s - m);
+  } else {
+    for (std::size_t v = 0; v < bins_.size(); ++v) {
+      if (bins_[v] == 0) continue;
+      const double d = static_cast<double>(v) - m;
+      sq += static_cast<double>(bins_[v]) * d * d;
+    }
+    // Overflow samples are only known to exceed kMaxTrackedValue; attribute
+    // them the running max (the best bounded estimate).
+    if (over_count_ > 0) {
+      const double d = max_ - m;
+      sq += static_cast<double>(over_count_) * d * d;
+    }
+  }
+  return std::sqrt(sq / static_cast<double>(count_));
 }
 
 double fairness_ratio(const std::vector<double>& per_source_mean) {

@@ -2,34 +2,78 @@
 // per-source fairness.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "shg/common/error.hpp"
 
 namespace shg::sim {
 
-/// Sample-based distribution summary (exact percentiles from stored
-/// samples; NoC-simulation sample counts are small enough to keep).
+/// Sample-based distribution summary with a bounded memory footprint.
+///
+/// Up to `sample_cap` samples the distribution stores every sample and all
+/// summaries (mean, min, max, stddev, percentiles) are the exact values the
+/// unbounded implementation produced — bit-identical, including floating
+/// point accumulation order. Past the cap the stored samples fold into an
+/// integer-keyed counting histogram (one bucket per llround(sample), capped
+/// at kMaxTrackedValue with an overflow bucket) so million-packet runs hold
+/// a few hundred KB instead of a per-packet vector. In binned mode:
+///  * mean/min/max stay exact (running accumulators in insertion order, so
+///    mean is still bit-identical to the unbounded sum);
+///  * percentiles are exact for non-negative integer-valued samples below
+///    kMaxTrackedValue (packet latencies in cycles always are) and rounded
+///    to the nearest integer otherwise;
+///  * stddev is computed from the histogram (exact values for integer
+///    samples, but accumulated in value order rather than insertion order).
 class Distribution {
  public:
-  void add(double sample) { samples_.push_back(sample); }
-  void reserve(std::size_t n) { samples_.reserve(n); }
+  /// Default cap: 1M samples (~8 MB) — far above any seed-scale run, so
+  /// the binned mode only engages on the large-fabric workloads it exists
+  /// for. A cap of 0 bins from the first sample.
+  static constexpr std::size_t kDefaultSampleCap = std::size_t{1} << 20;
+  /// Largest integer value with its own histogram bucket; larger samples
+  /// share one overflow bucket whose percentiles report max().
+  static constexpr long long kMaxTrackedValue = 1 << 21;
 
-  std::size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  explicit Distribution(std::size_t sample_cap = kDefaultSampleCap)
+      : cap_(sample_cap) {}
+
+  void add(double sample);
+  void reserve(std::size_t n);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// True once the sample cap forced the fold into the histogram.
+  bool binned() const { return binned_; }
 
   double mean() const;
   double min() const;
   double max() const;
-  /// Exact q-quantile (0 <= q <= 1) by nearest-rank; sorts lazily.
+  /// q-quantile (0 <= q <= 1) by nearest-rank; exact below the sample cap
+  /// (sorts lazily), histogram-resolved above it.
   double percentile(double q) const;
   double stddev() const;
 
  private:
   void ensure_sorted() const;
+  void fold_into_bins();
+  void bin_sample(double sample);
 
+  std::size_t cap_;
+  bool binned_ = false;
+
+  // Exact mode.
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
+
+  // Binned mode. Running accumulators are maintained in insertion order
+  // from the fold onward, reproducing the unbounded accumulate().
+  std::vector<std::uint64_t> bins_;  ///< count per integer value
+  std::uint64_t over_count_ = 0;     ///< samples above kMaxTrackedValue
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Per-source fairness: the ratio of the worst mean to the overall mean.

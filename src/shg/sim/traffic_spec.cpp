@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "shg/sim/concentration.hpp"
+
 namespace shg::sim {
 
 namespace {
@@ -133,17 +135,24 @@ std::string TrafficSpec::canonical() const {
   return os.str();
 }
 
-std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(int rows,
-                                                          int cols) const {
+std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(
+    int rows, int cols, int concentration) const {
   SHG_REQUIRE(rows >= 1 && cols >= 1, "traffic spec: empty grid");
-  const int n = rows * cols;
+  // Patterns are instantiated over the terminal grid: with concentration 1
+  // it IS the router grid, otherwise each router contributes a sub-grid of
+  // terminals (sim/concentration.hpp) and spatial patterns keep their
+  // meaning on the finer grid.
+  const Concentration conc = Concentration::make(rows, cols, concentration);
+  const int trows = conc.terminal_rows();
+  const int tcols = conc.terminal_cols();
+  const int n = conc.terminals();
   if (pattern == "uniform") return make_uniform(n);
-  if (pattern == "transpose") return make_transpose(rows, cols);
+  if (pattern == "transpose") return make_transpose(trows, tcols);
   if (pattern == "bit-complement") return make_bit_complement(n);
   if (pattern == "bit-reverse") return make_bit_reverse(n);
   if (pattern == "shuffle") return make_shuffle(n);
-  if (pattern == "tornado") return make_tornado(rows, cols);
-  if (pattern == "neighbor") return make_neighbor(rows, cols);
+  if (pattern == "tornado") return make_tornado(trows, tcols);
+  if (pattern == "neighbor") return make_neighbor(trows, tcols);
   if (pattern == "hotspot") {
     return make_hotspot(n, hotspot_tiles, hotspot_fraction);
   }

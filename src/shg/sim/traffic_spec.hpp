@@ -46,10 +46,15 @@ struct TrafficSpec {
   /// The canonical spec string; parse(canonical()) round-trips.
   std::string canonical() const;
 
-  /// Instantiates the pattern for an R x C grid. Throws when the pattern
-  /// is not applicable (non-square transpose, non-power-of-two shuffle,
-  /// hotspot tile out of range, ...).
-  std::unique_ptr<TrafficPattern> make_pattern(int rows, int cols) const;
+  /// Instantiates the pattern for an R x C router grid with
+  /// `concentration` terminals per router. With concentration == 1 (the
+  /// default) patterns address tiles; otherwise they address row-major
+  /// terminal ids on the concentrated terminal grid (sim/concentration.hpp)
+  /// and hotspot ids are terminal ids. Throws when the pattern is not
+  /// applicable (non-square transpose, non-power-of-two shuffle, hotspot
+  /// id out of range, ...).
+  std::unique_ptr<TrafficPattern> make_pattern(int rows, int cols,
+                                               int concentration = 1) const;
 
   /// Instantiates the injection process for `num_sources` endpoint ports
   /// at a mean packet probability of `packet_prob` per source per cycle.

@@ -89,6 +89,12 @@ Topology make_mesh(int rows, int cols) {
   return topo;
 }
 
+Topology make_concentrated_mesh(int rows, int cols, int concentration) {
+  Topology topo = make_mesh(rows, cols);
+  topo.set_concentration(concentration);
+  return topo;
+}
+
 Topology make_torus(int rows, int cols) {
   Topology topo(Kind::kTorus, "torus", rows, cols);
   for (int r = 0; r < rows; ++r) {

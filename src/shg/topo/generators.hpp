@@ -48,6 +48,14 @@ Topology make_ring(int rows, int cols);
 /// 2D mesh (Fig. 1b): neighboring tiles are connected.
 Topology make_mesh(int rows, int cols);
 
+/// Concentrated 2D mesh (booksim2 cmesh-style): a mesh of R x C routers
+/// where every router serves `concentration` terminals. The link graph is
+/// the plain mesh; the concentration factor rides on the topology so the
+/// simulator gives each router that many endpoint ports and traffic
+/// patterns address the (R * sub_rows) x (C * sub_cols) terminal grid
+/// (sim/concentration.hpp). concentration == 1 is exactly make_mesh.
+Topology make_concentrated_mesh(int rows, int cols, int concentration);
+
 /// 2D torus (Fig. 1c): mesh plus row/column wrap-around links.
 Topology make_torus(int rows, int cols);
 

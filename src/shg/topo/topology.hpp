@@ -104,6 +104,15 @@ class Topology {
   const ShgParams& shg_params() const { return shg_params_; }
   void set_shg_params(ShgParams params) { shg_params_ = std::move(params); }
 
+  /// Terminals per router (booksim2 cmesh-style concentration); 1 for all
+  /// classic families. Carried on the topology so experiment/simulator
+  /// layers size traffic patterns and endpoint ports consistently.
+  int concentration() const { return concentration_; }
+  void set_concentration(int c) {
+    SHG_REQUIRE(c >= 1, "need at least one terminal per router");
+    concentration_ = c;
+  }
+
  private:
   Kind kind_;
   std::string name_;
@@ -111,6 +120,7 @@ class Topology {
   int cols_;
   graph::Graph graph_;
   ShgParams shg_params_;
+  int concentration_ = 1;
 };
 
 }  // namespace shg::topo

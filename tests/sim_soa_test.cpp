@@ -1,0 +1,262 @@
+// Bit-identity oracle for the SoA simulation engine: every SimResult field
+// must equal the reference AoS path EXACTLY (==, not near) across topology
+// families, traffic patterns, injection processes, endpoint counts, link
+// latencies, routing modes (table and live) and concentration — plus the
+// quiescence fast-forward regime (rates low enough that the network goes
+// fully idle between injections).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shg/sim/concentration.hpp"
+#include "shg/sim/simulator.hpp"
+#include "shg/sim/traffic_spec.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace shg::sim {
+namespace {
+
+SimConfig fast_config() {
+  SimConfig config;
+  config.num_vcs = 2;
+  config.buffer_depth_flits = 4;
+  config.packet_size_flits = 4;
+  config.warmup_cycles = 300;
+  config.measure_cycles = 900;
+  config.drain_cycles = 30000;
+  return config;
+}
+
+std::vector<int> unit_latencies(const topo::Topology& topo) {
+  return std::vector<int>(static_cast<std::size_t>(topo.graph().num_edges()),
+                          1);
+}
+
+/// Runs the same simulation on both engines and requires exact equality of
+/// every SimResult field. `spec_text` drives pattern AND process through
+/// the TrafficSpec path (the experiment engine's shape).
+void expect_bit_identical(const topo::Topology& topo,
+                          const std::vector<int>& latencies, SimConfig config,
+                          const std::string& spec_text,
+                          int endpoints_per_tile) {
+  const TrafficSpec spec = TrafficSpec::parse(spec_text);
+  const auto pattern = spec.make_pattern(topo.rows(), topo.cols(),
+                                         topo.concentration() > 1
+                                             ? topo.concentration()
+                                             : config.concentration);
+  const int conc =
+      topo.concentration() > 1 ? topo.concentration() : config.concentration;
+  const int ports = conc > 1 ? conc : endpoints_per_tile;
+  const double packet_prob =
+      config.injection_rate / static_cast<double>(config.packet_size_flits);
+
+  config.use_soa_engine = false;
+  Simulator aos(topo, latencies, config, *pattern, endpoints_per_tile,
+                nullptr, nullptr,
+                spec.make_process(packet_prob, topo.num_tiles() * ports));
+  const SimResult a = aos.run();
+
+  config.use_soa_engine = true;
+  Simulator soa(topo, latencies, config, *pattern, endpoints_per_tile,
+                nullptr, nullptr,
+                spec.make_process(packet_prob, topo.num_tiles() * ports));
+  const SimResult s = soa.run();
+
+  EXPECT_EQ(a.cycles_run, s.cycles_run) << spec_text;
+  EXPECT_EQ(a.measured_packets, s.measured_packets) << spec_text;
+  EXPECT_EQ(a.drained, s.drained) << spec_text;
+  EXPECT_EQ(a.offered_rate, s.offered_rate) << spec_text;
+  EXPECT_EQ(a.accepted_rate, s.accepted_rate) << spec_text;
+  EXPECT_EQ(a.avg_packet_latency, s.avg_packet_latency) << spec_text;
+  EXPECT_EQ(a.max_packet_latency, s.max_packet_latency) << spec_text;
+  EXPECT_EQ(a.p50_packet_latency, s.p50_packet_latency) << spec_text;
+  EXPECT_EQ(a.p95_packet_latency, s.p95_packet_latency) << spec_text;
+  EXPECT_EQ(a.p99_packet_latency, s.p99_packet_latency) << spec_text;
+  EXPECT_EQ(a.avg_hops, s.avg_hops) << spec_text;
+  EXPECT_EQ(a.fairness, s.fairness) << spec_text;
+  // The run must have done real work, or the comparison proves nothing.
+  EXPECT_GT(s.measured_packets, 0) << spec_text;
+}
+
+TEST(SoaBitIdentity, AllTopologyFamiliesUniform) {
+  SimConfig config = fast_config();
+  config.injection_rate = 0.04;
+  const topo::Topology topos[] = {
+      topo::make_ring(4, 4),        topo::make_mesh(4, 4),
+      topo::make_torus(4, 4),       topo::make_folded_torus(4, 4),
+      topo::make_hypercube(4, 4),   topo::make_flattened_butterfly(4, 4),
+      topo::make_sparse_hamming(4, 4, {2}, {2, 3}),
+  };
+  for (const auto& topo : topos) {
+    SCOPED_TRACE(topo.name());
+    expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 1);
+  }
+}
+
+TEST(SoaBitIdentity, SlimNocAdaptiveEscapeRouting) {
+  // TableEscapeRouting exercises multi-candidate adaptive routes, the
+  // hardest case for allocator-order equivalence.
+  const auto topo = topo::make_slim_noc(4, 8);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.06;
+  expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 1);
+}
+
+TEST(SoaBitIdentity, EveryPatternOnMesh) {
+  const auto topo = topo::make_mesh(4, 4);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.05;
+  for (const char* spec :
+       {"uniform", "transpose", "bit-complement", "bit-reverse", "shuffle",
+        "tornado", "neighbor", "hotspot:0,5:0.5"}) {
+    SCOPED_TRACE(spec);
+    expect_bit_identical(topo, unit_latencies(topo), config, spec, 1);
+  }
+}
+
+TEST(SoaBitIdentity, OnOffProcessAndMultiEndpoint) {
+  const auto topo = topo::make_mesh(4, 4);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.05;
+  expect_bit_identical(topo, unit_latencies(topo), config,
+                       "uniform/onoff:0.05,0.2", 1);
+  expect_bit_identical(topo, unit_latencies(topo), config,
+                       "transpose/onoff:0.1,0.3", 2);
+  // Endpoint spreading without concentration (eject port by packet id).
+  expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 3);
+}
+
+TEST(SoaBitIdentity, NonUnitLinkLatenciesAndDeeperBuffers) {
+  const auto topo = topo::make_torus(4, 4);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.08;
+  config.num_vcs = 4;
+  config.buffer_depth_flits = 8;
+  config.router_delay_cycles = 2;
+  std::vector<int> latencies(
+      static_cast<std::size_t>(topo.graph().num_edges()));
+  for (std::size_t e = 0; e < latencies.size(); ++e) {
+    latencies[e] = 1 + static_cast<int>(e % 3);
+  }
+  expect_bit_identical(topo, latencies, config, "uniform", 1);
+}
+
+TEST(SoaBitIdentity, LiveRoutingWithoutTable) {
+  // No route table: the SoA engine calls the routing function per head
+  // flit, exactly like the reference router's live mode.
+  const auto topo = topo::make_mesh(5, 5);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.05;
+  config.use_route_table = false;
+  expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 1);
+}
+
+TEST(SoaBitIdentity, QuiescentLowRateFastForward) {
+  // Rate low enough that the fabric is empty most cycles: the SoA engine
+  // spends its time in quiescence fast-forward and must still reproduce
+  // the reference cycle count exactly.
+  const auto topo = topo::make_mesh(4, 4);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.001;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 6000;
+  expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 1);
+}
+
+TEST(SoaBitIdentity, SaturatedHotspot) {
+  // Saturation exercises backpressure, credit stalls and the drain-phase
+  // watchdog paths.
+  const auto topo = topo::make_mesh(4, 4);
+  SimConfig config = fast_config();
+  config.injection_rate = 0.6;
+  config.drain_cycles = 4000;
+  expect_bit_identical(topo, unit_latencies(topo), config, "hotspot:5:0.8",
+                       1);
+}
+
+TEST(SoaBitIdentity, ConcentratedMesh) {
+  SimConfig config = fast_config();
+  config.injection_rate = 0.03;
+  for (int conc : {2, 4}) {
+    const auto topo = topo::make_concentrated_mesh(4, 4, conc);
+    SCOPED_TRACE(conc);
+    expect_bit_identical(topo, unit_latencies(topo), config, "uniform", 1);
+    if (conc == 4) {
+      // The 4x4-router, c=4 terminal grid is the square 8x8 (2x2 sub-grids);
+      // c=2 gives a 4x8 terminal grid, on which transpose is undefined.
+      expect_bit_identical(topo, unit_latencies(topo), config, "transpose",
+                           1);
+    }
+    expect_bit_identical(topo, unit_latencies(topo), config,
+                         "hotspot:0,9:0.4", 1);
+  }
+}
+
+TEST(SoaBitIdentity, ZeroTrafficRun) {
+  // A rate so low the PRNG may never inject: both engines must agree on
+  // the degenerate all-idle run (cycles_run = generation end, drained).
+  const auto topo = topo::make_mesh(3, 3);
+  SimConfig config = fast_config();
+  config.injection_rate = 1e-9;
+  config.warmup_cycles = 50;
+  config.measure_cycles = 100;
+  const TrafficSpec spec = TrafficSpec::parse("uniform");
+  const auto pattern = spec.make_pattern(3, 3);
+  config.use_soa_engine = false;
+  Simulator aos(topo, unit_latencies(topo), config, *pattern, 1);
+  const SimResult a = aos.run();
+  config.use_soa_engine = true;
+  Simulator soa(topo, unit_latencies(topo), config, *pattern, 1);
+  const SimResult s = soa.run();
+  EXPECT_EQ(a.cycles_run, s.cycles_run);
+  EXPECT_EQ(a.measured_packets, s.measured_packets);
+  EXPECT_EQ(a.drained, s.drained);
+}
+
+TEST(Concentration, TerminalMappingRoundTrips) {
+  for (int factor : {1, 2, 3, 4, 6, 8, 9}) {
+    const Concentration conc = Concentration::make(3, 5, factor);
+    EXPECT_EQ(conc.sub_rows * conc.sub_cols, factor);
+    EXPECT_LE(conc.sub_rows, conc.sub_cols);
+    EXPECT_EQ(conc.terminals(), 3 * 5 * factor);
+    for (int tile = 0; tile < 15; ++tile) {
+      for (int port = 0; port < factor; ++port) {
+        const int term = conc.terminal(tile, port);
+        EXPECT_GE(term, 0);
+        EXPECT_LT(term, conc.terminals());
+        EXPECT_EQ(conc.tile_of(term), tile);
+        EXPECT_EQ(conc.port_of(term), port);
+      }
+    }
+  }
+}
+
+TEST(Concentration, DegenerateFactorOneIsIdentity) {
+  const Concentration conc = Concentration::make(4, 4, 1);
+  for (int tile = 0; tile < 16; ++tile) {
+    EXPECT_EQ(conc.terminal(tile, 0), tile);
+    EXPECT_EQ(conc.tile_of(tile), tile);
+    EXPECT_EQ(conc.port_of(tile), 0);
+  }
+}
+
+TEST(Concentration, ConcentratedMeshCarriesFactor) {
+  const auto topo = topo::make_concentrated_mesh(4, 4, 4);
+  EXPECT_EQ(topo.concentration(), 4);
+  EXPECT_EQ(topo.num_tiles(), 16);
+  // The link graph is the plain mesh.
+  EXPECT_EQ(topo.graph().num_edges(),
+            topo::make_mesh(4, 4).graph().num_edges());
+}
+
+TEST(Concentration, SimulatorRejectsMultiEndpointConcentration) {
+  const auto topo = topo::make_concentrated_mesh(4, 4, 2);
+  SimConfig config = fast_config();
+  const auto pattern = TrafficSpec::parse("uniform").make_pattern(4, 4, 2);
+  EXPECT_THROW(
+      Simulator(topo, unit_latencies(topo), config, *pattern, 2),
+      shg::Error);
+}
+
+}  // namespace
+}  // namespace shg::sim

@@ -67,6 +67,57 @@ TEST(TrafficSpec, PatternApplicabilityChecked) {
                Error);
 }
 
+// --- Concentrated pattern instantiation -----------------------------------
+
+TEST(TrafficSpec, ConcentrationSizesPatternsOnTerminalGrid) {
+  // 4x4 routers, c=4 -> 2x2 sub-grids -> an 8x8 terminal grid with 64
+  // terminals. Uniform must draw over all of them.
+  const auto pattern = TrafficSpec::parse("uniform").make_pattern(4, 4, 4);
+  Prng rng(5);
+  std::vector<bool> hit(64, false);
+  for (int i = 0; i < 20000; ++i) {
+    const int dest = pattern->dest(0, rng);
+    ASSERT_GE(dest, 0);
+    ASSERT_LT(dest, 64);
+    hit[static_cast<std::size_t>(dest)] = true;
+  }
+  // Every terminal except the source is reachable.
+  for (int t = 1; t < 64; ++t) EXPECT_TRUE(hit[static_cast<std::size_t>(t)]);
+  EXPECT_FALSE(hit[0]);
+}
+
+TEST(TrafficSpec, ConcentrationAppliesToGridShapedPatterns) {
+  // c=4 makes a 4x4 router grid an 8x8 terminal grid: transpose (square
+  // only) applies, and tornado rotates on terminal coordinates.
+  const auto transpose =
+      TrafficSpec::parse("transpose").make_pattern(4, 4, 4);
+  Prng rng(1);
+  // Terminal (row 1, col 3) -> (row 3, col 1) on the 8x8 terminal grid.
+  EXPECT_EQ(transpose->dest(1 * 8 + 3, rng), 3 * 8 + 1);
+  const auto tornado = TrafficSpec::parse("tornado").make_pattern(4, 4, 4);
+  // Tornado shifts by ceil(k/2) - 1 per dimension: 3 on the 8x8 terminal
+  // grid (vs 1 on the bare 4x4 router grid).
+  EXPECT_EQ(tornado->dest(0, rng), 3 * 8 + 3);
+  // c=2 -> 1x2 sub-grids -> a rectangular 4x8 terminal grid: transpose is
+  // not applicable there.
+  EXPECT_THROW(TrafficSpec::parse("transpose").make_pattern(4, 4, 2), Error);
+}
+
+TEST(TrafficSpec, ConcentrationHotspotIdsAreTerminalIds) {
+  // Terminal 63 exists on the 8x8 terminal grid but not on the 16-tile
+  // grid: valid at c=4, out of range at c=1.
+  const auto pattern =
+      TrafficSpec::parse("hotspot:63:0.9").make_pattern(4, 4, 4);
+  Prng rng(3);
+  int hot = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (pattern->dest(0, rng) == 63) ++hot;
+  }
+  EXPECT_GT(hot, 800);
+  EXPECT_THROW(TrafficSpec::parse("hotspot:63:0.9").make_pattern(4, 4),
+               Error);
+}
+
 // --- Destination histograms -----------------------------------------------
 
 TEST(TrafficSpec, HotspotHistogramMatchesFraction) {
