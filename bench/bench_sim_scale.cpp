@@ -63,7 +63,8 @@ bool same_result(const sim::SimResult& a, const sim::SimResult& b) {
 struct Row {
   std::string fabric;
   std::string workload;
-  double aos_seconds = 0.0;  ///< 0 when the AoS side was not run
+  bool dual_engine = false;  ///< AoS side ran too (aos/speedup meaningful)
+  double aos_seconds = 0.0;  ///< only meaningful when dual_engine
   double soa_seconds = 0.0;
   long long flits = 0;  ///< measured flits (identical across engines)
   bool drained = false;
@@ -81,10 +82,21 @@ struct Row {
 };
 
 void print_row(const Row& r) {
-  std::printf("%-14s %-22s  aos %8.3f s  soa %8.3f s  %6.2fx  "
+  char aos[24];
+  char speedup[16];
+  if (r.dual_engine) {
+    std::snprintf(aos, sizeof(aos), "aos %8.3f s", r.aos_seconds);
+    std::snprintf(speedup, sizeof(speedup), "%6.2fx", r.speedup());
+  } else {
+    // SoA-only tier: there is no AoS time, so print none rather than a
+    // bogus 0.000 s / 0.00x pair.
+    std::snprintf(aos, sizeof(aos), "aos      --  ");
+    std::snprintf(speedup, sizeof(speedup), "    --");
+  }
+  std::printf("%-14s %-22s  %s  soa %8.3f s  %s  "
               "%10.0f flits/s  %s%s\n",
-              r.fabric.c_str(), r.workload.c_str(), r.aos_seconds,
-              r.soa_seconds, r.speedup(), r.soa_flits_per_sec(),
+              r.fabric.c_str(), r.workload.c_str(), aos, r.soa_seconds,
+              speedup, r.soa_flits_per_sec(),
               r.drained ? "drained" : "UNDRAINED",
               r.identical ? "" : "  NOT IDENTICAL");
 }
@@ -124,6 +136,7 @@ Row run_tier(const Tier& tier, const std::string& workload, bool smoke) {
   Row row;
   row.fabric = tier.fabric;
   row.workload = workload;
+  row.dual_engine = tier.both_engines;
 
   sim::SimResult soa_result;
   config.use_soa_engine = true;
@@ -169,16 +182,29 @@ Row run_tier(const Tier& tier, const std::string& workload, bool smoke) {
 }
 
 void append_json(std::string& json, const Row& r) {
+  // Schema v2: single-engine rows carry null aos_seconds/speedup (v1 wrote
+  // misleading 0.000000 / 0.000 there); `dual_engine` makes the distinction
+  // explicit for consumers.
+  char engine_fields[80];
+  if (r.dual_engine) {
+    std::snprintf(engine_fields, sizeof(engine_fields),
+                  "\"aos_seconds\": %.6f, \"speedup\": %.3f",
+                  r.aos_seconds, r.speedup());
+  } else {
+    std::snprintf(engine_fields, sizeof(engine_fields),
+                  "\"aos_seconds\": null, \"speedup\": null");
+  }
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "    {\"fabric\": \"%s\", \"workload\": \"%s\", "
-      "\"aos_seconds\": %.6f, \"soa_seconds\": %.6f, \"speedup\": %.3f, "
+      "\"dual_engine\": %s, %s, \"soa_seconds\": %.6f, "
       "\"soa_flits_per_sec\": %.0f, \"flits\": %lld, \"drained\": %s, "
       "\"identical\": %s}",
-      r.fabric.c_str(), r.workload.c_str(), r.aos_seconds, r.soa_seconds,
-      r.speedup(), r.soa_flits_per_sec(), r.flits,
-      r.drained ? "true" : "false", r.identical ? "true" : "false");
+      r.fabric.c_str(), r.workload.c_str(),
+      r.dual_engine ? "true" : "false", engine_fields, r.soa_seconds,
+      r.soa_flits_per_sec(), r.flits, r.drained ? "true" : "false",
+      r.identical ? "true" : "false");
   if (!json.empty()) json += ",\n";
   json += buf;
 }
@@ -257,7 +283,7 @@ int main(int argc, char** argv) {
   std::string entries;
   for (const Row& r : rows) append_json(entries, r);
   std::ofstream out(out_path);
-  out << "{\n  \"schema\": \"shg.bench_sim_scale.v1\",\n"
+  out << "{\n  \"schema\": \"shg.bench_sim_scale.v2\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"all_identical\": " << (all_identical ? "true" : "false")
       << ",\n"

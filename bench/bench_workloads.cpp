@@ -19,9 +19,21 @@
 // the workload-engine PR is >= 2x engine_serial / engine_batched
 // wall-clock on a 4-core runner.
 //
-// Output: a table on stdout + machine-readable JSON (default
-// BENCH_workloads.json; see --out). `--smoke` shrinks the simulated
-// cycle counts for CI; ratios stay meaningful.
+// Two more sections exercise the session simulation-result tier:
+//
+//  4. warm campaign — the same campaign run cold into a fresh session,
+//     then re-run warm against it. Gates: the warm run performs ZERO
+//     simulations, its JSON and CSV reports are byte-identical to the
+//     session-free run's, and it is >= 5x faster than the cold run;
+//  5. shard merge — the campaign split across two `run_experiment_shard`
+//     workers exchanging `shg.cache.v1` shard files, then merged into one
+//     session. Gates: the merge run performs zero simulations and its
+//     reports are byte-identical to the single-process run's.
+//
+// Output: a table on stdout + machine-readable JSON (schema
+// "shg.bench_workloads.v2", default BENCH_workloads.json; see --out).
+// `--smoke` shrinks the simulated cycle counts for CI; ratios stay
+// meaningful.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +42,7 @@
 #include <vector>
 
 #include "shg/common/parallel.hpp"
+#include "shg/customize/session.hpp"
 #include "shg/eval/experiment.hpp"
 #include "shg/topo/generators.hpp"
 #include "shg/topo/registry.hpp"
@@ -159,8 +172,68 @@ int main(int argc, char** argv) {
   std::printf("total speedup (legacy/batched):           %.2fx\n",
               total_speedup);
 
+  // -- Warm campaign: cold fill of a fresh session, then a warm re-run. --
+  eval::ExperimentSpec warm_spec = spec;
+  customize::Session session;
+  warm_spec.session = &session;
+
+  t0 = Clock::now();
+  const eval::ExperimentReport cold_report = eval::run_experiment(warm_spec);
+  const double cold_seconds = seconds_since(t0);
+  std::printf("campaign_cold   %8.3f s  (fresh session, %zu simulated)\n",
+              cold_seconds, cold_report.sim_simulated);
+
+  t0 = Clock::now();
+  const eval::ExperimentReport warm_report = eval::run_experiment(warm_spec);
+  const double warm_seconds = seconds_since(t0);
+  std::printf("campaign_warm   %8.3f s  (result tier, %zu simulated)\n",
+              warm_seconds, warm_report.sim_simulated);
+
+  const bool warm_zero_sims = warm_report.sim_simulated == 0;
+  // The session-attached reports (cold AND warm) must match the
+  // session-free run byte for byte — hits return exact cold bits and the
+  // tier never leaks into the rendered report.
+  const bool warm_identical = reports_identical(batched_report, cold_report) &&
+                              reports_identical(batched_report, warm_report);
+  const double warm_speedup =
+      warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+  std::printf("warm == cold == session-free reports: %s\n",
+              warm_identical ? "yes" : "NO — BUG");
+  std::printf("warm-campaign speedup (cold/warm):        %.2fx (gate: 5x)\n",
+              warm_speedup);
+
+  // -- Shard merge: two workers exchanging shard files, then a merge. --
+  const std::string shard_paths[2] = {out_path + ".shard0.cache",
+                                      out_path + ".shard1.cache"};
+  std::size_t shard_simulated = 0;
+  for (int s = 0; s < 2; ++s) {
+    customize::Session worker;
+    eval::ExperimentSpec worker_spec = spec;
+    worker_spec.session = &worker;
+    const eval::ShardRunStats stats =
+        eval::run_experiment_shard(worker_spec, s, 2);
+    shard_simulated += stats.simulated;
+    worker.sim_cache().save_file(shard_paths[s]);
+  }
+  customize::Session merge_session;
+  for (const std::string& path : shard_paths) {
+    merge_session.sim_cache().load_file(path);
+  }
+  eval::ExperimentSpec merge_spec = spec;
+  merge_spec.session = &merge_session;
+  const eval::ExperimentReport merge_report = eval::run_experiment(merge_spec);
+  for (const std::string& path : shard_paths) std::remove(path.c_str());
+
+  const bool merge_zero_sims = merge_report.sim_simulated == 0;
+  const bool merge_identical = reports_identical(batched_report, merge_report);
+  std::printf(
+      "2-shard merge: workers simulated %zu cells, merge simulated %zu, "
+      "report identical to single-process: %s\n",
+      shard_simulated, merge_report.sim_simulated,
+      merge_identical ? "yes" : "NO — BUG");
+
   std::ofstream out(out_path);
-  out << "{\n  \"schema\": \"shg.bench_workloads.v1\",\n"
+  out << "{\n  \"schema\": \"shg.bench_workloads.v2\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"threads\": " << threads << ",\n"
       << "  \"sims\": " << sims << ",\n"
@@ -170,7 +243,17 @@ int main(int argc, char** argv) {
       << "  \"batching_speedup\": " << batching_speedup << ",\n"
       << "  \"total_speedup\": " << total_speedup << ",\n"
       << "  \"reports_identical\": " << (identical ? "true" : "false")
-      << "\n}\n";
+      << ",\n"
+      << "  \"campaign_cold_seconds\": " << cold_seconds << ",\n"
+      << "  \"campaign_warm_seconds\": " << warm_seconds << ",\n"
+      << "  \"warm_speedup\": " << warm_speedup << ",\n"
+      << "  \"warm_simulated\": " << warm_report.sim_simulated << ",\n"
+      << "  \"warm_identical\": " << (warm_identical ? "true" : "false")
+      << ",\n"
+      << "  \"shard_merge_simulated\": " << merge_report.sim_simulated
+      << ",\n"
+      << "  \"shard_merge_identical\": "
+      << (merge_identical ? "true" : "false") << "\n}\n";
   out.close();
   if (!out) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
@@ -178,8 +261,29 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out_path.c_str());
 
-  // Exit non-zero when the determinism invariant is violated so CI can
-  // gate on the smoke run.
+  // Exit non-zero when any invariant is violated so CI can gate on the
+  // smoke run.
   if (!identical) return 1;
+  if (!warm_zero_sims || !warm_identical) {
+    std::fprintf(stderr,
+                 "FAIL: warm campaign simulated %zu cells (want 0) or "
+                 "diverged from the cold report\n",
+                 warm_report.sim_simulated);
+    return 1;
+  }
+  if (warm_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-campaign speedup %.2fx below the 5x acceptance "
+                 "bar\n",
+                 warm_speedup);
+    return 1;
+  }
+  if (!merge_zero_sims || !merge_identical) {
+    std::fprintf(stderr,
+                 "FAIL: 2-shard merge simulated %zu cells (want 0) or "
+                 "diverged from the single-process report\n",
+                 merge_report.sim_simulated);
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,274 @@
+// Experiment-campaign driver: the (topology x traffic x rate x seed)
+// sweeps behind the paper's Figure-6/Table-class results, run against the
+// session simulation-result tier — warm re-runs simulate only new cells —
+// and shardable across processes with byte-identical merged reports.
+//
+//   Single process (optionally warm across program runs via --cache):
+//     $ ./experiment_campaign --out report.json [--cache campaign.cache]
+//
+//   Sharded campaign: a coordinator hands out `--shard i/n` assignments
+//   (the cell partition is a pure function of the spec and i/n, so no
+//   other coordination is needed), each worker fills a per-shard cache
+//   file, and the merge step loads every shard and emits the canonical
+//   report — byte-identical to the single-process run, as the CI smoke
+//   asserts with cmp:
+//     $ ./experiment_campaign --shard 0/2 --cache shard0.cache
+//     $ ./experiment_campaign --shard 1/2 --cache shard1.cache
+//     $ ./experiment_campaign --merge shard0.cache,shard1.cache --out report.json
+//
+//   A lost or corrupt shard file is discarded with a warning; the merge
+//   run simulates the missing cells itself, so the report is still
+//   correct (just slower).
+//
+// The campaign itself is deterministic from the flags: mesh + torus + SHG
+// topologies on --grid (default 8x8), --traffic specs, --rates, seeds
+// 1..--seeds. --smoke shrinks the simulated cycle counts for CI.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shg/customize/session.hpp"
+#include "shg/eval/experiment.hpp"
+#include "shg/topo/generators.hpp"
+
+namespace {
+
+using namespace shg;
+
+struct Options {
+  int rows = 8;
+  int cols = 8;
+  std::vector<std::string> traffic = {"uniform", "transpose",
+                                      "hotspot:0,7:0.2"};
+  std::vector<double> rates = {0.02, 0.05, 0.10, 0.15};
+  int num_seeds = 3;
+  bool smoke = false;
+  std::string cache_path;              // sim-result tier file (warm/worker)
+  int shard_index = -1;                // >= 0 selects worker mode
+  int shard_count = 0;
+  std::vector<std::string> merge_paths;  // non-empty selects merge mode
+  std::string out_path;
+  std::string csv_path;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: experiment_campaign [--grid RxC] [--traffic s1,s2,...]\n"
+      "                           [--rates r1,r2,...] [--seeds N] [--smoke]\n"
+      "                           [--cache FILE] [--shard I/N]\n"
+      "                           [--merge F1,F2,...] [--out FILE]\n"
+      "                           [--csv FILE]\n");
+  return 2;
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--grid") == 0) {
+      const char* v = next();
+      if (v == nullptr ||
+          std::sscanf(v, "%dx%d", &opt.rows, &opt.cols) != 2 ||
+          opt.rows < 2 || opt.cols < 2) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--traffic") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.traffic = split_commas(v);
+    } else if (std::strcmp(argv[i], "--rates") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.rates.clear();
+      for (const std::string& field : split_commas(v)) {
+        opt.rates.push_back(std::atof(field.c_str()));
+      }
+    } else if (std::strcmp(argv[i], "--seeds") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return false;
+      opt.num_seeds = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.cache_path = v;
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      const char* v = next();
+      if (v == nullptr ||
+          std::sscanf(v, "%d/%d", &opt.shard_index, &opt.shard_count) != 2) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--merge") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.merge_paths = split_commas(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.out_path = v;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.csv_path = v;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+eval::ExperimentSpec make_spec(const Options& opt) {
+  eval::ExperimentSpec spec;
+  spec.name = "campaign-" + std::to_string(opt.rows) + "x" +
+              std::to_string(opt.cols);
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_mesh(opt.rows, opt.cols), {}, ""});
+  spec.topologies.push_back(
+      eval::TopologyCase{topo::make_torus(opt.rows, opt.cols), {}, ""});
+  spec.topologies.push_back(eval::TopologyCase{
+      topo::make_sparse_hamming(opt.rows, opt.cols, {4}, {2, 5}), {}, ""});
+  for (const std::string& workload : opt.traffic) {
+    spec.traffic.push_back(eval::TrafficCase{workload, nullptr, ""});
+  }
+  spec.rates = opt.rates;
+  for (int s = 1; s <= opt.num_seeds; ++s) {
+    spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  spec.config.sim.num_vcs = 2;
+  spec.config.sim.buffer_depth_flits = 8;
+  spec.config.sim.warmup_cycles = opt.smoke ? 150 : 500;
+  spec.config.sim.measure_cycles = opt.smoke ? 400 : 2000;
+  spec.config.sim.drain_cycles = opt.smoke ? 6000 : 20000;
+  return spec;
+}
+
+bool write_file(const std::string& path, const std::string& text,
+                const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s '%s'\n", what,
+                 path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
+  return true;
+}
+
+void print_tier_stats(const customize::Session& session,
+                      const eval::ExperimentReport& report) {
+  const customize::CacheStats& stats = session.sim_stats();
+  std::printf(
+      "[result tier] %zu cells: %zu served from cache, %zu simulated "
+      "(tier lifetime: %llu hits / %llu misses / %llu loaded from disk)\n",
+      report.sim_cells, report.sim_cache_hits, report.sim_simulated,
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.disk_loaded));
+}
+
+int emit_report(const Options& opt, const eval::ExperimentReport& report) {
+  if (!opt.out_path.empty() &&
+      !write_file(opt.out_path, eval::experiment_to_json(report),
+                  "JSON report")) {
+    return 1;
+  }
+  if (!opt.csv_path.empty() &&
+      !write_file(opt.csv_path, eval::experiment_to_csv(report),
+                  "CSV report")) {
+    return 1;
+  }
+  if (opt.out_path.empty() && opt.csv_path.empty()) {
+    std::printf("%s", eval::experiment_to_json(report).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  if (opt.shard_index >= 0 && !opt.merge_paths.empty()) {
+    std::fprintf(stderr, "error: --shard and --merge are exclusive modes\n");
+    return 2;
+  }
+
+  eval::ExperimentSpec spec = make_spec(opt);
+  const std::size_t cells = spec.topologies.size() * spec.traffic.size() *
+                            spec.rates.size() * spec.seeds.size();
+  std::printf("campaign %s: %zu topologies x %zu traffic x %zu rates x %zu "
+              "seeds = %zu cells\n",
+              spec.name.c_str(), spec.topologies.size(),
+              spec.traffic.size(), spec.rates.size(), spec.seeds.size(),
+              cells);
+
+  if (opt.shard_index >= 0) {
+    // Worker mode: fill this shard's cells into the per-shard cache file.
+    if (opt.cache_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --shard needs --cache FILE (the shard's output "
+                   "file)\n");
+      return 2;
+    }
+    customize::SessionOptions session_options;
+    session_options.sim_cache_path = opt.cache_path;
+    customize::Session session(session_options);
+    spec.session = &session;
+    const eval::ShardRunStats stats =
+        eval::run_experiment_shard(spec, opt.shard_index, opt.shard_count);
+    std::printf(
+        "shard %d/%d: %zu of %zu cells owned, %zu already cached, %zu "
+        "simulated\n",
+        opt.shard_index, opt.shard_count, stats.shard_cells,
+        stats.cells_total, stats.cache_hits, stats.simulated);
+    const std::size_t saved = session.save_sim();
+    std::printf("saved %zu cells to %s\n", saved, opt.cache_path.c_str());
+    return saved > 0 || stats.shard_cells == 0 ? 0 : 1;
+  }
+
+  if (!opt.merge_paths.empty()) {
+    // Merge mode: adopt every shard file, then run the full campaign —
+    // complete shards make this pure aggregation (zero simulations).
+    customize::Session session;
+    for (const std::string& path : opt.merge_paths) {
+      const std::size_t adopted = session.sim_cache().load_file(path);
+      std::printf("merged %zu cells from %s\n", adopted, path.c_str());
+    }
+    spec.session = &session;
+    const eval::ExperimentReport report = eval::run_experiment(spec);
+    print_tier_stats(session, report);
+    return emit_report(opt, report);
+  }
+
+  // Single-process mode; --cache makes re-runs warm across program runs.
+  customize::SessionOptions session_options;
+  session_options.sim_cache_path = opt.cache_path;  // may be empty
+  customize::Session session(session_options);
+  spec.session = &session;
+  const eval::ExperimentReport report = eval::run_experiment(spec);
+  print_tier_stats(session, report);
+  return emit_report(opt, report);
+}

@@ -10,14 +10,20 @@ namespace {
 // On-disk layout of `shg.cache.v1` (all integers little-endian):
 //   [0, 8)    magic "SHGCACHE"
 //   [8, 12)   format version (1)
-//   [12, 16)  reserved (0)
+//   [12, 16)  payload kind (0 = candidate metrics, 1 = simulation results;
+//             the field reuses bytes every pre-kind writer left zero, so
+//             old candidate files load unchanged)
 //   [16, 24)  entry count
 //   [24, 32)  FNV-1a 64 checksum of the payload bytes
-//   [32, ...) payload: count entries of (hi, lo, 4 metric doubles) = 48 B
+//   [32, ...) payload: count fixed-size entries of (hi, lo, kind-specific
+//             fields); 48 B for candidate metrics, 112 B for sim results
 constexpr char kMagic[8] = {'S', 'H', 'G', 'C', 'A', 'C', 'H', 'E'};
 constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kKindCandidate = 0;
+constexpr std::uint32_t kKindSimResult = 1;
 constexpr std::size_t kHeaderBytes = 32;
-constexpr std::size_t kEntryBytes = 48;
+constexpr std::size_t kCandidateEntryBytes = 48;
+constexpr std::size_t kSimResultEntryBytes = 112;
 
 void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -67,9 +73,92 @@ std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
 
 void warn_discard(const std::string& path, const char* reason) {
   std::fprintf(stderr,
-               "shg: warning: candidate cache '%s' %s; discarding it and "
-               "falling back to cold screening\n",
+               "shg: warning: cache file '%s' %s; discarding it and falling "
+               "back to cold recomputation\n",
                path.c_str(), reason);
+}
+
+/// Writes header + payload; warns and returns false on I/O failure.
+bool write_cache_file(const std::string& path, std::uint32_t kind,
+                      const std::vector<unsigned char>& payload,
+                      std::uint64_t count) {
+  std::vector<unsigned char> header;
+  header.reserve(kHeaderBytes);
+  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(header, kFormatVersion);
+  put_u32(header, kind);
+  put_u64(header, count);
+  put_u64(header, fnv1a(payload.data(), payload.size()));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "shg: warning: cannot write cache file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
+      (payload.empty() ||
+       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::fprintf(stderr, "shg: warning: short write to cache file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Reads and fully validates one cache file of the expected kind. On
+/// success fills `data` (whole file) and `count` and returns true; an
+/// absent file returns false silently (normal cold start); any validation
+/// failure warns, bumps `stats.disk_discarded` and returns false.
+bool read_cache_file(const std::string& path, std::uint32_t kind,
+                     std::size_t entry_bytes,
+                     std::vector<unsigned char>& data, std::uint64_t& count,
+                     CacheStats& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;  // absent is a normal cold start
+
+  data.clear();
+  unsigned char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+
+  const char* reason = nullptr;
+  count = 0;
+  if (!read_ok) {
+    reason = "could not be read";
+  } else if (data.size() < kHeaderBytes) {
+    reason = "is truncated (shorter than the header)";
+  } else if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    reason = "has a wrong magic (not an shg.cache file)";
+  } else if (get_u32(data.data() + 8) != kFormatVersion) {
+    reason = "has an unsupported format version";
+  } else if (get_u32(data.data() + 12) != kind) {
+    reason = "holds a different payload kind";
+  } else {
+    count = get_u64(data.data() + 16);
+    // Guard the size arithmetic against absurd counts before multiplying.
+    if (count > (data.size() / entry_bytes) + 1) {
+      reason = "is truncated (entry count exceeds the file size)";
+    } else if (data.size() != kHeaderBytes + count * entry_bytes) {
+      reason = "is truncated (size does not match the entry count)";
+    } else if (get_u64(data.data() + 24) !=
+               fnv1a(data.data() + kHeaderBytes, count * entry_bytes)) {
+      reason = "fails its payload checksum";
+    }
+  }
+  if (reason != nullptr) {
+    warn_discard(path, reason);
+    ++stats.disk_discarded;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -189,178 +278,90 @@ Fingerprint fingerprint_child(const Fingerprint& arch_fp,
   return b.done();
 }
 
-CandidateCache::CandidateCache(std::size_t capacity) : capacity_(capacity) {
-  SHG_REQUIRE(capacity_ > 0, "candidate cache capacity must be positive");
+// Tripwire: a new SimConfig field changes the struct size on the LP64
+// platforms CI runs, forcing whoever adds it to extend
+// fingerprint_sim_config below (and the perturb-every-field test in
+// tests/experiment_test.cpp) before cached cells can silently alias.
+static_assert(sizeof(void*) != 8 || sizeof(sim::SimConfig) == 80,
+              "SimConfig changed size: add the new field to "
+              "fingerprint_sim_config and to the perturbation test, then "
+              "update this assertion");
+
+Fingerprint fingerprint_sim_config(const sim::SimConfig& config) {
+  FingerprintBuilder b;
+  b.tag("shg.simconfig.v1");
+  b.i64(config.num_vcs).i64(config.buffer_depth_flits);
+  b.i64(config.router_delay_cycles);
+  b.i64(config.packet_size_flits);
+  b.f64(config.injection_rate);
+  b.i64(config.concentration);
+  b.i64(config.warmup_cycles).i64(config.measure_cycles);
+  b.i64(config.drain_cycles);
+  b.u64(config.use_route_table ? 1 : 0);
+  b.u64(config.verify_route_table ? 1 : 0);
+  b.u64(config.use_soa_engine ? 1 : 0);
+  b.u64(static_cast<std::uint64_t>(config.latency_sample_cap));
+  b.u64(config.seed);
+  return b.done();
 }
 
-void CandidateCache::unlink(std::size_t idx) {
-  Entry& e = entries_[idx];
-  if (e.newer != npos) {
-    entries_[e.newer].older = e.older;
-  } else {
-    head_ = e.older;
-  }
-  if (e.older != npos) {
-    entries_[e.older].newer = e.newer;
-  } else {
-    tail_ = e.newer;
-  }
-  e.newer = e.older = npos;
+Fingerprint fingerprint_sim_topology(const topo::Topology& topo,
+                                     const std::vector<int>& link_latencies,
+                                     int endpoints_per_tile) {
+  FingerprintBuilder b;
+  b.tag("shg.simtopo.v1");
+  b.fp(fingerprint_topology(topo));
+  // The family kind selects the default routing function, and the
+  // concentration remaps terminals; both change simulation results for
+  // equal edge sets, so both are keyed (unlike in the screening keys).
+  b.i64(static_cast<long long>(topo.kind()));
+  b.i64(topo.concentration());
+  b.u64(link_latencies.size());
+  for (int latency : link_latencies) b.i64(latency);
+  b.i64(endpoints_per_tile);
+  return b.done();
 }
 
-void CandidateCache::push_front(std::size_t idx) {
-  Entry& e = entries_[idx];
-  e.newer = npos;
-  e.older = head_;
-  if (head_ != npos) entries_[head_].newer = idx;
-  head_ = idx;
-  if (tail_ == npos) tail_ = idx;
+Fingerprint fingerprint_sim_cell(const Fingerprint& sim_topo_fp,
+                                 const std::string& traffic_canonical,
+                                 const sim::SimConfig& config) {
+  // "exact" domain separation as for the screening keys: both simulation
+  // engines are bit-identical by the oracle-tested engine contract, so
+  // they share this tag; any future approximate simulation mode must mint
+  // a new one.
+  FingerprintBuilder b;
+  b.tag("shg.simcell.exact.v1");
+  b.fp(sim_topo_fp);
+  b.str(traffic_canonical);
+  b.fp(fingerprint_sim_config(config));
+  return b.done();
 }
-
-void CandidateCache::evict_to_capacity() {
-  while (index_.size() > capacity_) {
-    const std::size_t victim = tail_;
-    SHG_ASSERT(victim != npos, "LRU list empty while over capacity");
-    unlink(victim);
-    index_.erase(entries_[victim].key);
-    free_.push_back(victim);
-    ++stats_.evictions;
-  }
-}
-
-std::optional<CandidateMetrics> CandidateCache::lookup(const Fingerprint& key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
-  }
-  ++stats_.hits;
-  unlink(it->second);
-  push_front(it->second);
-  return entries_[it->second].metrics;
-}
-
-void CandidateCache::insert(const Fingerprint& key,
-                            const CandidateMetrics& metrics) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    entries_[it->second].metrics = metrics;
-    unlink(it->second);
-    push_front(it->second);
-    return;
-  }
-  std::size_t idx;
-  if (!free_.empty()) {
-    idx = free_.back();
-    free_.pop_back();
-    entries_[idx].key = key;
-    entries_[idx].metrics = metrics;
-  } else {
-    idx = entries_.size();
-    entries_.push_back(Entry{key, metrics, npos, npos});
-  }
-  index_.emplace(key, idx);
-  push_front(idx);
-  ++stats_.insertions;
-  evict_to_capacity();
-}
-
-void CandidateCache::clear() {
-  entries_.clear();
-  free_.clear();
-  index_.clear();
-  head_ = tail_ = npos;
-}
-
-std::size_t CandidateCache::size() const { return index_.size(); }
 
 std::size_t CandidateCache::save_file(const std::string& path) const {
   std::vector<unsigned char> payload;
-  payload.reserve(index_.size() * kEntryBytes);
-  // Least-recent first: load_file re-inserts in file order, so a saved and
-  // reloaded cache has the same recency (and thus eviction) order.
+  payload.reserve(size() * kCandidateEntryBytes);
   std::size_t count = 0;
-  for (std::size_t idx = tail_; idx != npos; idx = entries_[idx].newer) {
-    const Entry& e = entries_[idx];
-    put_u64(payload, e.key.hi);
-    put_u64(payload, e.key.lo);
-    put_f64(payload, e.metrics.area_overhead);
-    put_f64(payload, e.metrics.avg_hops);
-    put_f64(payload, e.metrics.diameter);
-    put_f64(payload, e.metrics.throughput_bound);
+  for_each_lru([&](const Fingerprint& key, const CandidateMetrics& m) {
+    put_u64(payload, key.hi);
+    put_u64(payload, key.lo);
+    put_f64(payload, m.area_overhead);
+    put_f64(payload, m.avg_hops);
+    put_f64(payload, m.diameter);
+    put_f64(payload, m.throughput_bound);
     ++count;
-  }
-
-  std::vector<unsigned char> header;
-  header.reserve(kHeaderBytes);
-  header.insert(header.end(), kMagic, kMagic + sizeof(kMagic));
-  put_u32(header, kFormatVersion);
-  put_u32(header, 0);  // reserved
-  put_u64(header, count);
-  put_u64(header, fnv1a(payload.data(), payload.size()));
-
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "shg: warning: cannot write candidate cache '%s'\n",
-                 path.c_str());
-    return 0;
-  }
-  const bool ok =
-      std::fwrite(header.data(), 1, header.size(), f) == header.size() &&
-      (payload.empty() ||
-       std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
-  const bool closed = std::fclose(f) == 0;
-  if (!ok || !closed) {
-    std::fprintf(stderr, "shg: warning: short write to candidate cache '%s'\n",
-                 path.c_str());
-    return 0;
-  }
-  return count;
+  });
+  return write_cache_file(path, kKindCandidate, payload, count) ? count : 0;
 }
 
 std::size_t CandidateCache::load_file(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return 0;  // absent is a normal cold start, not an error
-
   std::vector<unsigned char> data;
-  unsigned char buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    data.insert(data.end(), buf, buf + n);
-  }
-  const bool read_ok = std::ferror(f) == 0;
-  std::fclose(f);
-
-  const char* reason = nullptr;
   std::uint64_t count = 0;
-  if (!read_ok) {
-    reason = "could not be read";
-  } else if (data.size() < kHeaderBytes) {
-    reason = "is truncated (shorter than the header)";
-  } else if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
-    reason = "has a wrong magic (not an shg.cache file)";
-  } else if (get_u32(data.data() + 8) != kFormatVersion) {
-    reason = "has an unsupported format version";
-  } else {
-    count = get_u64(data.data() + 16);
-    // Guard the size arithmetic against absurd counts before multiplying.
-    if (count > (data.size() / kEntryBytes) + 1) {
-      reason = "is truncated (entry count exceeds the file size)";
-    } else if (data.size() != kHeaderBytes + count * kEntryBytes) {
-      reason = "is truncated (size does not match the entry count)";
-    } else if (get_u64(data.data() + 24) !=
-               fnv1a(data.data() + kHeaderBytes, count * kEntryBytes)) {
-      reason = "fails its payload checksum";
-    }
-  }
-  if (reason != nullptr) {
-    warn_discard(path, reason);
-    ++stats_.disk_discarded;
+  if (!read_cache_file(path, kKindCandidate, kCandidateEntryBytes, data,
+                       count, stats_)) {
     return 0;
   }
-
   const unsigned char* p = data.data() + kHeaderBytes;
-  for (std::uint64_t i = 0; i < count; ++i, p += kEntryBytes) {
+  for (std::uint64_t i = 0; i < count; ++i, p += kCandidateEntryBytes) {
     Fingerprint key;
     key.hi = get_u64(p);
     key.lo = get_u64(p + 8);
@@ -370,6 +371,61 @@ std::size_t CandidateCache::load_file(const std::string& path) {
     metrics.diameter = get_f64(p + 32);
     metrics.throughput_bound = get_f64(p + 40);
     insert(key, metrics);
+  }
+  stats_.disk_loaded += count;
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t SimResultCache::save_file(const std::string& path) const {
+  std::vector<unsigned char> payload;
+  payload.reserve(size() * kSimResultEntryBytes);
+  std::size_t count = 0;
+  for_each_lru([&](const Fingerprint& key, const sim::SimResult& r) {
+    put_u64(payload, key.hi);
+    put_u64(payload, key.lo);
+    put_f64(payload, r.offered_rate);
+    put_f64(payload, r.accepted_rate);
+    put_f64(payload, r.avg_packet_latency);
+    put_f64(payload, r.max_packet_latency);
+    put_f64(payload, r.p50_packet_latency);
+    put_f64(payload, r.p95_packet_latency);
+    put_f64(payload, r.p99_packet_latency);
+    put_f64(payload, r.avg_hops);
+    put_f64(payload, r.fairness);
+    put_u64(payload, static_cast<std::uint64_t>(r.measured_packets));
+    put_u64(payload, r.drained ? 1 : 0);
+    put_u64(payload, static_cast<std::uint64_t>(r.cycles_run));
+    ++count;
+  });
+  return write_cache_file(path, kKindSimResult, payload, count) ? count : 0;
+}
+
+std::size_t SimResultCache::load_file(const std::string& path) {
+  std::vector<unsigned char> data;
+  std::uint64_t count = 0;
+  if (!read_cache_file(path, kKindSimResult, kSimResultEntryBytes, data,
+                       count, stats_)) {
+    return 0;
+  }
+  const unsigned char* p = data.data() + kHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i, p += kSimResultEntryBytes) {
+    Fingerprint key;
+    key.hi = get_u64(p);
+    key.lo = get_u64(p + 8);
+    sim::SimResult r;
+    r.offered_rate = get_f64(p + 16);
+    r.accepted_rate = get_f64(p + 24);
+    r.avg_packet_latency = get_f64(p + 32);
+    r.max_packet_latency = get_f64(p + 40);
+    r.p50_packet_latency = get_f64(p + 48);
+    r.p95_packet_latency = get_f64(p + 56);
+    r.p99_packet_latency = get_f64(p + 64);
+    r.avg_hops = get_f64(p + 72);
+    r.fairness = get_f64(p + 80);
+    r.measured_packets = static_cast<long long>(get_u64(p + 88));
+    r.drained = get_u64(p + 96) != 0;
+    r.cycles_run = static_cast<long long>(get_u64(p + 104));
+    insert(key, r);
   }
   stats_.disk_loaded += count;
   return static_cast<std::size_t>(count);

@@ -1,12 +1,15 @@
-// Content-addressed candidate cache: the storage layer of persistent DSE
-// sessions (customize/session.hpp).
+// Content-addressed caches: the storage layer of persistent DSE sessions
+// (customize/session.hpp).
 //
 // The customization methodology (Section V) iterates: the designer re-runs
 // DSE with tweaked cost weights, budgets or candidate bounds over largely
 // the same candidate space, and every re-invocation used to re-screen every
-// candidate from scratch. This module stores screening results keyed by a
-// canonical *fingerprint* of everything the result depends on, so repeated
-// invocations skip the screen entirely on a hit:
+// candidate from scratch. The same pressure exists one level up: the
+// evaluation campaigns behind Figure 6 / Tables 1 and 3 re-run largely
+// overlapping (topology x traffic x rate x seed) simulation grids. This
+// module stores both kinds of results keyed by a canonical *fingerprint* of
+// everything the result depends on, so repeated invocations skip the work
+// entirely on a hit:
 //
 //  * `Fingerprint` / `FingerprintBuilder` — a 128-bit content hash over a
 //    platform-independent byte stream (values are fed as explicit
@@ -31,24 +34,43 @@
 //    The delta is fingerprinted in *append order*: channel routing depends
 //    on the order links enter their length class, so two deltas with equal
 //    edge sets but different orders are distinct candidates.
+//  * `fingerprint_sim_config` / `fingerprint_sim_topology` /
+//    `fingerprint_sim_cell` — one experiment cell of the evaluation engine
+//    (eval/experiment.hpp): the simulated topology (edges, family kind —
+//    the kind selects the default routing function — concentration, link
+//    latencies, endpoint count), the workload's canonical TrafficSpec
+//    string, and EVERY field of `sim::SimConfig` including the injection
+//    rate and seed. The engine-selection flags (use_route_table /
+//    verify_route_table / use_soa_engine) are bit-identity-neutral by the
+//    simulator's oracle-tested contract, but they are keyed anyway: the
+//    cell key is deliberately total over SimConfig so that a new config
+//    field can never silently alias existing cache entries — the
+//    static_assert on sizeof(SimConfig) next to the routine (cache.cpp)
+//    and the perturb-every-field unit test enforce totality.
 //  * Screening-mode domain separation: every key mixes a version/mode tag.
 //    All current screening paths are exact (bit-identical to a fresh
 //    `screen_candidate` / `screen_topology` run) and share one tag; a
 //    future non-exact mode (e.g. relaxed routing) must use a new tag so its
 //    values can never be served to an exact caller.
 //
-// `CandidateCache` is the store itself: an LRU-bounded hash map from
-// fingerprint to `CandidateMetrics`, with an optional on-disk tier in the
-// versioned binary format `shg.cache.v1` (magic + version + entry count +
-// payload checksum). Loading validates magic, version, size and checksum
-// and DISCARDS the file on any mismatch — a corrupt, truncated or
-// future-version cache file degrades to cold screening with a warning on
-// stderr, never to a crash or a stale result.
+// `FingerprintLruCache<Value>` is the store itself: an LRU-bounded hash map
+// from fingerprint to a fixed-size value. `CandidateCache` (screening
+// metrics) and `SimResultCache` (complete per-cell `sim::SimResult`s,
+// every double by bit pattern) instantiate it and add an on-disk tier in
+// the versioned binary format `shg.cache.v1` (magic + version + payload
+// kind + entry count + payload checksum). The payload-kind field keeps the
+// two tiers' files mutually unloadable: a sim-result file handed to the
+// candidate loader (or vice versa) is rejected like any other corrupt
+// file. Loading validates magic, version, kind, size and checksum and
+// DISCARDS the file on any mismatch — a corrupt, truncated or
+// future-version cache file degrades to cold screening/simulation with a
+// warning on stderr, never to a crash or a stale result.
 //
-// Exactness & concurrency: cached values are the bits a cold screen
-// produced, so hits are bit-identical to re-screening by construction.
-// The cache is NOT thread-safe (lookup mutates recency); callers do cache
-// traffic on one thread and fan out only the misses (see session.cpp).
+// Exactness & concurrency: cached values are the bits a cold
+// screen/simulation produced, so hits are bit-identical to recomputing by
+// construction. The caches are NOT thread-safe (lookup mutates recency);
+// callers do cache traffic on one thread and fan out only the misses (see
+// session.cpp / eval/experiment.cpp).
 #pragma once
 
 #include <cstdint>
@@ -58,6 +80,7 @@
 #include <vector>
 
 #include "shg/customize/search.hpp"
+#include "shg/sim/simulator.hpp"
 
 namespace shg::customize {
 
@@ -125,6 +148,31 @@ Fingerprint fingerprint_child(const Fingerprint& arch_fp,
                               const Fingerprint& parent_fp,
                               const std::vector<graph::Edge>& new_edges);
 
+/// Fingerprint of EVERY `sim::SimConfig` field, in declaration order —
+/// including the injection rate and seed (the experiment engine overrides
+/// them per cell before keying) and the result-neutral engine-selection
+/// flags (totality over the struct beats a marginally higher hit rate; see
+/// file comment). The static_assert on sizeof(SimConfig) in cache.cpp
+/// trips when a field is added without extending this routine.
+Fingerprint fingerprint_sim_config(const sim::SimConfig& config);
+
+/// The topology half of an experiment-cell key: everything a simulation
+/// reads from the `eval::TopologyCase` — the graph (edge list in edge-id
+/// order), the family kind (it selects the default routing function), the
+/// concentration, the per-link latencies (cost-model output; materialize
+/// the unit-latency default before keying) and the endpoint count.
+Fingerprint fingerprint_sim_topology(const topo::Topology& topo,
+                                     const std::vector<int>& link_latencies,
+                                     int endpoints_per_tile);
+
+/// Key of one experiment cell: (simulated topology, canonical TrafficSpec
+/// string, full per-cell SimConfig — rate and seed already applied).
+/// Workloads given as borrowed `TrafficPattern` pointers have no canonical
+/// string and are not content-addressable; the engine never keys them.
+Fingerprint fingerprint_sim_cell(const Fingerprint& sim_topo_fp,
+                                 const std::string& traffic_canonical,
+                                 const sim::SimConfig& config);
+
 /// Counters of one cache's traffic (monotonic over its lifetime).
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -135,51 +183,125 @@ struct CacheStats {
   std::uint64_t disk_discarded = 0;  ///< files rejected by validation
 };
 
-/// LRU-bounded fingerprint -> CandidateMetrics store with an optional
-/// on-disk tier (format `shg.cache.v1`; see file comment).
-class CandidateCache {
+/// LRU-bounded fingerprint -> Value store: the in-memory tier shared by the
+/// candidate and simulation-result caches. Values are small fixed-size
+/// structs stored by value in a slab; the recency list is intrusive
+/// (indices, no allocation per touch).
+template <class Value>
+class FingerprintLruCache {
  public:
-  explicit CandidateCache(std::size_t capacity);
+  explicit FingerprintLruCache(std::size_t capacity) : capacity_(capacity) {
+    SHG_REQUIRE(capacity_ > 0, "cache capacity must be positive");
+  }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
+  std::size_t size() const { return index_.size(); }
   const CacheStats& stats() const { return stats_; }
 
-  /// Returns the cached metrics and refreshes the entry's recency, or
+  /// Returns the cached value and refreshes the entry's recency, or
   /// nullopt on a miss.
-  std::optional<CandidateMetrics> lookup(const Fingerprint& key);
+  std::optional<Value> lookup(const Fingerprint& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    unlink(it->second);
+    push_front(it->second);
+    return entries_[it->second].value;
+  }
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
   /// entries beyond capacity.
-  void insert(const Fingerprint& key, const CandidateMetrics& metrics);
+  void insert(const Fingerprint& key, const Value& value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_[it->second].value = value;
+      unlink(it->second);
+      push_front(it->second);
+      return;
+    }
+    std::size_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+      entries_[idx].key = key;
+      entries_[idx].value = value;
+    } else {
+      idx = entries_.size();
+      entries_.push_back(Entry{key, value, npos, npos});
+    }
+    index_.emplace(key, idx);
+    push_front(idx);
+    ++stats_.insertions;
+    evict_to_capacity();
+  }
 
-  void clear();
+  void clear() {
+    entries_.clear();
+    free_.clear();
+    index_.clear();
+    head_ = tail_ = npos;
+  }
 
-  /// Writes every entry to `path` (least-recent first, so a later
-  /// load_file reconstructs the same recency order). Returns the number of
-  /// entries written; on I/O failure warns on stderr and returns 0.
-  std::size_t save_file(const std::string& path) const;
+  /// Visits every (key, value) least-recent first — the save order: a
+  /// loader re-inserting in visit order reconstructs the same recency (and
+  /// thus eviction) order.
+  template <class Fn>
+  void for_each_lru(Fn&& fn) const {
+    for (std::size_t idx = tail_; idx != npos; idx = entries_[idx].newer) {
+      fn(entries_[idx].key, entries_[idx].value);
+    }
+  }
 
-  /// Merges the entries of a `shg.cache.v1` file into the cache (insert
-  /// semantics: capacity and recency apply). Validation failures — missing
-  /// file, bad magic, version mismatch, truncation, checksum mismatch —
-  /// discard the file with a warning on stderr and return 0, leaving the
-  /// cache untouched. Returns the number of entries adopted.
-  std::size_t load_file(const std::string& path);
+ protected:
+  CacheStats stats_;  ///< subclasses bump the disk counters
 
  private:
   struct Entry {
     Fingerprint key;
-    CandidateMetrics metrics;
+    Value value;
     /// Neighbors in the recency list (indices into entries_; npos = end).
     std::size_t newer = npos;
     std::size_t older = npos;
   };
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  void unlink(std::size_t idx);
-  void push_front(std::size_t idx);
-  void evict_to_capacity();
+  void unlink(std::size_t idx) {
+    Entry& e = entries_[idx];
+    if (e.newer != npos) {
+      entries_[e.newer].older = e.older;
+    } else {
+      head_ = e.older;
+    }
+    if (e.older != npos) {
+      entries_[e.older].newer = e.newer;
+    } else {
+      tail_ = e.newer;
+    }
+    e.newer = e.older = npos;
+  }
+
+  void push_front(std::size_t idx) {
+    Entry& e = entries_[idx];
+    e.newer = npos;
+    e.older = head_;
+    if (head_ != npos) entries_[head_].newer = idx;
+    head_ = idx;
+    if (tail_ == npos) tail_ = idx;
+  }
+
+  void evict_to_capacity() {
+    while (index_.size() > capacity_) {
+      const std::size_t victim = tail_;
+      SHG_ASSERT(victim != npos, "LRU list empty while over capacity");
+      unlink(victim);
+      index_.erase(entries_[victim].key);
+      free_.push_back(victim);
+      ++stats_.evictions;
+    }
+  }
 
   std::size_t capacity_;
   std::vector<Entry> entries_;  ///< slab; freed slots recycled via free_
@@ -187,7 +309,44 @@ class CandidateCache {
   std::size_t head_ = npos;  ///< most recent
   std::size_t tail_ = npos;  ///< least recent
   std::unordered_map<Fingerprint, std::size_t, FingerprintHash> index_;
-  CacheStats stats_;
+};
+
+/// Screening-metrics store (48 B/entry on disk, payload kind 0 — the
+/// original `shg.cache.v1` layout, byte-compatible with files written
+/// before the kind field existed).
+class CandidateCache : public FingerprintLruCache<CandidateMetrics> {
+ public:
+  using FingerprintLruCache::FingerprintLruCache;
+
+  /// Writes every entry to `path` (least-recent first, so a later
+  /// load_file reconstructs the same recency order). Returns the number of
+  /// entries written; on I/O failure warns on stderr and returns 0.
+  std::size_t save_file(const std::string& path) const;
+
+  /// Merges the entries of a `shg.cache.v1` candidate file into the cache
+  /// (insert semantics: capacity and recency apply). Validation failures —
+  /// missing file, bad magic, version or payload-kind mismatch,
+  /// truncation, checksum mismatch — discard the file with a warning on
+  /// stderr and return 0, leaving the cache untouched. Returns the number
+  /// of entries adopted.
+  std::size_t load_file(const std::string& path);
+};
+
+/// Simulation-result store: complete per-cell `sim::SimResult`s (every
+/// double by bit pattern, so a hit reproduces the cold report bytes).
+/// 112 B/entry on disk, payload kind 1; per-shard files of this tier are
+/// the exchange medium of sharded experiment campaigns
+/// (eval::run_experiment_shard).
+class SimResultCache : public FingerprintLruCache<sim::SimResult> {
+ public:
+  using FingerprintLruCache::FingerprintLruCache;
+
+  /// Same contract as CandidateCache::save_file.
+  std::size_t save_file(const std::string& path) const;
+
+  /// Same contract as CandidateCache::load_file, for payload kind 1 —
+  /// repeated calls with different shard files merge them into one tier.
+  std::size_t load_file(const std::string& path);
 };
 
 }  // namespace shg::customize

@@ -8,20 +8,25 @@ namespace shg::customize {
 
 Session::Session(SessionOptions options)
     : options_(std::move(options)),
-      cache_(options_.capacity == 0 ? 1 : options_.capacity) {
+      cache_(options_.capacity == 0 ? 1 : options_.capacity),
+      sim_results_(options_.sim_capacity == 0 ? 1 : options_.sim_capacity) {
   SHG_REQUIRE(options_.capacity > 0, "session capacity must be positive");
   SHG_REQUIRE(options_.artifact_capacity > 0,
               "artifact capacity must be positive");
-  if (options_.autoload && !options_.cache_path.empty()) {
-    load();
+  SHG_REQUIRE(options_.sim_capacity > 0,
+              "simulation-result capacity must be positive");
+  if (options_.autoload) {
+    if (!options_.cache_path.empty()) load();
+    if (!options_.sim_cache_path.empty()) load_sim();
   }
 }
 
 Session::~Session() {
-  if (options_.autosave && !options_.cache_path.empty()) {
+  if (options_.autosave) {
     // Best effort: destructors must not throw, and save_file reports its
     // own failures on stderr.
-    save();
+    if (!options_.cache_path.empty()) save();
+    if (!options_.sim_cache_path.empty()) save_sim();
   }
 }
 
@@ -33,6 +38,16 @@ std::size_t Session::load() {
 std::size_t Session::save() {
   if (options_.cache_path.empty()) return 0;
   return cache_.save_file(options_.cache_path);
+}
+
+std::size_t Session::load_sim() {
+  if (options_.sim_cache_path.empty()) return 0;
+  return sim_results_.load_file(options_.sim_cache_path);
+}
+
+std::size_t Session::save_sim() {
+  if (options_.sim_cache_path.empty()) return 0;
+  return sim_results_.save_file(options_.sim_cache_path);
 }
 
 std::shared_ptr<const void> Session::find_artifact(const Fingerprint& key) {

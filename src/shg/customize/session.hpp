@@ -18,6 +18,14 @@
 //    convention (every artifact kind mixes its own domain tag into the
 //    fingerprint, so keys of different kinds can never collide). This tier
 //    is memory-only: it dies with the process.
+//  * a simulation-result tier (SimResultCache): complete per-cell
+//    `sim::SimResult`s keyed by `fingerprint_sim_cell` — (topology, link
+//    latencies, endpoint count, canonical traffic spec, full SimConfig
+//    with rate and seed). `eval::run_experiment` consults it before
+//    simulating, so overlapping campaigns (added seeds, widened rate
+//    grids, refined sweeps) only simulate the new cells, and its per-shard
+//    `shg.cache.v1` files (payload kind 1) are the exchange medium of
+//    sharded campaigns (`eval::run_experiment_shard` + a merge load).
 //
 // Wiring: pass a Session through `SearchOptions::session` /
 // `ExploreOptions::session` (default off) or `eval::ExperimentSpec::
@@ -52,12 +60,20 @@ struct SessionOptions {
   /// Artifact-tier LRU capacity, in artifacts (route tables, cost
   /// reports; each may be MBs — keep this small).
   std::size_t artifact_capacity = 64;
+  /// Simulation-result-tier LRU capacity, in cells (112 B each on disk;
+  /// the default holds the largest Figure-6-class campaign hundreds of
+  /// times over).
+  std::size_t sim_capacity = std::size_t{1} << 16;
   /// On-disk tier for the candidate cache; empty = memory-only.
   std::string cache_path;
-  /// Load `cache_path` on construction (no-op when the file is absent;
-  /// corrupt files are discarded with a warning).
+  /// On-disk tier for the simulation-result cache (a campaign's cache
+  /// file, or one worker's shard file); empty = memory-only.
+  std::string sim_cache_path;
+  /// Load `cache_path` / `sim_cache_path` on construction (no-op when a
+  /// file is absent; corrupt files are discarded with a warning).
   bool autoload = true;
-  /// Save `cache_path` on destruction (best effort; never throws).
+  /// Save `cache_path` / `sim_cache_path` on destruction (best effort;
+  /// never throws).
   bool autosave = true;
 };
 
@@ -92,6 +108,33 @@ class Session {
   /// written (0 when no path is configured or the write failed).
   std::size_t save();
 
+  // -- Simulation-result tier -----------------------------------------------
+
+  /// Cached simulation result for an experiment-cell key
+  /// (fingerprint_sim_cell), or nullopt. Hits refresh recency and return
+  /// the exact bits the cold simulation produced.
+  std::optional<sim::SimResult> lookup_sim(const Fingerprint& key) {
+    return sim_results_.lookup(key);
+  }
+  /// Stores one simulated cell (evicting LRU entries beyond capacity).
+  void store_sim(const Fingerprint& key, const sim::SimResult& result) {
+    sim_results_.insert(key, result);
+  }
+
+  const CacheStats& sim_stats() const { return sim_results_.stats(); }
+  /// Direct tier access: campaign drivers merge shard files with
+  /// `sim_cache().load_file(shard_path)` and write per-shard files with
+  /// `sim_cache().save_file(...)` (repeated loads merge; corrupt shards
+  /// are discarded with a warning and the affected cells simulate cold).
+  SimResultCache& sim_cache() { return sim_results_; }
+
+  /// Loads `options().sim_cache_path` now (also called by the constructor
+  /// when `autoload`); returns cells adopted.
+  std::size_t load_sim();
+  /// Saves the result tier to `options().sim_cache_path`; returns cells
+  /// written (0 when no path is configured or the write failed).
+  std::size_t save_sim();
+
   // -- Artifact tier --------------------------------------------------------
 
   /// Shared immutable artifact for `key`, or null. Hits refresh recency.
@@ -112,6 +155,7 @@ class Session {
 
   SessionOptions options_;
   CandidateCache cache_;
+  SimResultCache sim_results_;
   std::vector<Artifact> artifacts_;  ///< tiny; linear scan, tick-stamped LRU
   std::uint64_t artifact_tick_ = 0;
   std::uint64_t artifact_hits_ = 0;

@@ -136,108 +136,174 @@ void ExperimentSpec::validate() const {
   }
 }
 
-ExperimentReport run_experiment(const ExperimentSpec& spec) {
-  spec.validate();
-  const std::vector<std::uint64_t> seeds =
-      spec.seeds.empty() ? std::vector<std::uint64_t>{spec.config.sim.seed}
-                         : spec.seeds;
-  const std::size_t num_topos = spec.topologies.size();
-  const std::size_t num_traffic = spec.traffic.size();
-  const std::size_t num_rates = spec.rates.size();
-  const std::size_t num_seeds = seeds.size();
+namespace {
 
-  // Per-topology setup: unit link latencies where unspecified, and one
-  // shared route table per topology — built in parallel, each used
-  // read-only by every run on that topology afterwards.
-  std::vector<std::vector<int>> latencies(num_topos);
-  std::vector<std::shared_ptr<const sim::RouteTable>> tables(num_topos);
-  for (std::size_t t = 0; t < num_topos; ++t) {
-    const TopologyCase& tc = spec.topologies[t];
-    latencies[t] = tc.link_latencies.empty()
-                       ? std::vector<int>(
-                             static_cast<std::size_t>(
-                                 tc.topology.graph().num_edges()),
-                             1)
-                       : tc.link_latencies;
-  }
-  // With a session attached, tables hit its artifact tier across
-  // run_experiment calls; only the misses are built (in parallel, as
-  // before) and stored back. Session traffic stays on this thread.
-  std::vector<std::size_t> to_build;
-  std::vector<customize::Fingerprint> table_keys(num_topos);
-  const bool use_session_tables =
-      spec.session != nullptr && spec.config.sim.use_route_table;
-  for (std::size_t t = 0; t < num_topos; ++t) {
+/// Shared prep of one campaign: everything run_experiment and
+/// run_experiment_shard both need before any cell can simulate — resolved
+/// seeds, materialized link latencies, shared route tables (artifact-tier
+/// reuse when a session is attached), per-(topology, traffic) patterns,
+/// and — with a session — the result-tier key of every cacheable cell.
+/// Tables are built for every topology even on a fully warm run: the
+/// report's route-table footprint section must be byte-identical between
+/// cold and warm invocations, and the artifact tier makes the warm build
+/// a lookup in-process.
+struct CellEngine {
+  const ExperimentSpec& spec;
+  std::vector<std::uint64_t> seeds;
+  std::size_t num_topos;
+  std::size_t num_traffic;
+  std::size_t num_rates;
+  std::size_t num_seeds;
+  std::vector<std::vector<int>> latencies;
+  std::vector<std::shared_ptr<const sim::RouteTable>> tables;
+  std::vector<sim::TrafficSpec> parsed;
+  std::vector<std::unique_ptr<sim::TrafficPattern>> owned_patterns;
+  std::vector<const sim::TrafficPattern*> patterns;
+  /// cell_keys[i] is valid iff a session is attached and cacheable(i);
+  /// borrowed patterns have no canonical string to key.
+  std::vector<customize::Fingerprint> cell_keys;
+
+  explicit CellEngine(const ExperimentSpec& experiment_spec)
+      : spec(experiment_spec) {
+    spec.validate();
+    seeds = spec.seeds.empty()
+                ? std::vector<std::uint64_t>{spec.config.sim.seed}
+                : spec.seeds;
+    num_topos = spec.topologies.size();
+    num_traffic = spec.traffic.size();
+    num_rates = spec.rates.size();
+    num_seeds = seeds.size();
+
+    // Per-topology setup: unit link latencies where unspecified, and one
+    // shared route table per topology — built in parallel, each used
+    // read-only by every run on that topology afterwards.
+    latencies.resize(num_topos);
+    tables.resize(num_topos);
+    for (std::size_t t = 0; t < num_topos; ++t) {
+      const TopologyCase& tc = spec.topologies[t];
+      latencies[t] = tc.link_latencies.empty()
+                         ? std::vector<int>(
+                               static_cast<std::size_t>(
+                                   tc.topology.graph().num_edges()),
+                               1)
+                         : tc.link_latencies;
+    }
+    // With a session attached, tables hit its artifact tier across
+    // run_experiment calls; only the misses are built (in parallel, as
+    // before) and stored back. Session traffic stays on this thread.
+    std::vector<std::size_t> to_build;
+    std::vector<customize::Fingerprint> table_keys(num_topos);
+    const bool use_session_tables =
+        spec.session != nullptr && spec.config.sim.use_route_table;
+    for (std::size_t t = 0; t < num_topos; ++t) {
+      if (use_session_tables) {
+        table_keys[t] = route_table_key(spec.topologies[t].topology,
+                                        spec.config.sim.num_vcs);
+        if (const auto artifact =
+                spec.session->find_artifact(table_keys[t])) {
+          tables[t] =
+              std::static_pointer_cast<const sim::RouteTable>(artifact);
+          continue;
+        }
+      }
+      to_build.push_back(t);
+    }
+    parallel_for(to_build.size(), [&](std::size_t i) {
+      const std::size_t t = to_build[i];
+      tables[t] =
+          make_shared_route_table(spec.topologies[t].topology, spec.config);
+    });
     if (use_session_tables) {
-      table_keys[t] = route_table_key(spec.topologies[t].topology,
-                                      spec.config.sim.num_vcs);
-      if (const auto artifact = spec.session->find_artifact(table_keys[t])) {
-        tables[t] =
-            std::static_pointer_cast<const sim::RouteTable>(artifact);
-        continue;
+      for (std::size_t t : to_build) {
+        if (tables[t] != nullptr) {
+          spec.session->store_artifact(table_keys[t], tables[t]);
+        }
       }
     }
-    to_build.push_back(t);
-  }
-  parallel_for(to_build.size(), [&](std::size_t i) {
-    const std::size_t t = to_build[i];
-    tables[t] =
-        make_shared_route_table(spec.topologies[t].topology, spec.config);
-  });
-  if (use_session_tables) {
-    for (std::size_t t : to_build) {
-      if (tables[t] != nullptr) {
-        spec.session->store_artifact(table_keys[t], tables[t]);
-      }
-    }
-  }
 
-  // Per (topology, traffic) patterns. Spec-built patterns are owned here;
-  // borrowed patterns are used as-is. Patterns are stateless (all state
-  // lives in the per-run PRNG), so sharing one across runs is safe.
-  std::vector<sim::TrafficSpec> parsed(num_traffic);
-  for (std::size_t w = 0; w < num_traffic; ++w) {
-    if (spec.traffic[w].pattern == nullptr) {
-      parsed[w] = sim::TrafficSpec::parse(spec.traffic[w].spec);
-    }
-  }
-  std::vector<std::unique_ptr<sim::TrafficPattern>> owned_patterns(
-      num_topos * num_traffic);
-  std::vector<const sim::TrafficPattern*> patterns(num_topos * num_traffic);
-  for (std::size_t t = 0; t < num_topos; ++t) {
+    // Per (topology, traffic) patterns. Spec-built patterns are owned
+    // here; borrowed patterns are used as-is. Patterns are stateless (all
+    // state lives in the per-run PRNG), so sharing one across runs is
+    // safe.
+    parsed.resize(num_traffic);
     for (std::size_t w = 0; w < num_traffic; ++w) {
-      const std::size_t i = t * num_traffic + w;
-      if (spec.traffic[w].pattern != nullptr) {
-        patterns[i] = spec.traffic[w].pattern;
-      } else {
-        owned_patterns[i] = parsed[w].make_pattern(
-            spec.topologies[t].topology.rows(),
-            spec.topologies[t].topology.cols(),
-            spec.topologies[t].topology.concentration());
-        patterns[i] = owned_patterns[i].get();
+      if (spec.traffic[w].pattern == nullptr) {
+        parsed[w] = sim::TrafficSpec::parse(spec.traffic[w].spec);
+      }
+    }
+    owned_patterns.resize(num_topos * num_traffic);
+    patterns.resize(num_topos * num_traffic);
+    for (std::size_t t = 0; t < num_topos; ++t) {
+      for (std::size_t w = 0; w < num_traffic; ++w) {
+        const std::size_t i = t * num_traffic + w;
+        if (spec.traffic[w].pattern != nullptr) {
+          patterns[i] = spec.traffic[w].pattern;
+        } else {
+          owned_patterns[i] = parsed[w].make_pattern(
+              spec.topologies[t].topology.rows(),
+              spec.topologies[t].topology.cols(),
+              spec.topologies[t].topology.concentration());
+          patterns[i] = owned_patterns[i].get();
+        }
+      }
+    }
+
+    if (spec.session != nullptr) {
+      // The result-tier keys: one per cacheable cell, composed from a
+      // per-topology prefix so the topology is hashed once, not per cell.
+      std::vector<customize::Fingerprint> topo_fps(num_topos);
+      for (std::size_t t = 0; t < num_topos; ++t) {
+        topo_fps[t] = customize::fingerprint_sim_topology(
+            spec.topologies[t].topology, latencies[t],
+            spec.endpoints_per_tile);
+      }
+      cell_keys.resize(total());
+      for (std::size_t i = 0; i < total(); ++i) {
+        std::size_t t, w, r, s;
+        decompose(i, t, w, r, s);
+        if (!cacheable(w)) continue;
+        cell_keys[i] = customize::fingerprint_sim_cell(
+            topo_fps[t], parsed[w].canonical(), cell_config(r, s));
       }
     }
   }
 
-  // The flat fan-out: every (topology, traffic, rate, seed) cell is an
-  // independent simulation writing into its own slot.
-  const std::size_t total = num_topos * num_traffic * num_rates * num_seeds;
-  std::vector<sim::SimResult> runs(total);
-  parallel_for(total, [&](std::size_t i) {
-    const std::size_t s = i % num_seeds;
-    const std::size_t r = (i / num_seeds) % num_rates;
-    const std::size_t w = (i / (num_seeds * num_rates)) % num_traffic;
-    const std::size_t t = i / (num_seeds * num_rates * num_traffic);
+  std::size_t total() const {
+    return num_topos * num_traffic * num_rates * num_seeds;
+  }
+
+  /// Inverts the flat cell index (seed fastest, topology slowest).
+  void decompose(std::size_t i, std::size_t& t, std::size_t& w,
+                 std::size_t& r, std::size_t& s) const {
+    s = i % num_seeds;
+    r = (i / num_seeds) % num_rates;
+    w = (i / (num_seeds * num_rates)) % num_traffic;
+    t = i / (num_seeds * num_rates * num_traffic);
+  }
+
+  bool cacheable(std::size_t w) const {
+    return spec.traffic[w].pattern == nullptr;
+  }
+
+  sim::SimConfig cell_config(std::size_t r, std::size_t s) const {
     sim::SimConfig config = spec.config.sim;
     config.injection_rate = spec.rates[r];
     config.seed = seeds[s];
+    return config;
+  }
+
+  /// One independent simulation; safe to call from worker threads (all
+  /// shared state is read-only, all mutable state is cell-private).
+  sim::SimResult simulate(std::size_t i) const {
+    std::size_t t, w, r, s;
+    decompose(i, t, w, r, s);
+    const sim::SimConfig config = cell_config(r, s);
     std::unique_ptr<sim::InjectionProcess> process;
     if (spec.traffic[w].pattern == nullptr) {
       // With concentration, the concentration factor is the per-tile
       // endpoint count (the Simulator enforces endpoints_per_tile == 1).
       const int conc = spec.topologies[t].topology.concentration();
-      const int ports_per_tile =
-          conc > 1 ? conc : spec.endpoints_per_tile;
+      const int ports_per_tile = conc > 1 ? conc : spec.endpoints_per_tile;
       process = parsed[w].make_process(
           config.injection_rate /
               static_cast<double>(config.packet_size_flits),
@@ -247,12 +313,72 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
                              config, *patterns[t * num_traffic + w],
                              spec.endpoints_per_tile, nullptr, tables[t],
                              std::move(process));
-    runs[i] = simulator.run();
+    return simulator.run();
+  }
+};
+
+}  // namespace
+
+ExperimentReport run_experiment(const ExperimentSpec& spec) {
+  const CellEngine engine(spec);
+  const std::size_t num_topos = engine.num_topos;
+  const std::size_t num_traffic = engine.num_traffic;
+  const std::size_t num_rates = engine.num_rates;
+  const std::size_t num_seeds = engine.num_seeds;
+  const std::vector<std::shared_ptr<const sim::RouteTable>>& tables =
+      engine.tables;
+  const std::vector<sim::TrafficSpec>& parsed = engine.parsed;
+
+  // Result-tier lookups happen serially on this thread (the session is
+  // single-threaded by design); only the misses fan out below. Hits
+  // restore the exact SimResult bits the cold simulation produced, so the
+  // aggregated report is byte-identical either way.
+  const std::size_t total = engine.total();
+  std::vector<sim::SimResult> runs(total);
+  std::vector<std::size_t> to_sim;
+  std::size_t hits = 0;
+  if (spec.session != nullptr) {
+    to_sim.reserve(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      std::size_t t, w, r, s;
+      engine.decompose(i, t, w, r, s);
+      if (engine.cacheable(w)) {
+        if (const auto hit = spec.session->lookup_sim(engine.cell_keys[i])) {
+          runs[i] = *hit;
+          ++hits;
+          continue;
+        }
+      }
+      to_sim.push_back(i);
+    }
+  } else {
+    to_sim.resize(total);
+    for (std::size_t i = 0; i < total; ++i) to_sim[i] = i;
+  }
+
+  // The flat fan-out: every remaining (topology, traffic, rate, seed)
+  // cell is an independent simulation writing into its own slot.
+  parallel_for(to_sim.size(), [&](std::size_t k) {
+    runs[to_sim[k]] = engine.simulate(to_sim[k]);
   });
+  if (spec.session != nullptr) {
+    // Store in ascending cell order so the result tier's LRU order — and
+    // therefore any later eviction — is deterministic.
+    for (std::size_t i : to_sim) {
+      std::size_t t, w, r, s;
+      engine.decompose(i, t, w, r, s);
+      if (engine.cacheable(w)) {
+        spec.session->store_sim(engine.cell_keys[i], runs[i]);
+      }
+    }
+  }
 
   // Serial aggregation in index order keeps the report deterministic.
   ExperimentReport report;
   report.name = spec.name;
+  report.sim_cells = total;
+  report.sim_cache_hits = hits;
+  report.sim_simulated = to_sim.size();
   report.points.reserve(num_topos * num_traffic * num_rates);
   for (std::size_t t = 0; t < num_topos; ++t) {
     const TopologyCase& tc = spec.topologies[t];
@@ -293,6 +419,47 @@ ExperimentReport run_experiment(const ExperimentSpec& spec) {
     }
   }
   return report;
+}
+
+ShardRunStats run_experiment_shard(const ExperimentSpec& spec,
+                                   int shard_index, int shard_count) {
+  SHG_REQUIRE(spec.session != nullptr,
+              "sharded campaigns need a session: its result tier is the "
+              "worker's only output");
+  SHG_REQUIRE(shard_count >= 1 && shard_index >= 0 &&
+                  shard_index < shard_count,
+              "shard index must be in [0, shard_count)");
+  const CellEngine engine(spec);
+
+  ShardRunStats stats;
+  stats.cells_total = engine.total();
+  std::vector<std::size_t> to_sim;
+  for (std::size_t i = static_cast<std::size_t>(shard_index);
+       i < engine.total(); i += static_cast<std::size_t>(shard_count)) {
+    ++stats.shard_cells;
+    std::size_t t, w, r, s;
+    engine.decompose(i, t, w, r, s);
+    // Borrowed patterns have no cache key, so a worker cannot hand their
+    // results to the merge step; the merge run simulates them itself.
+    if (!engine.cacheable(w)) continue;
+    if (spec.session->lookup_sim(engine.cell_keys[i]).has_value()) {
+      ++stats.cache_hits;
+      continue;
+    }
+    to_sim.push_back(i);
+  }
+
+  std::vector<sim::SimResult> results(to_sim.size());
+  parallel_for(to_sim.size(), [&](std::size_t k) {
+    results[k] = engine.simulate(to_sim[k]);
+  });
+  // Ascending cell order keeps the tier's LRU (and shard-file) order a
+  // pure function of the spec and shard assignment.
+  for (std::size_t k = 0; k < to_sim.size(); ++k) {
+    spec.session->store_sim(engine.cell_keys[to_sim[k]], results[k]);
+  }
+  stats.simulated = to_sim.size();
+  return stats;
 }
 
 std::string experiment_to_csv(const ExperimentReport& report) {

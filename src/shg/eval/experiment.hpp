@@ -58,14 +58,24 @@ struct ExperimentSpec {
   std::vector<std::uint64_t> seeds;        ///< empty = {config.sim.seed}
   int endpoints_per_tile = 1;
   PerfConfig config;                       ///< sim knobs; rate/seed overridden
-  /// Persistent DSE session (default off): route tables are looked up in /
-  /// stored into the session's artifact tier, keyed by (topology edge
-  /// list, VC count), so repeated experiments over overlapping topology
-  /// sets build each table once per session instead of once per
-  /// run_experiment call. Reports are identical with or without a session
-  /// (the cached table is the same deduplicated CSR, and simulation is
-  /// bit-identical by the route-table contract). Not owned; must outlive
-  /// the call; accessed on the calling thread only.
+  /// Persistent DSE session (default off). Two tiers engage:
+  ///  * route tables are looked up in / stored into the artifact tier,
+  ///    keyed by (topology edge list, family kind, VC count), so repeated
+  ///    experiments over overlapping topology sets build each table once
+  ///    per session instead of once per run_experiment call;
+  ///  * completed cells are looked up in / stored into the
+  ///    simulation-result tier, keyed by fingerprint_sim_cell over
+  ///    (topology + latencies + endpoints, canonical traffic spec, full
+  ///    per-cell SimConfig), so an overlapping re-invocation — added
+  ///    seeds, widened rate grids, a refined sweep, or a fully warm
+  ///    re-run — only simulates the cells it has never seen. Workloads
+  ///    passed as borrowed TrafficCase::pattern pointers have no canonical
+  ///    string and always simulate.
+  /// Reports are byte-identical with or without a session: the cached
+  /// table is the same deduplicated CSR, and a result-tier hit returns the
+  /// exact SimResult bits the cold simulation produced (the warm-campaign
+  /// bench gate and tests/experiment_test.cpp enforce it). Not owned; must
+  /// outlive the call; accessed on the calling thread only.
   customize::Session* session = nullptr;
 
   void validate() const;
@@ -118,11 +128,45 @@ struct ExperimentReport {
   /// One entry per topology with a shared route table (empty when
   /// SimConfig::use_route_table is off), in spec order.
   std::vector<TableFootprint> route_tables;
+  /// Result-tier accounting of this invocation (all zero without a
+  /// session). Deliberately NOT rendered into the JSON/CSV reports: the
+  /// rendered bytes must be identical between a cold and a warm run, and
+  /// these counters are the one thing that legitimately differs. Drivers
+  /// print them separately.
+  std::size_t sim_cells = 0;       ///< cells in the (t, w, r, s) grid
+  std::size_t sim_cache_hits = 0;  ///< served from the session result tier
+  std::size_t sim_simulated = 0;   ///< actually simulated by this call
 };
 
 /// Executes the spec: shared route table per topology, one parallel_for
-/// over every (topology, traffic, rate, seed) cell, serial aggregation.
+/// over every (topology, traffic, rate, seed) cell — minus the cells the
+/// session result tier already holds — and serial aggregation.
 ExperimentReport run_experiment(const ExperimentSpec& spec);
+
+/// Result of one worker's shard of a campaign (see run_experiment_shard).
+struct ShardRunStats {
+  std::size_t cells_total = 0;  ///< full campaign grid size
+  std::size_t shard_cells = 0;  ///< cells owned by this shard
+  std::size_t cache_hits = 0;   ///< shard cells already in the result tier
+  std::size_t simulated = 0;    ///< shard cells simulated by this call
+};
+
+/// One worker of a sharded campaign: simulates only the cells whose flat
+/// grid index i (seed-fastest, topology-slowest — the run_experiment
+/// order) satisfies i % shard_count == shard_index, filling the REQUIRED
+/// `spec.session`'s result tier and producing no report. The partition is
+/// a pure function of (spec, shard_index, shard_count), so a coordinator
+/// can hand out `--shard i/n` assignments without further communication.
+/// Workers persist their tier via SessionOptions::sim_cache_path (or
+/// Session::sim_cache().save_file); a merge step loads every shard file
+/// into one session and calls run_experiment, which then simulates
+/// nothing and emits a report byte-identical to a single-process run —
+/// cells a lost or corrupt shard failed to deliver are simulated by the
+/// merge itself, so the merged report is correct either way. Workloads
+/// borrowed as TrafficCase::pattern have no cache key; shard workers skip
+/// them (the merge run simulates those cells itself).
+ShardRunStats run_experiment_shard(const ExperimentSpec& spec,
+                                   int shard_index, int shard_count);
 
 /// Long-format CSV, one row per point; labels are csv_field-escaped.
 std::string experiment_to_csv(const ExperimentReport& report);

@@ -9,6 +9,11 @@
 namespace shg::sim {
 
 /// Knobs of one simulation run.
+///
+/// Every field is part of the experiment-cell cache key
+/// (customize::fingerprint_sim_config) — a sizeof-based static_assert next
+/// to that routine trips when a field is added here without extending it,
+/// so new knobs cannot silently alias cached simulation results.
 struct SimConfig {
   // Router microarchitecture ("input-queued routers with 8 virtual channels
   // and 32-flit buffers", Section V-b).

@@ -21,7 +21,11 @@
 
 namespace shg::sim {
 
-/// Result of one simulation run at a fixed injection rate.
+/// Result of one simulation run at a fixed injection rate. The struct is
+/// plain scalar data on purpose: the session result tier
+/// (customize/cache.hpp, SimResultCache) serializes every field by bit
+/// pattern, so a cache hit reproduces a cold run's report bytes exactly —
+/// a new field here must be added to that serializer.
 struct SimResult {
   double offered_rate = 0.0;   ///< flits / cycle / endpoint port
   double accepted_rate = 0.0;  ///< ejected flits / cycle / endpoint port
@@ -36,6 +40,10 @@ struct SimResult {
   long long measured_packets = 0;
   bool drained = true;  ///< all measured packets ejected within the budget
   long long cycles_run = 0;
+
+  /// Exact (bit-level for the doubles) equality — the comparison the
+  /// engine-identity and cache-identity oracles gate on.
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 /// One simulation: a topology with per-link latencies, a router

@@ -1,13 +1,20 @@
 // Tests for the batched experiment engine: spec validation, determinism
 // across worker counts, multi-seed aggregation, the sweep_load_latency
 // wrapper's bit-identity with the engine-free implementation it replaced,
-// and CSV/JSON rendering (including comma-label escaping).
+// CSV/JSON rendering (including comma-label escaping), and the session
+// simulation-result tier — warm-run bit-identity, overlap reuse, cell-key
+// sensitivity (every SimConfig field), sharded campaigns, and the shard-
+// file corruption matrix (cold fallback, never stale bits).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "shg/common/parallel.hpp"
+#include "shg/customize/session.hpp"
 #include "shg/eval/experiment.hpp"
 #include "shg/eval/sweep.hpp"
 #include "shg/topo/generators.hpp"
@@ -239,6 +246,318 @@ TEST(Experiment, Figure6SpecRunsThroughEngine) {
     EXPECT_TRUE(point.all_drained);
     EXPECT_GT(point.avg_latency.mean, 0.0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Session simulation-result tier
+// ---------------------------------------------------------------------------
+
+std::string report_bytes(const ExperimentReport& report) {
+  return experiment_to_json(report) + experiment_to_csv(report);
+}
+
+/// The session-free rendering of small_spec() — the oracle every
+/// session-backed variant must reproduce byte for byte. Computed once.
+const std::string& reference_bytes() {
+  static const std::string bytes = report_bytes(run_experiment(small_spec()));
+  return bytes;
+}
+
+TEST(ResultTier, WarmRunZeroSimsByteIdentical) {
+  ExperimentSpec spec = small_spec();
+  customize::Session session;
+  spec.session = &session;
+
+  const ExperimentReport cold = run_experiment(spec);
+  const std::size_t cells = spec.topologies.size() * spec.traffic.size() *
+                            spec.rates.size() * spec.seeds.size();
+  EXPECT_EQ(cold.sim_cells, cells);
+  EXPECT_EQ(cold.sim_cache_hits, 0u);
+  EXPECT_EQ(cold.sim_simulated, cells);
+  EXPECT_EQ(report_bytes(cold), reference_bytes());
+
+  const ExperimentReport warm = run_experiment(spec);
+  EXPECT_EQ(warm.sim_cache_hits, cells);
+  EXPECT_EQ(warm.sim_simulated, 0u);  // a fully warm run simulates nothing
+  EXPECT_EQ(report_bytes(warm), reference_bytes());
+}
+
+TEST(ResultTier, OverlapOnlySimulatesNewCells) {
+  ExperimentSpec spec = small_spec();
+  customize::Session session;
+  spec.session = &session;
+  spec.seeds = {1, 2};
+  run_experiment(spec);
+
+  // Widen the campaign by one seed: only the new cells simulate, and the
+  // report matches a session-free run of the widened spec exactly.
+  spec.seeds = {1, 2, 3};
+  const ExperimentReport warm = run_experiment(spec);
+  const std::size_t per_seed =
+      spec.topologies.size() * spec.traffic.size() * spec.rates.size();
+  EXPECT_EQ(warm.sim_cache_hits, 2u * per_seed);
+  EXPECT_EQ(warm.sim_simulated, per_seed);
+  EXPECT_EQ(report_bytes(warm), reference_bytes());
+}
+
+TEST(ResultTier, BorrowedPatternCellsAlwaysSimulate) {
+  // Workloads passed as borrowed TrafficPattern pointers have no canonical
+  // string, so they are never cached — a warm re-run re-simulates exactly
+  // those cells, and both runs render identically.
+  ExperimentSpec spec = small_spec();
+  const auto pattern = sim::make_uniform(16);
+  spec.traffic[1] = TrafficCase{"", pattern.get(), "borrowed-uniform"};
+  customize::Session session;
+  spec.session = &session;
+
+  const ExperimentReport cold = run_experiment(spec);
+  const ExperimentReport warm = run_experiment(spec);
+  const std::size_t borrowed_cells =
+      spec.topologies.size() * spec.rates.size() * spec.seeds.size();
+  EXPECT_EQ(warm.sim_cache_hits, cold.sim_cells - borrowed_cells);
+  EXPECT_EQ(warm.sim_simulated, borrowed_cells);
+  EXPECT_EQ(report_bytes(warm), report_bytes(cold));
+}
+
+TEST(ResultTier, ShardMergeMatchesSingleProcess) {
+  // The sharded campaign protocol end to end, including a shard count that
+  // does not divide the grid evenly: workers partition the cells exactly,
+  // and the merged session serves every cell without simulating.
+  for (const int shard_count : {2, 5}) {
+    customize::Session merged;
+    std::size_t worker_simulated = 0;
+    std::size_t owned = 0;
+    for (int s = 0; s < shard_count; ++s) {
+      const std::string path = testing::TempDir() + "/shard" +
+                               std::to_string(s) + "of" +
+                               std::to_string(shard_count) + ".cache";
+      customize::Session worker;
+      ExperimentSpec spec = small_spec();
+      spec.session = &worker;
+      const ShardRunStats stats =
+          run_experiment_shard(spec, s, shard_count);
+      EXPECT_EQ(stats.simulated, stats.shard_cells);  // fresh worker
+      worker_simulated += stats.simulated;
+      owned += stats.shard_cells;
+      EXPECT_EQ(worker.sim_cache().save_file(path), stats.shard_cells);
+      EXPECT_EQ(merged.sim_cache().load_file(path), stats.shard_cells);
+      std::remove(path.c_str());
+    }
+    ExperimentSpec spec = small_spec();
+    const std::size_t cells = spec.topologies.size() * spec.traffic.size() *
+                              spec.rates.size() * spec.seeds.size();
+    EXPECT_EQ(owned, cells);             // exact partition, no overlap
+    EXPECT_EQ(worker_simulated, cells);  // each cell simulated exactly once
+    spec.session = &merged;
+    const ExperimentReport report = run_experiment(spec);
+    EXPECT_EQ(report.sim_simulated, 0u) << shard_count << " shards";
+    EXPECT_EQ(report_bytes(report), reference_bytes())
+        << shard_count << " shards";
+  }
+}
+
+TEST(ResultTier, ShardRunValidation) {
+  ExperimentSpec spec = small_spec();
+  EXPECT_THROW(run_experiment_shard(spec, 0, 2), Error);  // session required
+  customize::Session session;
+  spec.session = &session;
+  EXPECT_THROW(run_experiment_shard(spec, 2, 2), Error);
+  EXPECT_THROW(run_experiment_shard(spec, -1, 2), Error);
+  EXPECT_THROW(run_experiment_shard(spec, 0, 0), Error);
+}
+
+/// Rewrites one byte of a file in place.
+void flip_byte(const std::string& path, long offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(offset);
+  f.write(&c, 1);
+}
+
+/// Corruption matrix for per-shard result-tier files: every damaged file
+/// must be discarded with a warning and the campaign must fall back to
+/// cold simulation with a byte-identical report — never crash, never
+/// serve stale bits.
+class ShardCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/sim-shard-corrupt.cache";
+    customize::Session worker;
+    ExperimentSpec spec = small_spec();
+    spec.session = &worker;
+    const ShardRunStats stats = run_experiment_shard(spec, 0, 1);
+    ASSERT_EQ(worker.sim_cache().save_file(path_), stats.shard_cells);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void expect_cold_fallback() {
+    customize::Session session;
+    EXPECT_EQ(session.sim_cache().load_file(path_), 0u);
+    EXPECT_EQ(session.sim_cache().size(), 0u);
+    EXPECT_EQ(session.sim_stats().disk_discarded, 1u);
+    ExperimentSpec spec = small_spec();
+    spec.session = &session;
+    const ExperimentReport report = run_experiment(spec);
+    EXPECT_EQ(report.sim_cache_hits, 0u);
+    EXPECT_EQ(report.sim_simulated, report.sim_cells);
+    EXPECT_EQ(report_bytes(report), reference_bytes());
+  }
+
+  std::string path_;
+};
+
+TEST_F(ShardCorruptionTest, TruncatedHeaderFallsBackCold) {
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << "SHGCACH";
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, TruncatedPayloadFallsBackCold) {
+  std::ifstream in(path_, std::ios::binary);
+  std::vector<char> data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() - 13);  // mid-entry truncation
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, FlippedChecksumByteFallsBackCold) {
+  flip_byte(path_, 24);  // inside the stored checksum
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, FlippedPayloadByteFallsBackCold) {
+  flip_byte(path_, 32 + 50);  // inside the first entry's SimResult
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, FutureVersionFallsBackCold) {
+  flip_byte(path_, 8);  // version field
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, WrongMagicFallsBackCold) {
+  flip_byte(path_, 0);
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, WrongPayloadKindFallsBackCold) {
+  flip_byte(path_, 12);  // payload-kind field: no longer a sim-result file
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, CandidateFileFedToSimLoaderFallsBackCold) {
+  // A real, checksum-valid candidate-tier file is still the wrong payload
+  // kind for the result tier — it must be rejected, not reinterpreted.
+  customize::CandidateCache candidates(4);
+  customize::CandidateMetrics metrics;
+  metrics.area_overhead = 0.25;
+  candidates.insert(
+      customize::FingerprintBuilder().tag("test.key").u64(1).done(), metrics);
+  ASSERT_EQ(candidates.save_file(path_), 1u);
+  expect_cold_fallback();
+}
+
+TEST_F(ShardCorruptionTest, LostShardIsSimulatedByTheMerge) {
+  // One good shard of two, the other corrupt: the merge discards the bad
+  // file, serves the good shard's cells, simulates the rest, and still
+  // renders the canonical bytes.
+  const std::string good = testing::TempDir() + "/sim-shard-good.cache";
+  customize::Session worker;
+  ExperimentSpec spec = small_spec();
+  spec.session = &worker;
+  const ShardRunStats stats = run_experiment_shard(spec, 1, 2);
+  ASSERT_EQ(worker.sim_cache().save_file(good), stats.shard_cells);
+  flip_byte(path_, 32 + 5);  // the full-grid file from SetUp, now corrupt
+
+  customize::Session merged;
+  EXPECT_EQ(merged.sim_cache().load_file(path_), 0u);
+  EXPECT_EQ(merged.sim_cache().load_file(good), stats.shard_cells);
+  std::remove(good.c_str());
+  ExperimentSpec merge_spec = small_spec();
+  merge_spec.session = &merged;
+  const ExperimentReport report = run_experiment(merge_spec);
+  EXPECT_EQ(report.sim_cache_hits, stats.shard_cells);
+  EXPECT_EQ(report.sim_simulated, report.sim_cells - stats.shard_cells);
+  EXPECT_EQ(report_bytes(report), reference_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Cell-key fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(ResultTierKeys, SimConfigFingerprintCoversEveryField) {
+  // Perturb every SimConfig field in turn: each must change the config
+  // fingerprint, and no two perturbations may alias. When this test (or
+  // the sizeof static_assert next to fingerprint_sim_config) fails after
+  // adding a field, extend both the fingerprint and this list.
+  const sim::SimConfig base;
+  std::vector<sim::SimConfig> perturbed(14, base);
+  perturbed[0].num_vcs += 1;
+  perturbed[1].buffer_depth_flits += 1;
+  perturbed[2].router_delay_cycles += 1;
+  perturbed[3].packet_size_flits += 1;
+  perturbed[4].injection_rate += 0.01;
+  perturbed[5].concentration += 1;
+  perturbed[6].warmup_cycles += 1;
+  perturbed[7].measure_cycles += 1;
+  perturbed[8].drain_cycles += 1;
+  perturbed[9].use_route_table = !base.use_route_table;
+  perturbed[10].verify_route_table = !base.verify_route_table;
+  perturbed[11].use_soa_engine = !base.use_soa_engine;
+  perturbed[12].latency_sample_cap += 1;
+  perturbed[13].seed += 1;
+
+  std::vector<customize::Fingerprint> fps;
+  fps.push_back(customize::fingerprint_sim_config(base));
+  EXPECT_EQ(fps[0], customize::fingerprint_sim_config(base));
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    fps.push_back(customize::fingerprint_sim_config(perturbed[i]));
+  }
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    for (std::size_t j = i + 1; j < fps.size(); ++j) {
+      EXPECT_FALSE(fps[i] == fps[j]) << "field " << i << " aliases " << j;
+    }
+  }
+}
+
+TEST(ResultTierKeys, CellKeyTracksEveryIngredient) {
+  const topo::Topology mesh = topo::make_mesh(4, 4);
+  const std::vector<int> unit(
+      static_cast<std::size_t>(mesh.graph().num_edges()), 1);
+  const customize::Fingerprint topo_fp =
+      customize::fingerprint_sim_topology(mesh, unit, 1);
+  EXPECT_EQ(topo_fp, customize::fingerprint_sim_topology(mesh, unit, 1));
+
+  // Link latencies and endpoint count are physical inputs to the cell.
+  std::vector<int> slower = unit;
+  slower[3] = 2;
+  EXPECT_FALSE(topo_fp == customize::fingerprint_sim_topology(mesh, slower, 1));
+  EXPECT_FALSE(topo_fp == customize::fingerprint_sim_topology(mesh, unit, 2));
+  // Family kind feeds routing even on an identical edge set: an SHG with
+  // empty skip sets has the mesh's edges but must not share its cells.
+  const topo::Topology shg = topo::make_sparse_hamming(4, 4, {}, {});
+  const std::vector<int> shg_unit(
+      static_cast<std::size_t>(shg.graph().num_edges()), 1);
+  EXPECT_FALSE(topo_fp ==
+               customize::fingerprint_sim_topology(shg, shg_unit, 1));
+
+  const sim::SimConfig config;
+  const customize::Fingerprint cell =
+      customize::fingerprint_sim_cell(topo_fp, "uniform", config);
+  EXPECT_EQ(cell, customize::fingerprint_sim_cell(topo_fp, "uniform", config));
+  EXPECT_FALSE(cell ==
+               customize::fingerprint_sim_cell(topo_fp, "transpose", config));
+  sim::SimConfig reseeded = config;
+  reseeded.seed += 1;
+  EXPECT_FALSE(cell ==
+               customize::fingerprint_sim_cell(topo_fp, "uniform", reseeded));
 }
 
 }  // namespace

@@ -264,6 +264,108 @@ TEST(CandidateCache, AbsentFileIsASilentColdStart) {
 }
 
 // ---------------------------------------------------------------------------
+// Simulation-result cache
+// ---------------------------------------------------------------------------
+
+sim::SimResult result_of(double v) {
+  sim::SimResult r;
+  r.offered_rate = v;
+  r.accepted_rate = v + 0.5;
+  r.avg_packet_latency = v + 1.0;
+  r.max_packet_latency = v + 2.0;
+  r.p50_packet_latency = v + 3.0;
+  r.p95_packet_latency = v + 4.0;
+  r.p99_packet_latency = v + 5.0;
+  r.avg_hops = v + 6.0;
+  r.fairness = v + 7.0;
+  r.measured_packets = static_cast<long long>(v) + 8;
+  r.drained = static_cast<long long>(v) % 2 == 0;
+  r.cycles_run = static_cast<long long>(v) + 9;
+  return r;
+}
+
+TEST(SimResultCache, LruEvictsLeastRecentlyUsed) {
+  SimResultCache cache(2);
+  cache.insert(key_of(1), result_of(1.0));
+  cache.insert(key_of(2), result_of(2.0));
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());  // 2 becomes the victim
+  cache.insert(key_of(3), result_of(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SimResultCache, DiskRoundTripPreservesEveryField) {
+  const std::string path = temp_cache_path("sim-roundtrip.cache");
+  SimResultCache cache(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.insert(key_of(i), result_of(static_cast<double>(i)));
+  }
+  EXPECT_EQ(cache.save_file(path), 5u);
+
+  SimResultCache loaded(16);
+  EXPECT_EQ(loaded.load_file(path), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto hit = loaded.lookup(key_of(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, result_of(static_cast<double>(i))) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SimResultCache, PayloadKindsNeverCrossLoad) {
+  // Both tiers share the shg.cache.v1 container; the payload-kind header
+  // field keeps their files apart. Feeding either kind to the other loader
+  // must discard, not reinterpret.
+  const std::string path = temp_cache_path("kind-cross.cache");
+  CandidateCache candidates(4);
+  candidates.insert(key_of(1), metrics_of(1.0));
+  ASSERT_EQ(candidates.save_file(path), 1u);
+  SimResultCache sims(4);
+  EXPECT_EQ(sims.load_file(path), 0u);
+  EXPECT_EQ(sims.stats().disk_discarded, 1u);
+
+  sims.insert(key_of(2), result_of(2.0));
+  ASSERT_EQ(sims.save_file(path), 1u);
+  CandidateCache reloaded(4);
+  EXPECT_EQ(reloaded.load_file(path), 0u);
+  EXPECT_EQ(reloaded.stats().disk_discarded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(SimResultCache, RepeatedLoadsMergeShards) {
+  // The merge step of a sharded campaign: one session adopting several
+  // shard files accumulates their union.
+  const std::string a = temp_cache_path("sim-shard-a.cache");
+  const std::string b = temp_cache_path("sim-shard-b.cache");
+  {
+    SimResultCache shard(8);
+    shard.insert(key_of(1), result_of(1.0));
+    shard.insert(key_of(2), result_of(2.0));
+    ASSERT_EQ(shard.save_file(a), 2u);
+  }
+  {
+    SimResultCache shard(8);
+    shard.insert(key_of(3), result_of(3.0));
+    ASSERT_EQ(shard.save_file(b), 1u);
+  }
+  SessionOptions options;
+  options.autosave = false;
+  Session session(options);
+  EXPECT_EQ(session.sim_cache().load_file(a), 2u);
+  EXPECT_EQ(session.sim_cache().load_file(b), 1u);
+  EXPECT_EQ(session.sim_cache().size(), 3u);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto hit = session.lookup_sim(key_of(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, result_of(static_cast<double>(i))) << i;
+  }
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Warm-session oracles
 // ---------------------------------------------------------------------------
 
