@@ -1,0 +1,206 @@
+// Serving-layer benchmark: request throughput of a warm resident Service
+// (src/shg/serve/) as the worker count grows, plus the warm-path
+// acceptance gates CI runs on every push.
+//
+// Setup: one sharded Session behind one Service. A cold serial pass runs a
+// mixed request set — screens over a skip-set grid, one smoke experiment
+// campaign, one customize search — and records every response's "result"
+// bytes as the reference. Warm passes then re-issue the same set
+// repeatedly from a WorkerPool at 1/2/4/max workers.
+//
+// Acceptance gates (non-zero exit so CI can gate on the smoke run):
+//  * warm byte-identity — every warm response's "result" must equal the
+//    cold reference byte for byte, at every worker count (the serve
+//    layer's determinism contract under concurrency);
+//  * zero BFS warm — every warm screen response must report 0 candidate
+//    tier misses (nothing is re-screened);
+//  * zero simulations warm — every warm experiment response must report 0
+//    simulated cells (the whole campaign is served from the result tier).
+//
+// Output: a table on stdout and machine-readable JSON (default
+// BENCH_serve.json; see --out). `--smoke` shrinks the repetition counts
+// for CI; the gates are unaffected.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shg/common/parallel.hpp"
+#include "shg/serve/service.hpp"
+
+namespace {
+
+using namespace shg;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchRequest {
+  serve::Request parsed;
+  std::string cold_result;  // reference "result" bytes from the cold pass
+};
+
+/// The mixed request set: a screen grid plus one experiment campaign and
+/// one customize search, all through the wire-protocol parser.
+std::vector<std::string> request_lines() {
+  std::vector<std::string> lines;
+  for (int row = 2; row <= 7; ++row) {
+    for (int col = 2; col <= 7; ++col) {
+      lines.push_back("{\"op\":\"screen\",\"id\":\"s" + std::to_string(row) +
+                      std::to_string(col) +
+                      "\",\"scenario\":\"a\",\"row_skips\":[" +
+                      std::to_string(row) + "],\"col_skips\":[" +
+                      std::to_string(col) + "]}");
+    }
+  }
+  lines.push_back(
+      "{\"op\":\"screen\",\"id\":\"sp\",\"scenario\":\"a\","
+      "\"row_skips\":[4],\"col_skips\":[2,5]}");
+  lines.push_back(
+      "{\"op\":\"experiment\",\"id\":\"e1\",\"grid\":\"6x6\","
+      "\"traffic\":[\"uniform\"],\"rates\":[0.05,0.1],\"seeds\":1,"
+      "\"smoke\":true}");
+  lines.push_back("{\"op\":\"customize\",\"id\":\"c1\",\"scenario\":\"a\"}");
+  return lines;
+}
+
+struct Row {
+  int workers = 0;
+  std::size_t requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("usage: bench_serve [--smoke] [--out file.json]\n");
+      return 2;
+    }
+  }
+
+  serve::Service service;  // sharded session defaults
+  std::vector<BenchRequest> set;
+  for (const std::string& line : request_lines()) {
+    BenchRequest request;
+    request.parsed = service.parse_request(line);
+    if (!request.parsed.valid) {
+      std::printf("FAIL: bench request rejected: %s\n",
+                  request.parsed.error.c_str());
+      return 1;
+    }
+    set.push_back(std::move(request));
+  }
+
+  // Cold serial pass: the reference bytes (and the tier warm-up).
+  std::printf("bench_serve (%s): %zu requests, cold pass...\n",
+              smoke ? "smoke" : "full", set.size());
+  bool cold_ok = true;
+  const Clock::time_point cold_start = Clock::now();
+  for (BenchRequest& request : set) {
+    const serve::Response response = service.execute(request.parsed);
+    if (!response.ok || response.result_json.empty()) {
+      std::printf("FAIL: cold request %s: %s\n", request.parsed.id_json.c_str(),
+                  response.error.c_str());
+      cold_ok = false;
+    }
+    request.cold_result = response.result_json;
+  }
+  const double cold_seconds = seconds_since(cold_start);
+  std::printf("  cold: %.3fs\n", cold_seconds);
+  if (!cold_ok) return 1;
+
+  // Warm passes: same requests, growing worker counts. The gates hold at
+  // every count; throughput should grow until tier locking saturates.
+  std::atomic<bool> warm_identical{true};
+  std::atomic<bool> zero_screen_miss{true};
+  std::atomic<bool> zero_sims{true};
+  std::vector<int> worker_counts = {1, 2, 4, max_threads()};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(
+      std::unique(worker_counts.begin(), worker_counts.end()),
+      worker_counts.end());
+  const int reps = smoke ? 5 : 40;
+
+  std::vector<Row> rows;
+  for (int workers : worker_counts) {
+    WorkerPool pool(workers);
+    const Clock::time_point start = Clock::now();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const BenchRequest& request : set) {
+        pool.submit([&service, &request, &warm_identical, &zero_screen_miss,
+                     &zero_sims] {
+          const serve::Response response = service.execute(request.parsed);
+          if (!response.ok || response.result_json != request.cold_result) {
+            warm_identical.store(false, std::memory_order_relaxed);
+          }
+          if (request.parsed.op == serve::Op::kScreen &&
+              response.op_misses != 0) {
+            zero_screen_miss.store(false, std::memory_order_relaxed);
+          }
+          if (request.parsed.op == serve::Op::kExperiment &&
+              response.op_simulated != 0) {
+            zero_sims.store(false, std::memory_order_relaxed);
+          }
+        });
+      }
+    }
+    pool.drain();
+    Row row;
+    row.workers = workers;
+    row.requests = set.size() * static_cast<std::size_t>(reps);
+    row.seconds = seconds_since(start);
+    row.requests_per_sec =
+        row.seconds > 0.0 ? static_cast<double>(row.requests) / row.seconds
+                          : 0.0;
+    rows.push_back(row);
+    std::printf("  warm, %2d workers: %6zu requests in %7.3fs -> %10.0f req/s\n",
+                row.workers, row.requests, row.seconds, row.requests_per_sec);
+  }
+
+  const bool identical = warm_identical.load();
+  const bool no_miss = zero_screen_miss.load();
+  const bool no_sims = zero_sims.load();
+  std::printf("gates: warm_identical=%s warm_zero_screen_miss=%s "
+              "warm_zero_sims=%s\n",
+              identical ? "PASS" : "FAIL", no_miss ? "PASS" : "FAIL",
+              no_sims ? "PASS" : "FAIL");
+
+  std::string scaling;
+  for (const Row& row : rows) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"workers\": %d, \"requests\": %zu, "
+                  "\"requests_per_sec\": %.1f}",
+                  row.workers, row.requests, row.requests_per_sec);
+    if (!scaling.empty()) scaling += ",\n";
+    scaling += buf;
+  }
+  std::ofstream out(out_path);
+  out << "{\n  \"schema\": \"shg.bench_serve.v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"cold_seconds\": " << cold_seconds << ",\n"
+      << "  \"gates\": {\"warm_identical\": " << (identical ? "true" : "false")
+      << ", \"warm_zero_screen_miss\": " << (no_miss ? "true" : "false")
+      << ", \"warm_zero_sims\": " << (no_sims ? "true" : "false") << "},\n"
+      << "  \"scaling\": [\n"
+      << scaling << "\n  ]\n}\n";
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return identical && no_miss && no_sims ? 0 : 1;
+}

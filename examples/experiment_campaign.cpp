@@ -32,20 +32,15 @@
 
 #include "shg/customize/session.hpp"
 #include "shg/eval/experiment.hpp"
-#include "shg/topo/generators.hpp"
+#include "shg/serve/service.hpp"
 
 namespace {
 
 using namespace shg;
 
 struct Options {
-  int rows = 8;
-  int cols = 8;
-  std::vector<std::string> traffic = {"uniform", "transpose",
-                                      "hotspot:0,7:0.2"};
-  std::vector<double> rates = {0.02, 0.05, 0.10, 0.15};
-  int num_seeds = 3;
-  bool smoke = false;
+  serve::CampaignParams campaign;  // the spec knobs, shared with the server
+  bool stats = false;              // machine-readable counters on stderr
   std::string cache_path;              // sim-result tier file (warm/worker)
   int shard_index = -1;                // >= 0 selects worker mode
   int shard_count = 0;
@@ -59,6 +54,7 @@ int usage() {
       stderr,
       "usage: experiment_campaign [--grid RxC] [--traffic s1,s2,...]\n"
       "                           [--rates r1,r2,...] [--seeds N] [--smoke]\n"
+      "                           [--stats]\n"
       "                           [--cache FILE] [--shard I/N]\n"
       "                           [--merge F1,F2,...] [--out FILE]\n"
       "                           [--csv FILE]\n");
@@ -88,27 +84,30 @@ bool parse_args(int argc, char** argv, Options& opt) {
     if (std::strcmp(argv[i], "--grid") == 0) {
       const char* v = next();
       if (v == nullptr ||
-          std::sscanf(v, "%dx%d", &opt.rows, &opt.cols) != 2 ||
-          opt.rows < 2 || opt.cols < 2) {
+          std::sscanf(v, "%dx%d", &opt.campaign.rows, &opt.campaign.cols) !=
+              2 ||
+          opt.campaign.rows < 2 || opt.campaign.cols < 2) {
         return false;
       }
     } else if (std::strcmp(argv[i], "--traffic") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.traffic = split_commas(v);
+      opt.campaign.traffic = split_commas(v);
     } else if (std::strcmp(argv[i], "--rates") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
-      opt.rates.clear();
+      opt.campaign.rates.clear();
       for (const std::string& field : split_commas(v)) {
-        opt.rates.push_back(std::atof(field.c_str()));
+        opt.campaign.rates.push_back(std::atof(field.c_str()));
       }
     } else if (std::strcmp(argv[i], "--seeds") == 0) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 1) return false;
-      opt.num_seeds = std::atoi(v);
+      opt.campaign.num_seeds = std::atoi(v);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
-      opt.smoke = true;
+      opt.campaign.smoke = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opt.stats = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       const char* v = next();
       if (v == nullptr) return false;
@@ -138,30 +137,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
   return true;
 }
 
-eval::ExperimentSpec make_spec(const Options& opt) {
-  eval::ExperimentSpec spec;
-  spec.name = "campaign-" + std::to_string(opt.rows) + "x" +
-              std::to_string(opt.cols);
-  spec.topologies.push_back(
-      eval::TopologyCase{topo::make_mesh(opt.rows, opt.cols), {}, ""});
-  spec.topologies.push_back(
-      eval::TopologyCase{topo::make_torus(opt.rows, opt.cols), {}, ""});
-  spec.topologies.push_back(eval::TopologyCase{
-      topo::make_sparse_hamming(opt.rows, opt.cols, {4}, {2, 5}), {}, ""});
-  for (const std::string& workload : opt.traffic) {
-    spec.traffic.push_back(eval::TrafficCase{workload, nullptr, ""});
-  }
-  spec.rates = opt.rates;
-  for (int s = 1; s <= opt.num_seeds; ++s) {
-    spec.seeds.push_back(static_cast<std::uint64_t>(s));
-  }
-  spec.config.sim.num_vcs = 2;
-  spec.config.sim.buffer_depth_flits = 8;
-  spec.config.sim.warmup_cycles = opt.smoke ? 150 : 500;
-  spec.config.sim.measure_cycles = opt.smoke ? 400 : 2000;
-  spec.config.sim.drain_cycles = opt.smoke ? 6000 : 20000;
-  return spec;
-}
+// The spec itself lives in serve::make_campaign_spec, shared with the
+// resident server's "experiment" op — equal knobs must produce
+// byte-identical reports through either front end (the CI serve smoke
+// cmp's the two).
 
 bool write_file(const std::string& path, const std::string& text,
                 const char* what) {
@@ -175,6 +154,13 @@ bool write_file(const std::string& path, const std::string& text,
   }
   std::printf("wrote %s (%s)\n", path.c_str(), what);
   return true;
+}
+
+/// Machine-readable counters on stderr (--stats): the per-run experiment
+/// accounting, greppable without disturbing the stdout lines CI pins.
+void print_stats_stderr(const eval::ExperimentReport& report) {
+  std::fprintf(stderr, "sim_cells=%zu sim_cache_hits=%zu sim_simulated=%zu\n",
+               report.sim_cells, report.sim_cache_hits, report.sim_simulated);
 }
 
 void print_tier_stats(const customize::Session& session,
@@ -216,7 +202,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  eval::ExperimentSpec spec = make_spec(opt);
+  eval::ExperimentSpec spec = serve::make_campaign_spec(opt.campaign);
   const std::size_t cells = spec.topologies.size() * spec.traffic.size() *
                             spec.rates.size() * spec.seeds.size();
   std::printf("campaign %s: %zu topologies x %zu traffic x %zu rates x %zu "
@@ -260,6 +246,7 @@ int main(int argc, char** argv) {
     spec.session = &session;
     const eval::ExperimentReport report = eval::run_experiment(spec);
     print_tier_stats(session, report);
+    if (opt.stats) print_stats_stderr(report);
     return emit_report(opt, report);
   }
 
@@ -270,5 +257,6 @@ int main(int argc, char** argv) {
   spec.session = &session;
   const eval::ExperimentReport report = eval::run_experiment(spec);
   print_tier_stats(session, report);
+  if (opt.stats) print_stats_stderr(report);
   return emit_report(opt, report);
 }

@@ -1,0 +1,277 @@
+// Scripted client for the resident customization server (example_shg_server):
+// connects over TCP or a unix-domain socket, sends every request line from
+// stdin, prints every response line to stdout, and checks/extracts what a
+// driving script asks for:
+//
+//   --payload ID=FILE     require response ID to be ok and write its
+//                         result.report string (unescaped) to FILE — for
+//                         cmp'ing an experiment payload against the batch
+//                         binary's report file
+//   --expect-error ID     require response ID to be ok:false (use "null"
+//                         for replies to id-less lines)
+//   --shutdown            append a {"op":"shutdown"} request after stdin
+//
+// Exit code 0 only when every request got a response and every check
+// passed. The CI serve smoke is the canonical usage:
+//
+//   $ printf '%s\n' '{"op":"experiment","id":"e1","smoke":true}' \
+//       | ./shg_client --unix /tmp/shg.sock --payload e1=report.json --shutdown
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "shg/serve/json.hpp"
+
+namespace {
+
+using shg::serve::JsonValue;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: shg_client (--unix PATH | --tcp PORT)\n"
+               "                  [--payload ID=FILE] [--expect-error ID]\n"
+               "                  [--shutdown]\n");
+  return 2;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// True when the response's "id" member renders to `want` ("null", "7",
+/// or the unquoted text of a string id).
+bool id_matches(const JsonValue& response, const std::string& want) {
+  const JsonValue* id = response.find("id");
+  if (id == nullptr) return want == "null";
+  switch (id->kind()) {
+    case JsonValue::Kind::kNull:
+      return want == "null";
+    case JsonValue::Kind::kBool:
+      return want == (id->as_bool() ? "true" : "false");
+    case JsonValue::Kind::kNumber:
+      return want == shg::serve::json_double(id->as_double());
+    case JsonValue::Kind::kString:
+      return want == id->as_string();
+    default:
+      return false;
+  }
+}
+
+struct PayloadCheck {
+  std::string id;
+  std::string path;
+  bool satisfied = false;
+};
+
+struct ErrorCheck {
+  std::string id;
+  bool satisfied = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path;
+  int port = -1;
+  bool send_shutdown = false;
+  std::vector<PayloadCheck> payloads;
+  std::vector<ErrorCheck> expected_errors;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--unix") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      unix_path = v;
+    } else if (std::strcmp(argv[i], "--tcp") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--payload") == 0) {
+      const char* v = next();
+      const char* eq = v != nullptr ? std::strchr(v, '=') : nullptr;
+      if (eq == nullptr || eq == v || eq[1] == '\0') return usage();
+      payloads.push_back(
+          PayloadCheck{std::string(v, eq), std::string(eq + 1), false});
+    } else if (std::strcmp(argv[i], "--expect-error") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      expected_errors.push_back(ErrorCheck{v, false});
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      send_shutdown = true;
+    } else {
+      return usage();
+    }
+  }
+  if (unix_path.empty() == (port < 0)) return usage();
+
+  int fd = -1;
+  if (!unix_path.empty()) {
+    sockaddr_un addr{};
+    if (unix_path.size() >= sizeof(addr.sun_path)) {
+      std::fprintf(stderr, "shg_client: socket path too long\n");
+      return 1;
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, unix_path.c_str(), unix_path.size() + 1);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) < 0) {
+      std::perror("shg_client: connect");
+      return 1;
+    }
+  } else {
+    sockaddr_in addr{};
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) < 0) {
+      std::perror("shg_client: connect");
+      return 1;
+    }
+  }
+
+  // Send every stdin line, then the optional shutdown, then half-close so
+  // the server sees EOF and drains; responses may arrive in any order.
+  std::size_t sent = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (!write_all(fd, line + "\n")) {
+      std::perror("shg_client: send");
+      ::close(fd);
+      return 1;
+    }
+    ++sent;
+  }
+  if (send_shutdown) {
+    if (!write_all(fd, "{\"op\":\"shutdown\",\"id\":\"__shutdown__\"}\n")) {
+      std::perror("shg_client: send");
+      ::close(fd);
+      return 1;
+    }
+    ++sent;
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  bool failed = false;
+  std::size_t received = 0;
+  std::string buffer;
+  char chunk[4096];
+  while (received < sent) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::perror("shg_client: recv");
+      failed = true;
+      break;
+    }
+    if (n == 0) break;  // server closed early
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string response_line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (response_line.empty()) continue;
+      ++received;
+      std::printf("%s\n", response_line.c_str());
+
+      JsonValue response;
+      try {
+        response = JsonValue::parse(response_line);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "shg_client: bad response line: %s\n", e.what());
+        failed = true;
+        continue;
+      }
+      const JsonValue* ok = response.find("ok");
+      const bool response_ok =
+          ok != nullptr && ok->is_bool() && ok->as_bool();
+      for (ErrorCheck& check : expected_errors) {
+        if (!id_matches(response, check.id)) continue;
+        if (response_ok) {
+          std::fprintf(stderr,
+                       "shg_client: response %s was ok, expected an error\n",
+                       check.id.c_str());
+          failed = true;
+        } else {
+          check.satisfied = true;
+        }
+      }
+      for (PayloadCheck& check : payloads) {
+        if (!id_matches(response, check.id)) continue;
+        const JsonValue* result =
+            response_ok ? response.find("result") : nullptr;
+        const JsonValue* report =
+            result != nullptr && result->is_object() ? result->find("report")
+                                                     : nullptr;
+        if (report == nullptr || !report->is_string()) {
+          std::fprintf(stderr,
+                       "shg_client: response %s has no result.report payload\n",
+                       check.id.c_str());
+          failed = true;
+          continue;
+        }
+        std::ofstream out(check.path, std::ios::binary);
+        out << report->as_string();
+        out.close();
+        if (!out) {
+          std::fprintf(stderr, "shg_client: could not write %s\n",
+                       check.path.c_str());
+          failed = true;
+        } else {
+          check.satisfied = true;
+        }
+      }
+    }
+    buffer.erase(0, start);
+  }
+
+  ::close(fd);
+  if (received < sent) {
+    std::fprintf(stderr, "shg_client: got %zu of %zu responses\n", received,
+                 sent);
+    failed = true;
+  }
+  for (const PayloadCheck& check : payloads) {
+    if (!check.satisfied) {
+      std::fprintf(stderr, "shg_client: no payload for id %s\n",
+                   check.id.c_str());
+      failed = true;
+    }
+  }
+  for (const ErrorCheck& check : expected_errors) {
+    if (!check.satisfied) {
+      std::fprintf(stderr, "shg_client: no error response for id %s\n",
+                   check.id.c_str());
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
+}

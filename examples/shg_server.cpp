@@ -1,0 +1,97 @@
+// Resident customization server: one long-lived process holding a warm
+// sharded Session, serving line-delimited JSON requests over stdio, TCP
+// or a unix-domain socket (src/shg/serve/). Repeated screens, searches
+// and experiment campaigns against the same process reuse every tier —
+// a warm request runs zero BFS sweeps and zero simulations.
+//
+//   $ ./shg_server --stdio                      # pipe mode
+//   $ ./shg_server --unix /tmp/shg.sock         # socket servers announce
+//   $ ./shg_server --tcp 0 --workers 4          # "listening on ..." when up
+//
+// Protocol, one JSON object per line (see src/shg/serve/service.hpp and
+// the README "Serving" section for the full grammar):
+//
+//   {"op":"ping","id":1}
+//   {"op":"screen","id":2,"scenario":"a","row_skips":[4],"col_skips":[2,5]}
+//   {"op":"customize","id":3,"scenario":"b","max_area_overhead":0.3}
+//   {"op":"experiment","id":4,"grid":"6x6","seeds":2,"smoke":true}
+//   {"op":"shutdown"}
+//
+// Responses carry the request id, per-op timing and tier hit/miss
+// counters; malformed lines get {"ok":false,...} replies and never kill
+// the process. Drive it with example_shg_client.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "shg/common/log.hpp"
+#include "shg/serve/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: shg_server [--stdio | --tcp PORT | --unix PATH]\n"
+               "                  [--workers N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kStdio, kTcp, kUnix } mode = Mode::kStdio;
+  int port = 0;
+  std::string unix_path;
+  shg::serve::ServerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--stdio") == 0) {
+      mode = Mode::kStdio;
+    } else if (std::strcmp(argv[i], "--tcp") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      mode = Mode::kTcp;
+      port = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--unix") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      mode = Mode::kUnix;
+      unix_path = v;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return usage();
+      options.workers = std::atoi(v);
+    } else {
+      return usage();
+    }
+  }
+
+  // A client that disconnects mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Tag library warnings (cache-file discards etc.) with the id of the
+  // request being served when they were emitted.
+  shg::log::set_sink([](const std::string& context, const std::string& line) {
+    if (context.empty()) {
+      std::fputs(line.c_str(), stderr);
+    } else {
+      std::fprintf(stderr, "[%s] %s", context.c_str(), line.c_str());
+    }
+  });
+
+  shg::serve::Server server(options);
+  switch (mode) {
+    case Mode::kTcp:
+      return server.serve_tcp(port);
+    case Mode::kUnix:
+      return server.serve_unix(unix_path);
+    case Mode::kStdio:
+      break;
+  }
+  return server.serve_stdio();
+}

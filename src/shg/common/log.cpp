@@ -1,0 +1,73 @@
+#include "shg/common/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace shg::log {
+
+namespace {
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// The installed sink, shared so an emission in flight keeps its snapshot
+/// alive across a concurrent set_sink. Null means the default stderr sink.
+std::shared_ptr<const Sink>& sink_slot() {
+  static std::shared_ptr<const Sink> slot;
+  return slot;
+}
+
+std::shared_ptr<const Sink> current_sink() {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  return sink_slot();
+}
+
+std::string& thread_context() {
+  thread_local std::string context;
+  return context;
+}
+
+}  // namespace
+
+void set_sink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr;
+}
+
+void warnf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string line;
+  if (needed > 0) {
+    line.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(line.data(), line.size(), fmt, args_copy);
+    line.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+
+  if (const auto sink = current_sink()) {
+    (*sink)(thread_context(), line);
+  } else {
+    // Default sink: verbatim stderr bytes, context ignored — exactly the
+    // fprintf(stderr, ...) output this module replaced.
+    std::fputs(line.c_str(), stderr);
+  }
+}
+
+const std::string& context() { return thread_context(); }
+
+ScopedContext::ScopedContext(std::string context)
+    : previous_(std::exchange(thread_context(), std::move(context))) {}
+
+ScopedContext::~ScopedContext() { thread_context() = std::move(previous_); }
+
+}  // namespace shg::log

@@ -1,0 +1,69 @@
+// Pluggable diagnostic sink for library warnings.
+//
+// Library code (the cache/session disk tiers foremost) reports recoverable
+// conditions — corrupt cache files, wrong payload kinds, checksum failures,
+// short writes — as one-line warnings. Historically those went straight to
+// stderr with fprintf; a resident server multiplexing many requests over
+// one process needs to (a) capture them instead of interleaving them on its
+// stderr and (b) attribute each line to the request being served when it
+// was emitted. This module is that indirection:
+//
+//  * `warnf(fmt, ...)` formats one complete line (the format string carries
+//    its own trailing '\n', exactly as the fprintf calls it replaced did)
+//    and hands it to the installed sink;
+//  * the DEFAULT sink writes the line verbatim to stderr — byte-identical
+//    to the pre-sink fprintf output, so nothing changes for batch binaries
+//    and existing tests that scrape stderr;
+//  * `set_sink` installs a process-wide replacement (the server installs
+//    one that tags lines with request ids and routes them to its own log);
+//    passing nullptr restores the default. Installation and emission are
+//    thread-safe: emission holds a shared snapshot of the sink, so a sink
+//    swap never races an in-flight warning;
+//  * `ScopedContext` sets a THREAD-LOCAL context string ("req-42") for the
+//    current scope. The default sink ignores it (exact legacy bytes); a
+//    custom sink receives it alongside the line and may prepend it.
+//
+// Warnings are rare (corrupt files, failed writes); this path is not
+// performance-sensitive and takes a mutex-protected shared_ptr copy per
+// emission.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace shg::log {
+
+/// A sink receives one complete warning line (trailing '\n' included) plus
+/// the emitting thread's context string ("" when none is set). Sinks may be
+/// called concurrently from multiple threads and must synchronize any
+/// shared state they touch.
+using Sink =
+    std::function<void(const std::string& context, const std::string& line)>;
+
+/// Installs a process-wide sink; nullptr restores the default stderr sink.
+/// Thread-safe against concurrent emission.
+void set_sink(Sink sink);
+
+/// printf-style warning; the formatted line goes to the installed sink.
+/// Callers include the trailing '\n' in `fmt` (the sink forwards bytes
+/// verbatim; the default sink's output is byte-identical to the fprintf
+/// call this replaced).
+void warnf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// The calling thread's current context ("" when unset).
+const std::string& context();
+
+/// Sets the thread-local context for the enclosing scope (nestable; the
+/// previous context is restored on destruction).
+class ScopedContext {
+ public:
+  explicit ScopedContext(std::string context);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace shg::log

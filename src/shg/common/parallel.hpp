@@ -17,10 +17,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "shg/common/error.hpp"
@@ -119,5 +123,109 @@ void parallel_for(std::size_t n, Fn&& fn) {
   parallel_for_with_worker(n,
                            [&fn](std::size_t i, std::size_t) { fn(i); });
 }
+
+/// Persistent worker pool for open-ended task streams — the dispatch
+/// substrate of the serving layer (src/shg/serve/), where requests arrive
+/// continuously and fork-join parallel_for (which spawns and joins threads
+/// per call) is the wrong shape.
+///
+/// Contract:
+///  * submit() enqueues one task; some worker executes it exactly once.
+///    Tasks are dequeued in FIFO order, but tasks on different workers run
+///    concurrently and may COMPLETE in any order — callers needing a
+///    deterministic output order tag tasks themselves (the serve layer
+///    correlates by request id);
+///  * tasks must confine shared mutable state behind their own
+///    synchronization (the serve layer's session tiers are sharded and
+///    locked for exactly this reason);
+///  * a task that throws is contained: the exception is swallowed after
+///    invoking the pool's error handler (set_error_handler; default
+///    ignores), and the worker continues — one bad request must never take
+///    the pool down;
+///  * drain() blocks until every task submitted so far has finished;
+///  * the destructor drains, then joins every worker.
+class WorkerPool {
+ public:
+  /// `workers` = 0 uses max_threads(). At least one worker always runs.
+  explicit WorkerPool(int workers = 0) {
+    const int requested = workers > 0 ? workers : max_threads();
+    const int count = std::max(requested, 1);
+    threads_.reserve(static_cast<std::size_t>(count));
+    for (int t = 0; t < count; ++t) {
+      threads_.emplace_back([this] { run_worker(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Installs the handler invoked (on the worker thread) when a task
+  /// throws; pass nullptr to restore the ignore-errors default. Not
+  /// synchronized against in-flight tasks: install before submitting.
+  void set_error_handler(std::function<void(std::exception_ptr)> handler) {
+    on_error_ = std::move(handler);
+  }
+
+  void submit(std::function<void()> task) {
+    SHG_REQUIRE(task != nullptr, "cannot submit a null task");
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      SHG_REQUIRE(!stopping_, "cannot submit to a stopping WorkerPool");
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until the queue is empty and no task is executing.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+ private:
+  void run_worker() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ && drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      try {
+        task();
+      } catch (...) {
+        if (on_error_) on_error_(std::current_exception());
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+      }
+      idle_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::function<void(std::exception_ptr)> on_error_;
+  std::vector<std::thread> threads_;
+};
 
 }  // namespace shg

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "shg/common/log.hpp"
+
 namespace shg::customize {
 
 namespace {
@@ -72,10 +74,10 @@ std::uint64_t fnv1a(const unsigned char* data, std::size_t size) {
 }
 
 void warn_discard(const std::string& path, const char* reason) {
-  std::fprintf(stderr,
-               "shg: warning: cache file '%s' %s; discarding it and falling "
-               "back to cold recomputation\n",
-               path.c_str(), reason);
+  log::warnf(
+      "shg: warning: cache file '%s' %s; discarding it and falling "
+      "back to cold recomputation\n",
+      path.c_str(), reason);
 }
 
 /// Writes header + payload; warns and returns false on I/O failure.
@@ -92,8 +94,7 @@ bool write_cache_file(const std::string& path, std::uint32_t kind,
 
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    std::fprintf(stderr, "shg: warning: cannot write cache file '%s'\n",
-                 path.c_str());
+    log::warnf("shg: warning: cannot write cache file '%s'\n", path.c_str());
     return false;
   }
   const bool ok =
@@ -102,23 +103,25 @@ bool write_cache_file(const std::string& path, std::uint32_t kind,
        std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
   const bool closed = std::fclose(f) == 0;
   if (!ok || !closed) {
-    std::fprintf(stderr, "shg: warning: short write to cache file '%s'\n",
-                 path.c_str());
+    log::warnf("shg: warning: short write to cache file '%s'\n", path.c_str());
     return false;
   }
   return true;
 }
 
+enum class ReadStatus { kOk, kAbsent, kDiscarded };
+
 /// Reads and fully validates one cache file of the expected kind. On
-/// success fills `data` (whole file) and `count` and returns true; an
-/// absent file returns false silently (normal cold start); any validation
-/// failure warns, bumps `stats.disk_discarded` and returns false.
-bool read_cache_file(const std::string& path, std::uint32_t kind,
-                     std::size_t entry_bytes,
-                     std::vector<unsigned char>& data, std::uint64_t& count,
-                     CacheStats& stats) {
+/// success fills `data` (whole file) and `count`; an absent file is a
+/// silent normal cold start; any validation failure warns through the
+/// shg::log sink and reports kDiscarded so the caller can bump its
+/// disk-discarded counter.
+ReadStatus read_cache_file(const std::string& path, std::uint32_t kind,
+                           std::size_t entry_bytes,
+                           std::vector<unsigned char>& data,
+                           std::uint64_t& count) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;  // absent is a normal cold start
+  if (f == nullptr) return ReadStatus::kAbsent;  // normal cold start
 
   data.clear();
   unsigned char buf[4096];
@@ -155,10 +158,9 @@ bool read_cache_file(const std::string& path, std::uint32_t kind,
   }
   if (reason != nullptr) {
     warn_discard(path, reason);
-    ++stats.disk_discarded;
-    return false;
+    return ReadStatus::kDiscarded;
   }
-  return true;
+  return ReadStatus::kOk;
 }
 
 }  // namespace
@@ -341,7 +343,7 @@ std::size_t CandidateCache::save_file(const std::string& path) const {
   std::vector<unsigned char> payload;
   payload.reserve(size() * kCandidateEntryBytes);
   std::size_t count = 0;
-  for_each_lru([&](const Fingerprint& key, const CandidateMetrics& m) {
+  for_each_serialized([&](const Fingerprint& key, const CandidateMetrics& m) {
     put_u64(payload, key.hi);
     put_u64(payload, key.lo);
     put_f64(payload, m.area_overhead);
@@ -356,8 +358,10 @@ std::size_t CandidateCache::save_file(const std::string& path) const {
 std::size_t CandidateCache::load_file(const std::string& path) {
   std::vector<unsigned char> data;
   std::uint64_t count = 0;
-  if (!read_cache_file(path, kKindCandidate, kCandidateEntryBytes, data,
-                       count, stats_)) {
+  const ReadStatus status =
+      read_cache_file(path, kKindCandidate, kCandidateEntryBytes, data, count);
+  if (status != ReadStatus::kOk) {
+    if (status == ReadStatus::kDiscarded) note_disk_discarded();
     return 0;
   }
   const unsigned char* p = data.data() + kHeaderBytes;
@@ -372,7 +376,7 @@ std::size_t CandidateCache::load_file(const std::string& path) {
     metrics.throughput_bound = get_f64(p + 40);
     insert(key, metrics);
   }
-  stats_.disk_loaded += count;
+  note_disk_loaded(count);
   return static_cast<std::size_t>(count);
 }
 
@@ -380,7 +384,7 @@ std::size_t SimResultCache::save_file(const std::string& path) const {
   std::vector<unsigned char> payload;
   payload.reserve(size() * kSimResultEntryBytes);
   std::size_t count = 0;
-  for_each_lru([&](const Fingerprint& key, const sim::SimResult& r) {
+  for_each_serialized([&](const Fingerprint& key, const sim::SimResult& r) {
     put_u64(payload, key.hi);
     put_u64(payload, key.lo);
     put_f64(payload, r.offered_rate);
@@ -403,8 +407,10 @@ std::size_t SimResultCache::save_file(const std::string& path) const {
 std::size_t SimResultCache::load_file(const std::string& path) {
   std::vector<unsigned char> data;
   std::uint64_t count = 0;
-  if (!read_cache_file(path, kKindSimResult, kSimResultEntryBytes, data,
-                       count, stats_)) {
+  const ReadStatus status =
+      read_cache_file(path, kKindSimResult, kSimResultEntryBytes, data, count);
+  if (status != ReadStatus::kOk) {
+    if (status == ReadStatus::kDiscarded) note_disk_discarded();
     return 0;
   }
   const unsigned char* p = data.data() + kHeaderBytes;
@@ -427,7 +433,7 @@ std::size_t SimResultCache::load_file(const std::string& path) {
     r.cycles_run = static_cast<long long>(get_u64(p + 104));
     insert(key, r);
   }
-  stats_.disk_loaded += count;
+  note_disk_loaded(count);
   return static_cast<std::size_t>(count);
 }
 

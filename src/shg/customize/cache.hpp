@@ -68,15 +68,35 @@
 //
 // Exactness & concurrency: cached values are the bits a cold
 // screen/simulation produced, so hits are bit-identical to recomputing by
-// construction. The caches are NOT thread-safe (lookup mutates recency);
-// callers do cache traffic on one thread and fan out only the misses (see
-// session.cpp / eval/experiment.cpp).
+// construction. The store is split into `shards` independent LRU shards
+// selected by a fingerprint prefix (`(hi >> 48) % shards`), each with its
+// own mutex when locking is on:
+//  * shards = 1 without locking (the default) is the single-threaded mode
+//    every batch caller uses — one LRU list, no mutex acquisition,
+//    bit-identical to the pre-sharding cache in every observable (hit/miss
+//    sequence, eviction order, on-disk bytes);
+//  * shards > 1 (locking forced on) serves concurrent readers/writers: a
+//    lookup or insert locks only its key's shard. Values are exact bits
+//    either way, so concurrency can only reorder RECENCY (and therefore
+//    eviction victims) across interleavings — never change a returned
+//    value. Eviction is per shard (capacity is split evenly), so one hot
+//    shard cannot evict another shard's entries.
+// On-disk files stay canonical across all of this: save_file serializes in
+// ascending fingerprint order whenever shards > 1, so equal contents
+// produce equal bytes regardless of shard count or the interleaving that
+// built them; shards = 1 keeps the legacy least-recent-first order (the
+// bytes every pre-sharding file and oracle pinned). Loaders accept either
+// order — entries are re-inserted in file order, which reconstructs the
+// recency order deterministically.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "shg/customize/search.hpp"
@@ -184,131 +204,244 @@ struct CacheStats {
 };
 
 /// LRU-bounded fingerprint -> Value store: the in-memory tier shared by the
-/// candidate and simulation-result caches. Values are small fixed-size
-/// structs stored by value in a slab; the recency list is intrusive
-/// (indices, no allocation per touch).
+/// candidate and simulation-result caches, split into independent shards
+/// keyed by a fingerprint prefix (see the file comment's concurrency
+/// section). Values are small fixed-size structs stored by value in a slab
+/// per shard; each shard's recency list is intrusive (indices, no
+/// allocation per touch) and deterministic on its own.
 template <class Value>
 class FingerprintLruCache {
  public:
-  explicit FingerprintLruCache(std::size_t capacity) : capacity_(capacity) {
+  /// `capacity` is the total entry budget, split evenly over `shards`
+  /// independent LRU shards. `locking` arms the per-shard mutexes; it is
+  /// forced on whenever shards > 1 and defaults off for the single-shard
+  /// single-threaded mode (which is bit-identical to the pre-sharding
+  /// cache and pays no lock acquisition).
+  explicit FingerprintLruCache(std::size_t capacity, std::size_t shards = 1,
+                               bool locking = false)
+      : capacity_(capacity),
+        locking_(locking || shards > 1),
+        shards_(shards == 0 ? 1 : shards) {
     SHG_REQUIRE(capacity_ > 0, "cache capacity must be positive");
+    SHG_REQUIRE(shards > 0, "shard count must be positive");
+    // Even split, rounded up so the total never drops below `capacity`.
+    const std::size_t per_shard = (capacity_ + shards_.size() - 1) / shards_.size();
+    for (Shard& shard : shards_) shard.capacity = per_shard;
   }
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return index_.size(); }
-  const CacheStats& stats() const { return stats_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  bool locking() const { return locking_; }
 
-  /// Returns the cached value and refreshes the entry's recency, or
-  /// nullopt on a miss.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      const auto lock = guard(shard);
+      total += shard.index.size();
+    }
+    return total;
+  }
+
+  /// Aggregated counters over every shard plus the file-level disk
+  /// counters (by value: the per-shard counters live under their locks).
+  CacheStats stats() const {
+    CacheStats total;
+    {
+      const auto lock = guard_disk();
+      total = disk_stats_;
+    }
+    for (const Shard& shard : shards_) {
+      const auto lock = guard(shard);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.insertions += shard.stats.insertions;
+      total.evictions += shard.stats.evictions;
+    }
+    return total;
+  }
+
+  /// Returns the cached value and refreshes the entry's recency within its
+  /// shard, or nullopt on a miss.
   std::optional<Value> lookup(const Fingerprint& key) {
-    const auto it = index_.find(key);
-    if (it == index_.end()) {
-      ++stats_.misses;
+    Shard& shard = shard_of(key);
+    const auto lock = guard(shard);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
       return std::nullopt;
     }
-    ++stats_.hits;
-    unlink(it->second);
-    push_front(it->second);
-    return entries_[it->second].value;
+    ++shard.stats.hits;
+    shard.unlink(it->second);
+    shard.push_front(it->second);
+    return shard.entries[it->second].value;
   }
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entries beyond capacity.
+  /// entries of its shard beyond the shard capacity.
   void insert(const Fingerprint& key, const Value& value) {
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-      entries_[it->second].value = value;
-      unlink(it->second);
-      push_front(it->second);
+    Shard& shard = shard_of(key);
+    const auto lock = guard(shard);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.entries[it->second].value = value;
+      shard.unlink(it->second);
+      shard.push_front(it->second);
       return;
     }
     std::size_t idx;
-    if (!free_.empty()) {
-      idx = free_.back();
-      free_.pop_back();
-      entries_[idx].key = key;
-      entries_[idx].value = value;
+    if (!shard.free.empty()) {
+      idx = shard.free.back();
+      shard.free.pop_back();
+      shard.entries[idx].key = key;
+      shard.entries[idx].value = value;
     } else {
-      idx = entries_.size();
-      entries_.push_back(Entry{key, value, npos, npos});
+      idx = shard.entries.size();
+      shard.entries.push_back(Entry{key, value, npos, npos});
     }
-    index_.emplace(key, idx);
-    push_front(idx);
-    ++stats_.insertions;
-    evict_to_capacity();
+    shard.index.emplace(key, idx);
+    shard.push_front(idx);
+    ++shard.stats.insertions;
+    shard.evict_to_capacity();
   }
 
   void clear() {
-    entries_.clear();
-    free_.clear();
-    index_.clear();
-    head_ = tail_ = npos;
+    for (Shard& shard : shards_) {
+      const auto lock = guard(shard);
+      shard.entries.clear();
+      shard.free.clear();
+      shard.index.clear();
+      shard.head = shard.tail = npos;
+    }
   }
 
-  /// Visits every (key, value) least-recent first — the save order: a
-  /// loader re-inserting in visit order reconstructs the same recency (and
-  /// thus eviction) order.
+  /// Visits every (key, value) shard by shard, least-recent first within
+  /// each shard. With one shard this is the legacy whole-cache LRU order —
+  /// the save order whose loader reconstructs the same recency (and thus
+  /// eviction) order by re-inserting in visit order. Not synchronized
+  /// against concurrent writers beyond per-shard locking; snapshot callers
+  /// quiesce writers first (save paths run on one thread).
   template <class Fn>
   void for_each_lru(Fn&& fn) const {
-    for (std::size_t idx = tail_; idx != npos; idx = entries_[idx].newer) {
-      fn(entries_[idx].key, entries_[idx].value);
+    for (const Shard& shard : shards_) {
+      const auto lock = guard(shard);
+      for (std::size_t idx = shard.tail; idx != npos;
+           idx = shard.entries[idx].newer) {
+        fn(shard.entries[idx].key, shard.entries[idx].value);
+      }
     }
   }
 
  protected:
-  CacheStats stats_;  ///< subclasses bump the disk counters
+  /// Visit order of save_file: the legacy LRU order for a single shard
+  /// (byte-identical files to the pre-sharding cache), ascending
+  /// fingerprint order otherwise (canonical bytes for equal contents
+  /// regardless of shard count or interleaving).
+  template <class Fn>
+  void for_each_serialized(Fn&& fn) const {
+    if (shards_.size() == 1) {
+      for_each_lru(fn);
+      return;
+    }
+    std::vector<std::pair<Fingerprint, Value>> all;
+    all.reserve(size());
+    for_each_lru([&](const Fingerprint& key, const Value& value) {
+      all.emplace_back(key, value);
+    });
+    std::sort(all.begin(), all.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.hi != b.first.hi ? a.first.hi < b.first.hi
+                                                : a.first.lo < b.first.lo;
+              });
+    for (const auto& [key, value] : all) fn(key, value);
+  }
+
+  void note_disk_loaded(std::uint64_t count) {
+    const auto lock = guard_disk();
+    disk_stats_.disk_loaded += count;
+  }
+  void note_disk_discarded() {
+    const auto lock = guard_disk();
+    ++disk_stats_.disk_discarded;
+  }
 
  private:
   struct Entry {
     Fingerprint key;
     Value value;
-    /// Neighbors in the recency list (indices into entries_; npos = end).
+    /// Neighbors in the shard's recency list (indices into the shard's
+    /// entries; npos = end).
     std::size_t newer = npos;
     std::size_t older = npos;
   };
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  void unlink(std::size_t idx) {
-    Entry& e = entries_[idx];
-    if (e.newer != npos) {
-      entries_[e.newer].older = e.older;
-    } else {
-      head_ = e.older;
+  struct Shard {
+    std::size_t capacity = 0;
+    std::vector<Entry> entries;  ///< slab; freed slots recycled via free
+    std::vector<std::size_t> free;
+    std::size_t head = npos;  ///< most recent
+    std::size_t tail = npos;  ///< least recent
+    std::unordered_map<Fingerprint, std::size_t, FingerprintHash> index;
+    CacheStats stats;
+    mutable std::mutex mutex;
+
+    void unlink(std::size_t idx) {
+      Entry& e = entries[idx];
+      if (e.newer != npos) {
+        entries[e.newer].older = e.older;
+      } else {
+        head = e.older;
+      }
+      if (e.older != npos) {
+        entries[e.older].newer = e.newer;
+      } else {
+        tail = e.newer;
+      }
+      e.newer = e.older = npos;
     }
-    if (e.older != npos) {
-      entries_[e.older].newer = e.newer;
-    } else {
-      tail_ = e.newer;
+
+    void push_front(std::size_t idx) {
+      Entry& e = entries[idx];
+      e.newer = npos;
+      e.older = head;
+      if (head != npos) entries[head].newer = idx;
+      head = idx;
+      if (tail == npos) tail = idx;
     }
-    e.newer = e.older = npos;
+
+    void evict_to_capacity() {
+      while (index.size() > capacity) {
+        const std::size_t victim = tail;
+        SHG_ASSERT(victim != npos, "LRU list empty while over capacity");
+        unlink(victim);
+        index.erase(entries[victim].key);
+        free.push_back(victim);
+        ++stats.evictions;
+      }
+    }
+  };
+
+  /// The shard of a key: a fingerprint prefix (the top 16 bits of the
+  /// mixed hi lane) modulo the shard count, so equal keys always land in
+  /// the same shard and the mapping is a pure function of (key, shards).
+  Shard& shard_of(const Fingerprint& key) {
+    return shards_[static_cast<std::size_t>(key.hi >> 48) % shards_.size()];
   }
 
-  void push_front(std::size_t idx) {
-    Entry& e = entries_[idx];
-    e.newer = npos;
-    e.older = head_;
-    if (head_ != npos) entries_[head_].newer = idx;
-    head_ = idx;
-    if (tail_ == npos) tail_ = idx;
+  std::unique_lock<std::mutex> guard(const Shard& shard) const {
+    return locking_ ? std::unique_lock<std::mutex>(shard.mutex)
+                    : std::unique_lock<std::mutex>();
   }
-
-  void evict_to_capacity() {
-    while (index_.size() > capacity_) {
-      const std::size_t victim = tail_;
-      SHG_ASSERT(victim != npos, "LRU list empty while over capacity");
-      unlink(victim);
-      index_.erase(entries_[victim].key);
-      free_.push_back(victim);
-      ++stats_.evictions;
-    }
+  std::unique_lock<std::mutex> guard_disk() const {
+    return locking_ ? std::unique_lock<std::mutex>(disk_mutex_)
+                    : std::unique_lock<std::mutex>();
   }
 
   std::size_t capacity_;
-  std::vector<Entry> entries_;  ///< slab; freed slots recycled via free_
-  std::vector<std::size_t> free_;
-  std::size_t head_ = npos;  ///< most recent
-  std::size_t tail_ = npos;  ///< least recent
-  std::unordered_map<Fingerprint, std::size_t, FingerprintHash> index_;
+  bool locking_;
+  std::vector<Shard> shards_;
+  CacheStats disk_stats_;  ///< disk_loaded / disk_discarded only
+  mutable std::mutex disk_mutex_;
 };
 
 /// Screening-metrics store (48 B/entry on disk, payload kind 0 — the
@@ -318,17 +451,20 @@ class CandidateCache : public FingerprintLruCache<CandidateMetrics> {
  public:
   using FingerprintLruCache::FingerprintLruCache;
 
-  /// Writes every entry to `path` (least-recent first, so a later
-  /// load_file reconstructs the same recency order). Returns the number of
-  /// entries written; on I/O failure warns on stderr and returns 0.
+  /// Writes every entry to `path` in the canonical serialization order
+  /// (legacy least-recent first for a single shard — byte-identical to
+  /// pre-sharding files, and a later load_file reconstructs the same
+  /// recency order; ascending fingerprint order when sharded, so equal
+  /// contents give equal bytes at any shard count). Returns the number of
+  /// entries written; on I/O failure warns through shg::log and returns 0.
   std::size_t save_file(const std::string& path) const;
 
   /// Merges the entries of a `shg.cache.v1` candidate file into the cache
   /// (insert semantics: capacity and recency apply). Validation failures —
   /// missing file, bad magic, version or payload-kind mismatch,
-  /// truncation, checksum mismatch — discard the file with a warning on
-  /// stderr and return 0, leaving the cache untouched. Returns the number
-  /// of entries adopted.
+  /// truncation, checksum mismatch — discard the file with a warning
+  /// through the shg::log sink (stderr by default) and return 0, leaving
+  /// the cache untouched. Returns the number of entries adopted.
   std::size_t load_file(const std::string& path);
 };
 

@@ -6,15 +6,36 @@
 
 namespace shg::customize {
 
+namespace {
+
+/// Tier shard count for the selected concurrency mode: kSingleThread is
+/// pinned to one unlocked shard (the bit-identical legacy layout)
+/// regardless of `options.shards`.
+std::size_t tier_shards(const SessionOptions& options) {
+  if (options.concurrency == ConcurrencyMode::kSingleThread) return 1;
+  return options.shards == 0 ? 1 : options.shards;
+}
+
+bool tier_locking(const SessionOptions& options) {
+  return options.concurrency == ConcurrencyMode::kSharded;
+}
+
+}  // namespace
+
 Session::Session(SessionOptions options)
     : options_(std::move(options)),
-      cache_(options_.capacity == 0 ? 1 : options_.capacity),
-      sim_results_(options_.sim_capacity == 0 ? 1 : options_.sim_capacity) {
+      cache_(options_.capacity == 0 ? 1 : options_.capacity,
+             tier_shards(options_), tier_locking(options_)),
+      sim_results_(options_.sim_capacity == 0 ? 1 : options_.sim_capacity,
+                   tier_shards(options_), tier_locking(options_)) {
   SHG_REQUIRE(options_.capacity > 0, "session capacity must be positive");
   SHG_REQUIRE(options_.artifact_capacity > 0,
               "artifact capacity must be positive");
   SHG_REQUIRE(options_.sim_capacity > 0,
               "simulation-result capacity must be positive");
+  SHG_REQUIRE(options_.concurrency == ConcurrencyMode::kSingleThread ||
+                  options_.shards > 0,
+              "a sharded session needs at least one shard");
   if (options_.autoload) {
     if (!options_.cache_path.empty()) load();
     if (!options_.sim_cache_path.empty()) load_sim();
@@ -50,7 +71,25 @@ std::size_t Session::save_sim() {
   return sim_results_.save_file(options_.sim_cache_path);
 }
 
+std::unique_lock<std::mutex> Session::artifact_guard() const {
+  // kSingleThread keeps the legacy lock-free path; kSharded serializes the
+  // (tiny, linear-scan) artifact tier behind one mutex.
+  return tier_locking(options_) ? std::unique_lock<std::mutex>(artifact_mutex_)
+                                : std::unique_lock<std::mutex>();
+}
+
+std::uint64_t Session::artifact_hits() const {
+  const auto lock = artifact_guard();
+  return artifact_hits_;
+}
+
+std::uint64_t Session::artifact_misses() const {
+  const auto lock = artifact_guard();
+  return artifact_misses_;
+}
+
 std::shared_ptr<const void> Session::find_artifact(const Fingerprint& key) {
+  const auto lock = artifact_guard();
   for (Artifact& a : artifacts_) {
     if (a.key == key) {
       a.last_used = ++artifact_tick_;
@@ -65,6 +104,7 @@ std::shared_ptr<const void> Session::find_artifact(const Fingerprint& key) {
 void Session::store_artifact(const Fingerprint& key,
                              std::shared_ptr<const void> artifact) {
   SHG_REQUIRE(artifact != nullptr, "cannot store a null artifact");
+  const auto lock = artifact_guard();
   for (Artifact& a : artifacts_) {
     if (a.key == key) {
       a.value = std::move(artifact);
@@ -86,13 +126,16 @@ void Session::store_artifact(const Fingerprint& key,
 
 std::vector<CandidateMetrics> screen_batch_cached(
     const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
-    Session& session, bool incremental, const ScreeningOptions& screening) {
+    Session& session, bool incremental, const ScreeningOptions& screening,
+    ScreenBatchStats* stats) {
   std::vector<CandidateMetrics> out(batch.size());
+  if (stats != nullptr) *stats = ScreenBatchStats{};
   if (batch.empty()) return out;
 
-  // All session traffic on this thread (the cache is not thread-safe and
-  // serial access keeps LRU order deterministic); only the miss screening
-  // fans out, inside screen_batch_incremental / parallel_for.
+  // All session traffic on this thread (under kSingleThread the cache is
+  // not locked and serial access keeps LRU order deterministic; under
+  // kSharded the tiers lock per shard); only the miss screening fans out,
+  // inside screen_batch_incremental / parallel_for.
   const Fingerprint arch_fp = fingerprint_arch(arch);
   std::vector<Fingerprint> keys(batch.size());
   std::vector<std::size_t> miss;
@@ -103,6 +146,12 @@ std::vector<CandidateMetrics> screen_batch_cached(
     } else {
       miss.push_back(i);
     }
+  }
+  if (stats != nullptr) {
+    stats->misses = miss.size();
+    stats->hits = batch.size() - miss.size();
+    stats->hit.assign(batch.size(), true);
+    for (std::size_t i : miss) stats->hit[i] = false;
   }
   if (miss.empty()) return out;
 

@@ -36,23 +36,58 @@
 // produced (inserted from the same oracle-tested screening paths), so a
 // warm search's history is bit-identical to a cold run's — the randomized
 // oracle in tests/session_test.cpp and the `dse_session_warm` bench gate
-// assert this end to end. A Session is NOT thread-safe: the DSE engines do
-// all session traffic on the calling thread and fan out only the
-// cache-miss screening work (whose outputs land in index-addressed slots
-// per the parallel_for contract), which also keeps LRU eviction order —
-// and therefore warm-run behavior — deterministic. Use one Session per
-// thread of control.
+// assert this end to end. Thread safety is selected by
+// `SessionOptions::concurrency` (the `Session::ConcurrencyMode` contract):
+//
+//  * kSingleThread (default): exactly the pre-concurrency session — one
+//    LRU per tier, no locking, all traffic on one thread of control. The
+//    DSE engines do session traffic on the calling thread and fan out only
+//    the cache-miss screening work (whose outputs land in index-addressed
+//    slots per the parallel_for contract), which keeps LRU eviction order
+//    — and therefore warm-run behavior — bit-for-bit deterministic.
+//  * kSharded: every tier is safe for concurrent readers AND writers — the
+//    candidate and simulation-result tiers become `shards` independent
+//    lock-protected LRU shards keyed by fingerprint prefix, and the
+//    artifact tier takes a mutex per operation. The determinism contract
+//    under concurrency: any individual request's RESULT is byte-identical
+//    whether served solo or interleaved with others (cached values are the
+//    exact bits a cold computation produced, and misses recompute them
+//    from scratch — cache state can change WHICH work runs, never its
+//    outcome). Only LRU recency — and therefore which entries an eviction
+//    removes, and hit/miss counter values — may vary across interleavings.
+//    tests/concurrent_session_test.cpp pins this contract under
+//    ThreadSanitizer.
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "shg/customize/cache.hpp"
 #include "shg/customize/incremental.hpp"
 
 namespace shg::customize {
 
+/// Threading contract of one session (see the file comment for the full
+/// determinism argument). Referenced as `Session::ConcurrencyMode`.
+enum class ConcurrencyMode {
+  /// One thread of control, no locking, one LRU per tier — bit-identical
+  /// to the pre-concurrency session (eviction order included).
+  kSingleThread,
+  /// Concurrent readers/writers over sharded lock-protected tiers. Request
+  /// results stay byte-identical to their solo runs; only LRU recency (and
+  /// thus eviction victims and counter values) may vary with interleaving.
+  kSharded,
+};
+
 /// Knobs of one session.
 struct SessionOptions {
+  /// Threading contract; kSharded makes every tier concurrency-safe.
+  ConcurrencyMode concurrency = ConcurrencyMode::kSingleThread;
+  /// Shard count of the candidate and simulation-result tiers under
+  /// kSharded (ignored — forced to 1 — under kSingleThread). More shards
+  /// mean less lock contention; the fingerprint-prefix mapping spreads
+  /// keys uniformly.
+  std::size_t shards = 8;
   /// Candidate-tier LRU capacity, in entries (48 B each plus index
   /// overhead; the default comfortably holds every candidate of a
   /// 2-skips-per-dimension exploration sweep hundreds of times over).
@@ -80,12 +115,16 @@ struct SessionOptions {
 /// Cross-invocation reuse state. See the file comment.
 class Session {
  public:
+  /// The session's threading contract (customize::ConcurrencyMode).
+  using ConcurrencyMode = customize::ConcurrencyMode;
+
   explicit Session(SessionOptions options = {});
   ~Session();
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   const SessionOptions& options() const { return options_; }
+  ConcurrencyMode concurrency() const { return options_.concurrency; }
 
   // -- Candidate tier -------------------------------------------------------
 
@@ -98,7 +137,7 @@ class Session {
     cache_.insert(key, metrics);
   }
 
-  const CacheStats& stats() const { return cache_.stats(); }
+  CacheStats stats() const { return cache_.stats(); }
   CandidateCache& cache() { return cache_; }
 
   /// Loads the on-disk tier now (also called by the constructor when
@@ -121,7 +160,7 @@ class Session {
     sim_results_.insert(key, result);
   }
 
-  const CacheStats& sim_stats() const { return sim_results_.stats(); }
+  CacheStats sim_stats() const { return sim_results_.stats(); }
   /// Direct tier access: campaign drivers merge shard files with
   /// `sim_cache().load_file(shard_path)` and write per-shard files with
   /// `sim_cache().save_file(...)` (repeated loads merge; corrupt shards
@@ -139,12 +178,13 @@ class Session {
 
   /// Shared immutable artifact for `key`, or null. Hits refresh recency.
   /// Callers static_pointer_cast to the type their keying convention
-  /// guarantees (see file comment).
+  /// guarantees (see file comment). Thread-safe under kSharded (one mutex
+  /// guards the tier; artifacts themselves are immutable by contract).
   std::shared_ptr<const void> find_artifact(const Fingerprint& key);
   void store_artifact(const Fingerprint& key,
                       std::shared_ptr<const void> artifact);
-  std::uint64_t artifact_hits() const { return artifact_hits_; }
-  std::uint64_t artifact_misses() const { return artifact_misses_; }
+  std::uint64_t artifact_hits() const;
+  std::uint64_t artifact_misses() const;
 
  private:
   struct Artifact {
@@ -153,6 +193,8 @@ class Session {
     std::uint64_t last_used = 0;
   };
 
+  std::unique_lock<std::mutex> artifact_guard() const;
+
   SessionOptions options_;
   CandidateCache cache_;
   SimResultCache sim_results_;
@@ -160,17 +202,34 @@ class Session {
   std::uint64_t artifact_tick_ = 0;
   std::uint64_t artifact_hits_ = 0;
   std::uint64_t artifact_misses_ = 0;
+  mutable std::mutex artifact_mutex_;  ///< armed under kSharded only
+};
+
+/// Per-call accounting of one screen_batch_cached invocation (unlike the
+/// session-lifetime CacheStats, these are exact for this call even when
+/// other threads drive the same session concurrently).
+struct ScreenBatchStats {
+  std::size_t hits = 0;    ///< batch entries served from the candidate tier
+  std::size_t misses = 0;  ///< batch entries screened (BFS/routing ran)
+  /// Per-batch-index hit flags (hit[i] == true when batch[i] came from the
+  /// tier), for callers that account per entry — the serve layer's
+  /// coalesced screen responses report each request's own hit/miss.
+  /// Duplicate keys within one batch all miss together (the forest screens
+  /// them once), whereas served one by one only the first would miss.
+  std::vector<bool> hit;
 };
 
 /// Screens `batch` through the session cache: hits come from the cache,
 /// misses are screened with the incremental stack (`screen_batch_incremental`
 /// under `screening`, or per-candidate `screen_candidate` sweeps when
 /// `incremental` is false) and stored. The result is indexed like the input
-/// and bit-identical to a session-free screen of the same batch.
+/// and bit-identical to a session-free screen of the same batch. `stats`,
+/// when non-null, receives this call's exact hit/miss split.
 std::vector<CandidateMetrics> screen_batch_cached(
     const tech::ArchParams& arch, const std::vector<topo::ShgParams>& batch,
     Session& session, bool incremental = true,
-    const ScreeningOptions& screening = {});
+    const ScreeningOptions& screening = {},
+    ScreenBatchStats* stats = nullptr);
 
 /// Cached generic-family screen: looks up (arch, parent, delta) in the
 /// session, pricing a miss through `ctx` (the incremental stack — overlay

@@ -1,0 +1,336 @@
+#include "shg/serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "shg/common/error.hpp"
+
+namespace shg::serve {
+
+namespace {
+
+/// Hostile inputs must not exhaust the C++ stack; 64 levels is far beyond
+/// any protocol request.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue value = parse_value(0);
+    skip_ws();
+    SHG_REQUIRE(pos_ == text_.size(),
+                "malformed JSON: trailing characters after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw Error("malformed JSON at byte " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect_literal(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) fail("invalid literal");
+    pos_ += len;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    JsonValue value;
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        value.kind_ = JsonValue::Kind::kString;
+        value.string_ = parse_string();
+        return value;
+      case 't':
+        expect_literal("true");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = true;
+        return value;
+      case 'f':
+        expect_literal("false");
+        value.kind_ = JsonValue::Kind::kBool;
+        value.bool_ = false;
+        return value;
+      case 'n':
+        expect_literal("null");
+        value.kind_ = JsonValue::Kind::kNull;
+        return value;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    take();  // '{'
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      take();
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected a member name");
+      std::string name = parse_string();
+      skip_ws();
+      if (take() != ':') fail("expected ':' after a member name");
+      value.members_.emplace_back(std::move(name), parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == '}') return value;
+      if (c != ',') fail("expected ',' or '}' in an object");
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    take();  // '['
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      take();
+      return value;
+    }
+    while (true) {
+      value.items_.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') return value;
+      if (c != ',') fail("expected ',' or ']' in an array");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in a string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (take() != '\\' || take() != 'u') fail("unpaired surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("unpaired surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() < '0' || peek() > '9') fail("invalid value");
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      fail("leading zeros are not allowed");
+    }
+    while (peek() >= '0' && peek() <= '9') ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (peek() < '0' || peek() > '9') fail("digits must follow '.'");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (peek() < '0' || peek() > '9') fail("digits must follow an exponent");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      fail("invalid number");
+    }
+    JsonValue value;
+    value.kind_ = JsonValue::Kind::kNumber;
+    value.number_ = parsed;
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  SHG_REQUIRE(kind_ == Kind::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  SHG_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+long long JsonValue::as_int() const {
+  SHG_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  const double rounded = std::nearbyint(number_);
+  SHG_REQUIRE(rounded == number_ && std::abs(number_) <= 9.007199254740992e15,
+              "JSON number is not an exact integer");
+  return static_cast<long long>(number_);
+}
+
+const std::string& JsonValue::as_string() const {
+  SHG_REQUIRE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  SHG_REQUIRE(kind_ == Kind::kArray, "JSON value is not an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  SHG_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  for (const auto& [member_name, member] : members_) {
+    if (member_name == name) return &member;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  SHG_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  return members_;
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_double(double value) {
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod gives back the exact bits (17 always does for IEEE-754).
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+}  // namespace shg::serve

@@ -1,0 +1,76 @@
+// Minimal JSON for the line-protocol server: a recursive-descent parser
+// into a small value tree plus string-escaping helpers for the writers.
+// Deliberately framework-free — the protocol is line-delimited JSON
+// objects and the server composes responses with ordinary string streams.
+//
+// Robustness contract (the server's "malformed requests never kill the
+// process" guarantee starts here): parse() throws shg::Error — never
+// crashes, never reads out of bounds — on any malformed input: truncated
+// documents, trailing garbage, bad escapes, invalid numbers, and nesting
+// deeper than a fixed bound (so a hostile request cannot overflow the
+// stack). Numbers are stored as doubles (plenty for every protocol field);
+// as_int additionally rejects non-integral values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shg::serve {
+
+/// One parsed JSON value. Object member order is preserved (vector of
+/// pairs) so tests can pin rendered bytes.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an
+  /// error. Throws shg::Error on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed accessors; each throws shg::Error when the kind mismatches.
+  bool as_bool() const;
+  double as_double() const;
+  long long as_int() const;  ///< rejects non-integral numbers
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+
+  /// Object member by name, or nullptr when absent (throws when this
+  /// value is not an object).
+  const JsonValue* find(const std::string& name) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Renders `text` as a quoted JSON string literal (quotes included),
+/// escaping backslash, quote and control characters — the exact inverse of
+/// the parser's unescaping for round-trip-safe payload embedding.
+std::string json_quote(const std::string& text);
+
+/// Formats a double deterministically for protocol responses: shortest
+/// round-trip representation via %.17g tightened to the shortest precision
+/// that parses back exactly. Deterministic across runs and platforms using
+/// IEEE-754 doubles, so response bytes are reproducible.
+std::string json_double(double value);
+
+}  // namespace shg::serve

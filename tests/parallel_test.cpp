@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "shg/common/parallel.hpp"
@@ -152,6 +155,77 @@ TEST(ParallelDeterminism, LoadSweepIdenticalSerialVsParallel) {
     EXPECT_EQ(serial.points[i].p99_latency, parallel.points[i].p99_latency);
     EXPECT_EQ(serial.points[i].drained, parallel.points[i].drained);
   }
+}
+
+TEST(WorkerPool, ExecutesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (auto& r : ran) r.store(0);
+  {
+    WorkerPool pool(4);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran, i] { ran[static_cast<std::size_t>(i)].fetch_add(1); });
+    }
+    pool.drain();
+    for (int i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(ran[static_cast<std::size_t>(i)].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(WorkerPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // No drain: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkerPool, TaskExceptionIsContainedAndReported) {
+  std::mutex mutex;
+  std::vector<std::string> errors;
+  std::atomic<int> ran{0};
+  WorkerPool pool(2);
+  pool.set_error_handler([&](std::exception_ptr error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      errors.push_back(e.what());
+    }
+  });
+  pool.submit([] { throw Error("request gone wrong"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.drain();
+  // The pool survived the throw and kept serving.
+  EXPECT_EQ(ran.load(), 10);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("request gone wrong"), std::string::npos);
+}
+
+TEST(WorkerPool, DrainAllowsFurtherSubmissions) {
+  WorkerPool pool(3);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 1);
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(WorkerPool, RejectsNullTask) {
+  WorkerPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
 }
 
 }  // namespace
