@@ -10,11 +10,22 @@
 // terminals as the 32x32 mesh on a quarter of the routers) tracks the
 // concentration path.
 //
+// A routing-policy section (schema v3) saturates 32x32 fabrics (mesh and
+// torus) under the two adversarial workloads (hotspot, transpose) with
+// minimal and UGAL routing at identical VC/buffer resources and compares
+// the accepted load. The per-row ratios tell the expected story: UGAL wins
+// where minimal routing lacks path diversity (torus DOR under transpose,
+// mesh hotspot trees) and can lose past deep saturation where its local
+// occupancy signal goes stale — all four rows ship in the JSON so the
+// trade-off stays visible.
+//
 // Acceptance gates (non-zero exit so CI can gate on the smoke run):
 //  * bit-identity at 10x10 — every SimResult field of the SoA engine must
 //    equal the AoS engine exactly, for all three workloads;
 //  * >= 3x SoA-over-AoS flits/sec at 32x32 uniform;
-//  * the 64x64 tiers must drain (the scale target actually completes).
+//  * the 64x64 tiers must drain (the scale target actually completes);
+//  * UGAL sustains >= 1.5x the minimal-routing accepted load at saturation
+//    on at least one 32x32 adversarial row (adaptivity must pay off).
 //
 // Output: a human-readable table on stdout and machine-readable JSON
 // (default BENCH_sim.json; see --out). `--smoke` shrinks the simulated
@@ -27,6 +38,7 @@
 #include <fstream>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "shg/sim/simulator.hpp"
@@ -181,6 +193,49 @@ Row run_tier(const Tier& tier, const std::string& workload, bool smoke) {
   return row;
 }
 
+// --- Routing-policy saturation comparison (the v3 section) ---------------
+
+struct SatRow {
+  std::string fabric;
+  std::string workload;
+  double minimal_accepted = 0.0;  ///< flits / cycle / endpoint port
+  double ugal_accepted = 0.0;
+  double ratio() const {
+    return minimal_accepted > 0.0 ? ugal_accepted / minimal_accepted : 0.0;
+  }
+};
+
+/// One saturated SoA run; returns the accepted load (flits/cycle/port)
+/// measured past the saturation point. Both policies get identical VC and
+/// buffer resources (the UGAL floor of 4 VCs), so the comparison isolates
+/// the routing decision; live routing on both sides keeps the all-pairs
+/// UGAL table out of the measurement.
+double run_saturated(const topo::Topology& topo, sim::RoutingPolicy policy,
+                     const std::string& workload, double rate, bool smoke) {
+  const sim::TrafficSpec spec = sim::TrafficSpec::parse(workload);
+  const auto pattern =
+      spec.make_pattern(topo.rows(), topo.cols(), topo.concentration());
+  const std::vector<int> latencies = unit_latencies(topo);
+
+  sim::SimConfig config;
+  config.num_vcs = 4;
+  config.buffer_depth_flits = 4;
+  config.injection_rate = rate;
+  config.warmup_cycles = smoke ? 300 : 1000;
+  config.measure_cycles = smoke ? 600 : 2000;
+  config.drain_cycles = smoke ? 500 : 2000;  // saturated runs rarely drain;
+                                             // cap the tail, it is not gated
+  config.routing_policy = policy;
+  config.use_route_table = false;
+  config.use_soa_engine = true;
+
+  const double packet_prob =
+      config.injection_rate / static_cast<double>(config.packet_size_flits);
+  sim::Simulator s(topo, latencies, config, *pattern, 1, nullptr, nullptr,
+                   spec.make_process(packet_prob, topo.num_tiles()));
+  return s.run().accepted_rate;
+}
+
 void append_json(std::string& json, const Row& r) {
   // Schema v2: single-engine rows carry null aos_seconds/speedup (v1 wrote
   // misleading 0.000000 / 0.000 there); `dual_engine` makes the distinction
@@ -280,18 +335,70 @@ int main(int argc, char** argv) {
   std::printf("32x32 uniform soa-over-aos speedup: %.2fx (gate: 3x)\n",
               gate_speedup);
 
+  // Routing-policy saturation section: minimal vs UGAL accepted load past
+  // saturation, adversarial workloads only (uniform is minimal routing's
+  // best case and not what adaptivity is for). Both 32x32 fabrics run both
+  // workloads: the torus pairs transpose with single-path DOR (UGAL's win
+  // case), the mesh pairs hotspot with O1TURN congestion trees.
+  std::printf("--- routing policy at saturation (32x32, 4 VCs) ---\n");
+  const std::vector<std::pair<std::string, topo::Topology>> sat_fabrics = [] {
+    std::vector<std::pair<std::string, topo::Topology>> fabrics;
+    fabrics.emplace_back("mesh-32x32", topo::make_mesh(32, 32));
+    fabrics.emplace_back("torus-32x32", topo::make_torus(32, 32));
+    return fabrics;
+  }();
+  const std::vector<std::pair<std::string, double>> sat_workloads = {
+      {"hotspot:0,528:0.3", 0.30},
+      {"transpose", 0.30},
+  };
+  std::vector<SatRow> sat_rows;
+  double best_ratio = 0.0;
+  for (const auto& [fabric, sat_topo] : sat_fabrics) {
+    for (const auto& [workload, rate] : sat_workloads) {
+      SatRow sat;
+      sat.fabric = fabric;
+      sat.workload = workload;
+      sat.minimal_accepted = run_saturated(
+          sat_topo, sim::RoutingPolicy::kMinimal, workload, rate, smoke);
+      sat.ugal_accepted = run_saturated(
+          sat_topo, sim::RoutingPolicy::kUgal, workload, rate, smoke);
+      best_ratio = std::max(best_ratio, sat.ratio());
+      std::printf("%-12s %-22s  minimal %.4f  ugal %.4f  (%.2fx)\n",
+                  sat.fabric.c_str(), sat.workload.c_str(),
+                  sat.minimal_accepted, sat.ugal_accepted, sat.ratio());
+      sat_rows.push_back(sat);
+    }
+  }
+  std::printf("best ugal-over-minimal accepted load: %.2fx (gate: 1.5x)\n",
+              best_ratio);
+
   std::string entries;
   for (const Row& r : rows) append_json(entries, r);
+  std::string sat_entries;
+  for (const SatRow& sat : sat_rows) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"fabric\": \"%s\", \"workload\": \"%s\", "
+                  "\"minimal_accepted\": %.6f, "
+                  "\"ugal_accepted\": %.6f, \"ratio\": %.3f}",
+                  sat.fabric.c_str(), sat.workload.c_str(),
+                  sat.minimal_accepted, sat.ugal_accepted, sat.ratio());
+    if (!sat_entries.empty()) sat_entries += ",\n";
+    sat_entries += buf;
+  }
   std::ofstream out(out_path);
-  out << "{\n  \"schema\": \"shg.bench_sim_scale.v2\",\n"
+  out << "{\n  \"schema\": \"shg.bench_sim_scale.v3\",\n"
       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
       << "  \"all_identical\": " << (all_identical ? "true" : "false")
       << ",\n"
       << "  \"speedup_32x32_uniform\": " << gate_speedup << ",\n"
       << "  \"scale_64x64_drained\": " << (scale_drained ? "true" : "false")
       << ",\n"
+      << "  \"ugal_best_ratio\": " << best_ratio << ",\n"
       << "  \"rows\": [\n"
-      << entries << "\n  ]\n}\n";
+      << entries << "\n  ],\n"
+      << "  \"routing_saturation\": [\n"
+      << sat_entries << "\n  ]\n}\n";
   out.close();
   if (!out) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
@@ -313,6 +420,13 @@ int main(int argc, char** argv) {
   }
   if (!scale_drained) {
     std::fprintf(stderr, "FAIL: a 64x64 run did not drain\n");
+    return 1;
+  }
+  if (best_ratio < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: UGAL best accepted-load ratio %.2fx below the 1.5x "
+                 "acceptance bar (adaptivity is not paying off)\n",
+                 best_ratio);
     return 1;
   }
   return 0;

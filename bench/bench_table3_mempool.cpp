@@ -2,7 +2,7 @@
 // architecture [37] and the prediction error against the published
 // silicon-calibrated values.
 //
-// Substitution note (see DESIGN.md): we cannot re-run MemPool's
+// Substitution note: we cannot re-run MemPool's
 // place-and-route, so the "correct" column quotes the paper's Table III.
 // MemPool's hierarchical low-latency interconnect (256 cores, 1024 banks,
 // 64 tiles) is modeled as the closest topology in our library — a

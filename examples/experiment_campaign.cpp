@@ -22,7 +22,8 @@
 //
 // The campaign itself is deterministic from the flags: mesh + torus + SHG
 // topologies on --grid (default 8x8), --traffic specs, --rates, seeds
-// 1..--seeds. --smoke shrinks the simulated cycle counts for CI.
+// 1..--seeds, and the --routing policy (minimal or ugal; ugal raises the
+// VC count to 4). --smoke shrinks the simulated cycle counts for CI.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "shg/common/error.hpp"
 #include "shg/customize/session.hpp"
 #include "shg/eval/experiment.hpp"
 #include "shg/serve/service.hpp"
@@ -54,7 +56,7 @@ int usage() {
       stderr,
       "usage: experiment_campaign [--grid RxC] [--traffic s1,s2,...]\n"
       "                           [--rates r1,r2,...] [--seeds N] [--smoke]\n"
-      "                           [--stats]\n"
+      "                           [--routing minimal|ugal] [--stats]\n"
       "                           [--cache FILE] [--shard I/N]\n"
       "                           [--merge F1,F2,...] [--out FILE]\n"
       "                           [--csv FILE]\n");
@@ -106,6 +108,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.campaign.num_seeds = std::atoi(v);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.campaign.smoke = true;
+    } else if (std::strcmp(argv[i], "--routing") == 0) {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::strcmp(v, "minimal") != 0 && std::strcmp(v, "ugal") != 0)) {
+        return false;
+      }
+      opt.campaign.routing = v;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opt.stats = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -192,16 +201,7 @@ int emit_report(const Options& opt, const eval::ExperimentReport& report) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opt;
-  if (!parse_args(argc, argv, opt)) return usage();
-  if (opt.shard_index >= 0 && !opt.merge_paths.empty()) {
-    std::fprintf(stderr, "error: --shard and --merge are exclusive modes\n");
-    return 2;
-  }
-
+int run(Options& opt) {
   eval::ExperimentSpec spec = serve::make_campaign_spec(opt.campaign);
   const std::size_t cells = spec.topologies.size() * spec.traffic.size() *
                             spec.rates.size() * spec.seeds.size();
@@ -259,4 +259,24 @@ int main(int argc, char** argv) {
   print_tier_stats(session, report);
   if (opt.stats) print_stats_stderr(report);
   return emit_report(opt, report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  if (opt.shard_index >= 0 && !opt.merge_paths.empty()) {
+    std::fprintf(stderr, "error: --shard and --merge are exclusive modes\n");
+    return 2;
+  }
+  try {
+    return run(opt);
+  } catch (const Error& e) {
+    // Bad knob combinations (an inapplicable traffic spec, a policy the
+    // fabric cannot satisfy) are user errors, not crashes: report and
+    // exit non-zero instead of aborting through std::terminate.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,7 +1,7 @@
 // Column-aligned text tables for benchmark / experiment output.
 //
 // Every bench binary prints its paper table through this class so the
-// produced rows are uniform and diffable against EXPERIMENTS.md.
+// produced rows are uniform and diffable against the paper's tables.
 #pragma once
 
 #include <string>

@@ -14,20 +14,29 @@ namespace shg::eval {
 
 namespace {
 
-/// Artifact-tier key of one topology's shared route table. The default
-/// routing function is a pure function of (family kind, edge set,
-/// num_vcs) — `make_default_routing` switches on `topo.kind()`, so the
-/// kind MUST be part of this key even though the screening fingerprints
-/// deliberately exclude it (screening metrics depend on edges alone; the
-/// routing function does not). The domain tag keeps route-table keys
-/// disjoint from every other artifact kind by construction.
+/// Artifact-tier key of one topology's shared route table. The routing
+/// function is a pure function of (family kind, edge set, num_vcs,
+/// effective policy, via seed) — `make_policy_routing` switches on
+/// `topo.kind()` and the config's routing policy, so both MUST be part of
+/// this key even though the screening fingerprints deliberately exclude
+/// the kind (screening metrics depend on edges alone; the routing function
+/// does not). The EFFECTIVE policy is keyed, not the raw field: an ugal
+/// config under the always-minimal bias sentinel builds the minimal table
+/// and must share its cache line. The via seed only matters under ugal, so
+/// it is zeroed out of minimal keys for the same reason. The domain tag
+/// keeps route-table keys disjoint from every other artifact kind by
+/// construction; v2 adds the policy axis.
 customize::Fingerprint route_table_key(const topo::Topology& topo,
-                                       int num_vcs) {
+                                       const sim::SimConfig& config) {
+  const sim::RoutingPolicy policy = sim::effective_routing_policy(config);
+  const bool ugal = policy == sim::RoutingPolicy::kUgal;
   customize::FingerprintBuilder b;
-  b.tag("shg.artifact.route_table.v1");
+  b.tag("shg.artifact.route_table.v2");
   b.fp(customize::fingerprint_topology(topo));
   b.i64(static_cast<long long>(topo.kind()));
-  b.i64(num_vcs);
+  b.i64(config.num_vcs);
+  b.i64(static_cast<long long>(policy));
+  b.u64(ugal ? config.ugal_via_seed : 0);
   return b.done();
 }
 
@@ -197,8 +206,8 @@ struct CellEngine {
         spec.session != nullptr && spec.config.sim.use_route_table;
     for (std::size_t t = 0; t < num_topos; ++t) {
       if (use_session_tables) {
-        table_keys[t] = route_table_key(spec.topologies[t].topology,
-                                        spec.config.sim.num_vcs);
+        table_keys[t] =
+            route_table_key(spec.topologies[t].topology, spec.config.sim);
         if (const auto artifact =
                 spec.session->find_artifact(table_keys[t])) {
           tables[t] =

@@ -18,7 +18,10 @@ sim::SimResult simulate_at_rate(
 std::shared_ptr<const sim::RouteTable> make_shared_route_table(
     const topo::Topology& topo, const PerfConfig& config) {
   if (!config.sim.use_route_table) return nullptr;
-  const auto routing = sim::make_default_routing(topo, config.sim.num_vcs);
+  // Policy-aware: an ugal config gets a table with the UGAL candidate rows
+  // (and the ugal_info sidecar the simulator requires); minimal configs get
+  // the family default, exactly as before.
+  const auto routing = sim::make_policy_routing(topo, config.sim);
   return std::make_shared<const sim::RouteTable>(topo, *routing,
                                                  config.sim.num_vcs);
 }

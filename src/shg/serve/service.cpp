@@ -134,6 +134,12 @@ void parse_campaign(const JsonValue& doc, CampaignParams& campaign) {
   if (const JsonValue* smoke = doc.find("smoke")) {
     campaign.smoke = smoke->as_bool();
   }
+  if (const JsonValue* routing = doc.find("routing")) {
+    // Validate at parse time so a typo fails the request, not the worker.
+    campaign.routing =
+        sim::routing_policy_name(sim::parse_routing_policy(
+            routing->as_string()));
+  }
 }
 
 std::string render_int_set(const std::set<int>& values) {
@@ -213,7 +219,17 @@ eval::ExperimentSpec make_campaign_spec(const CampaignParams& params) {
   for (int s = 1; s <= params.num_seeds; ++s) {
     spec.seeds.push_back(static_cast<std::uint64_t>(s));
   }
-  spec.config.sim.num_vcs = 2;
+  // "minimal" keeps the historical 2-VC config so default-knob campaign
+  // bytes (which the CI smoke cmp's against golden batch output) are
+  // unchanged; "ugal" needs 2 escape classes + adaptive VCs on top.
+  const sim::RoutingPolicy policy = sim::parse_routing_policy(params.routing);
+  spec.config.sim.routing_policy = policy;
+  if (policy == sim::RoutingPolicy::kUgal) {
+    spec.name += "-ugal";
+    spec.config.sim.num_vcs = 4;
+  } else {
+    spec.config.sim.num_vcs = 2;
+  }
   spec.config.sim.buffer_depth_flits = 8;
   spec.config.sim.warmup_cycles = params.smoke ? 150 : 500;
   spec.config.sim.measure_cycles = params.smoke ? 400 : 2000;
@@ -312,9 +328,9 @@ Request Service::parse_request(const std::string& line) const {
         break;
       }
       case Op::kExperiment: {
-        static const char* const kAllowed[] = {"id",    "op",    "grid",
-                                               "traffic", "rates", "seeds",
-                                               "smoke", nullptr};
+        static const char* const kAllowed[] = {
+            "id",    "op",    "grid",    "traffic", "rates",
+            "seeds", "smoke", "routing", nullptr};
         require_members(doc, kAllowed);
         parse_campaign(doc, request.campaign);
         break;

@@ -12,7 +12,8 @@
 //               "col_skips": [int...]?}
 //   customize  {"scenario": ...?, "max_area_overhead": number?}
 //   experiment {"grid": "RxC"?, "traffic": [string...]?,
-//               "rates": [number...]?, "seeds": int?, "smoke": bool?}
+//               "rates": [number...]?, "seeds": int?, "smoke": bool?,
+//               "routing": "minimal"|"ugal"?}
 //
 //   response := {"id": scalar, "op": OP?, "ok": bool, "error": string?,
 //                "elapsed_us": int, "counters": {...}?, "tiers": {...},
@@ -58,6 +59,10 @@ struct CampaignParams {
   std::vector<double> rates = {0.02, 0.05, 0.10, 0.15};
   int num_seeds = 3;
   bool smoke = false;  ///< shrinks simulated cycle counts for CI
+  /// Routing policy ("minimal" | "ugal"). "ugal" also raises the campaign
+  /// VC count to 4 (2 escape classes + 2 adaptive); the default stays at
+  /// 2 VCs so default-knob campaign bytes are unchanged.
+  std::string routing = "minimal";
 };
 
 /// The canonical campaign spec for the knobs: mesh + torus + SHG{4}/{2,5}

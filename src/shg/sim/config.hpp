@@ -3,10 +3,32 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "shg/common/error.hpp"
 
 namespace shg::sim {
+
+/// How the router picks the path of a packet.
+///
+/// kMinimal: every packet follows a hop-minimal route (the per-family
+/// default routing; deadlock-free by construction — see ARCHITECTURE.md,
+/// "Deadlock freedom by routing family").
+///
+/// kUgal: UGAL-class source-adaptive routing (booksim2's
+/// `ugal_dragonflynew` shape). At injection time the source router compares
+/// the adaptive-VC occupancy toward the destination (weighted by the
+/// minimal hop count) against the occupancy toward a deterministic,
+/// seed-drawn Valiant intermediate (weighted by the two-leg hop count plus
+/// a bias), and sends the packet non-minimally when the congested minimal
+/// path loses. Deadlock freedom comes from a Duato escape scheme: adaptive
+/// choice lives on VCs [2, num_vcs), the per-family deadlock-free routing
+/// runs as an escape network on the reserved classes [0, 2), and a packet
+/// that enters the escape band stays on it. Requires num_vcs >= 3.
+enum class RoutingPolicy : std::int32_t {
+  kMinimal = 0,
+  kUgal = 1,
+};
 
 /// Knobs of one simulation run.
 ///
@@ -67,6 +89,25 @@ struct SimConfig {
   /// default matches Distribution::kDefaultSampleCap.
   std::size_t latency_sample_cap = std::size_t{1} << 20;
 
+  /// Forces a kUgal config to behave exactly like kMinimal (every decision
+  /// resolves minimal before any UGAL machinery engages); see
+  /// effective_routing_policy below. The differential-oracle tests use it
+  /// to prove the UGAL plumbing perturbs nothing when it never fires.
+  static constexpr int kUgalBiasAlwaysMinimal = -1;
+
+  /// Routing-policy axis. kMinimal is bit-identical to the historical
+  /// behavior; kUgal adds the adaptive/escape machinery described on
+  /// RoutingPolicy.
+  RoutingPolicy routing_policy = RoutingPolicy::kMinimal;
+  /// UGAL bias in flits: the non-minimal cost must undercut the minimal
+  /// cost by more than this margin before a packet goes non-minimal.
+  /// Larger values favor minimal routing; kUgalBiasAlwaysMinimal disables
+  /// non-minimal routing entirely.
+  int ugal_bias_flits = 1;
+  /// Seed of the deterministic Valiant-intermediate draw. Kept separate
+  /// from `seed` so an injection-seed sweep shares one route table.
+  std::uint64_t ugal_via_seed = 0x9e3779b97f4a7c15ull;
+
   std::uint64_t seed = 0x5eed;
 
   void validate() const {
@@ -79,7 +120,40 @@ struct SimConfig {
                 "injection rate must be in (0, 1] flits/cycle/port");
     SHG_REQUIRE(warmup_cycles >= 0 && measure_cycles > 0 && drain_cycles >= 0,
                 "invalid measurement phases");
+    SHG_REQUIRE(routing_policy == RoutingPolicy::kMinimal ||
+                    routing_policy == RoutingPolicy::kUgal,
+                "unknown routing policy");
+    SHG_REQUIRE(ugal_bias_flits >= kUgalBiasAlwaysMinimal,
+                "ugal_bias_flits must be >= -1 "
+                "(-1 = kUgalBiasAlwaysMinimal sentinel)");
   }
 };
+
+/// The policy the simulator actually runs. A kUgal config whose bias is the
+/// kUgalBiasAlwaysMinimal sentinel degenerates to kMinimal outright — the
+/// UGAL decision could never pick non-minimal, so the simulator skips the
+/// escape-VC machinery and is bit-identical to a kMinimal run (the
+/// differential oracle in tests/sim_ugal_test.cpp holds the two together).
+inline RoutingPolicy effective_routing_policy(const SimConfig& config) {
+  if (config.routing_policy == RoutingPolicy::kUgal &&
+      config.ugal_bias_flits == SimConfig::kUgalBiasAlwaysMinimal) {
+    return RoutingPolicy::kMinimal;
+  }
+  return config.routing_policy;
+}
+
+inline const char* routing_policy_name(RoutingPolicy policy) {
+  return policy == RoutingPolicy::kUgal ? "ugal" : "minimal";
+}
+
+/// Parses "minimal" / "ugal" (the CLI and wire-protocol spelling). Throws
+/// on anything else, naming the offending string.
+inline RoutingPolicy parse_routing_policy(const std::string& name) {
+  if (name == "minimal") return RoutingPolicy::kMinimal;
+  if (name == "ugal") return RoutingPolicy::kUgal;
+  SHG_REQUIRE(false, "unknown routing policy '" + name +
+                         "' (expected 'minimal' or 'ugal')");
+  return RoutingPolicy::kMinimal;  // unreachable
+}
 
 }  // namespace shg::sim

@@ -22,6 +22,11 @@ struct Flit {
   /// fabrics where the destination terminal fixes the port. -1 = classic
   /// behavior: spread over the tile's endpoints by packet id.
   int eject_port = -1;
+  /// UGAL non-minimal leg: the Valiant intermediate the packet routes
+  /// minimally toward before turning to `dest`. -1 = minimal (or the
+  /// intermediate has been reached and cleared). Set once by the source
+  /// router's injection-time UGAL decision; only meaningful on head flits.
+  int via = -1;
   Cycle create_cycle = 0;  ///< when the packet was generated at the source
   /// Earliest cycle the current router may switch this flit (models the
   /// router pipeline: every router adds >= 1 cycle, Section II-A).

@@ -134,4 +134,12 @@ long long Network::flits_in_flight() const {
   return total;
 }
 
+long long Network::ugal_nonminimal() const {
+  long long total = 0;
+  for (const auto& router : routers_) {
+    total += router->ugal_nonminimal();
+  }
+  return total;
+}
+
 }  // namespace shg::sim

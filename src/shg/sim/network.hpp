@@ -63,6 +63,10 @@ class Network {
   /// Flits anywhere in the network (NI queues, router buffers, channels).
   long long flits_in_flight() const;
 
+  /// Packets routed on a UGAL non-minimal leg, summed over all routers
+  /// (0 under an effective kMinimal policy).
+  long long ugal_nonminimal() const;
+
  private:
   int endpoints_per_tile_;
   std::vector<std::unique_ptr<Router>> routers_;

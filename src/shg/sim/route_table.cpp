@@ -39,6 +39,7 @@ RouteTable::RouteTable(const topo::Topology& topo,
       num_vcs_(num_vcs),
       routing_name_(routing.name()) {
   SHG_REQUIRE(num_vcs >= 1, "route table needs at least one VC");
+  if (const UgalInfo* info = routing.ugal_info()) ugal_ = *info;
   const auto& g = topo.graph();
   const std::size_t n = static_cast<std::size_t>(num_nodes_);
 

@@ -71,6 +71,14 @@ class RouteTable {
   /// Name of the routing function the table was built from.
   const std::string& routing_name() const { return routing_name_; }
 
+  /// UGAL decision inputs copied from the routing function the table was
+  /// built from; nullptr for minimal routings. Lets a shared table carry
+  /// everything the router's injection-time UGAL choice needs, so live
+  /// routing and table mode stay bit-identical under kUgal too.
+  const UgalInfo* ugal_info() const {
+    return ugal_.num_nodes > 0 ? &ugal_ : nullptr;
+  }
+
   int num_vcs() const { return num_vcs_; }
   int num_nodes() const { return num_nodes_; }
 
@@ -149,6 +157,7 @@ class RouteTable {
   std::vector<RouteCandidate> arena_;   ///< deduplicated candidate lists
   std::size_t num_candidates_undeduped_ = 0;
   std::string routing_name_;
+  UgalInfo ugal_;  ///< empty (num_nodes == 0) for minimal routings
 };
 
 }  // namespace shg::sim

@@ -27,6 +27,14 @@ Router::Router(int node, int num_net_ports, int num_local_ports,
   SHG_REQUIRE(table == nullptr || table->num_vcs() == config.num_vcs,
               "route table was built for a different VC count");
   config_.validate();
+  ugal_mode_ = effective_routing_policy(config_) == RoutingPolicy::kUgal;
+  if (ugal_mode_) {
+    ugal_info_ =
+        table_ != nullptr ? table_->ugal_info() : routing_->ugal_info();
+    SHG_REQUIRE(ugal_info_ != nullptr,
+                "UGAL routing policy needs a UGAL routing function or a "
+                "route table built from one");
+  }
   const int ports = num_ports();
   in_channels_.assign(static_cast<std::size_t>(ports), nullptr);
   out_channels_.assign(static_cast<std::size_t>(ports), nullptr);
@@ -124,7 +132,9 @@ void Router::compute_route(int port, int vc) {
     const bool from_network = port < num_net_ports_;
     const int in_port = from_network ? port : -1;
     const int in_vc = from_network ? vc : -1;
-    if (table_ != nullptr) {
+    if (ugal_mode_) {
+      compute_route_ugal(ivc, in_port, in_vc);
+    } else if (table_ != nullptr) {
       ivc.routes = table_->lookup(node_, in_port, in_vc, head.dest);
     } else {
       ivc.live_candidates = routing_->route(node_, in_port, in_vc, head.dest);
@@ -133,6 +143,87 @@ void Router::compute_route(int port, int vc) {
     SHG_ASSERT(!ivc.routes.empty(), "routing returned no candidates");
   }
   ivc.state = InputVc::State::kVcAlloc;
+}
+
+std::span<const RouteCandidate> Router::row(
+    int in_port, int in_vc, int dest,
+    std::vector<RouteCandidate>& storage) const {
+  if (table_ != nullptr) return table_->lookup(node_, in_port, in_vc, dest);
+  storage = routing_->route(node_, in_port, in_vc, dest);
+  return storage;
+}
+
+int Router::adaptive_occupancy(int out_port) {
+  int occ = 0;
+  for (int v = kUgalEscapeVcs; v < config_.num_vcs; ++v) {
+    occ += config_.buffer_depth_flits - out_vc(out_port, v).credits;
+  }
+  return occ;
+}
+
+void Router::compute_route_ugal(InputVc& ivc, int in_port, int in_vc) {
+  Flit& head = ivc.buffer.front();
+  // A packet that traveled a network channel on an escape VC stays on the
+  // escape network for the rest of its life: its rows (the family routing's
+  // own candidates) all live inside the escape band, and they target the
+  // final destination — any non-minimal leg is abandoned on escape entry.
+  const bool on_escape =
+      in_port >= 0 && in_vc >= 0 && in_vc < kUgalEscapeVcs;
+  if (on_escape) {
+    ivc.routes = row(in_port, in_vc, head.dest, ivc.live_candidates);
+    return;
+  }
+  if (in_port < 0 && head.via < 0) {
+    // Injection-time UGAL decision (booksim2 ugal_dragonflynew shape): the
+    // minimal path competes on adaptive-band occupancy of its first hop
+    // weighted by its hop count; the Valiant alternative carries the
+    // two-leg hop count plus the configured bias. Occupancy reads only
+    // this router's output credit counters, which both engines agree on at
+    // route-computation time (deliver runs before allocate on every
+    // router), so the decision is engine-independent.
+    const int via = ugal_info_->via_of(node_, head.dest);
+    if (via >= 0) {
+      std::vector<RouteCandidate> scratch;
+      const auto row_min = row(-1, -1, head.dest, scratch);
+      const int occ_min = adaptive_occupancy(row_min.front().out_port);
+      const auto row_nm = row(-1, -1, via, scratch);
+      const int occ_nm = adaptive_occupancy(row_nm.front().out_port);
+      const long long cost_min =
+          static_cast<long long>(occ_min) *
+          ugal_info_->hops_between(node_, head.dest);
+      const long long cost_nm =
+          static_cast<long long>(occ_nm) *
+              (ugal_info_->hops_between(node_, via) +
+               ugal_info_->hops_between(via, head.dest)) +
+          config_.ugal_bias_flits;
+      if (cost_nm < cost_min) {
+        head.via = via;
+        ++ugal_nonminimal_;
+      }
+    }
+  }
+  // The intermediate is reached on the adaptive band: the non-minimal leg
+  // ends and the packet routes minimally toward its destination. The
+  // buffered head is cleared in place so the downstream copy carries
+  // via == -1.
+  if (head.via == node_) head.via = -1;
+  if (head.via < 0) {
+    ivc.routes = row(in_port, in_vc, head.dest, ivc.live_candidates);
+    return;
+  }
+  // Non-minimal leg: adaptive candidates steer toward the intermediate,
+  // the escape candidates keep targeting the final destination (escape
+  // entry abandons the leg; see above).
+  std::vector<RouteCandidate> spliced;
+  std::vector<RouteCandidate> scratch;
+  for (const RouteCandidate& cand : row(in_port, in_vc, head.via, scratch)) {
+    if (cand.vc_begin >= kUgalEscapeVcs) spliced.push_back(cand);
+  }
+  for (const RouteCandidate& cand : row(in_port, in_vc, head.dest, scratch)) {
+    if (cand.vc_begin < kUgalEscapeVcs) spliced.push_back(cand);
+  }
+  ivc.live_candidates = std::move(spliced);
+  ivc.routes = ivc.live_candidates;
 }
 
 void Router::allocate_phase(Cycle now) {
@@ -165,8 +256,19 @@ void Router::allocate_phase(Cycle now) {
       if (ivc.state != InputVc::State::kVcAlloc) continue;
       int request = -1;
       for (const RouteCandidate& cand : ivc.routes) {
+        // UGAL liveness guard: committing to an adaptive-band VC with no
+        // credit could park the packet behind a congestion cycle the escape
+        // network cannot break (the commit is final until the tail leaves).
+        // Requiring a credit up front means an adaptive grant always makes
+        // one hop of progress, and a head that cannot get one keeps
+        // requesting — and can always fall onto the escape candidate, whose
+        // acyclic network drains. Minimal mode keeps the historical
+        // busy-only check (bit-identical behavior).
+        const bool needs_credit =
+            ugal_mode_ && cand.vc_begin >= kUgalEscapeVcs;
         for (int ov = cand.vc_begin; ov < cand.vc_end; ++ov) {
-          if (!out_vc(cand.out_port, ov).busy) {
+          const OutputVc& o = out_vc(cand.out_port, ov);
+          if (!o.busy && (!needs_credit || o.credits > 0)) {
             request = cand.out_port * vcs + ov;
             break;
           }

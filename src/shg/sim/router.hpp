@@ -69,6 +69,10 @@ class Router {
   /// (deadlock diagnostics).
   std::string debug_state() const;
 
+  /// Packets this router sent on a UGAL non-minimal leg (source routers
+  /// only; always 0 under an effective kMinimal policy).
+  long long ugal_nonminimal() const { return ugal_nonminimal_; }
+
  private:
   struct InputVc {
     std::deque<Flit> buffer;
@@ -101,12 +105,31 @@ class Router {
   /// Computes route candidates for the head flit of (port, vc).
   void compute_route(int port, int vc);
 
+  /// UGAL-mode route computation for a non-ejecting head: the injection-time
+  /// minimal/non-minimal decision, the via-leg candidate splice and the
+  /// escape-band passthrough (see compute_route).
+  void compute_route_ugal(InputVc& ivc, int in_port, int in_vc);
+
+  /// Candidate row for state (in_port, in_vc) toward `dest`: a table lookup
+  /// or a live routing call materialized into `storage`.
+  std::span<const RouteCandidate> row(int in_port, int in_vc, int dest,
+                                      std::vector<RouteCandidate>& storage)
+      const;
+
+  /// Flits occupying the downstream adaptive-band buffers of `out_port`
+  /// (buffer depth minus credits, summed over VCs [kUgalEscapeVcs, V)) —
+  /// the congestion estimate of the UGAL source decision.
+  int adaptive_occupancy(int out_port);
+
   int node_;
   int num_net_ports_;
   int num_local_ports_;
   SimConfig config_;
   const RoutingFunction* routing_;
   const RouteTable* table_;
+  bool ugal_mode_ = false;
+  const UgalInfo* ugal_info_ = nullptr;
+  long long ugal_nonminimal_ = 0;
 
   std::vector<Channel*> in_channels_;   ///< per port; null for local ports
   std::vector<Channel*> out_channels_;  ///< per port; null for local ports

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "shg/common/prng.hpp"
 #include "shg/graph/shortest_paths.hpp"
 #include "shg/graph/spanning_tree.hpp"
+#include "shg/sim/config.hpp"
 
 namespace shg::sim {
 
@@ -461,6 +463,113 @@ class TableEscapeRouting final : public RoutingFunction {
   graph::UpDownTables tables_;
 };
 
+// ---------------------------------------------------------------------------
+// UGAL-class adaptive routing (any family)
+// ---------------------------------------------------------------------------
+
+// Adaptive minimal candidates on VCs [kUgalEscapeVcs, V); the family's own
+// deadlock-free routing, built for kUgalEscapeVcs VCs, serves as the Duato
+// escape network on the reserved classes [0, kUgalEscapeVcs). A packet on an
+// adaptive VC is always offered the escape candidates too (appended after
+// the adaptive ones, matching TableEscapeRouting's preference order); a
+// packet that arrived on an escape VC gets the escape routing's candidates
+// verbatim — all inside the escape band — so once on escape it stays there.
+// The router consults ugal_info() at injection time for the Valiant
+// intermediate and the hop weights of the UGAL occupancy comparison; the
+// routing function itself is oblivious to whether a packet is on its
+// minimal or non-minimal leg (the router swaps the *destination* it asks
+// about).
+class UgalRouting final : public RoutingFunction {
+ public:
+  UgalRouting(const topo::Topology& topo, int num_vcs, std::uint64_t via_seed)
+      : topo_(&topo),
+        num_vcs_(num_vcs),
+        escape_(make_default_routing(topo, kUgalEscapeVcs)) {
+    SHG_REQUIRE(num_vcs >= kUgalEscapeVcs + 1,
+                "UGAL routing requires at least " +
+                    std::to_string(kUgalEscapeVcs + 1) +
+                    " VCs (2 escape classes + 1 adaptive)");
+    const auto& g = topo.graph();
+    const int n = g.num_nodes();
+    hops_ = graph::all_pairs_hops(g);
+    info_.num_nodes = n;
+    const auto flat = static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    info_.via.assign(flat, -1);
+    info_.hops.assign(flat, 0);
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        info_.hops[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                   static_cast<std::size_t>(d)] =
+            static_cast<std::int32_t>(
+                hops_[static_cast<std::size_t>(s)][static_cast<std::size_t>(d)]);
+      }
+    }
+    // One deterministic Valiant intermediate per ordered (src, dest) pair,
+    // drawn s-major then d so the table is identical however the engines
+    // enumerate pairs. The draw is uniform over the n-2 nodes that are
+    // neither endpoint (remap around the sorted pair).
+    if (n >= 3) {
+      shg::Prng rng(via_seed);
+      for (int s = 0; s < n; ++s) {
+        for (int d = 0; d < n; ++d) {
+          if (s == d) continue;
+          int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 2)));
+          const int a = std::min(s, d);
+          const int b = std::max(s, d);
+          if (x >= a) ++x;
+          if (x >= b) ++x;
+          info_.via[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(d)] =
+              static_cast<std::int32_t>(x);
+        }
+      }
+    }
+  }
+
+  std::vector<RouteCandidate> route(int node, int in_port, int in_vc,
+                                    int dest) const override {
+    // Only packets that traveled a network channel on an escape VC are on
+    // the escape band; injected packets (in_port == -1) and adaptive-VC
+    // arrivals are in the adaptive state.
+    const bool on_escape =
+        in_port >= 0 && in_vc >= 0 && in_vc < kUgalEscapeVcs;
+    if (on_escape) {
+      // Stay on escape: the family routing's candidates all live in
+      // [0, kUgalEscapeVcs) because it was built for that many VCs.
+      return escape_->route(node, in_port, in_vc, dest);
+    }
+    // Fully adaptive minimal hops on the adaptive VC band.
+    std::vector<RouteCandidate> result;
+    const int d = hops_[static_cast<std::size_t>(node)]
+                       [static_cast<std::size_t>(dest)];
+    const auto& nbrs = topo_->graph().neighbors(node);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (hops_[static_cast<std::size_t>(nbrs[i].node)]
+               [static_cast<std::size_t>(dest)] == d - 1) {
+        result.push_back(
+            RouteCandidate{static_cast<int>(i), kUgalEscapeVcs, num_vcs_});
+      }
+    }
+    // Escape entry: ask the family routing as if the packet were freshly
+    // injected at this node (in_vc == -1 resolves to its class 0), so any
+    // adaptive packet can always fall onto the escape network mid-path.
+    auto escape = escape_->route(node, in_port, -1, dest);
+    result.insert(result.end(), escape.begin(), escape.end());
+    return result;
+  }
+
+  std::string name() const override { return "ugal+" + escape_->name(); }
+
+  const UgalInfo* ugal_info() const override { return &info_; }
+
+ private:
+  const topo::Topology* topo_;
+  int num_vcs_;
+  std::unique_ptr<RoutingFunction> escape_;
+  std::vector<std::vector<int>> hops_;
+  UgalInfo info_;
+};
+
 }  // namespace
 
 std::unique_ptr<RoutingFunction> make_xy_hamming_routing(
@@ -502,6 +611,20 @@ std::unique_ptr<RoutingFunction> make_default_routing(
       return make_table_escape_routing(topo, num_vcs);
   }
   return make_table_escape_routing(topo, num_vcs);
+}
+
+std::unique_ptr<RoutingFunction> make_ugal_routing(const topo::Topology& topo,
+                                                   int num_vcs,
+                                                   std::uint64_t via_seed) {
+  return std::make_unique<UgalRouting>(topo, num_vcs, via_seed);
+}
+
+std::unique_ptr<RoutingFunction> make_policy_routing(const topo::Topology& topo,
+                                                     const SimConfig& config) {
+  if (effective_routing_policy(config) == RoutingPolicy::kUgal) {
+    return make_ugal_routing(topo, config.num_vcs, config.ugal_via_seed);
+  }
+  return make_default_routing(topo, config.num_vcs);
 }
 
 }  // namespace shg::sim

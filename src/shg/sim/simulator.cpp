@@ -9,6 +9,32 @@
 
 namespace shg::sim {
 
+namespace {
+
+/// Smallest VC count the (topology, policy) combination is deadlock-free
+/// with. SimConfig::validate() cannot see either, so the check lives at
+/// simulator construction: without it an under-provisioned config used to
+/// surface as a deep SHG_REQUIRE from a routing constructor or, worse, a
+/// silent saturation hang.
+int min_vcs_for(const topo::Topology& topo, const SimConfig& config) {
+  if (effective_routing_policy(config) == RoutingPolicy::kUgal) {
+    return kUgalEscapeVcs + 1;  // 2 escape classes + >= 1 adaptive VC
+  }
+  switch (topo.kind()) {
+    case topo::Kind::kRing:
+    case topo::Kind::kTorus:
+    case topo::Kind::kFoldedTorus:
+      return 2;  // dateline class pair
+    case topo::Kind::kSlimNoc:
+    case topo::Kind::kCustom:
+      return 2;  // adaptive band + escape VC
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
 std::size_t packet_reserve_hint(double packet_prob, Cycle generation_end,
                                 int num_tiles, int endpoints_per_tile) {
   // All factors are non-negative, but their product at 64x64+, high rate
@@ -54,15 +80,34 @@ Simulator::Simulator(const topo::Topology& topo,
     endpoints_per_tile_ = config_.concentration;
   }
   config_.validate();
+  {
+    const int min_vcs = min_vcs_for(topo, config_);
+    SHG_REQUIRE(
+        config_.num_vcs >= min_vcs,
+        "SimConfig::num_vcs = " + std::to_string(config_.num_vcs) +
+            " is too small: " +
+            (effective_routing_policy(config_) == RoutingPolicy::kUgal
+                 ? std::string("the ugal routing policy needs ") +
+                       std::to_string(min_vcs) +
+                       " VCs (2 escape classes + 1 adaptive)"
+                 : "this topology family's deadlock-free routing "
+                   "(dateline/escape classes) needs " +
+                       std::to_string(min_vcs) + " VCs"));
+  }
   if (process_ == nullptr) {
     process_ = make_bernoulli(config_.injection_rate /
                               static_cast<double>(config_.packet_size_flits));
   }
+  const bool ugal =
+      effective_routing_policy(config_) == RoutingPolicy::kUgal;
   if (route_table_ != nullptr) {
     SHG_REQUIRE(route_table_->num_vcs() == config_.num_vcs,
                 "shared route table was built for a different VC count");
     SHG_REQUIRE(route_table_->matches(topo),
                 "shared route table was built for a different topology");
+    SHG_REQUIRE((route_table_->ugal_info() != nullptr) == ugal,
+                "shared route table was built for a different routing "
+                "policy (minimal vs ugal)");
   }
   // With a shared table and no verification request, the routing function
   // is never consulted — skip constructing the default one (for table-based
@@ -72,7 +117,7 @@ Simulator::Simulator(const topo::Topology& topo,
       routing_ == nullptr &&
       (route_table_ == nullptr || config_.verify_route_table);
   if (need_routing) {
-    routing_ = make_default_routing(topo, config_.num_vcs);
+    routing_ = make_policy_routing(topo, config_);
   }
   if (route_table_ == nullptr && config_.use_route_table) {
     route_table_ =
@@ -88,7 +133,9 @@ SimResult Simulator::run() {
     SoaEngine engine(*topo_, link_latencies_, config_, *pattern_,
                      endpoints_per_tile_, routing_.get(), route_table_.get(),
                      process_.get());
-    return engine.run();
+    const SimResult result = engine.run();
+    last_ugal_nonminimal_ = engine.ugal_nonminimal();
+    return result;
   }
   return run_aos();
 }
@@ -222,6 +269,7 @@ SimResult Simulator::run_aos() {
     }
   }
 
+  last_ugal_nonminimal_ = network.ugal_nonminimal();
   result.cycles_run = now;
   result.measured_packets = measured_ejected;
   result.drained = measured_ejected == measured_created;

@@ -88,6 +88,12 @@ class Simulator {
   /// The injection process driving packet generation (never null).
   const InjectionProcess& process() const { return *process_; }
 
+  /// Packets the last run() sent on a UGAL non-minimal leg. Always 0 under
+  /// an effective kMinimal policy (including the kUgalBiasAlwaysMinimal
+  /// sentinel). Diagnostic side channel — deliberately NOT a SimResult
+  /// field, so the bit-serialized result cache layout is untouched.
+  long long ugal_nonminimal_choices() const { return last_ugal_nonminimal_; }
+
  private:
   struct PacketRecord {
     Cycle create = 0;
@@ -107,6 +113,7 @@ class Simulator {
   std::unique_ptr<RoutingFunction> routing_;
   std::shared_ptr<const RouteTable> route_table_;
   std::unique_ptr<InjectionProcess> process_;
+  long long last_ugal_nonminimal_ = 0;
 };
 
 /// Initial reserve for per-packet bookkeeping: the expected injection

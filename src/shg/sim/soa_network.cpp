@@ -45,6 +45,14 @@ SoaEngine::SoaEngine(const topo::Topology& topo,
   SHG_REQUIRE(routing != nullptr || table != nullptr,
               "SoA engine needs a routing function or a route table");
   SHG_REQUIRE(process != nullptr, "SoA engine needs an injection process");
+  ugal_mode_ = effective_routing_policy(config_) == RoutingPolicy::kUgal;
+  if (ugal_mode_) {
+    ugal_info_ =
+        table_ != nullptr ? table_->ugal_info() : routing_->ugal_info();
+    SHG_REQUIRE(ugal_info_ != nullptr,
+                "UGAL routing policy needs a UGAL routing function or a "
+                "route table built from one");
+  }
   SHG_REQUIRE(endpoints_per_tile >= 1, "need at least one endpoint per tile");
   num_routers_ = topo.graph().num_nodes();
   local_ports_ = endpoints_per_tile;
@@ -138,7 +146,10 @@ void SoaEngine::build_fabric(const topo::Topology& topo,
   ivc_routes_.assign(slots, nullptr);
   ivc_routes_len_.assign(slots, 0);
   ivc_eject_.assign(slots, RouteCandidate{});
-  if (table_ == nullptr) ivc_live_.resize(slots);
+  // Live-routing mode stores its per-slot candidate vectors here; UGAL mode
+  // needs them even with a table, because a spliced via-leg row is not a
+  // contiguous arena range.
+  if (table_ == nullptr || ugal_mode_) ivc_live_.resize(slots);
   ovc_busy_.assign(slots, 0);
   ovc_credits_.resize(slots);
   for (int r = 0; r < num_routers_; ++r) {
@@ -223,6 +234,7 @@ void SoaEngine::pregenerate(const topo::Topology& topo) {
     }
   }
   pk_hops_.assign(pk_create_.size(), 0);
+  pk_via_.assign(pk_create_.size(), -1);
   pk_done_.assign(pk_create_.size(), 0);
 }
 
@@ -387,7 +399,9 @@ void SoaEngine::compute_route(int r, int port, int vc, std::size_t s) {
     const bool from_network = port < net;
     const int in_port = from_network ? port : -1;
     const int in_vc = from_network ? vc : -1;
-    if (table_ != nullptr) {
+    if (ugal_mode_) {
+      compute_route_ugal(r, s, in_port, in_vc, head.pkt, dest);
+    } else if (table_ != nullptr) {
       const auto span = table_->lookup(r, in_port, in_vc, dest);
       ivc_routes_[s] = span.data();
       ivc_routes_len_[s] = static_cast<std::int32_t>(span.size());
@@ -401,6 +415,92 @@ void SoaEngine::compute_route(int r, int port, int vc, std::size_t s) {
   ivc_state_[s] = kVcAlloc;
   --route_pending_[static_cast<std::size_t>(r)];
   ++va_pending_[static_cast<std::size_t>(r)];
+}
+
+int SoaEngine::first_port(int r, int to) const {
+  if (table_ != nullptr) {
+    return table_->lookup(r, -1, -1, to).front().out_port;
+  }
+  return routing_->route(r, -1, -1, to).front().out_port;
+}
+
+int SoaEngine::adaptive_occupancy(int r, int port) const {
+  const std::size_t base = slot(r, port, 0);
+  int occ = 0;
+  for (int v = kUgalEscapeVcs; v < vcs_; ++v) {
+    occ += depth_ - ovc_credits_[base + static_cast<std::size_t>(v)];
+  }
+  return occ;
+}
+
+void SoaEngine::append_band(int r, int in_port, int in_vc, int to,
+                            bool adaptive,
+                            std::vector<RouteCandidate>& out) const {
+  if (table_ != nullptr) {
+    for (const RouteCandidate& cand : table_->lookup(r, in_port, in_vc, to)) {
+      if ((cand.vc_begin >= kUgalEscapeVcs) == adaptive) out.push_back(cand);
+    }
+  } else {
+    for (const RouteCandidate& cand :
+         routing_->route(r, in_port, in_vc, to)) {
+      if ((cand.vc_begin >= kUgalEscapeVcs) == adaptive) out.push_back(cand);
+    }
+  }
+}
+
+void SoaEngine::compute_route_ugal(int r, std::size_t s, int in_port,
+                                   int in_vc, std::int32_t pkt, int dest) {
+  // Mirrors Router::compute_route_ugal decision-for-decision; the occupancy
+  // reads touch only this router's output credit counters, which deliver(r)
+  // settled before allocate(r) in both engines (phase commutation across
+  // routers), so the choice is engine-independent.
+  const bool on_escape =
+      in_port >= 0 && in_vc >= 0 && in_vc < kUgalEscapeVcs;
+  std::int32_t& via = pk_via_[static_cast<std::size_t>(pkt)];
+  if (!on_escape) {
+    if (in_port < 0 && via < 0) {
+      const std::int32_t drawn = ugal_info_->via_of(r, dest);
+      if (drawn >= 0) {
+        const int occ_min = adaptive_occupancy(r, first_port(r, dest));
+        const int occ_nm = adaptive_occupancy(r, first_port(r, drawn));
+        const long long cost_min =
+            static_cast<long long>(occ_min) *
+            ugal_info_->hops_between(r, dest);
+        const long long cost_nm =
+            static_cast<long long>(occ_nm) *
+                (ugal_info_->hops_between(r, drawn) +
+                 ugal_info_->hops_between(drawn, dest)) +
+            config_.ugal_bias_flits;
+        if (cost_nm < cost_min) {
+          via = drawn;
+          ++ugal_nonminimal_;
+        }
+      }
+    }
+    if (via == r) via = -1;  // intermediate reached; route to dest now
+    if (via >= 0) {
+      // Non-minimal leg: adaptive candidates steer toward the intermediate,
+      // escape candidates keep targeting the final destination.
+      std::vector<RouteCandidate>& spliced = ivc_live_[s];
+      spliced.clear();
+      append_band(r, in_port, in_vc, via, /*adaptive=*/true, spliced);
+      append_band(r, in_port, in_vc, dest, /*adaptive=*/false, spliced);
+      ivc_routes_[s] = spliced.data();
+      ivc_routes_len_[s] = static_cast<std::int32_t>(spliced.size());
+      return;
+    }
+  }
+  // Escape state or minimal/post-via adaptive state: the plain row toward
+  // the destination.
+  if (table_ != nullptr) {
+    const auto span = table_->lookup(r, in_port, in_vc, dest);
+    ivc_routes_[s] = span.data();
+    ivc_routes_len_[s] = static_cast<std::int32_t>(span.size());
+  } else {
+    ivc_live_[s] = routing_->route(r, in_port, in_vc, dest);
+    ivc_routes_[s] = ivc_live_[s].data();
+    ivc_routes_len_[s] = static_cast<std::int32_t>(ivc_live_[s].size());
+  }
 }
 
 void SoaEngine::allocate(int r, Cycle now) {
@@ -439,9 +539,15 @@ void SoaEngine::allocate(int r, Cycle now) {
         const int len = ivc_routes_len_[s];
         for (int ci = 0; ci < len; ++ci) {
           const RouteCandidate& cand = cands[ci];
+          // UGAL mode: adaptive-band candidates additionally require a
+          // credit, so a stuck head can always fall through to the escape
+          // candidate instead of camping on a starved adaptive VC.
+          const bool needs_credit =
+              ugal_mode_ && cand.vc_begin >= kUgalEscapeVcs;
           for (int ov = cand.vc_begin; ov < cand.vc_end; ++ov) {
-            if (!ovc_busy_[sbase + static_cast<std::size_t>(
-                                       cand.out_port * vcs + ov)]) {
+            const std::size_t o =
+                sbase + static_cast<std::size_t>(cand.out_port * vcs + ov);
+            if (!ovc_busy_[o] && (!needs_credit || ovc_credits_[o] > 0)) {
               request = cand.out_port * vcs + ov;
               break;
             }

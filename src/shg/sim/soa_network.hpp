@@ -64,6 +64,10 @@ class SoaEngine {
   /// bit-identical to the AoS reference path.
   SimResult run();
 
+  /// Packets sent on a UGAL non-minimal leg (0 under an effective kMinimal
+  /// policy); matches the reference engine's per-router counter sum.
+  long long ugal_nonminimal() const { return ugal_nonminimal_; }
+
  private:
   // Flags on buffered/in-flight flit entries.
   static constexpr std::uint8_t kHead = 1;
@@ -139,6 +143,20 @@ class SoaEngine {
   void allocate(int r, Cycle now);
   void compute_route(int r, int port, int vc, std::size_t s);
 
+  /// UGAL-mode route computation (mirrors Router::compute_route_ugal):
+  /// injection-time minimal/non-minimal decision, via-leg candidate splice,
+  /// escape-band passthrough.
+  void compute_route_ugal(int r, std::size_t s, int in_port, int in_vc,
+                          std::int32_t pkt, int dest);
+  /// Output port of the first injection-row candidate toward `to`.
+  int first_port(int r, int to) const;
+  /// Downstream adaptive-band occupancy of router r's output `port`.
+  int adaptive_occupancy(int r, int port) const;
+  /// Appends the adaptive (or escape) band of the (in_port, in_vc) row
+  /// toward `to` onto `out`.
+  void append_band(int r, int in_port, int in_vc, int to, bool adaptive,
+                   std::vector<RouteCandidate>& out) const;
+
   void push_buf(std::size_t s, Cycle ready, std::int32_t pkt,
                 std::uint8_t flags);
   void push_chan_flit(int c, Cycle now, std::int32_t pkt, int vc,
@@ -158,6 +176,9 @@ class SoaEngine {
   int pkt_flits_ = 0;    ///< flits per packet
   int delay_ = 0;        ///< router pipeline delay, cycles
   int max_ports_ = 0;
+  bool ugal_mode_ = false;
+  const UgalInfo* ugal_info_ = nullptr;
+  long long ugal_nonminimal_ = 0;
 
   // --- Fabric layout ------------------------------------------------------
   std::vector<int> net_ports_;          ///< per router
@@ -228,6 +249,10 @@ class SoaEngine {
   std::vector<std::int32_t> pk_port_;        ///< source endpoint port
   std::vector<std::int32_t> pk_eject_port_;  ///< -1 = spread by packet id
   std::vector<std::int32_t> pk_hops_;
+  /// UGAL Valiant intermediate per packet; -1 = minimal / already reached.
+  /// Equivalent to the reference Flit::via field: the head flit exists in
+  /// exactly one buffer at a time, so one per-packet slot is the same state.
+  std::vector<std::int32_t> pk_via_;
   std::vector<std::uint8_t> pk_measured_;
   std::vector<std::uint8_t> pk_done_;
   long long measured_created_ = 0;

@@ -1,5 +1,7 @@
 #include "shg/sim/traffic.hpp"
 
+#include <utility>
+
 namespace shg::sim {
 
 namespace {
@@ -140,6 +142,30 @@ class Hotspot final : public TrafficPattern {
   double fraction_;
 };
 
+class RandPerm final : public TrafficPattern {
+ public:
+  RandPerm(int n, std::uint64_t seed) : perm_(static_cast<std::size_t>(n)) {
+    SHG_REQUIRE(n >= 2, "random permutation needs at least two tiles");
+    // Fisher–Yates with the pattern's own PRNG stream: the permutation is
+    // a pure function of (n, seed), independent of the simulation seed.
+    for (int i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+    Prng rng(seed);
+    for (int i = n - 1; i > 0; --i) {
+      const int j = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(i) + 1));
+      std::swap(perm_[static_cast<std::size_t>(i)],
+                perm_[static_cast<std::size_t>(j)]);
+    }
+  }
+  int dest(int src, Prng&) const override {
+    return perm_[static_cast<std::size_t>(src)];
+  }
+  std::string name() const override { return "randperm"; }
+
+ private:
+  std::vector<int> perm_;
+};
+
 }  // namespace
 
 std::unique_ptr<TrafficPattern> make_uniform(int num_tiles) {
@@ -167,6 +193,10 @@ std::unique_ptr<TrafficPattern> make_hotspot(int num_tiles,
                                              std::vector<int> hotspots,
                                              double fraction) {
   return std::make_unique<Hotspot>(num_tiles, std::move(hotspots), fraction);
+}
+std::unique_ptr<TrafficPattern> make_randperm(int num_tiles,
+                                              std::uint64_t seed) {
+  return std::make_unique<RandPerm>(num_tiles, seed);
 }
 
 }  // namespace shg::sim

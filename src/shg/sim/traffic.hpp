@@ -4,6 +4,7 @@
 // patterns are provided for the extended evaluation and tests.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,5 +50,13 @@ std::unique_ptr<TrafficPattern> make_neighbor(int rows, int cols);
 std::unique_ptr<TrafficPattern> make_hotspot(int num_tiles,
                                              std::vector<int> hotspots,
                                              double fraction);
+
+/// Random permutation: a fixed permutation drawn once from `seed`
+/// (Fisher–Yates over the tile ids), then dest = perm[src] for the whole
+/// run. The adversarial workload for adaptive routing: unlike `uniform`
+/// every source loads exactly one path, and unlike the bit permutations
+/// the pairing has no structure a minimal route distribution can exploit.
+std::unique_ptr<TrafficPattern> make_randperm(int num_tiles,
+                                              std::uint64_t seed);
 
 }  // namespace shg::sim

@@ -42,6 +42,16 @@ int parse_int(const std::string& token, const char* what) {
   return static_cast<int>(value);
 }
 
+std::uint64_t parse_u64(const std::string& token, const char* what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  SHG_REQUIRE(!token.empty() && token[0] != '-' &&
+                  end == token.c_str() + token.size(),
+              std::string("traffic spec: malformed ") + what + " '" + token +
+                  "'");
+  return static_cast<std::uint64_t>(value);
+}
+
 /// %g-style formatting without trailing zeros, for canonical().
 std::string fmt_number(double value) {
   std::ostringstream os;
@@ -64,6 +74,10 @@ void parse_pattern_part(const std::string& part, TrafficSpec& spec) {
     spec.hotspot_fraction = parse_double(tokens[2], "hotspot fraction");
     SHG_REQUIRE(spec.hotspot_fraction > 0.0 && spec.hotspot_fraction <= 1.0,
                 "traffic spec: hotspot fraction must be in (0, 1]");
+  } else if (name == "randperm") {
+    SHG_REQUIRE(tokens.size() == 2,
+                "traffic spec: randperm needs 'randperm:<seed>'");
+    spec.randperm_seed = parse_u64(tokens[1], "randperm seed");
   } else {
     SHG_REQUIRE(tokens.size() == 1,
                 "traffic spec: pattern '" + name + "' takes no arguments");
@@ -100,8 +114,8 @@ void parse_process_part(const std::string& part, TrafficSpec& spec) {
 
 const std::vector<std::string>& known_pattern_names() {
   static const std::vector<std::string> names = {
-      "uniform",  "transpose", "bit-complement", "bit-reverse",
-      "shuffle",  "tornado",   "neighbor",       "hotspot"};
+      "uniform", "transpose", "bit-complement", "bit-reverse", "shuffle",
+      "tornado", "neighbor",  "hotspot",        "randperm"};
   return names;
 }
 
@@ -128,6 +142,9 @@ std::string TrafficSpec::canonical() const {
     }
     os << ':' << fmt_number(hotspot_fraction);
   }
+  if (pattern == "randperm") {
+    os << ':' << randperm_seed;
+  }
   if (process != "bernoulli") {
     os << '/' << process << ':' << fmt_number(on_off_alpha) << ','
        << fmt_number(on_off_beta);
@@ -146,15 +163,26 @@ std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(
   const int trows = conc.terminal_rows();
   const int tcols = conc.terminal_cols();
   const int n = conc.terminals();
-  if (pattern == "uniform") return make_uniform(n);
-  if (pattern == "transpose") return make_transpose(trows, tcols);
-  if (pattern == "bit-complement") return make_bit_complement(n);
-  if (pattern == "bit-reverse") return make_bit_reverse(n);
-  if (pattern == "shuffle") return make_shuffle(n);
-  if (pattern == "tornado") return make_tornado(trows, tcols);
-  if (pattern == "neighbor") return make_neighbor(trows, tcols);
-  if (pattern == "hotspot") {
-    return make_hotspot(n, hotspot_tiles, hotspot_fraction);
+  // Pattern/shape mismatches (square-only transpose, power-of-two-only
+  // shuffle, out-of-range hotspot ids, ...) surface from the pattern
+  // constructors as bare preconditions; rethrow them here with the one
+  // thing the caller can act on — which spec failed on which grid.
+  try {
+    if (pattern == "uniform") return make_uniform(n);
+    if (pattern == "transpose") return make_transpose(trows, tcols);
+    if (pattern == "bit-complement") return make_bit_complement(n);
+    if (pattern == "bit-reverse") return make_bit_reverse(n);
+    if (pattern == "shuffle") return make_shuffle(n);
+    if (pattern == "tornado") return make_tornado(trows, tcols);
+    if (pattern == "neighbor") return make_neighbor(trows, tcols);
+    if (pattern == "hotspot") {
+      return make_hotspot(n, hotspot_tiles, hotspot_fraction);
+    }
+    if (pattern == "randperm") return make_randperm(n, randperm_seed);
+  } catch (const Error& e) {
+    throw Error("traffic spec '" + canonical() +
+                "' is not applicable to the " + std::to_string(trows) + "x" +
+                std::to_string(tcols) + " terminal grid: " + e.what());
   }
   SHG_REQUIRE(false, "traffic spec: unknown pattern '" + pattern + "'");
   return nullptr;  // unreachable

@@ -9,13 +9,16 @@
 //   pattern       := "uniform" | "transpose" | "bit-complement"
 //                  | "bit-reverse" | "shuffle" | "tornado" | "neighbor"
 //                  | "hotspot:" tiles ":" fraction
+//                  | "randperm:" seed           (seed-drawn permutation)
 //   tiles         := tile { "," tile }          (flattened tile ids)
 //   process       := "bernoulli"                (the default)
 //                  | "onoff:" alpha "," beta    (bursty Markov on-off)
 //
-// Examples: "uniform", "hotspot:0,7:0.2", "transpose/onoff:0.05,0.2".
+// Examples: "uniform", "hotspot:0,7:0.2", "randperm:7",
+// "transpose/onoff:0.05,0.2".
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +36,7 @@ struct TrafficSpec {
   std::string pattern = "uniform";
   std::vector<int> hotspot_tiles;       ///< "hotspot" only
   double hotspot_fraction = 0.0;        ///< "hotspot" only
+  std::uint64_t randperm_seed = 0;      ///< "randperm" only
 
   // Process half.
   std::string process = "bernoulli";
@@ -52,7 +56,8 @@ struct TrafficSpec {
   /// terminal ids on the concentrated terminal grid (sim/concentration.hpp)
   /// and hotspot ids are terminal ids. Throws when the pattern is not
   /// applicable (non-square transpose, non-power-of-two shuffle, hotspot
-  /// id out of range, ...).
+  /// id out of range, ...); the error names the canonical spec string and
+  /// the offending terminal grid, not just the inner precondition.
   std::unique_ptr<TrafficPattern> make_pattern(int rows, int cols,
                                                int concentration = 1) const;
 

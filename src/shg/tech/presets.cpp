@@ -36,7 +36,7 @@ ArchParams knc_scenario(KncScenario scenario) {
   // Full AXI5 on a duplex 512-bit link: AW+W+B+AR+R channels in both
   // directions plus strobes, IDs and handshakes — about 4 wires per payload
   // bit. Calibrated so the flattened butterfly exceeds the 40% area budget
-  // of Section V-b in every scenario, as in Figure 6 (see EXPERIMENTS.md).
+  // of Section V-b in every scenario, as in the paper's Figure 6.
   arch.transport = TransportModel{"axi", 5.0, 300.0};
   arch.router_area = RouterAreaModel{};
   arch.router_arch = RouterArchitecture{8, 32};

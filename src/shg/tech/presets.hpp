@@ -1,8 +1,8 @@
 // Named architecture / technology presets used throughout the evaluation.
 //
 // All constants here are *inputs* of the model (Table II) chosen to be
-// representative of the architectures the paper evaluates; EXPERIMENTS.md
-// records the calibration rationale for each.
+// representative of the architectures the paper evaluates; the comments on
+// each preset record its calibration rationale.
 #pragma once
 
 #include "shg/tech/arch_params.hpp"

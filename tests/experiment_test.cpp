@@ -498,7 +498,7 @@ TEST(ResultTierKeys, SimConfigFingerprintCoversEveryField) {
   // the sizeof static_assert next to fingerprint_sim_config) fails after
   // adding a field, extend both the fingerprint and this list.
   const sim::SimConfig base;
-  std::vector<sim::SimConfig> perturbed(14, base);
+  std::vector<sim::SimConfig> perturbed(17, base);
   perturbed[0].num_vcs += 1;
   perturbed[1].buffer_depth_flits += 1;
   perturbed[2].router_delay_cycles += 1;
@@ -513,6 +513,9 @@ TEST(ResultTierKeys, SimConfigFingerprintCoversEveryField) {
   perturbed[11].use_soa_engine = !base.use_soa_engine;
   perturbed[12].latency_sample_cap += 1;
   perturbed[13].seed += 1;
+  perturbed[14].routing_policy = sim::RoutingPolicy::kUgal;
+  perturbed[15].ugal_bias_flits += 1;
+  perturbed[16].ugal_via_seed += 1;
 
   std::vector<customize::Fingerprint> fps;
   fps.push_back(customize::fingerprint_sim_config(base));

@@ -320,6 +320,31 @@ TEST(Service, CampaignSpecDefaultsMatchTheBatchDriver) {
   EXPECT_EQ(spec.config.sim.num_vcs, 2);
   EXPECT_EQ(spec.config.sim.buffer_depth_flits, 8);
   EXPECT_EQ(spec.config.sim.warmup_cycles, 500);
+  EXPECT_EQ(spec.config.sim.routing_policy, sim::RoutingPolicy::kMinimal);
+}
+
+TEST(Service, ExperimentRoutingFieldSelectsUgalCampaign) {
+  Service service;
+  const Request request = service.parse_request(
+      "{\"op\":\"experiment\",\"id\":1,\"grid\":\"6x6\","
+      "\"traffic\":[\"uniform\"],\"rates\":[0.05],\"seeds\":1,"
+      "\"smoke\":true,\"routing\":\"ugal\"}");
+  ASSERT_TRUE(request.valid) << request.error;
+  EXPECT_EQ(request.campaign.routing, "ugal");
+
+  // The shared builder flips the policy, raises the VC count to the UGAL
+  // floor (2 escape + 2 adaptive classes), and tags the campaign name so
+  // reports from the two policies can never be confused.
+  const eval::ExperimentSpec spec = make_campaign_spec(request.campaign);
+  EXPECT_EQ(spec.config.sim.routing_policy, sim::RoutingPolicy::kUgal);
+  EXPECT_EQ(spec.config.sim.num_vcs, 4);
+  EXPECT_EQ(spec.name, "campaign-6x6-ugal");
+
+  // Bad policy spellings are rejected at parse time, naming the offender.
+  const Request bad = service.parse_request(
+      "{\"op\":\"experiment\",\"id\":2,\"routing\":\"adaptive\"}");
+  EXPECT_FALSE(bad.valid);
+  EXPECT_NE(bad.error.find("adaptive"), std::string::npos) << bad.error;
 }
 
 }  // namespace

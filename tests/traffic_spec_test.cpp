@@ -20,7 +20,9 @@ TEST(TrafficSpec, CanonicalRoundTrips) {
   for (const char* text :
        {"uniform", "transpose", "bit-complement", "bit-reverse", "shuffle",
         "tornado", "neighbor", "hotspot:0,7:0.2", "hotspot:5:0.5",
-        "uniform/onoff:0.05,0.2", "hotspot:0,7:0.2/onoff:0.01,0.1"}) {
+        "randperm:0", "randperm:12345",
+        "uniform/onoff:0.05,0.2", "hotspot:0,7:0.2/onoff:0.01,0.1",
+        "randperm:7/onoff:0.05,0.2"}) {
     EXPECT_EQ(TrafficSpec::parse(text).canonical(), text) << text;
   }
 }
@@ -53,6 +55,9 @@ TEST(TrafficSpec, UnknownOrMalformedSpecsThrow) {
   EXPECT_THROW(TrafficSpec::parse("hotspot"), Error);         // missing args
   EXPECT_THROW(TrafficSpec::parse("hotspot:x:0.2"), Error);   // bad tile
   EXPECT_THROW(TrafficSpec::parse("hotspot:0:1.5"), Error);   // bad fraction
+  EXPECT_THROW(TrafficSpec::parse("randperm"), Error);        // missing seed
+  EXPECT_THROW(TrafficSpec::parse("randperm:x"), Error);      // bad seed
+  EXPECT_THROW(TrafficSpec::parse("randperm:-1"), Error);     // negative seed
   EXPECT_THROW(TrafficSpec::parse("uniform/poisson"), Error); // bad process
   EXPECT_THROW(TrafficSpec::parse("uniform/onoff:0.5"), Error);
   EXPECT_THROW(TrafficSpec::parse("uniform/onoff:0,0.5"), Error);
@@ -65,6 +70,57 @@ TEST(TrafficSpec, PatternApplicabilityChecked) {
   EXPECT_THROW(TrafficSpec::parse("shuffle").make_pattern(3, 3), Error);
   EXPECT_THROW(TrafficSpec::parse("hotspot:99:0.2").make_pattern(4, 4),
                Error);
+}
+
+TEST(TrafficSpec, ApplicabilityErrorNamesSpecAndGrid) {
+  // The rethrow must carry the canonical spec string and the terminal grid
+  // the pattern was being instantiated on — the two facts a sweep over
+  // many topologies needs to locate the offending cell.
+  try {
+    TrafficSpec::parse("transpose/onoff:0.05,0.2").make_pattern(2, 3);
+    FAIL() << "expected an applicability error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("transpose/onoff:0.05,0.2"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("2x3"), std::string::npos) << what;
+  }
+  // Concentration changes the grid the error reports: 4x4 routers at c=2
+  // form a 4x8 terminal grid.
+  try {
+    TrafficSpec::parse("transpose").make_pattern(4, 4, 2);
+    FAIL() << "expected an applicability error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("4x8"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TrafficSpec, RandPermIsASeedStablePermutation) {
+  const auto pattern = TrafficSpec::parse("randperm:7").make_pattern(4, 4);
+  EXPECT_EQ(pattern->name(), "randperm");
+  Prng rng(1);
+  // It is a permutation of the 16 tiles...
+  std::vector<bool> hit(16, false);
+  for (int src = 0; src < 16; ++src) {
+    const int dest = pattern->dest(src, rng);
+    ASSERT_GE(dest, 0);
+    ASSERT_LT(dest, 16);
+    EXPECT_FALSE(hit[static_cast<std::size_t>(dest)]);
+    hit[static_cast<std::size_t>(dest)] = true;
+  }
+  // ...stable across instantiations of the same seed...
+  const auto again = TrafficSpec::parse("randperm:7").make_pattern(4, 4);
+  for (int src = 0; src < 16; ++src) {
+    EXPECT_EQ(pattern->dest(src, rng), again->dest(src, rng));
+  }
+  // ...and a different seed draws a different permutation.
+  const auto other = TrafficSpec::parse("randperm:8").make_pattern(4, 4);
+  bool differs = false;
+  for (int src = 0; src < 16; ++src) {
+    if (pattern->dest(src, rng) != other->dest(src, rng)) differs = true;
+  }
+  EXPECT_TRUE(differs);
 }
 
 // --- Concentrated pattern instantiation -----------------------------------
