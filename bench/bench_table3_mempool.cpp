@@ -9,14 +9,24 @@
 // flattened butterfly over the 8x8 tile grid (diameter 2, high radix),
 // with the lean MemPool transport/router preset and single-flit packets
 // (single-word loads/stores).
+//
+// The zero-load workload is also the repo's first trace customer: the
+// single-word request stream is recorded ONCE into an shg.trace.v1 file
+// (trace_from_spec), the replay benchmark re-runs it from the trace bytes,
+// and the process exits non-zero if the replay is not bit-identical to the
+// live synthetic run.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "shg/common/strings.hpp"
 #include "shg/common/table.hpp"
 #include "shg/eval/toolchain.hpp"
+#include "shg/sim/simulator.hpp"
+#include "shg/sim/trace.hpp"
+#include "shg/sim/traffic_spec.hpp"
 #include "shg/tech/presets.hpp"
 #include "shg/topo/generators.hpp"
 
@@ -52,6 +62,52 @@ void BM_MempoolCostModel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MempoolCostModel);
+
+constexpr double kZeroLoadRate = 0.005;
+
+// The recorded MemPool request stream, generated once per process: the
+// same uniform single-word workload the zero-load benchmark simulates,
+// captured over the live generation window (warmup + measure).
+const sim::Trace& mempool_trace() {
+  static const sim::Trace trace = [] {
+    const tech::ArchParams arch = tech::mempool_arch();
+    const eval::PerfConfig config = mempool_perf(arch);
+    sim::TraceRecordOptions opt;
+    opt.rows = 8;
+    opt.cols = 8;
+    opt.endpoints_per_tile = arch.endpoints_per_tile;
+    opt.injection_rate = kZeroLoadRate;
+    opt.packet_size_flits = config.sim.packet_size_flits;
+    opt.cycles = config.sim.warmup_cycles + config.sim.measure_cycles;
+    opt.seed = config.sim.seed;
+    return sim::trace_from_spec(sim::TrafficSpec::parse("uniform"), opt);
+  }();
+  return trace;
+}
+
+sim::SimResult replay_mempool_trace() {
+  const tech::ArchParams arch = tech::mempool_arch();
+  const auto topo = topo::make_flattened_butterfly(8, 8);
+  const auto latencies = eval::predict_cost(arch, topo).link_latencies();
+  eval::PerfConfig config = mempool_perf(arch);
+  config.sim.injection_rate = kZeroLoadRate;
+  const auto shared = std::make_shared<const sim::Trace>(mempool_trace());
+  sim::TraceWorkload workload = sim::make_trace_replay(
+      shared, topo.num_tiles() * arch.endpoints_per_tile, topo.num_tiles(),
+      config.sim.packet_size_flits);
+  sim::Simulator simulator(topo, latencies, config.sim, *workload.pattern,
+                           arch.endpoints_per_tile, nullptr, nullptr,
+                           std::move(workload.process));
+  return simulator.run();
+}
+
+void BM_MempoolTraceReplaySim(benchmark::State& state) {
+  mempool_trace();  // record outside the timed loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay_mempool_trace());
+  }
+}
+BENCHMARK(BM_MempoolTraceReplaySim);
 
 void BM_MempoolZeroLoadSim(benchmark::State& state) {
   const tech::ArchParams arch = tech::mempool_arch();
@@ -109,11 +165,36 @@ void print_table3() {
       latency - 4.0);
 }
 
+// Gate: the trace replay must reproduce the live synthetic zero-load run
+// bit for bit (same schedule, zero RNG draws during replay).
+bool check_trace_replay() {
+  const tech::ArchParams arch = tech::mempool_arch();
+  const auto topo = topo::make_flattened_butterfly(8, 8);
+  const auto latencies = eval::predict_cost(arch, topo).link_latencies();
+  const auto pattern = sim::make_uniform(64);
+  const sim::SimResult live =
+      eval::simulate_at_rate(topo, latencies, arch.endpoints_per_tile,
+                             *pattern, mempool_perf(arch), kZeroLoadRate);
+  const sim::SimResult replay = replay_mempool_trace();
+  const bool identical =
+      live.offered_rate == replay.offered_rate &&
+      live.accepted_rate == replay.accepted_rate &&
+      live.avg_packet_latency == replay.avg_packet_latency &&
+      live.p99_packet_latency == replay.p99_packet_latency &&
+      live.avg_hops == replay.avg_hops &&
+      live.measured_packets == replay.measured_packets &&
+      live.drained == replay.drained && live.measured_packets > 0;
+  std::printf("\ntrace replay == live zero-load run: %s (%lld packets)\n",
+              identical ? "yes" : "NO — BUG", live.measured_packets);
+  return identical;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   print_table3();
+  if (!check_trace_replay()) return 1;
   return 0;
 }

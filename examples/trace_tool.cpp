@@ -1,0 +1,143 @@
+// Trace tool: record synthetic workloads into shg.trace.v1 files and
+// inspect existing ones.
+//
+//   Record 1500 cycles of hotspot traffic on an 8x8 grid into a trace:
+//     $ ./trace_tool --record hotspot:0,7:0.2 --grid 8x8 --cycles 1500 \
+//           --rate 0.10 --out hotspot.trace
+//
+//   Validate a trace file and print a summary (non-zero exit on a bad
+//   file, so scripts can gate on it):
+//     $ ./trace_tool --dump hotspot.trace
+//
+// Recording replays the exact generation loop both simulator engines
+// run (trace_from_spec), so feeding the file back through a
+// `trace:<path>` traffic spec reproduces the live run bit for bit — the
+// CI campaign smoke records a trace here, replays it through
+// experiment_campaign's shard/merge pipeline, and cmp's the reports.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "shg/common/error.hpp"
+#include "shg/sim/trace.hpp"
+#include "shg/sim/traffic_spec.hpp"
+
+namespace {
+
+using namespace shg;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_tool --record SPEC --grid RxC --out FILE\n"
+      "                  [--cycles N] [--rate R] [--packet-size P]\n"
+      "                  [--seed S]\n"
+      "       trace_tool --dump FILE\n");
+  return 2;
+}
+
+int record(const std::string& spec_text, const sim::TraceRecordOptions& opt,
+           const std::string& out_path) {
+  const sim::TrafficSpec spec = sim::TrafficSpec::parse(spec_text);
+  const sim::Trace trace = sim::trace_from_spec(spec, opt);
+  sim::save_trace(trace, out_path);
+  std::printf(
+      "recorded %s: spec %s, grid %dx%d, %zu records, "
+      "%u sources, %u terminals, content hash %016llx\n",
+      out_path.c_str(), spec.canonical().c_str(), opt.rows, opt.cols,
+      trace.records.size(), trace.num_sources, trace.num_terminals,
+      static_cast<unsigned long long>(trace.content_hash()));
+  return 0;
+}
+
+int dump(const std::string& path) {
+  const sim::Trace trace = sim::load_trace(path);  // warns + throws on bad
+  std::uint64_t last_abs = 0;
+  std::uint64_t abs = 0;
+  std::uint64_t total_flits = 0;
+  std::size_t deps = 0;
+  std::vector<std::uint64_t> per_source(trace.num_sources, 0);
+  for (const sim::TraceRecord& r : trace.records) {
+    per_source[r.source] += r.delta;
+    abs = per_source[r.source];
+    last_abs = std::max(last_abs, abs);
+    total_flits += r.size_flits;
+    if (r.dep != sim::kTraceNoDep) ++deps;
+  }
+  std::printf("%s: shg.trace.v1, %u sources, %u terminals\n", path.c_str(),
+              trace.num_sources, trace.num_terminals);
+  std::printf("  records:      %zu (%zu with dependency edges)\n",
+              trace.records.size(), deps);
+  std::printf("  total flits:  %llu\n",
+              static_cast<unsigned long long>(total_flits));
+  std::printf("  time span:    [0, %llu]\n",
+              static_cast<unsigned long long>(last_abs));
+  std::printf("  content hash: %016llx\n",
+              static_cast<unsigned long long>(trace.content_hash()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string record_spec;
+  std::string dump_path;
+  std::string out_path;
+  sim::TraceRecordOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--record") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      record_spec = v;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      dump_path = v;
+    } else if (std::strcmp(argv[i], "--grid") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::sscanf(v, "%dx%d", &opt.rows, &opt.cols) != 2 ||
+          opt.rows < 1 || opt.cols < 1) {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--cycles") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoll(v) < 1) return usage();
+      opt.cycles = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atof(v) <= 0.0) return usage();
+      opt.injection_rate = std::atof(v);
+    } else if (std::strcmp(argv[i], "--packet-size") == 0) {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return usage();
+      opt.packet_size_flits = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (record_spec.empty() == dump_path.empty()) return usage();
+  try {
+    if (!record_spec.empty()) {
+      if (out_path.empty()) return usage();
+      return record(record_spec, opt, out_path);
+    }
+    return dump(dump_path);
+  } catch (const shg::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -334,7 +334,8 @@ Fingerprint fingerprint_sim_topology(const topo::Topology& topo,
 
 Fingerprint fingerprint_sim_cell(const Fingerprint& sim_topo_fp,
                                  const std::string& traffic_canonical,
-                                 const sim::SimConfig& config) {
+                                 const sim::SimConfig& config,
+                                 std::uint64_t trace_content_hash) {
   // "exact" domain separation as for the screening keys: both simulation
   // engines are bit-identical by the oracle-tested engine contract, so
   // they share this tag; any future approximate simulation mode must mint
@@ -344,6 +345,11 @@ Fingerprint fingerprint_sim_cell(const Fingerprint& sim_topo_fp,
   b.fp(sim_topo_fp);
   b.str(traffic_canonical);
   b.fp(fingerprint_sim_config(config));
+  // Appended only for trace cells so every pre-trace key is unchanged.
+  if (trace_content_hash != 0) {
+    b.tag("shg.trace.content");
+    b.u64(trace_content_hash);
+  }
   return b.done();
 }
 

@@ -189,9 +189,16 @@ Fingerprint fingerprint_sim_topology(const topo::Topology& topo,
 /// string, full per-cell SimConfig — rate and seed already applied).
 /// Workloads given as borrowed `TrafficPattern` pointers have no canonical
 /// string and are not content-addressable; the engine never keys them.
+/// Trace workloads pass the trace's content hash (sim/trace.hpp,
+/// Trace::content_hash) as `trace_content_hash`, mixing the trace BYTES
+/// into the key — the canonical string only names the path, and a trace
+/// file edited in place must not hit the old cells. Synthetic workloads
+/// pass 0 (the default), which leaves their keys byte-identical to the
+/// pre-trace era.
 Fingerprint fingerprint_sim_cell(const Fingerprint& sim_topo_fp,
                                  const std::string& traffic_canonical,
-                                 const sim::SimConfig& config);
+                                 const sim::SimConfig& config,
+                                 std::uint64_t trace_content_hash = 0);
 
 /// Counters of one cache's traffic (monotonic over its lifetime).
 struct CacheStats {

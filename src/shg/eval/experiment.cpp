@@ -9,6 +9,7 @@
 #include "shg/common/strings.hpp"
 #include "shg/customize/session.hpp"
 #include "shg/eval/toolchain.hpp"
+#include "shg/sim/trace.hpp"
 
 namespace shg::eval {
 
@@ -238,6 +239,9 @@ struct CellEngine {
     for (std::size_t w = 0; w < num_traffic; ++w) {
       if (spec.traffic[w].pattern == nullptr) {
         parsed[w] = sim::TrafficSpec::parse(spec.traffic[w].spec);
+        // Trace files are loaded (and fully validated) once per traffic
+        // case; every cell on every topology shares the in-memory trace.
+        parsed[w].resolve_trace();
       }
     }
     owned_patterns.resize(num_topos * num_traffic);
@@ -247,6 +251,12 @@ struct CellEngine {
         const std::size_t i = t * num_traffic + w;
         if (spec.traffic[w].pattern != nullptr) {
           patterns[i] = spec.traffic[w].pattern;
+        } else if (parsed[w].is_trace()) {
+          // Trace replay workloads carry a mutable cursor, so unlike the
+          // stateless synthetic patterns they cannot be shared across
+          // concurrently simulating cells; simulate() builds a private
+          // pair per cell instead.
+          patterns[i] = nullptr;
         } else {
           owned_patterns[i] = parsed[w].make_pattern(
               spec.topologies[t].topology.rows(),
@@ -272,7 +282,8 @@ struct CellEngine {
         decompose(i, t, w, r, s);
         if (!cacheable(w)) continue;
         cell_keys[i] = customize::fingerprint_sim_cell(
-            topo_fps[t], parsed[w].canonical(), cell_config(r, s));
+            topo_fps[t], parsed[w].canonical(), cell_config(r, s),
+            parsed[w].trace_content_hash());
       }
     }
   }
@@ -307,6 +318,19 @@ struct CellEngine {
     std::size_t t, w, r, s;
     decompose(i, t, w, r, s);
     const sim::SimConfig config = cell_config(r, s);
+    if (spec.traffic[w].pattern == nullptr && parsed[w].is_trace()) {
+      // A private replay pair per cell: the schedule build is cheap next
+      // to the simulation, and the shared_ptr'd trace bytes are not
+      // copied. The workload outlives run() in this frame.
+      const topo::Topology& topology = spec.topologies[t].topology;
+      sim::TraceWorkload workload = parsed[w].make_trace_workload(
+          topology.rows(), topology.cols(), topology.concentration(),
+          spec.endpoints_per_tile, config.packet_size_flits);
+      sim::Simulator simulator(topology, latencies[t], config,
+                               *workload.pattern, spec.endpoints_per_tile,
+                               nullptr, tables[t], std::move(workload.process));
+      return simulator.run();
+    }
     std::unique_ptr<sim::InjectionProcess> process;
     if (spec.traffic[w].pattern == nullptr) {
       // With concentration, the concentration factor is the per-tile

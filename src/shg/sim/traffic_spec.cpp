@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "shg/sim/concentration.hpp"
+#include "shg/sim/trace.hpp"
 
 namespace shg::sim {
 
@@ -62,6 +63,11 @@ std::string fmt_number(double value) {
 void parse_pattern_part(const std::string& part, TrafficSpec& spec) {
   const std::vector<std::string> tokens = split(part, ':');
   const std::string& name = tokens.front();
+  // A bare "trace" reaching this point lacked the "trace:<path>" shape
+  // (the prefix is intercepted before the '/' split, since paths may
+  // contain slashes).
+  SHG_REQUIRE(name != "trace",
+              "traffic spec: trace needs 'trace:<path>[@scale]'");
   const auto& known = known_pattern_names();
   SHG_REQUIRE(std::find(known.begin(), known.end(), name) != known.end(),
               "traffic spec: unknown pattern '" + name + "'");
@@ -121,6 +127,25 @@ const std::vector<std::string>& known_pattern_names() {
 
 TrafficSpec TrafficSpec::parse(const std::string& text) {
   SHG_REQUIRE(!text.empty(), "traffic spec: empty spec");
+  // Trace specs are intercepted before the '/' half-split: the path may
+  // contain slashes, and a trace replaces both halves anyway.
+  if (text.rfind("trace:", 0) == 0) {
+    TrafficSpec spec;
+    spec.pattern = "trace";
+    spec.process = "trace";
+    std::string rest = text.substr(6);
+    const auto at = rest.rfind('@');
+    if (at != std::string::npos) {
+      spec.trace_scale = parse_double(rest.substr(at + 1), "trace scale");
+      SHG_REQUIRE(spec.trace_scale > 0.0,
+                  "traffic spec: trace scale must be positive");
+      rest.resize(at);
+    }
+    SHG_REQUIRE(!rest.empty(),
+                "traffic spec: trace needs 'trace:<path>[@scale]'");
+    spec.trace_path = rest;
+    return spec;
+  }
   const std::vector<std::string> halves = split(text, '/');
   SHG_REQUIRE(halves.size() <= 2,
               "traffic spec: expected '<pattern>[/<process>]', got '" + text +
@@ -132,6 +157,11 @@ TrafficSpec TrafficSpec::parse(const std::string& text) {
 }
 
 std::string TrafficSpec::canonical() const {
+  if (is_trace()) {
+    std::string text = "trace:" + trace_path;
+    if (trace_scale != 1.0) text += "@" + fmt_number(trace_scale);
+    return text;
+  }
   std::ostringstream os;
   os << pattern;
   if (pattern == "hotspot") {
@@ -154,6 +184,10 @@ std::string TrafficSpec::canonical() const {
 
 std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(
     int rows, int cols, int concentration) const {
+  SHG_REQUIRE(!is_trace(),
+              "traffic spec '" + canonical() +
+                  "' is a trace; instantiate it with make_trace_workload, "
+                  "not make_pattern");
   SHG_REQUIRE(rows >= 1 && cols >= 1, "traffic spec: empty grid");
   // Patterns are instantiated over the terminal grid: with concentration 1
   // it IS the router grid, otherwise each router contributes a sub-grid of
@@ -190,6 +224,10 @@ std::unique_ptr<TrafficPattern> TrafficSpec::make_pattern(
 
 std::unique_ptr<InjectionProcess> TrafficSpec::make_process(
     double packet_prob, int num_sources) const {
+  SHG_REQUIRE(!is_trace(),
+              "traffic spec '" + canonical() +
+                  "' is a trace; its timing comes from the trace bytes, "
+                  "not an injection process");
   if (process == "bernoulli") return make_bernoulli(packet_prob);
   if (process == "onoff") {
     return make_on_off(packet_prob, on_off_alpha, on_off_beta, num_sources);
@@ -197,6 +235,40 @@ std::unique_ptr<InjectionProcess> TrafficSpec::make_process(
   SHG_REQUIRE(false, "traffic spec: unknown injection process '" + process +
                          "'");
   return nullptr;  // unreachable
+}
+
+void TrafficSpec::resolve_trace() {
+  if (!is_trace() || trace != nullptr) return;
+  trace = std::make_shared<const Trace>(load_trace(trace_path));
+}
+
+std::uint64_t TrafficSpec::trace_content_hash() const {
+  return trace != nullptr ? trace->content_hash() : 0;
+}
+
+TraceWorkload TrafficSpec::make_trace_workload(int rows, int cols,
+                                               int concentration,
+                                               int endpoints_per_tile,
+                                               int packet_size_flits) const {
+  SHG_REQUIRE(is_trace(), "traffic spec '" + canonical() +
+                              "' is not a trace; use make_pattern");
+  SHG_REQUIRE(trace != nullptr,
+              "traffic spec '" + canonical() +
+                  "' has no loaded trace; call resolve_trace() first");
+  SHG_REQUIRE(rows >= 1 && cols >= 1, "traffic spec: empty grid");
+  const Concentration conc = Concentration::make(rows, cols, concentration);
+  const bool concentrated = concentration > 1;
+  const int ports = concentrated ? concentration : endpoints_per_tile;
+  const int num_sources = rows * cols * ports;
+  const int num_terminals = concentrated ? conc.terminals() : rows * cols;
+  try {
+    return make_trace_replay(trace, num_sources, num_terminals,
+                             packet_size_flits, trace_scale);
+  } catch (const Error& e) {
+    throw Error("traffic spec '" + canonical() +
+                "' is not applicable to the " + std::to_string(rows) + "x" +
+                std::to_string(cols) + " router grid: " + e.what());
+  }
 }
 
 }  // namespace shg::sim

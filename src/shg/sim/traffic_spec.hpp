@@ -6,6 +6,7 @@
 // Grammar (see README.md for the full table):
 //
 //   spec          := pattern [ "/" process ]
+//                  | "trace:" path [ "@" scale ]  (recorded workload replay)
 //   pattern       := "uniform" | "transpose" | "bit-complement"
 //                  | "bit-reverse" | "shuffle" | "tornado" | "neighbor"
 //                  | "hotspot:" tiles ":" fraction
@@ -15,7 +16,12 @@
 //                  | "onoff:" alpha "," beta    (bursty Markov on-off)
 //
 // Examples: "uniform", "hotspot:0,7:0.2", "randperm:7",
-// "transpose/onoff:0.05,0.2".
+// "transpose/onoff:0.05,0.2", "trace:out/mempool.trace@2".
+//
+// A trace spec replaces BOTH halves: the trace bytes define where packets
+// go and when (sim/trace.hpp), so it takes no "/" process suffix and is
+// instantiated through make_trace_workload instead of the
+// make_pattern/make_process pair.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +33,9 @@
 #include "shg/sim/traffic.hpp"
 
 namespace shg::sim {
+
+struct Trace;
+struct TraceWorkload;
 
 /// A parsed workload specification. Factories are split from parsing so
 /// one spec can be instantiated on many grids (patterns are grid-sized)
@@ -42,6 +51,13 @@ struct TrafficSpec {
   std::string process = "bernoulli";
   double on_off_alpha = 0.0;            ///< "onoff" only
   double on_off_beta = 0.0;             ///< "onoff" only
+
+  // Trace replay ("trace" specs replace both halves).
+  std::string trace_path;               ///< "trace" only
+  double trace_scale = 1.0;             ///< "trace" only; time compression
+  /// The loaded trace; filled by resolve_trace(), shared so copies of a
+  /// resolved spec (experiment cells, shards) reuse one in-memory trace.
+  std::shared_ptr<const Trace> trace;
 
   /// Parses a spec string; throws shg::Error (with the offending token)
   /// on unknown pattern/process names or malformed arguments.
@@ -63,8 +79,31 @@ struct TrafficSpec {
 
   /// Instantiates the injection process for `num_sources` endpoint ports
   /// at a mean packet probability of `packet_prob` per source per cycle.
+  /// Trace specs have no process half; this throws for them.
   std::unique_ptr<InjectionProcess> make_process(double packet_prob,
                                                  int num_sources) const;
+
+  /// True for "trace:" specs, which are instantiated through
+  /// make_trace_workload instead of make_pattern/make_process.
+  bool is_trace() const { return pattern == "trace"; }
+
+  /// Loads trace_path (sim/trace.hpp load_trace: full validation, warn +
+  /// shg::Error on a bad file). Idempotent; a no-op for non-trace specs
+  /// and for specs whose trace is already resolved.
+  void resolve_trace();
+
+  /// The trace's content hash — the fingerprint_sim_cell ingredient that
+  /// makes trace cell keys sensitive to the trace BYTES, not just the
+  /// path string in canonical(). 0 when this is not a resolved trace spec.
+  std::uint64_t trace_content_hash() const;
+
+  /// Instantiates the replay pattern/process pair on an R x C router grid
+  /// (resolve_trace() first). The trace header must match the grid's
+  /// source/terminal counts; mismatches throw naming the canonical spec
+  /// and the grid, like make_pattern does.
+  TraceWorkload make_trace_workload(int rows, int cols, int concentration,
+                                    int endpoints_per_tile,
+                                    int packet_size_flits) const;
 };
 
 /// The pattern names make_pattern understands (for error messages/docs).

@@ -17,6 +17,7 @@
 #include "shg/customize/session.hpp"
 #include "shg/eval/experiment.hpp"
 #include "shg/eval/sweep.hpp"
+#include "shg/sim/trace.hpp"
 #include "shg/topo/generators.hpp"
 
 namespace shg::eval {
@@ -561,6 +562,128 @@ TEST(ResultTierKeys, CellKeyTracksEveryIngredient) {
   reseeded.seed += 1;
   EXPECT_FALSE(cell ==
                customize::fingerprint_sim_cell(topo_fp, "uniform", reseeded));
+}
+
+// --- Trace cells through the result tier -----------------------------------
+
+/// Records a small uniform trace for the 4x4 grids of small_spec().
+sim::Trace unit_trace(std::uint64_t seed) {
+  sim::TraceRecordOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.injection_rate = 0.05;
+  opt.packet_size_flits = fast_config().sim.packet_size_flits;
+  opt.cycles = 800;
+  opt.seed = seed;
+  return sim::trace_from_spec(sim::TrafficSpec::parse("uniform"), opt);
+}
+
+TEST(ResultTierKeys, TraceCellKeysDistinctForOneByteDifference) {
+  // Two traces that differ in a single byte of a single record must key
+  // distinct cells, even under an identical canonical spec string (same
+  // path, edited file) — the content hash is the distinguishing
+  // ingredient. A zero hash (synthetic workloads) keys the legacy bytes.
+  const topo::Topology mesh = topo::make_mesh(4, 4);
+  const std::vector<int> unit(
+      static_cast<std::size_t>(mesh.graph().num_edges()), 1);
+  const customize::Fingerprint topo_fp =
+      customize::fingerprint_sim_topology(mesh, unit, 1);
+  const sim::SimConfig config;
+
+  sim::Trace a = unit_trace(1);
+  sim::Trace b = a;
+  b.records[0].dest ^= 1;  // one bit of one byte of one record
+  const std::string canonical = "trace:same/path.trace";
+  const customize::Fingerprint key_a = customize::fingerprint_sim_cell(
+      topo_fp, canonical, config, a.content_hash());
+  const customize::Fingerprint key_b = customize::fingerprint_sim_cell(
+      topo_fp, canonical, config, b.content_hash());
+  EXPECT_FALSE(key_a == key_b);
+  EXPECT_EQ(key_a, customize::fingerprint_sim_cell(topo_fp, canonical, config,
+                                                   a.content_hash()));
+}
+
+TEST(ResultTier, WarmTraceCampaignZeroSimsByteIdentical) {
+  // Trace cells are fully cacheable: a warm campaign over a trace workload
+  // re-simulates nothing and renders byte-identically, and the cold run
+  // matches a session-free reference at any worker count.
+  const std::string path = testing::TempDir() + "/warm-campaign.trace";
+  sim::save_trace(unit_trace(3), path);
+  ExperimentSpec spec = small_spec();
+  spec.traffic[1] = TrafficCase{"trace:" + path, nullptr, ""};
+
+  const std::string reference = report_bytes(run_experiment(spec));
+  set_max_threads(1);
+  const std::string serial = report_bytes(run_experiment(spec));
+  set_max_threads(0);
+  EXPECT_EQ(serial, reference);
+
+  customize::Session session;
+  spec.session = &session;
+  const ExperimentReport cold = run_experiment(spec);
+  EXPECT_EQ(cold.sim_simulated, cold.sim_cells);
+  EXPECT_EQ(report_bytes(cold), reference);
+
+  const ExperimentReport warm = run_experiment(spec);
+  EXPECT_EQ(warm.sim_simulated, 0u);
+  EXPECT_EQ(warm.sim_cache_hits, warm.sim_cells);
+  EXPECT_EQ(report_bytes(warm), reference);
+}
+
+TEST(ResultTier, EditedTraceFileMissesTheOldCells) {
+  // Overwriting the trace file in place (same path, different bytes) must
+  // MISS every cached cell: the key carries the content hash, not just
+  // the path string.
+  const std::string path = testing::TempDir() + "/edited.trace";
+  sim::save_trace(unit_trace(1), path);
+  ExperimentSpec spec = small_spec();
+  spec.traffic = {TrafficCase{"trace:" + path, nullptr, ""}};
+  customize::Session session;
+  spec.session = &session;
+  const ExperimentReport cold = run_experiment(spec);
+  EXPECT_EQ(cold.sim_simulated, cold.sim_cells);
+
+  sim::save_trace(unit_trace(2), path);  // new bytes, same path
+  const ExperimentReport edited = run_experiment(spec);
+  EXPECT_EQ(edited.sim_cache_hits, 0u);
+  EXPECT_EQ(edited.sim_simulated, edited.sim_cells);
+
+  // And the original bytes restored hit all their old cells again.
+  sim::save_trace(unit_trace(1), path);
+  const ExperimentReport warm = run_experiment(spec);
+  EXPECT_EQ(warm.sim_simulated, 0u);
+  EXPECT_EQ(report_bytes(warm), report_bytes(cold));
+}
+
+TEST(ResultTier, TraceShardMergeMatchesSingleProcess) {
+  // Trace cells flow through the sharded-campaign protocol unchanged: two
+  // shards exchanging shg.cache.v1 files merge into a run that simulates
+  // nothing and renders the single-process bytes.
+  const std::string trace_path = testing::TempDir() + "/shardable.trace";
+  sim::save_trace(unit_trace(5), trace_path);
+  ExperimentSpec spec = small_spec();
+  spec.traffic[0] = TrafficCase{"trace:" + trace_path, nullptr, ""};
+
+  const std::string reference = report_bytes(run_experiment(spec));
+
+  customize::Session merged;
+  for (int shard = 0; shard < 2; ++shard) {
+    customize::Session worker;
+    ExperimentSpec worker_spec = spec;
+    worker_spec.session = &worker;
+    const ShardRunStats stats = run_experiment_shard(worker_spec, shard, 2);
+    EXPECT_EQ(stats.simulated, stats.shard_cells);
+    const std::string path = testing::TempDir() + "/trace-shard" +
+                             std::to_string(shard) + ".cache";
+    ASSERT_EQ(worker.sim_cache().save_file(path), stats.shard_cells);
+    ASSERT_EQ(merged.sim_cache().load_file(path), stats.shard_cells);
+    std::remove(path.c_str());
+  }
+  ExperimentSpec merged_spec = spec;
+  merged_spec.session = &merged;
+  const ExperimentReport report = run_experiment(merged_spec);
+  EXPECT_EQ(report.sim_simulated, 0u);
+  EXPECT_EQ(report_bytes(report), reference);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "shg/sim/concentration.hpp"
 #include "shg/sim/simulator.hpp"
+#include "shg/sim/trace.hpp"
 #include "shg/sim/traffic_spec.hpp"
 #include "shg/topo/generators.hpp"
 
@@ -211,6 +212,143 @@ TEST(SoaBitIdentity, ZeroTrafficRun) {
   EXPECT_EQ(a.cycles_run, s.cycles_run);
   EXPECT_EQ(a.measured_packets, s.measured_packets);
   EXPECT_EQ(a.drained, s.drained);
+}
+
+/// Replays `trace` on both engines and requires exact SimResult equality —
+/// trace injection must preserve the engine-identity contract exactly like
+/// the synthetic processes do.
+void expect_trace_bit_identical(const topo::Topology& topo, SimConfig config,
+                                const Trace& trace,
+                                const std::string& what) {
+  const auto shared = std::make_shared<const Trace>(trace);
+  const int conc = topo.concentration();
+  const int num_sources = conc > 1 ? topo.num_tiles() * conc
+                                   : topo.num_tiles();
+  const int num_terminals = num_sources;
+
+  SimResult results[2];
+  for (const bool soa : {false, true}) {
+    config.use_soa_engine = soa;
+    TraceWorkload workload = make_trace_replay(shared, num_sources,
+                                               num_terminals,
+                                               config.packet_size_flits);
+    Simulator simulator(topo, unit_latencies(topo), config,
+                        *workload.pattern, 1, nullptr, nullptr,
+                        std::move(workload.process));
+    results[soa ? 1 : 0] = simulator.run();
+  }
+  const SimResult& a = results[0];
+  const SimResult& s = results[1];
+  EXPECT_EQ(a.cycles_run, s.cycles_run) << what;
+  EXPECT_EQ(a.measured_packets, s.measured_packets) << what;
+  EXPECT_EQ(a.drained, s.drained) << what;
+  EXPECT_EQ(a.accepted_rate, s.accepted_rate) << what;
+  EXPECT_EQ(a.avg_packet_latency, s.avg_packet_latency) << what;
+  EXPECT_EQ(a.max_packet_latency, s.max_packet_latency) << what;
+  EXPECT_EQ(a.p50_packet_latency, s.p50_packet_latency) << what;
+  EXPECT_EQ(a.p95_packet_latency, s.p95_packet_latency) << what;
+  EXPECT_EQ(a.p99_packet_latency, s.p99_packet_latency) << what;
+  EXPECT_EQ(a.avg_hops, s.avg_hops) << what;
+  EXPECT_EQ(a.fairness, s.fairness) << what;
+  EXPECT_GT(s.measured_packets, 0) << what;
+}
+
+TEST(SoaBitIdentity, TraceReplayAcrossFamilies) {
+  // A recorded synthetic trace replayed on both engines, across families.
+  SimConfig config = fast_config();
+  config.injection_rate = 0.05;
+  TraceRecordOptions opt;
+  opt.rows = 4;
+  opt.cols = 4;
+  opt.injection_rate = config.injection_rate;
+  opt.packet_size_flits = config.packet_size_flits;
+  opt.cycles = config.warmup_cycles + config.measure_cycles;
+  opt.seed = config.seed;
+  const Trace trace =
+      trace_from_spec(TrafficSpec::parse("hotspot:0,7:0.3/onoff:0.1,0.3"),
+                      opt);
+  for (const auto& topo :
+       {topo::make_mesh(4, 4), topo::make_torus(4, 4),
+        topo::make_flattened_butterfly(4, 4)}) {
+    expect_trace_bit_identical(topo, config, trace, topo.name());
+  }
+}
+
+TEST(SoaBitIdentity, TraceWithNonUnitMessageSizes) {
+  // Message sizes that are not multiples of the packet size: messages of
+  // 1..10 flits over 4-flit packets split into ceil(size/4) packets on
+  // consecutive cycles in both engines.
+  SimConfig config = fast_config();
+  config.warmup_cycles = 0;  // the whole hand-built trace is measured
+  Trace trace;
+  trace.num_sources = 16;
+  trace.num_terminals = 16;
+  for (std::uint32_t i = 0; i < 160; ++i) {
+    TraceRecord rec;
+    rec.source = i % 16;
+    rec.delta = 7;  // every source fires every 7th "time unit"
+    rec.dest = (i * 5 + 3) % 16;
+    rec.size_flits = 1 + i % 10;
+    trace.records.push_back(rec);
+  }
+  // Interleave sources so reconstructed timestamps stay globally
+  // nondecreasing: record i has absolute time 7 * (1 + i / 16).
+  expect_trace_bit_identical(topo::make_mesh(4, 4), config, trace,
+                             "non-unit sizes");
+}
+
+TEST(SoaBitIdentity, TraceWithDependencyStalledSources) {
+  // Request/reply shape: every reply record depends on its request and
+  // fires only after the request finished injecting.
+  SimConfig config = fast_config();
+  config.warmup_cycles = 0;  // the whole hand-built trace is measured
+  Trace trace;
+  trace.num_sources = 16;
+  trace.num_terminals = 16;
+  for (std::uint32_t i = 0; i < 60; ++i) {
+    const std::uint32_t requester = (i * 3) % 8;       // sources 0..7
+    const std::uint32_t responder = 8 + (i * 5) % 8;   // sources 8..15
+    const std::uint64_t request_index = trace.records.size();
+    TraceRecord request;
+    request.source = requester;
+    request.delta = 20;
+    request.dest = responder;
+    request.size_flits = 8;
+    trace.records.push_back(request);
+    TraceRecord reply;
+    reply.source = responder;
+    reply.delta = 20;
+    reply.dest = requester;
+    reply.size_flits = 16;
+    reply.dep = request_index;
+    trace.records.push_back(reply);
+  }
+  expect_trace_bit_identical(topo::make_mesh(4, 4), config, trace,
+                             "dependency-stalled");
+}
+
+TEST(SoaBitIdentity, TraceDrainsToQuiescenceMidRun) {
+  // Long idle gaps between bursts: the SoA engine's whole-network
+  // quiescence fast-forward must jump the gaps and still match the AoS
+  // cycle count exactly.
+  SimConfig config = fast_config();
+  config.warmup_cycles = 100;
+  config.measure_cycles = 2900;
+  Trace trace;
+  trace.num_sources = 16;
+  trace.num_terminals = 16;
+  for (const std::uint32_t burst_start : {0u, 1100u, 2500u}) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      TraceRecord rec;
+      rec.source = i;
+      rec.delta = burst_start == 0 ? 0 : 1100 + (burst_start == 2500 ? 300 : 0);
+      rec.dest = 15 - i;
+      rec.size_flits = 4;
+      trace.records.push_back(rec);
+    }
+  }
+  expect_trace_bit_identical(topo::make_mesh(4, 4), config, trace,
+                             "quiescent gaps");
 }
 
 TEST(Concentration, TerminalMappingRoundTrips) {
